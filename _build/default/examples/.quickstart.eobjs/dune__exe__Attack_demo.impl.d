@@ -1,0 +1,1 @@
+examples/attack_demo.ml: Agent Authserv Bytes Char Client List Pathname Printf Server Sfs_core Sfs_crypto Sfs_net Sfs_nfs Sfs_os Sfs_proto Sfs_xdr String Vfs

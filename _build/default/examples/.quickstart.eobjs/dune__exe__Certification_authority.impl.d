@@ -1,0 +1,1 @@
+examples/certification_authority.ml: Agent Authserv Client Keymgmt List Pathname Printf Readonly Server Sfs_core Sfs_crypto Sfs_net Sfs_nfs Sfs_os Vfs

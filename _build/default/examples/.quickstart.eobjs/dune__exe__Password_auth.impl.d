@@ -1,0 +1,1 @@
+examples/password_auth.ml: Agent Authserv Client List Pathname Printf Server Sfs_core Sfs_crypto Sfs_net Sfs_nfs Sfs_os Sfskey Vfs

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Agent Authserv Client List Pathname Printf Server Sfs_core Sfs_crypto Sfs_net Sfs_nfs Sfs_os Vfs

@@ -1,0 +1,1 @@
+examples/revocation_tour.ml: Agent Authserv Client Keymgmt Pathname Printf Revocation Server Sfs_core Sfs_crypto Sfs_net Sfs_nfs Sfs_os Sfs_proto Vfs

@@ -1,0 +1,116 @@
+(* Password authentication: the travelling-user scenario of paper
+   section 2.4.
+
+   "Suppose a user from MIT travels to a research laboratory and wishes
+   to access files back at MIT.  The user runs the command
+   'sfskey add user@sfs.lcs.mit.edu'.  The command prompts him for a
+   single password.  He types it, and the command completes
+   successfully. ... The user now has secure access to his files back
+   at MIT.  The process involves no system administrators, no
+   certification authorities, and no need for this user to have to
+   think about anything like public keys or self-certifying
+   pathnames."
+
+   SRP makes this safe even against a fake server: neither side of the
+   exchange reveals anything useful for off-line password guessing, and
+   the user's private key travels only in eksblowfish-encrypted form.
+
+   Run with:  dune exec examples/password_auth.exe *)
+
+open Sfs_core
+module Simos = Sfs_os.Simos
+module Simclock = Sfs_net.Simclock
+module Simnet = Sfs_net.Simnet
+module Memfs = Sfs_nfs.Memfs
+module Memfs_ops = Sfs_nfs.Memfs_ops
+module Diskmodel = Sfs_nfs.Diskmodel
+module Nfs_types = Sfs_nfs.Nfs_types
+module Rabin = Sfs_crypto.Rabin
+module Prng = Sfs_crypto.Prng
+
+let step fmt = Printf.printf ("\n== " ^^ fmt ^^ "\n")
+
+let () =
+  let clock = Simclock.create () in
+  let net = Simnet.create clock in
+  let mit = Simnet.add_host net "sfs.lcs.mit.edu" in
+  let _lab = Simnet.add_host net "visiting-lab.example.org" in
+  let now () = Nfs_types.time_of_us (Simclock.now_us clock) in
+  let rng = Prng.create [ "password-auth" ] in
+
+  step "At MIT: the user registers a password with authserv";
+  let os = Simos.create () in
+  let user = Simos.add_user os "dm" in
+  let fs = Memfs.create ~now () in
+  let root_cred = Simos.cred_of_user Simos.root_user in
+  (match Memfs.mkdir fs root_cred ~dir:Memfs.root_id "home" ~mode:0o755 with
+  | Ok (home, _) -> (
+      (* ~dm, owned by the user. *)
+      match Memfs.mkdir fs root_cred ~dir:home "dm" ~mode:0o755 with
+      | Ok (dm, _) ->
+          ignore
+            (Memfs.setattr fs root_cred dm
+               { Nfs_types.sattr_empty with Nfs_types.set_uid = Some user.Simos.uid })
+      | Error e -> failwith (Nfs_types.status_to_string e))
+  | Error e -> failwith (Nfs_types.status_to_string e));
+
+  let authserv = Authserv.create rng in
+  Authserv.add_user authserv ~user:"dm" ~cred:(Simos.cred_of_user user);
+  let user_key = Rabin.generate ~bits:512 rng in
+  (* sfskey computes the SRP verifier and deposits the private key
+     encrypted under an eksblowfish-hardened password key. *)
+  Sfskey.register_local ~cost:4 authserv rng ~user:"dm" ~password:"kerberos is a dog"
+    ~key:user_key;
+  print_endline "Registered: SRP verifier + eksblowfish-encrypted private key.";
+  print_endline "(The server never sees any password-equivalent data.)";
+
+  let server_key = Rabin.generate ~bits:512 rng in
+  let server =
+    Server.create net ~host:mit ~location:"sfs.lcs.mit.edu" ~key:server_key ~rng
+      ~backend:(Memfs_ops.make ~fs ~disk:(Diskmodel.create clock)) ~authserv ()
+  in
+  Printf.printf "MIT serves: %s\n" (Pathname.to_string (Server.self_path server));
+
+  step "Months later, at a visiting lab: a machine that knows nothing about MIT";
+  let sfscd = Client.create net ~from_host:"visiting-lab.example.org" ~rng () in
+  let lab_fs = Memfs.create ~now () in
+  let vfs =
+    Vfs.make ~sfscd ~clock ~root_fs:(Memfs_ops.make ~fs:lab_fs ~disk:(Diskmodel.create clock)) ()
+  in
+  (* A fresh agent: no keys, no links. *)
+  let agent = Agent.create user in
+  Vfs.set_agent vfs ~uid:user.Simos.uid agent;
+
+  step "sfskey add dm@sfs.lcs.mit.edu   (types the password once)";
+  (match
+     Sfskey.add net rng agent ~from_host:"visiting-lab.example.org" ~location:"sfs.lcs.mit.edu"
+       ~user:"dm" ~password:"kerberos is a dog"
+   with
+  | Ok path ->
+      Printf.printf "SRP retrieved the self-certifying pathname:\n    %s\n" (Pathname.to_string path);
+      Printf.printf "and the private key (decrypted locally); agent link /sfs/%s installed.\n"
+        (Pathname.location path)
+  | Error e -> failwith (Sfskey.error_to_string e));
+
+  step "cd /sfs/sfs.lcs.mit.edu — transparent, authenticated access";
+  let cred = Simos.cred_of_user user in
+  (match Vfs.write_file vfs cred "/sfs/sfs.lcs.mit.edu/home/dm/trip-notes" "back at MIT, virtually\n" with
+  | Ok () -> print_endline "wrote ~/trip-notes on the MIT server"
+  | Error e -> failwith (Vfs.verror_to_string e));
+  (match Vfs.stat vfs cred "/sfs/sfs.lcs.mit.edu/home/dm/trip-notes" with
+  | Ok attr -> Printf.printf "file owner uid %d = the travelling user, not anonymous\n" attr.Nfs_types.uid
+  | Error e -> failwith (Vfs.verror_to_string e));
+
+  step "A wrong password gets nothing — and is logged server-side";
+  (match
+     Sfskey.add net rng (Agent.create user) ~from_host:"visiting-lab.example.org"
+       ~location:"sfs.lcs.mit.edu" ~user:"dm" ~password:"guess1"
+   with
+  | Error (Sfskey.Auth_failed _) -> print_endline "rejected (as it should be)"
+  | Error e -> failwith (Sfskey.error_to_string e)
+  | Ok _ -> failwith "accepted a wrong password!");
+  Printf.printf "server-side audit log now holds %d failed attempt(s)\n"
+    (List.length (Authserv.failed_attempts authserv));
+  print_endline "\n(On-line guessing is slow — eksblowfish — and detectable; off-line";
+  print_endline " guessing gets no material at all: that is SRP's guarantee.)";
+  print_endline "Done."

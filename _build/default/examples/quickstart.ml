@@ -1,0 +1,105 @@
+(* Quickstart: the smallest complete SFS deployment.
+
+   One server machine, one client machine, one user.  Shows the core
+   promise of the paper: given nothing but a self-certifying pathname,
+   a client anywhere can mount the file system securely — no
+   certification authority, no realm configuration, no key
+   distribution.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Sfs_core
+module Simos = Sfs_os.Simos
+module Simclock = Sfs_net.Simclock
+module Simnet = Sfs_net.Simnet
+module Memfs = Sfs_nfs.Memfs
+module Memfs_ops = Sfs_nfs.Memfs_ops
+module Diskmodel = Sfs_nfs.Diskmodel
+module Nfs_types = Sfs_nfs.Nfs_types
+module Rabin = Sfs_crypto.Rabin
+module Prng = Sfs_crypto.Prng
+
+let step fmt = Printf.printf ("\n== " ^^ fmt ^^ "\n")
+
+let () =
+  (* --- The world: a simulated internet with two machines. --- *)
+  let clock = Simclock.create () in
+  let net = Simnet.create clock in
+  let server_host = Simnet.add_host net "files.example.com" in
+  let _laptop = Simnet.add_host net "laptop.example.com" in
+  let now () = Nfs_types.time_of_us (Simclock.now_us clock) in
+  let rng = Prng.create [ "quickstart" ] in
+
+  step "Server side: generate a key pair and start sfssd";
+  (* Anyone with a domain name can do this — no authority involved
+     (paper section 2.1.3). *)
+  let server_key = Rabin.generate ~bits:512 rng in
+  let fs = Memfs.create ~now () in
+  let disk = Diskmodel.create clock in
+  let root_cred = Simos.cred_of_user Simos.root_user in
+  ignore (Memfs.mkdir fs root_cred ~dir:Memfs.root_id "pub" ~mode:0o777);
+
+  let os = Simos.create () in
+  let alice = Simos.add_user os "alice" in
+  let authserv = Authserv.create rng in
+  Authserv.add_user authserv ~user:"alice" ~cred:(Simos.cred_of_user alice);
+  let alice_key = Rabin.generate ~bits:512 rng in
+  (match Authserv.register_pubkey authserv ~user:"alice" alice_key.Rabin.pub with
+  | Ok () -> ()
+  | Error e -> failwith e);
+
+  let server =
+    Server.create net ~host:server_host ~location:"files.example.com" ~key:server_key ~rng
+      ~backend:(Memfs_ops.make ~fs ~disk) ~authserv ()
+  in
+  let path = Server.self_path server in
+  Printf.printf "The server's self-certifying pathname is:\n    %s\n" (Pathname.to_string path);
+  Printf.printf "(Location = %s, HostID = SHA-1 of the location and public key)\n"
+    (Pathname.location path);
+
+  step "Client side: sfscd + an agent holding alice's key";
+  let sfscd = Client.create net ~from_host:"laptop.example.com" ~rng () in
+  let client_fs = Memfs.create ~now () in
+  let client_disk = Diskmodel.create clock in
+  let vfs =
+    Vfs.make ~sfscd ~clock ~root_fs:(Memfs_ops.make ~fs:client_fs ~disk:client_disk) ()
+  in
+  let agent = Agent.create alice in
+  Agent.add_key agent alice_key;
+  Vfs.set_agent vfs ~uid:alice.Simos.uid agent;
+  print_endline "No server is configured anywhere on the client: the pathname is the policy.";
+
+  step "Access the file system by its self-certifying pathname";
+  let cred = Simos.cred_of_user alice in
+  let file = Pathname.to_string path ^ "/pub/hello.txt" in
+  (match Vfs.write_file vfs cred file "Hello from a self-certifying world!\n" with
+  | Ok () -> Printf.printf "wrote %s\n" file
+  | Error e -> failwith (Vfs.verror_to_string e));
+  (match Vfs.read_file vfs cred file with
+  | Ok contents -> Printf.printf "read back: %s" contents
+  | Error e -> failwith (Vfs.verror_to_string e));
+
+  (* The automount, key negotiation, user authentication and the secure
+     channel all happened transparently on first access. *)
+  (match Vfs.stat vfs cred file with
+  | Ok attr ->
+      Printf.printf "owner uid: %d (alice, authenticated through her agent)\n"
+        attr.Nfs_types.uid;
+      Printf.printf "attribute lease: %d seconds (SFS's enhanced caching)\n"
+        attr.Nfs_types.lease
+  | Error e -> failwith (Vfs.verror_to_string e));
+
+  step "Human-readable names are just symbolic links";
+  Agent.add_link agent ~name:"work" ~target:(Pathname.to_string path);
+  (match Vfs.read_file vfs cred "/sfs/work/pub/hello.txt" with
+  | Ok _ -> print_endline "read the same file via the agent's /sfs/work link"
+  | Error e -> failwith (Vfs.verror_to_string e));
+
+  (match Vfs.readdir vfs cred "/sfs" with
+  | Ok names ->
+      print_endline "alice's private view of /sfs:";
+      List.iter (fun n -> Printf.printf "    %s\n" n) names
+  | Error e -> failwith (Vfs.verror_to_string e));
+
+  Printf.printf "\nSimulated time elapsed: %.1f ms\n" (Simclock.now_us clock /. 1000.0);
+  print_endline "Done."

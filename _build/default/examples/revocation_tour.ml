@@ -1,0 +1,160 @@
+(* Key revocation and HostID blocking (paper section 2.6).
+
+   A tour of what happens when a server's private key is compromised:
+
+   1. the owner issues a self-authenticating revocation certificate;
+   2. the server itself hands it to connecting clients (fast but
+      unreliable distribution);
+   3. a certification authority republishes it in a revocation
+      directory — and because certificates are self-authenticating,
+      even people who distrust the CA can use it, and the CA accepts
+      submissions without checking anyone's identity;
+   4. agents that have learned the certificate refuse the pathname
+      before any network traffic;
+   5. forwarding pointers handle the benign case of a server changing
+      names — but a revocation certificate always overrules a
+      forwarding pointer;
+   6. HostID blocking lets one user's agent blacklist a pathname
+      without affecting anyone else.
+
+   Run with:  dune exec examples/revocation_tour.exe *)
+
+open Sfs_core
+module Simos = Sfs_os.Simos
+module Simclock = Sfs_net.Simclock
+module Simnet = Sfs_net.Simnet
+module Memfs = Sfs_nfs.Memfs
+module Memfs_ops = Sfs_nfs.Memfs_ops
+module Diskmodel = Sfs_nfs.Diskmodel
+module Nfs_types = Sfs_nfs.Nfs_types
+module Rabin = Sfs_crypto.Rabin
+module Prng = Sfs_crypto.Prng
+module Hostid = Sfs_proto.Hostid
+
+let step fmt = Printf.printf ("\n== " ^^ fmt ^^ "\n")
+
+let () =
+  let clock = Simclock.create () in
+  let net = Simnet.create clock in
+  let host = Simnet.add_host net "files.example.com" in
+  let _client_host = Simnet.add_host net "desk.example.com" in
+  let now () = Nfs_types.time_of_us (Simclock.now_us clock) in
+  let rng = Prng.create [ "revocation-tour" ] in
+  let os = Simos.create () in
+  let alice = Simos.add_user os "alice" in
+  let bob = Simos.add_user os "bob" in
+
+  let fs = Memfs.create ~now () in
+  ignore
+    (Memfs.mkdir fs (Simos.cred_of_user Simos.root_user) ~dir:Memfs.root_id "pub" ~mode:0o777);
+  let key = Rabin.generate ~bits:512 rng in
+  let authserv = Authserv.create rng in
+  let server =
+    Server.create net ~host ~location:"files.example.com" ~key ~rng
+      ~backend:(Memfs_ops.make ~fs ~disk:(Diskmodel.create clock)) ~authserv ()
+  in
+  let path = Server.self_path server in
+  Printf.printf "server: %s\n" (Pathname.to_string path);
+
+  let sfscd = Client.create net ~from_host:"desk.example.com" ~rng () in
+  let vfs =
+    Vfs.make ~sfscd ~clock
+      ~root_fs:(Memfs_ops.make ~fs:(Memfs.create ~now ()) ~disk:(Diskmodel.create clock))
+      ()
+  in
+  let alice_agent = Agent.create alice in
+  let bob_agent = Agent.create bob in
+  Vfs.set_agent vfs ~uid:alice.Simos.uid alice_agent;
+  Vfs.set_agent vfs ~uid:bob.Simos.uid bob_agent;
+  let alice_cred = Simos.cred_of_user alice in
+  let bob_cred = Simos.cred_of_user bob in
+
+  (match Vfs.readdir vfs alice_cred (Pathname.to_string path) with
+  | Ok _ -> print_endline "alice can reach the server today"
+  | Error e -> failwith (Vfs.verror_to_string e));
+
+  step "6. (first, the benign case) HostID blocking is per user";
+  Agent.block_hostid bob_agent (Pathname.hostid path);
+  (match Vfs.readdir vfs bob_cred (Pathname.to_string path) with
+  | Error Vfs.Blocked_by_agent -> print_endline "bob's agent blocks the HostID for bob only"
+  | Error e -> failwith (Vfs.verror_to_string e)
+  | Ok _ -> failwith "block ignored");
+  (match Vfs.readdir vfs alice_cred (Pathname.to_string path) with
+  | Ok _ -> print_endline "alice is unaffected by bob's blacklist"
+  | Error e -> failwith (Vfs.verror_to_string e));
+  Agent.unblock_hostid bob_agent (Pathname.hostid path);
+
+  step "A forwarding pointer: the server moves to a new name";
+  let new_host = Simnet.add_host net "files.new-university.edu" in
+  let new_key = Rabin.generate ~bits:512 rng in
+  let new_server =
+    Server.create net ~host:new_host ~location:"files.new-university.edu" ~key:new_key ~rng
+      ~backend:(Memfs_ops.make ~fs ~disk:(Diskmodel.create clock)) ~authserv ()
+  in
+  let fwd = Server.forwarding_pointer server ~new_path:(Server.self_path new_server) in
+  Printf.printf "forwarding pointer issued:\n    %s -> %s\n" (Pathname.to_string path)
+    (Pathname.to_string (Server.self_path new_server));
+  (match Revocation.check_for path (Revocation.to_string fwd) with
+  | Some (Revocation.Forward p) ->
+      Printf.printf "any client can verify it and follow to %s\n" (Pathname.to_string p)
+  | _ -> failwith "forwarding pointer did not verify");
+
+  step "1-2. The key is compromised: the owner revokes; the server serves the certificate";
+  let cert = Server.revoke server in
+  Printf.printf "revocation certificate for HostID %s\n"
+    (Hostid.to_base32 (Pathname.hostid (Revocation.target cert)));
+  let fresh_client = Client.create net ~from_host:"desk.example.com" ~rng () in
+  (match Client.mount fresh_client path with
+  | Error (Client.Revoked (Some served)) when Revocation.body_of served = Revocation.Revoke ->
+      print_endline "a connecting client receives and verifies the certificate: mount refused"
+  | Error e -> failwith (Client.mount_error_to_string e)
+  | Ok _ -> failwith "mounted a revoked path!");
+
+  step "A revocation certificate always overrules a forwarding pointer";
+  (* Both exist for the same HostID; policy says revocation wins. *)
+  (match
+     ( Revocation.check_for path (Revocation.to_string cert),
+       Revocation.check_for path (Revocation.to_string fwd) )
+   with
+  | Some Revocation.Revoke, Some (Revocation.Forward _) ->
+      print_endline "both verify; clients must honour the revocation (paper section 2.6)"
+  | _ -> failwith "certificates did not verify");
+
+  step "3-4. A CA republishes the certificate; agents learn it offline";
+  (* The CA needs no permission to publish it: self-authenticating. *)
+  let ca_fs = Keymgmt.build_ca_fs ~now [] in
+  Keymgmt.add_revocation_dir ca_fs [ cert ];
+  let ca_host = Simnet.add_host net "verisign.example.com" in
+  let ca_key = Rabin.generate ~bits:512 rng in
+  let ca_server =
+    Server.create net ~host:ca_host ~location:"verisign.example.com" ~key:ca_key ~rng
+      ~backend:(Memfs_ops.make ~fs:ca_fs ~disk:(Diskmodel.create clock))
+      ~authserv:(Authserv.create rng) ()
+  in
+  let ca_path = Pathname.to_string (Server.self_path ca_server) in
+  let learned = Keymgmt.scan_revocation_dir alice_agent vfs (ca_path ^ "/revocations") in
+  Printf.printf "alice's agent scanned %s/revocations and learned %d certificate(s)\n" ca_path
+    learned;
+  (match Vfs.readdir vfs alice_cred (Pathname.to_string path) with
+  | Error Vfs.Revoked_by_agent ->
+      print_endline "alice's agent now refuses the pathname before any network traffic"
+  | Error e -> failwith (Vfs.verror_to_string e)
+  | Ok _ -> failwith "agent ignored the revocation");
+
+  step "Forged certificates do not stick";
+  let mallory_key = Rabin.generate ~bits:512 rng in
+  let forged =
+    Revocation.make ~key:mallory_key ~location:"files.new-university.edu" Revocation.Revoke
+  in
+  (* Valid for mallory's own (location, key) pair, but useless against
+     the real new server, whose HostID binds a different key. *)
+  if Revocation.applies_to forged (Server.self_path new_server) then
+    failwith "forged revocation accepted!"
+  else
+    print_endline
+      "mallory's certificate only revokes mallory's own HostID — nobody else's";
+
+  (match Vfs.readdir vfs alice_cred (Pathname.to_string (Server.self_path new_server)) with
+  | Ok _ -> print_endline "the relocated server remains reachable at its new pathname"
+  | Error e -> failwith (Vfs.verror_to_string e));
+  print_endline "\nDone."

@@ -1,0 +1,1 @@
+lib/bignum/nat.ml: Array Buffer Bytes Char Fmt List Printf Sfs_util Stdlib String

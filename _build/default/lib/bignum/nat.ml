@@ -1,0 +1,342 @@
+(* Arbitrary-precision natural numbers.
+
+   Representation: little-endian arrays of 26-bit limbs (base 2^26),
+   normalized so the highest limb is nonzero; zero is the empty array.
+   With 63-bit native ints, a limb product fits in 52 bits and a
+   schoolbook accumulation of up to 2^10 products stays below 2^62,
+   comfortably covering the 2048-bit operands SFS uses. *)
+
+let limb_bits = 26
+let limb_base = 1 lsl limb_bits
+let limb_mask = limb_base - 1
+
+type t = int array
+
+let zero : t = [||]
+let is_zero (a : t) = Array.length a = 0
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int (v : int) : t =
+  if v < 0 then invalid_arg "Nat.of_int: negative";
+  let rec go v acc = if v = 0 then List.rev acc else go (v lsr limb_bits) ((v land limb_mask) :: acc) in
+  Array.of_list (go v [])
+
+let to_int_opt (a : t) : int option =
+  (* Fits when below 2^62 (two full limbs plus 10 bits). *)
+  let n = Array.length a in
+  if n > 3 then None
+  else if n = 3 && a.(2) >= 1 lsl (62 - (2 * limb_bits)) then None
+  else begin
+    let v = ref 0 in
+    for i = n - 1 downto 0 do v := (!v lsl limb_bits) lor a.(i) done;
+    Some !v
+  end
+
+let one = of_int 1
+let two = of_int 2
+
+let compare (a : t) (b : t) : int =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+
+let equal a b = compare a b = 0
+
+let num_bits (a : t) : int =
+  let n = Array.length a in
+  if n = 0 then 0
+  else
+    let top = a.(n - 1) in
+    let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+    ((n - 1) * limb_bits) + width top 0
+
+let testbit (a : t) (i : int) : bool =
+  let limb = i / limb_bits and off = i mod limb_bits in
+  limb < Array.length a && (a.(limb) lsr off) land 1 = 1
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb + 1 in
+  let out = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    out.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  normalize out
+
+(* [sub a b] requires a >= b. *)
+let sub (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la < lb then invalid_arg "Nat.sub: underflow";
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + limb_base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  if !borrow <> 0 then invalid_arg "Nat.sub: underflow";
+  normalize out
+
+let mul_schoolbook (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let v = out.(i + j) + (ai * b.(j)) + !carry in
+        out.(i + j) <- v land limb_mask;
+        carry := v lsr limb_bits
+      done;
+      (* Propagate the final carry; it may ripple. *)
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let v = out.(!k) + !carry in
+        out.(!k) <- v land limb_mask;
+        carry := v lsr limb_bits;
+        incr k
+      done
+    done;
+    normalize out
+  end
+
+(* Karatsuba multiplication for large operands. *)
+let karatsuba_threshold = 32
+
+let split_at (a : t) (k : int) : t * t =
+  let n = Array.length a in
+  if n <= k then (a, zero)
+  else (normalize (Array.sub a 0 k), normalize (Array.sub a k (n - k)))
+
+let shift_limbs (a : t) (k : int) : t =
+  if is_zero a then zero
+  else begin
+    let n = Array.length a in
+    let out = Array.make (n + k) 0 in
+    Array.blit a 0 out k n;
+    out
+  end
+
+let rec mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la < karatsuba_threshold || lb < karatsuba_threshold then mul_schoolbook a b
+  else begin
+    let k = (max la lb + 1) / 2 in
+    let a0, a1 = split_at a k and b0, b1 = split_at b k in
+    let z0 = mul a0 b0 in
+    let z2 = mul a1 b1 in
+    let z1 = sub (mul (add a0 a1) (add b0 b1)) (add z0 z2) in
+    add (add z0 (shift_limbs z1 k)) (shift_limbs z2 (2 * k))
+  end
+
+let shift_left (a : t) (bits : int) : t =
+  if bits < 0 then invalid_arg "Nat.shift_left";
+  if is_zero a || bits = 0 then a
+  else begin
+    let limbs = bits / limb_bits and off = bits mod limb_bits in
+    let n = Array.length a in
+    let out = Array.make (n + limbs + 1) 0 in
+    for i = 0 to n - 1 do
+      let v = a.(i) lsl off in
+      out.(i + limbs) <- out.(i + limbs) lor (v land limb_mask);
+      out.(i + limbs + 1) <- v lsr limb_bits
+    done;
+    normalize out
+  end
+
+let shift_right (a : t) (bits : int) : t =
+  if bits < 0 then invalid_arg "Nat.shift_right";
+  if is_zero a || bits = 0 then a
+  else begin
+    let limbs = bits / limb_bits and off = bits mod limb_bits in
+    let n = Array.length a in
+    if limbs >= n then zero
+    else begin
+      let m = n - limbs in
+      let out = Array.make m 0 in
+      for i = 0 to m - 1 do
+        let lo = a.(i + limbs) lsr off in
+        let hi = if i + limbs + 1 < n && off > 0 then (a.(i + limbs + 1) lsl (limb_bits - off)) land limb_mask else 0 in
+        out.(i) <- lo lor hi
+      done;
+      normalize out
+    end
+  end
+
+(* Knuth algorithm D long division, on half-limbs packed into full limbs.
+   We instead use a simpler normalized schoolbook division on 26-bit limbs:
+   estimate each quotient limb from the top two dividend limbs divided by
+   the top divisor limb (after normalizing so the divisor's top bit is
+   set), then correct by at most two decrements. *)
+let divmod (a : t) (b : t) : t * t =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then begin
+    (* Single-limb divisor: simple scan. *)
+    let d = b.(0) in
+    let n = Array.length a in
+    let q = Array.make n 0 in
+    let r = ref 0 in
+    for i = n - 1 downto 0 do
+      let cur = (!r lsl limb_bits) lor a.(i) in
+      q.(i) <- cur / d;
+      r := cur mod d
+    done;
+    (normalize q, of_int !r)
+  end
+  else begin
+    (* Normalize so divisor's top limb has its high bit set. *)
+    let shift = limb_bits - (num_bits b - ((Array.length b - 1) * limb_bits)) in
+    let u = shift_left a shift and v = shift_left b shift in
+    let nv = Array.length v in
+    let top = v.(nv - 1) in
+    let rem = ref u in
+    let nq = Array.length u - nv + 1 in
+    let q = Array.make (max nq 1) 0 in
+    for j = nq - 1 downto 0 do
+      let r = !rem in
+      let nr = Array.length r in
+      (* Estimate q_j = floor(rem / (v << j*limb)) from leading limbs. *)
+      let r_at i = if i >= 0 && i < nr then r.(i) else 0 in
+      let hi = r_at (j + nv) and lo = r_at (j + nv - 1) in
+      let qhat = ref (((hi lsl limb_bits) lor lo) / top) in
+      if !qhat > limb_mask then qhat := limb_mask;
+      if !qhat > 0 then begin
+        let prod = shift_limbs (mul_schoolbook v (of_int !qhat)) j in
+        let prod = ref prod in
+        while compare !prod r > 0 do
+          decr qhat;
+          prod := shift_limbs (mul_schoolbook v (of_int !qhat)) j
+        done;
+        rem := sub r !prod
+      end;
+      (* After estimation the remainder may still admit one more v<<j. *)
+      let vj = shift_limbs v j in
+      while compare !rem vj >= 0 do
+        incr qhat;
+        rem := sub !rem vj
+      done;
+      q.(j) <- !qhat
+    done;
+    (normalize q, shift_right !rem shift)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let modexp ~(base : t) ~(exp : t) ~(modulus : t) : t =
+  if is_zero modulus then raise Division_by_zero;
+  if equal modulus one then zero
+  else begin
+    let result = ref one in
+    let b = ref (rem base modulus) in
+    let nb = num_bits exp in
+    for i = 0 to nb - 1 do
+      if testbit exp i then result := rem (mul !result !b) modulus;
+      if i < nb - 1 then b := rem (mul !b !b) modulus
+    done;
+    !result
+  end
+
+let rec gcd (a : t) (b : t) : t = if is_zero b then a else gcd b (rem a b)
+
+let of_bytes_be (s : string) : t =
+  let n = String.length s in
+  let nbits = 8 * n in
+  let limbs = (nbits + limb_bits - 1) / limb_bits in
+  let out = Array.make (max limbs 1) 0 in
+  let bitpos = ref 0 in
+  for i = n - 1 downto 0 do
+    let byte = Char.code s.[i] in
+    let limb = !bitpos / limb_bits and off = !bitpos mod limb_bits in
+    out.(limb) <- out.(limb) lor ((byte lsl off) land limb_mask);
+    if off > limb_bits - 8 && limb + 1 < Array.length out then
+      out.(limb + 1) <- out.(limb + 1) lor (byte lsr (limb_bits - off));
+    bitpos := !bitpos + 8
+  done;
+  normalize out
+
+let to_bytes_be (a : t) : string =
+  let nbytes = (num_bits a + 7) / 8 in
+  if nbytes = 0 then ""
+  else begin
+    let out = Bytes.make nbytes '\000' in
+    for byte = 0 to nbytes - 1 do
+      let bitpos = 8 * byte in
+      let limb = bitpos / limb_bits and off = bitpos mod limb_bits in
+      let v = a.(limb) lsr off in
+      let v =
+        if off > limb_bits - 8 && limb + 1 < Array.length a then
+          v lor (a.(limb + 1) lsl (limb_bits - off))
+        else v
+      in
+      Bytes.set out (nbytes - 1 - byte) (Char.chr (v land 0xff))
+    done;
+    Bytes.unsafe_to_string out
+  end
+
+(* Fixed-width big-endian encoding, for protocol messages. *)
+let to_bytes_be_padded ~(width : int) (a : t) : string =
+  let s = to_bytes_be a in
+  let n = String.length s in
+  if n > width then invalid_arg "Nat.to_bytes_be_padded: too large";
+  String.make (width - n) '\000' ^ s
+
+let of_hex (h : string) : t = of_bytes_be (Sfs_util.Hex.decode (if String.length h mod 2 = 1 then "0" ^ h else h))
+let to_hex (a : t) : string =
+  if is_zero a then "0"
+  else
+    let h = Sfs_util.Hex.encode (to_bytes_be a) in
+    if h.[0] = '0' then String.sub h 1 (String.length h - 1) else h
+
+let pp ppf a = Fmt.string ppf (to_hex a)
+
+(* Decimal conversion, for human-facing output and tests. *)
+let to_string (a : t) : string =
+  if is_zero a then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let ten9 = of_int 1_000_000_000 in
+    let rec go a digits =
+      if is_zero a then digits
+      else
+        let q, r = divmod a ten9 in
+        let r = match to_int_opt r with Some v -> v | None -> assert false in
+        go q (r :: digits)
+    in
+    (match go a [] with
+    | [] -> assert false
+    | first :: rest ->
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun d -> Buffer.add_string buf (Printf.sprintf "%09d" d)) rest);
+    Buffer.contents buf
+  end
+
+let of_string (s : string) : t =
+  if s = "" then invalid_arg "Nat.of_string";
+  let acc = ref zero in
+  let ten = of_int 10 in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' -> acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+      | _ -> invalid_arg "Nat.of_string: bad digit")
+    s;
+  !acc

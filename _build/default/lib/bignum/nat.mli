@@ -1,0 +1,69 @@
+(** Arbitrary-precision natural numbers.
+
+    SFS's cryptography (Rabin-Williams, SRP) runs over naturals of up to a
+    few thousand bits.  The representation is little-endian arrays of
+    26-bit limbs; all operations are purely functional. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val of_int : int -> t
+(** @raise Invalid_argument on negative input. *)
+
+val to_int_opt : t -> int option
+(** [to_int_opt a] is [Some v] when [a] fits a native int below [2^62]. *)
+
+val num_bits : t -> int
+(** Position of the highest set bit plus one; [num_bits zero = 0]. *)
+
+val testbit : t -> int -> bool
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** @raise Invalid_argument when the result would be negative. *)
+
+val mul : t -> t -> t
+(** Karatsuba above 32 limbs, schoolbook below. *)
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(a / b, a mod b)].
+    @raise Division_by_zero when [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val modexp : base:t -> exp:t -> modulus:t -> t
+(** Left-to-right binary exponentiation. *)
+
+val gcd : t -> t -> t
+
+val of_bytes_be : string -> t
+(** Big-endian byte-string interpretation, as protocol fields use. *)
+
+val to_bytes_be : t -> string
+(** Minimal-length big-endian bytes; [to_bytes_be zero = ""]. *)
+
+val to_bytes_be_padded : width:int -> t -> string
+(** Left-zero-padded to exactly [width] bytes.
+    @raise Invalid_argument when the value needs more than [width] bytes. *)
+
+val of_hex : string -> t
+val to_hex : t -> string
+val of_string : string -> t
+(** Decimal digits. @raise Invalid_argument on other characters. *)
+
+val to_string : t -> string
+(** Decimal rendering. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/agent.mli: Keysplit Pathname Revocation Sfs_crypto Sfs_os Sfs_proto

@@ -1,0 +1,1 @@
+lib/core/authserv.ml: Hashtbl List Option Result Sfs_bignum Sfs_crypto Sfs_os Sfs_proto Sfs_xdr

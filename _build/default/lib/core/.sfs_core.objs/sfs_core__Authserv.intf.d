@@ -1,0 +1,1 @@
+lib/core/authserv.mli: Sfs_bignum Sfs_crypto Sfs_os Sfs_xdr

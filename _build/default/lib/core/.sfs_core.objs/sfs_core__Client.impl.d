@@ -1,0 +1,1 @@
+lib/core/client.ml: Agent Hashtbl List Option Pathname Readonly Result Revocation Server Sfs_crypto Sfs_net Sfs_nfs Sfs_os Sfs_proto Sfs_xdr String

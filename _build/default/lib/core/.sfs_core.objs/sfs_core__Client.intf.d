@@ -1,0 +1,1 @@
+lib/core/client.mli: Agent Pathname Revocation Sfs_crypto Sfs_net Sfs_nfs

@@ -1,0 +1,1 @@
+lib/core/fhcrypt.ml: Char Sfs_crypto Sfs_util String

@@ -1,0 +1,1 @@
+lib/core/fhcrypt.mli: Sfs_crypto

@@ -1,0 +1,1 @@
+lib/core/keymgmt.ml: Agent List Option Pathname Result Revocation Sfs_crypto Sfs_nfs Sfs_os Sfs_proto String Vfs

@@ -1,0 +1,1 @@
+lib/core/keymgmt.mli: Agent Pathname Revocation Sfs_crypto Sfs_nfs Sfs_os Vfs

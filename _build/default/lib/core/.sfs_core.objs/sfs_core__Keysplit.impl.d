@@ -1,0 +1,1 @@
+lib/core/keysplit.ml: Fun List Option Sfs_crypto Sfs_util String

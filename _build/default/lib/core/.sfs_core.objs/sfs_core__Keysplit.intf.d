@@ -1,0 +1,1 @@
+lib/core/keysplit.mli: Sfs_crypto

@@ -1,0 +1,1 @@
+lib/core/pathname.ml: Fmt List Option Sfs_crypto Sfs_proto String

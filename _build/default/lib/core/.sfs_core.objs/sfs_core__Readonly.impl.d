@@ -1,0 +1,1 @@
+lib/core/readonly.ml: Hashtbl List Result Sfs_crypto Sfs_net Sfs_nfs Sfs_os Sfs_proto Sfs_util Sfs_xdr String

@@ -1,0 +1,1 @@
+lib/core/readonly.mli: Sfs_crypto Sfs_net Sfs_nfs Sfs_proto

@@ -1,0 +1,1 @@
+lib/core/revocation.ml: Pathname Result Sfs_crypto Sfs_proto Sfs_xdr

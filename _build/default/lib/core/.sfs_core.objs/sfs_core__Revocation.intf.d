@@ -1,0 +1,1 @@
+lib/core/revocation.mli: Pathname Sfs_crypto

@@ -1,0 +1,1 @@
+lib/core/server.ml: Authserv Fhcrypt Hashtbl List Pathname Readonly Result Revocation Sfs_crypto Sfs_net Sfs_nfs Sfs_os Sfs_proto Sfs_xdr

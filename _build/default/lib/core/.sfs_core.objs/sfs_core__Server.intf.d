@@ -1,0 +1,1 @@
+lib/core/server.mli: Authserv Pathname Readonly Revocation Sfs_crypto Sfs_net Sfs_nfs

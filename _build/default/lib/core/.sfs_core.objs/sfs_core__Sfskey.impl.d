@@ -1,0 +1,1 @@
+lib/core/sfskey.ml: Agent Authserv Option Pathname Result Server Sfs_crypto Sfs_net Sfs_proto Sfs_xdr String

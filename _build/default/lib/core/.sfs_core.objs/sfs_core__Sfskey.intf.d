@@ -1,0 +1,1 @@
+lib/core/sfskey.mli: Agent Authserv Pathname Sfs_crypto Sfs_net

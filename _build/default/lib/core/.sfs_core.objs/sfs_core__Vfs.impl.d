@@ -1,0 +1,1 @@
+lib/core/vfs.ml: Agent Buffer Client Filename Fun List Pathname Result Sfs_net Sfs_nfs Sfs_os Sfs_util String

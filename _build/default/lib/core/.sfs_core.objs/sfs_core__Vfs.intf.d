@@ -1,0 +1,1 @@
+lib/core/vfs.mli: Agent Client Sfs_net Sfs_nfs Sfs_os

@@ -1,0 +1,167 @@
+(* sfsagent — the per-user agent (paper sections 2.3, 2.5.1).
+
+   Every user on an SFS client runs an unprivileged agent of their
+   choice.  The agent:
+
+   - signs authentication requests with the user's private keys,
+     keeping an audit trail of every private-key operation;
+   - owns the user's view of /sfs: dynamic symbolic links visible only
+     to the user's processes, created on the fly when a
+     non-self-certifying name is accessed (certification paths,
+     existing PKIs, password lookups all hang off this hook);
+   - tracks revoked HostIDs and can ask the client to block HostIDs it
+     has decided are bad, affecting only its own user.
+
+   Users can replace their agents at will; the client only sees the
+   RPC surface modeled by this module's functions. *)
+
+module Simos = Sfs_os.Simos
+module Rabin = Sfs_crypto.Rabin
+module Authproto = Sfs_proto.Authproto
+
+type audit_entry = { at_us : float; info : Authproto.authinfo; seqno : int }
+
+(* A name-resolution hook: given the name accessed under /sfs, return a
+   symlink target to redirect to, or None.  Hooks run in order; the
+   first answer wins.  Certification paths and PKI gateways are hooks. *)
+type link_hook = string -> string option
+
+(* How the agent can produce signatures.  Beyond keys held directly,
+   the paper envisages agents without "direct knowledge of any private
+   keys" (section 2.5.1): keys split with key-holder services, or
+   requests forwarded to another agent (the ssh-like remote login
+   scenario). *)
+type signer =
+  | Local_key of Rabin.priv
+  | Split_key of { local : Keysplit.share; fetch_rest : unit -> Keysplit.share list }
+  | Proxy of {
+      proxy_name : string;
+      forward : Authproto.authinfo -> seqno:int -> Authproto.authmsg option;
+    }
+
+type t = {
+  user : Simos.user;
+  mutable signers : signer list; (* tried in order *)
+  mutable links : (string * string) list; (* static per-user /sfs symlinks *)
+  mutable hooks : (string * link_hook) list; (* named, ordered *)
+  mutable revocations : (string (* hostid *) * Revocation.t) list;
+  mutable blocked : string list; (* hostids blocked for this user only *)
+  mutable audit : audit_entry list;
+  now_us : unit -> float;
+}
+
+let create ?(now_us = fun () -> 0.0) (user : Simos.user) : t =
+  { user; signers = []; links = []; hooks = []; revocations = []; blocked = []; audit = []; now_us }
+
+let user (t : t) = t.user
+
+(* --- Keys and signing --- *)
+
+let add_key (t : t) (key : Rabin.priv) : unit = t.signers <- t.signers @ [ Local_key key ]
+
+let keys (t : t) : Rabin.priv list =
+  List.filter_map (function Local_key k -> Some k | Split_key _ | Proxy _ -> None) t.signers
+
+let add_split_key (t : t) ~(local : Keysplit.share) ~(fetch_rest : unit -> Keysplit.share list) :
+    unit =
+  t.signers <- t.signers @ [ Split_key { local; fetch_rest } ]
+
+let add_proxy (t : t) ~(name : string) (forward : Authproto.authinfo -> seqno:int -> Authproto.authmsg option) : unit =
+  t.signers <- t.signers @ [ Proxy { proxy_name = name; forward } ]
+
+let forget_keys (t : t) : unit = t.signers <- []
+
+(* Sign with one signer, if it can. *)
+let sign_one (t : t) (signer : signer) (info : Authproto.authinfo) ~(seqno : int) :
+    Authproto.authmsg option =
+  match signer with
+  | Local_key key ->
+      t.audit <- { at_us = t.now_us (); info; seqno } :: t.audit;
+      Some (Authproto.make_authmsg ~key info ~seqno)
+  | Split_key { local; fetch_rest } -> (
+      (* Reconstruct transiently; shares alone reveal nothing. *)
+      match Keysplit.combine (local :: fetch_rest ()) with
+      | None -> None
+      | Some key ->
+          t.audit <- { at_us = t.now_us (); info; seqno } :: t.audit;
+          Some (Authproto.make_authmsg ~key info ~seqno))
+  | Proxy { forward; _ } ->
+      (* The remote agent keeps its own audit trail of the operation. *)
+      forward info ~seqno
+
+(* Sign an authentication request with each signer in turn; the client
+   retries each result against the server (section 2.5).  Successful
+   signatures get consecutive sequence numbers so the client can
+   account for them exactly. *)
+let sign_requests (t : t) (info : Authproto.authinfo) ~(seqno_of : int -> int) :
+    Authproto.authmsg list =
+  let next = ref 0 in
+  List.filter_map
+    (fun signer ->
+      match sign_one t signer info ~seqno:(seqno_of !next) with
+      | Some msg ->
+          incr next;
+          Some msg
+      | None -> None)
+    t.signers
+
+(* Expose this agent as the remote end of a proxy chain: another
+   machine's agent forwards requests here (the paper's hoped-for
+   ssh-like remote login utility). *)
+let forwarder (t : t) : Authproto.authinfo -> seqno:int -> Authproto.authmsg option =
+ fun info ~seqno ->
+  List.fold_left
+    (fun acc signer -> match acc with Some _ -> acc | None -> sign_one t signer info ~seqno)
+    None t.signers
+
+let audit_trail (t : t) : audit_entry list = t.audit
+
+(* --- /sfs links --- *)
+
+let add_link (t : t) ~(name : string) ~(target : string) : unit =
+  t.links <- (name, target) :: List.remove_assoc name t.links
+
+let remove_link (t : t) (name : string) : unit = t.links <- List.remove_assoc name t.links
+
+let add_hook (t : t) ~(name : string) (hook : link_hook) : unit =
+  t.hooks <- t.hooks @ [ (name, hook) ]
+
+let remove_hook (t : t) (name : string) : unit =
+  t.hooks <- List.filter (fun (n, _) -> n <> name) t.hooks
+
+(* The client calls this when a user accesses a name under /sfs that is
+   not of the form Location:HostID (section 2.3): the agent may answer
+   with a target, and the client materializes a symlink on the fly. *)
+let resolve_name (t : t) (name : string) : string option =
+  match List.assoc_opt name t.links with
+  | Some target -> Some target
+  | None -> List.find_map (fun (_, hook) -> hook name) t.hooks
+
+let links (t : t) : (string * string) list = t.links
+
+(* --- Revocation and blocking (section 2.6) --- *)
+
+let learn_revocation (t : t) (cert : Revocation.t) : bool =
+  if Revocation.valid cert then begin
+    let hostid = Pathname.hostid (Revocation.target cert) in
+    if not (List.mem_assoc hostid t.revocations) then
+      t.revocations <- (hostid, cert) :: t.revocations;
+    true
+  end
+  else false
+
+(* The client asks the agent whether a path has been revoked before
+   first access; the agent may consult revocation directories through
+   its hooks, here modeled by the certificates it has collected. *)
+let check_revoked (t : t) (path : Pathname.t) : Revocation.t option =
+  match List.assoc_opt (Pathname.hostid path) t.revocations with
+  | Some cert when Revocation.applies_to cert path -> Some cert
+  | _ -> None
+
+let block_hostid (t : t) (hostid : string) : unit =
+  if not (List.mem hostid t.blocked) then t.blocked <- hostid :: t.blocked
+
+let unblock_hostid (t : t) (hostid : string) : unit =
+  t.blocked <- List.filter (fun h -> h <> hostid) t.blocked
+
+let is_blocked (t : t) (hostid : string) : bool = List.mem hostid t.blocked

@@ -1,0 +1,351 @@
+(* sfscd — the SFS client (paper sections 2.2, 2.3, 3, 3.3).
+
+   The client automounts self-certifying pathnames: a reference to
+   /sfs/Location:HostID dials Location, runs key negotiation, verifies
+   the HostID, and exposes the remote file system.  Stripped of "any
+   notion of administrative realm": no configuration names any server;
+   the pathnames users access are the entire policy.
+
+   Each mount carries: the secure channel, SFS-style caching (leases +
+   piggybacked invalidation callbacks), per-user authentication numbers
+   negotiated through agents, and the per-RPC user-level crossing cost
+   the paper measures.  Mounts are shared between users — safe, because
+   users who named the same HostID asked for the same public key
+   (section 5.1's answer to the AFS cache-sharing conundrum). *)
+
+open Sfs_nfs.Nfs_types
+module Fs_intf = Sfs_nfs.Fs_intf
+module Nfs_client = Sfs_nfs.Nfs_client
+module Cachefs = Sfs_nfs.Cachefs
+module Simos = Sfs_os.Simos
+module Simnet = Sfs_net.Simnet
+module Simclock = Sfs_net.Simclock
+module Costmodel = Sfs_net.Costmodel
+module Rabin = Sfs_crypto.Rabin
+module Prng = Sfs_crypto.Prng
+module Keyneg = Sfs_proto.Keyneg
+module Channel = Sfs_proto.Channel
+module Authproto = Sfs_proto.Authproto
+module Sfsrw = Sfs_proto.Sfsrw
+module Xdr = Sfs_xdr.Xdr
+
+type mount_error =
+  | Host_unreachable of string
+  | Revoked of Revocation.t option (* the verified certificate, when parsable *)
+  | Negotiation_failed of string
+
+let mount_error_to_string = function
+  | Host_unreachable l -> "host unreachable: " ^ l
+  | Revoked (Some cert) -> (
+      match Revocation.body_of cert with
+      | Revocation.Revoke -> "pathname revoked"
+      | Revocation.Forward p -> "pathname forwarded to " ^ Pathname.to_string p)
+  | Revoked None -> "server sent an invalid revocation certificate"
+  | Negotiation_failed e -> "key negotiation failed: " ^ e
+
+type mount = {
+  m_path : Pathname.t;
+  m_server_pub : Rabin.pub;
+  m_session_id : string;
+  m_channel : Channel.t;
+  m_conn : Simnet.conn;
+  m_invalidations : fh list ref;
+  m_cache : Cachefs.t;
+  m_ops : Fs_intf.ops; (* cache-wrapped, what users consume *)
+  m_authnos : (int, int) Hashtbl.t; (* uid -> authno *)
+  mutable m_seqno : int;
+  m_readonly : bool;
+}
+
+type t = {
+  net : Simnet.t;
+  clock : Simclock.t;
+  costs : Costmodel.t;
+  rng : Prng.t;
+  from_host : string;
+  temp_key_bits : int;
+  temp_key_lifetime_s : float;
+  mutable temp_key : Rabin.priv option;
+  mutable temp_key_born_us : float;
+  mounts : (string, mount) Hashtbl.t; (* by Pathname.to_name *)
+  mutable encrypt : bool; (* ablation switch: "SFS w/o encryption" *)
+  mutable cache_policy : Cachefs.policy;
+}
+
+let create ?(temp_key_bits = 512) ?(temp_key_lifetime_s = 3600.0) ?(encrypt = true)
+    ?(cache_policy = Cachefs.sfs_policy) (net : Simnet.t) ~(from_host : string) ~(rng : Prng.t) () : t
+    =
+  {
+    net;
+    clock = Simnet.clock net;
+    costs = Simnet.costs net;
+    rng;
+    from_host;
+    temp_key_bits;
+    temp_key_lifetime_s;
+    temp_key = None;
+    temp_key_born_us = 0.0;
+    mounts = Hashtbl.create 8;
+    encrypt;
+    cache_policy;
+  }
+
+(* "Clients discard and regenerate K_C at regular intervals (every hour
+   by default)" — forward secrecy. *)
+let temp_key (t : t) : Rabin.priv =
+  let now = Simclock.now_us t.clock in
+  match t.temp_key with
+  | Some k when now -. t.temp_key_born_us < t.temp_key_lifetime_s *. 1_000_000.0 -> k
+  | _ ->
+      let k = Rabin.generate ~bits:t.temp_key_bits t.rng in
+      t.temp_key <- Some k;
+      t.temp_key_born_us <- now;
+      k
+
+let find_mount (t : t) (path : Pathname.t) : mount option =
+  Hashtbl.find_opt t.mounts (Pathname.to_name path)
+
+let mounts (t : t) : mount list = Hashtbl.fold (fun _ m acc -> m :: acc) t.mounts []
+
+(* One sealed request/reply exchange on an established channel. *)
+let channel_exchange ~(channel : Channel.t) ~(conn : Simnet.conn) (req : Sfsrw.request) :
+    (Sfsrw.response, string) result =
+  let wire = Channel.seal channel (Sfsrw.request_to_string req) in
+  let reply = Simnet.call conn wire in
+  Sfsrw.response_of_string (Channel.open_ channel reply)
+
+(* --- Mounting --- *)
+
+let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
+  match find_mount t path with
+  | Some m -> Ok m
+  | None -> (
+      let location = Pathname.location path in
+      match
+        Simnet.connect t.net ~from_host:t.from_host ~addr:location ~port:Server.sfs_port
+          ~proto:Costmodel.Tcp
+      with
+      | exception Simnet.No_route _ -> Error (Host_unreachable location)
+      | conn -> (
+          let extensions = if t.encrypt then [] else [ "no-encrypt" ] in
+          match
+            Keyneg.client_negotiate ~extensions ~rng:t.rng ~temp_key:(temp_key t) ~location
+              ~hostid:(Pathname.hostid path) ~service:Keyneg.Fs (fun msg -> Simnet.call conn msg)
+          with
+          | exception Keyneg.Host_revoked certificate ->
+              Error (Revoked (Revocation.cert_for path certificate))
+          | exception Keyneg.Negotiation_failed e -> Error (Negotiation_failed e)
+          | exception Simnet.Timeout -> Error (Host_unreachable location)
+          | { Keyneg.keys; server_pub } -> (
+              let channel =
+                Channel.create ~encrypt:t.encrypt ~clock:t.clock ~costs:t.costs
+                  ~send_key:keys.Keyneg.kcs ~recv_key:keys.Keyneg.ksc ()
+              in
+              let invalidations = ref [] in
+              let authnos = Hashtbl.create 4 in
+              (* The secure-channel transport for the read-write
+                 protocol; every relayed RPC also pays the client
+                 daemon's user-level crossing. *)
+              let raw_call : Nfs_client.raw_call =
+               fun ~cred ~proc ~async args ->
+                let authno =
+                  match Hashtbl.find_opt authnos cred.Simos.cred_uid with
+                  | Some a -> a
+                  | None -> Sfsrw.authno_anonymous
+                in
+                let req = Sfsrw.request_to_string (Sfsrw.Fs_call { authno; proc; args }) in
+                let reply =
+                  if async then begin
+                    (* Write-behind: the pipeline hides most of the
+                       user-level crossings and overlaps encryption
+                       with the wire; charge the residual fractions. *)
+                    Simclock.advance t.clock
+                      (t.costs.Costmodel.async_userlevel_factor
+                      *. (2.0 *. t.costs.Costmodel.userlevel_us_per_side));
+                    let wire = Channel.seal ~bill:false channel req in
+                    Simclock.advance t.clock
+                      (t.costs.Costmodel.async_crypto_factor
+                      *. Channel.crypto_cost_us channel (String.length req));
+                    Simnet.call_async conn wire
+                  end
+                  else begin
+                    Simclock.advance t.clock t.costs.Costmodel.userlevel_us_per_side;
+                    Simnet.call conn (Channel.seal channel req)
+                  end
+                in
+                match Sfsrw.response_of_string (Channel.open_ channel reply) with
+                | Ok (Sfsrw.Fs_reply { results; invalidations = inv }) ->
+                    invalidations := !invalidations @ inv;
+                    results
+                | Ok (Sfsrw.Proto_error e) -> raise (Nfs_client.Rpc_failure e)
+                | Ok (Sfsrw.Auth_granted _ | Sfsrw.Auth_denied _) ->
+                    raise (Nfs_client.Rpc_failure "unexpected auth response")
+                | Result.Error e -> raise (Nfs_client.Rpc_failure e)
+              in
+              (* Fetch the encrypted root handle in-band. *)
+              match
+                Xdr.run
+                  (raw_call ~cred:Simos.anonymous_cred ~proc:Sfsrw.proc_getroot ~async:false "")
+                  dec_fh
+              with
+              | Result.Error e -> Error (Negotiation_failed ("bad root handle: " ^ e))
+              | exception Nfs_client.Rpc_failure e -> Error (Negotiation_failed e)
+              | Ok root ->
+                  let inner_ops = Nfs_client.generic_ops raw_call ~root in
+                  let cache =
+                    Cachefs.create
+                      ~take_invalidations:(fun () ->
+                        let inv = !invalidations in
+                        invalidations := [];
+                        inv)
+                      ~clock:t.clock ~policy:t.cache_policy inner_ops
+                  in
+                  let m =
+                    {
+                      m_path = path;
+                      m_server_pub = server_pub;
+                      m_session_id = keys.Keyneg.session_id;
+                      m_channel = channel;
+                      m_conn = conn;
+                      m_invalidations = invalidations;
+                      m_cache = cache;
+                      m_ops = Cachefs.ops cache;
+                      m_authnos = authnos;
+                      m_seqno = 1;
+                      m_readonly = false;
+                    }
+                  in
+                  Hashtbl.replace t.mounts (Pathname.to_name path) m;
+                  Ok m)))
+
+(* Mount the read-only dialect of a pathname (used for certification
+   authorities).  No secure channel: integrity comes from the signed
+   root and the hash chain; the transport stays in the clear. *)
+let mount_readonly (t : t) (path : Pathname.t) : (mount, mount_error) result =
+  let name = Pathname.to_name path ^ ":ro" in
+  match Hashtbl.find_opt t.mounts name with
+  | Some m -> Ok m
+  | None -> (
+      let location = Pathname.location path in
+      match
+        Simnet.connect t.net ~from_host:t.from_host ~addr:location ~port:Server.sfs_port
+          ~proto:Costmodel.Tcp
+      with
+      | exception Simnet.No_route _ -> Error (Host_unreachable location)
+      | conn -> (
+          (* The connect step still verifies the HostID, but key
+             negotiation is skipped for the read-only dialect. *)
+          let req =
+            {
+              Keyneg.version = "sfs-1";
+              location;
+              hostid = Pathname.hostid path;
+              service = Keyneg.Fs_readonly;
+              extensions = [];
+            }
+          in
+          let res = Simnet.call conn (Xdr.encode Keyneg.enc_connect_req req) in
+          match Xdr.run res Keyneg.dec_connect_res with
+          | Result.Error e -> Error (Negotiation_failed e)
+          | Ok (Keyneg.Connect_error e) -> Error (Negotiation_failed e)
+          | Ok (Keyneg.Connect_revoked { certificate }) ->
+              Error (Revoked (Revocation.cert_for path certificate))
+          | Ok (Keyneg.Connect_ok { pubkey }) -> (
+              if not (Sfs_proto.Hostid.check ~location ~pubkey ~hostid:(Pathname.hostid path)) then
+                Error (Negotiation_failed "server key does not match HostID")
+              else
+                let exchange bytes =
+                  Simclock.advance t.clock t.costs.Costmodel.userlevel_us_per_side;
+                  Simnet.call conn bytes
+                in
+                match Readonly.connect ~exchange ~pubkey ~clock:t.clock with
+                | exception Readonly.Verification_failed e -> Error (Negotiation_failed e)
+                | ro ->
+                    let ops = Readonly.ops ro in
+                    let cache = Cachefs.create ~clock:t.clock ~policy:t.cache_policy ops in
+                    let m =
+                      {
+                        m_path = path;
+                        m_server_pub = pubkey;
+                        m_session_id = "";
+                        m_channel =
+                          Channel.create ~encrypt:false ~send_key:(String.make 20 '0')
+                            ~recv_key:(String.make 20 '0') ();
+                        m_conn = conn;
+                        m_invalidations = ref [];
+                        m_cache = cache;
+                        m_ops = Cachefs.ops cache;
+                        m_authnos = Hashtbl.create 1;
+                        m_seqno = 1;
+                        m_readonly = true;
+                      }
+                    in
+                    Hashtbl.replace t.mounts name m;
+                    Ok m)))
+
+(* --- User authentication (Figure 4, client and agent side) --- *)
+
+let authenticate ?local_uid (t : t) (m : mount) (agent : Agent.t) : int =
+  ignore t;
+  (* [local_uid] is the local credential the agent is answering for —
+     normally the agent's own user, but ssu maps a super-user shell to
+     an ordinary user's agent (paper footnote 2). *)
+  let uid = Option.value local_uid ~default:(Agent.user agent).Simos.uid in
+  match Hashtbl.find_opt m.m_authnos uid with
+  | Some authno -> authno
+  | None ->
+      if m.m_readonly then begin
+        Hashtbl.replace m.m_authnos uid Sfsrw.authno_anonymous;
+        Sfsrw.authno_anonymous
+      end
+      else begin
+        let info =
+          {
+            Authproto.service = "FS";
+            location = Pathname.location m.m_path;
+            hostid = Pathname.hostid m.m_path;
+            session_id = m.m_session_id;
+          }
+        in
+        let base = m.m_seqno in
+        let msgs = Agent.sign_requests agent info ~seqno_of:(fun i -> base + i) in
+        m.m_seqno <- base + List.length msgs;
+        let try_one i msg =
+          match
+            channel_exchange ~channel:m.m_channel ~conn:m.m_conn
+              (Sfsrw.Auth_req { seqno = base + i; authmsg = Authproto.authmsg_to_string msg })
+          with
+          | Ok (Sfsrw.Auth_granted { authno; seqno }) when seqno = base + i -> Some authno
+          | _ -> None
+        in
+        let authno =
+          List.fold_left
+            (fun acc (i, msg) -> match acc with Some _ -> acc | None -> try_one i msg)
+            None
+            (List.mapi (fun i msg -> (i, msg)) msgs)
+        in
+        let authno = Option.value authno ~default:Sfsrw.authno_anonymous in
+        Hashtbl.replace m.m_authnos uid authno;
+        authno
+      end
+
+let ops (m : mount) : Fs_intf.ops = m.m_ops
+let path (m : mount) : Pathname.t = m.m_path
+let server_pub (m : mount) : Rabin.pub = m.m_server_pub
+let is_readonly (m : mount) : bool = m.m_readonly
+let cache (m : mount) : Cachefs.t = m.m_cache
+
+let unmount (t : t) (m : mount) : unit =
+  Simnet.close m.m_conn;
+  Hashtbl.remove t.mounts (Pathname.to_name m.m_path ^ if m.m_readonly then ":ro" else "")
+
+let set_encrypt (t : t) (enabled : bool) : unit = t.encrypt <- enabled
+
+(* Adversary-side helper for the attack demo and tests: deliver raw
+   bytes on the mount's connection as a network attacker would
+   (replay).  Reports whether the server's channel accepted them. *)
+let inject_raw (m : mount) (bytes : string) : (string, string) result =
+  match Simnet.inject m.m_conn bytes with
+  | reply -> Ok reply
+  | exception Channel.Integrity_failure -> Error "integrity failure (stream desync)"
+  | exception Simnet.Timeout -> Error "connection dead"

@@ -1,0 +1,74 @@
+(** sfscd — the SFS client: automounts self-certifying pathnames over
+    negotiated secure channels, caches with leases and invalidation
+    callbacks, authenticates users through their agents, and shares
+    mounts safely between users (paper sections 2.2, 2.3, 3, 3.3).
+
+    Clients have no notion of administrative realm and no server
+    configuration: the pathnames users access are the entire policy. *)
+
+module Simnet = Sfs_net.Simnet
+module Rabin = Sfs_crypto.Rabin
+module Prng = Sfs_crypto.Prng
+module Fs_intf = Sfs_nfs.Fs_intf
+module Cachefs = Sfs_nfs.Cachefs
+
+type mount_error =
+  | Host_unreachable of string
+  | Revoked of Revocation.t option
+      (** the verified certificate the server sent, when parsable *)
+  | Negotiation_failed of string
+
+val mount_error_to_string : mount_error -> string
+
+type mount
+type t
+
+val create :
+  ?temp_key_bits:int ->
+  ?temp_key_lifetime_s:float ->
+  ?encrypt:bool ->
+  ?cache_policy:Cachefs.policy ->
+  Simnet.t ->
+  from_host:string ->
+  rng:Prng.t ->
+  unit ->
+  t
+(** [~encrypt:false] negotiates the "SFS w/o encryption" dialect;
+    [cache_policy] defaults to lease-based SFS caching.  The short-lived
+    key regenerates after [temp_key_lifetime_s] (default one hour) for
+    forward secrecy. *)
+
+val mount : t -> Pathname.t -> (mount, mount_error) result
+(** Dial the Location, negotiate keys, verify the HostID, fetch the
+    root handle.  Idempotent: mounts are cached and shared. *)
+
+val mount_readonly : t -> Pathname.t -> (mount, mount_error) result
+(** Mount with the signed read-only dialect: no secure channel, every
+    object verified against the hash chain from the signed root. *)
+
+val find_mount : t -> Pathname.t -> mount option
+val mounts : t -> mount list
+
+val authenticate : ?local_uid:int -> t -> mount -> Agent.t -> int
+(** Run the Figure 4 protocol for the agent's user, trying each of its
+    signers; remembers the resulting authentication number under
+    [local_uid] (default: the agent's own uid; ssu passes the
+    super-user's).  Anonymous on failure, as the paper's client does
+    when the agent declines. *)
+
+(** {2 Mount accessors} *)
+
+val ops : mount -> Fs_intf.ops
+(** The cache-wrapped file system interface users consume. *)
+
+val path : mount -> Pathname.t
+val server_pub : mount -> Rabin.pub
+val is_readonly : mount -> bool
+val cache : mount -> Cachefs.t
+val unmount : t -> mount -> unit
+val temp_key : t -> Rabin.priv
+val set_encrypt : t -> bool -> unit
+
+val inject_raw : mount -> string -> (string, string) result
+(** Adversary-side helper (attack demo, tests): deliver raw bytes on
+    the mount's connection as a replaying network attacker would. *)

@@ -1,0 +1,52 @@
+(* NFS file handle protection (paper section 3.3).
+
+   "NFS identifies files by server-chosen, opaque file handles ...
+   these file handles must remain secret; an attacker who learns the
+   file handle of even a single directory can access any part of the
+   file system as any user.  SFS servers, in contrast, make their file
+   handles publicly available to anonymous clients.  SFS therefore
+   generates its file handles by adding redundancy to NFS handles and
+   encrypting them in CBC mode with a 20-byte Blowfish key."
+
+   An SFS wire handle is Blowfish-CBC(redundancy ∥ inner handle),
+   padded to whole blocks with a length byte.  Decryption rejects any
+   handle whose redundancy does not check out, so handles cannot be
+   guessed or forged even though they are public. *)
+
+module Blowfish = Sfs_crypto.Blowfish
+module Mac = Sfs_crypto.Mac
+
+type t = { cipher : Blowfish.t; mac_key : string }
+
+let redundancy_bytes = 8
+
+let create (key : string) : t =
+  if String.length key <> 20 then invalid_arg "Fhcrypt.create: key must be 20 bytes";
+  { cipher = Blowfish.create key; mac_key = Sfs_crypto.Sha1.digest ("fh-redundancy:" ^ key) }
+
+let of_prng (rng : Sfs_crypto.Prng.t) : t = create (Sfs_crypto.Prng.random_bytes rng 20)
+
+let zero_iv = String.make 8 '\000'
+
+let redundancy (t : t) (inner : string) : string =
+  String.sub (Mac.hmac ~key:t.mac_key inner) 0 redundancy_bytes
+
+let encrypt (t : t) (inner : string) : string =
+  if String.length inner > 40 then invalid_arg "Fhcrypt.encrypt: inner handle too large";
+  let body = redundancy t inner ^ String.make 1 (Char.chr (String.length inner)) ^ inner in
+  let pad = (8 - (String.length body mod 8)) mod 8 in
+  Blowfish.encrypt_cbc t.cipher ~iv:zero_iv (body ^ String.make pad '\000')
+
+let decrypt (t : t) (wire : string) : string option =
+  if String.length wire < 16 || String.length wire mod 8 <> 0 then None
+  else begin
+    let body = Blowfish.decrypt_cbc t.cipher ~iv:zero_iv wire in
+    let len = Char.code body.[redundancy_bytes] in
+    if redundancy_bytes + 1 + len > String.length body then None
+    else begin
+      let inner = String.sub body (redundancy_bytes + 1) len in
+      if Sfs_util.Bytesutil.ct_equal (String.sub body 0 redundancy_bytes) (redundancy t inner) then
+        Some inner
+      else None
+    end
+  end

@@ -1,0 +1,66 @@
+(* Split private keys (paper section 2.5.1).
+
+   "The agent need not have direct knowledge of any private keys.  To
+   protect private keys from compromise, for instance, one could split
+   them between an agent and a trusted authserver using proactive
+   security.  An attacker would need to compromise both the agent and
+   authserver to steal a split secret key."
+
+   This implements the sharing half of that design: an n-of-n XOR
+   secret sharing of the serialized private key.  Any proper subset of
+   shares is information-theoretically independent of the key; the
+   agent holds one share, deposits the rest with key-holder services,
+   and reconstructs only transiently inside signing operations.  (Full
+   proactive refresh — re-randomizing shares periodically — is
+   [refresh]; the multi-party computation that would avoid even
+   transient reconstruction is beyond the paper's sketch.) *)
+
+module Rabin = Sfs_crypto.Rabin
+module Prng = Sfs_crypto.Prng
+
+type share = { idx : int; count : int; bytes : string }
+
+let split (rng : Prng.t) (key : Rabin.priv) ~(n : int) : share list =
+  if n < 2 then invalid_arg "Keysplit.split: need at least two shares";
+  let plain = Rabin.priv_to_string key in
+  let len = String.length plain in
+  let randoms = List.init (n - 1) (fun _ -> Prng.random_bytes rng len) in
+  let last = List.fold_left Sfs_util.Bytesutil.xor plain randoms in
+  List.mapi (fun idx bytes -> { idx; count = n; bytes }) (randoms @ [ last ])
+
+let combine (shares : share list) : Rabin.priv option =
+  match shares with
+  | [] -> None
+  | first :: _ ->
+      let n = first.count in
+      let idxs = List.sort_uniq compare (List.map (fun s -> s.idx) shares) in
+      if List.length shares <> n || idxs <> List.init n Fun.id then None
+      else
+        let plain =
+          List.fold_left
+            (fun acc s -> Sfs_util.Bytesutil.xor acc s.bytes)
+            (String.make (String.length first.bytes) '\000')
+            shares
+        in
+        Rabin.priv_of_string plain
+
+(* Proactive refresh: re-randomize all shares without changing the key.
+   Old and new share sets are incompatible, so an attacker must capture
+   a full set within one refresh epoch. *)
+let refresh (rng : Prng.t) (shares : share list) : share list option =
+  Option.map (fun key -> split rng key ~n:(List.length shares)) (combine shares)
+
+let share_to_string (s : share) : string =
+  Sfs_util.Bytesutil.be32_of_int s.idx
+  ^ Sfs_util.Bytesutil.be32_of_int s.count
+  ^ s.bytes
+
+let share_of_string (raw : string) : share option =
+  if String.length raw < 8 then None
+  else
+    Some
+      {
+        idx = Sfs_util.Bytesutil.int_of_be32 raw ~off:0;
+        count = Sfs_util.Bytesutil.int_of_be32 raw ~off:4;
+        bytes = String.sub raw 8 (String.length raw - 8);
+      }

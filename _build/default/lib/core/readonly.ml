@@ -1,0 +1,269 @@
+(* The public read-only file system dialect (paper sections 2.4, 3.2).
+
+   The publisher takes a snapshot of a Memfs tree: every object is
+   content-hashed, directories reference children by hash, and the root
+   hash is signed once with the server's private key.  Serving requires
+   no cryptographic computation and no on-line private key, so
+   snapshots "can be replicated on untrusted machines" — any host can
+   serve the bytes; clients verify every object against the hash chain
+   ending at the signed root.  This is how SFS certification
+   authorities meet their "high integrity, availability, and
+   performance needs".  *)
+
+open Sfs_nfs.Nfs_types
+module Ro = Sfs_proto.Readonly_proto
+module Keyneg = Sfs_proto.Keyneg
+module Rabin = Sfs_crypto.Rabin
+module Sha1 = Sfs_crypto.Sha1
+module Memfs = Sfs_nfs.Memfs
+module Simos = Sfs_os.Simos
+module Simnet = Sfs_net.Simnet
+module Simclock = Sfs_net.Simclock
+module Xdr = Sfs_xdr.Xdr
+
+(* --- Snapshot building --- *)
+
+type snapshot = {
+  store : (string, string) Hashtbl.t; (* hash -> marshaled object *)
+  root_hash : string;
+  fsinfo : Ro.fsinfo;
+  signature : string;
+}
+
+let put (store : (string, string) Hashtbl.t) (o : Ro.obj) : string =
+  let bytes = Ro.obj_to_string o in
+  let h = Sha1.digest bytes in
+  Hashtbl.replace store h bytes;
+  h
+
+(* Recursively hash a Memfs subtree into the store. *)
+let rec snap_inode (fs : Memfs.t) (store : (string, string) Hashtbl.t) (cred : Simos.cred) (id : int)
+    : (Ro.entry_kind * string) option =
+  match Memfs.inode_kind fs id with
+  | None -> None
+  | Some (Memfs.Reg _) -> (
+      match Memfs.read fs cred id ~off:0 ~count:max_int with
+      | Ok (data, _) -> Some (Ro.K_file, put store (Ro.O_file data))
+      | Error _ -> None)
+  | Some (Memfs.Symlink target) -> Some (Ro.K_symlink, put store (Ro.O_symlink target))
+  | Some (Memfs.Dir _) -> (
+      match Memfs.readdir fs cred id with
+      | Error _ -> None
+      | Ok entries ->
+          let children =
+            List.filter_map
+              (fun de ->
+                match snap_inode fs store cred de.d_fileid with
+                | Some (e_kind, e_hash) -> Some { Ro.e_name = de.d_name; e_kind; e_hash }
+                | None -> None)
+              entries
+          in
+          Some (Ro.K_dir, put store (Ro.O_dir children)))
+
+let snapshot ?(duration_s = 24 * 3600) ?(serial = 1) ~(key : Rabin.priv) ~(now_s : int)
+    (fs : Memfs.t) : snapshot =
+  let store = Hashtbl.create 256 in
+  (* Published contents are world-readable by construction: the
+     snapshot reads as root and anything unreadable is omitted. *)
+  let cred = Simos.cred_of_user Simos.root_user in
+  match snap_inode fs store cred Memfs.root_id with
+  | Some (Ro.K_dir, root_hash) ->
+      let fsinfo = { Ro.root_hash; issued_s = now_s; duration_s; serial } in
+      { store; root_hash; fsinfo; signature = Ro.sign_fsinfo key fsinfo }
+  | _ -> invalid_arg "Readonly.snapshot: root is not a directory"
+
+let snapshot_size (s : snapshot) : int =
+  Hashtbl.fold (fun _ bytes acc -> acc + String.length bytes) s.store 0
+
+(* --- Server ---
+
+   The server side is trivial by design: look up bytes, return them.
+   It never touches a private key; [serve] works from any replica. *)
+
+let handle_request (s : snapshot) (bytes : string) : string =
+  let res =
+    match Ro.ro_request_of_string bytes with
+    | Result.Error e -> Ro.Ro_error e
+    | Ok Ro.Get_fsinfo -> Ro.Fsinfo_is { fsinfo = s.fsinfo; signature = s.signature }
+    | Ok (Ro.Get_obj h) -> (
+        match Hashtbl.find_opt s.store h with
+        | Some bytes -> Ro.Obj_is bytes
+        | None -> Ro.Ro_error "no such object")
+  in
+  Ro.ro_response_to_string res
+
+(* --- Verifying client --- *)
+
+exception Verification_failed of string
+
+type client = {
+  exchange : string -> string;
+  pubkey : Rabin.pub;
+  clock : Simclock.t;
+  cache : (string, Ro.obj) Hashtbl.t; (* verified objects *)
+  mutable fsinfo : Ro.fsinfo;
+  mutable last_serial : int;
+}
+
+let fetch_fsinfo ~(exchange : string -> string) ~(pubkey : Rabin.pub) ~(clock : Simclock.t)
+    ~(min_serial : int) : Ro.fsinfo =
+  match Ro.ro_response_of_string (exchange (Ro.ro_request_to_string Ro.Get_fsinfo)) with
+  | Ok (Ro.Fsinfo_is { fsinfo; signature }) ->
+      if not (Ro.verify_fsinfo pubkey fsinfo ~signature) then
+        raise (Verification_failed "bad root signature");
+      let now = Simclock.seconds clock in
+      if now > fsinfo.Ro.issued_s + fsinfo.Ro.duration_s then
+        raise (Verification_failed "stale snapshot (past validity window)");
+      if fsinfo.Ro.serial < min_serial then raise (Verification_failed "snapshot rollback detected");
+      fsinfo
+  | Ok (Ro.Ro_error e) -> raise (Verification_failed e)
+  | Ok (Ro.Obj_is _) -> raise (Verification_failed "unexpected response")
+  | Result.Error e -> raise (Verification_failed e)
+
+let connect ~(exchange : string -> string) ~(pubkey : Rabin.pub) ~(clock : Simclock.t) : client =
+  let fsinfo = fetch_fsinfo ~exchange ~pubkey ~clock ~min_serial:0 in
+  { exchange; pubkey; clock; cache = Hashtbl.create 256; fsinfo; last_serial = fsinfo.Ro.serial }
+
+(* Fetch an object and verify it is the preimage of the hash that named
+   it — the step that lets untrusted replicas serve the data. *)
+let fetch (c : client) (h : string) : Ro.obj =
+  match Hashtbl.find_opt c.cache h with
+  | Some o -> o
+  | None -> (
+      match Ro.ro_response_of_string (c.exchange (Ro.ro_request_to_string (Ro.Get_obj h))) with
+      | Ok (Ro.Obj_is bytes) ->
+          if not (Sfs_util.Bytesutil.ct_equal (Sha1.digest bytes) h) then
+            raise (Verification_failed "object does not match its hash");
+          (match Ro.obj_of_string bytes with
+          | Ok o ->
+              Hashtbl.replace c.cache h o;
+              o
+          | Result.Error e -> raise (Verification_failed e))
+      | Ok (Ro.Ro_error e) -> raise (Verification_failed e)
+      | Ok (Ro.Fsinfo_is _) -> raise (Verification_failed "unexpected response")
+      | Result.Error e -> raise (Verification_failed e))
+
+(* --- Fs_intf over a verified snapshot --- *)
+
+let fileid_of_hash (h : string) : int = Sfs_util.Bytesutil.int_of_be32 h ~off:0
+
+let ( let* ) = Result.bind
+
+let obj_of_fh (c : client) (h : fh) : Ro.obj res =
+  if String.length h <> 20 then Error NFS3ERR_BADHANDLE
+  else match fetch c h with o -> Ok o | exception Verification_failed _ -> Error NFS3ERR_IO
+
+let synth_attr (c : client) (h : string) (o : Ro.obj) : fattr =
+  let t = { seconds = c.fsinfo.Ro.issued_s; nseconds = 0 } in
+  let ftype, size, mode =
+    match o with
+    | Ro.O_file data -> (NF_REG, String.length data, 0o444)
+    | Ro.O_dir entries -> (NF_DIR, 512 + (List.length entries * 32), 0o555)
+    | Ro.O_symlink target -> (NF_LNK, String.length target, 0o777)
+  in
+  {
+    ftype;
+    mode;
+    nlink = 1;
+    uid = 0;
+    gid = 0;
+    size;
+    used = size;
+    fsid = fileid_of_hash c.fsinfo.Ro.root_hash land 0xFFFF;
+    fileid = fileid_of_hash h;
+    atime = t;
+    mtime = t;
+    ctime = t;
+    (* Contents are immutable for the snapshot's validity window. *)
+    lease = max 1 (c.fsinfo.Ro.issued_s + c.fsinfo.Ro.duration_s - Simclock.seconds c.clock);
+  }
+
+let rofs = Error NFS3ERR_ROFS
+
+let ops (c : client) : Sfs_nfs.Fs_intf.ops =
+  {
+    Sfs_nfs.Fs_intf.fs_root = c.fsinfo.Ro.root_hash;
+    fs_getattr =
+      (fun _cred h ->
+        let* o = obj_of_fh c h in
+        Ok (synth_attr c h o));
+    fs_setattr = (fun _ _ _ -> rofs);
+    fs_lookup =
+      (fun _cred ~dir name ->
+        let* o = obj_of_fh c dir in
+        match o with
+        | Ro.O_dir entries -> (
+            match List.find_opt (fun e -> e.Ro.e_name = name) entries with
+            | None -> Error NFS3ERR_NOENT
+            | Some e ->
+                let* child = obj_of_fh c e.Ro.e_hash in
+                Ok (e.Ro.e_hash, synth_attr c e.Ro.e_hash child))
+        | Ro.O_file _ | Ro.O_symlink _ -> Error NFS3ERR_NOTDIR);
+    fs_access =
+      (fun _cred h want ->
+        let* o = obj_of_fh c h in
+        let granted =
+          match o with
+          | Ro.O_dir _ -> access_read lor access_lookup
+          | Ro.O_file _ | Ro.O_symlink _ -> access_read lor access_execute
+        in
+        Ok (granted land want));
+    fs_readlink =
+      (fun _cred h ->
+        let* o = obj_of_fh c h in
+        match o with Ro.O_symlink t -> Ok t | Ro.O_file _ | Ro.O_dir _ -> Error NFS3ERR_INVAL);
+    fs_read =
+      (fun _cred h ~off ~count ->
+        let* o = obj_of_fh c h in
+        match o with
+        | Ro.O_file data ->
+            if off < 0 || count < 0 then Error NFS3ERR_INVAL
+            else begin
+              let avail = max 0 (String.length data - off) in
+              let n = min count avail in
+              let chunk = if n = 0 then "" else String.sub data off n in
+              Ok (chunk, off + n >= String.length data, synth_attr c h o)
+            end
+        | Ro.O_dir _ -> Error NFS3ERR_ISDIR
+        | Ro.O_symlink _ -> Error NFS3ERR_INVAL);
+    fs_write = (fun _ _ ~off:_ ~stable:_ _ -> rofs);
+    fs_create = (fun _ ~dir:_ _ ~mode:_ -> rofs);
+    fs_mkdir = (fun _ ~dir:_ _ ~mode:_ -> rofs);
+    fs_symlink = (fun _ ~dir:_ _ ~target:_ -> rofs);
+    fs_remove = (fun _ ~dir:_ _ -> rofs);
+    fs_rmdir = (fun _ ~dir:_ _ -> rofs);
+    fs_rename = (fun _ ~from_dir:_ ~from_name:_ ~to_dir:_ ~to_name:_ -> rofs);
+    fs_link = (fun _ ~target:_ ~dir:_ _ -> rofs);
+    fs_readdir =
+      (fun _cred h ->
+        let* o = obj_of_fh c h in
+        match o with
+        | Ro.O_dir entries ->
+            Ok
+              (List.filter_map
+                 (fun e ->
+                   match obj_of_fh c e.Ro.e_hash with
+                   | Ok child ->
+                       Some
+                         {
+                           d_fileid = fileid_of_hash e.Ro.e_hash;
+                           d_name = e.Ro.e_name;
+                           d_fh = e.Ro.e_hash;
+                           d_attr = synth_attr c e.Ro.e_hash child;
+                         }
+                   | Error _ -> None)
+                 entries)
+        | Ro.O_file _ | Ro.O_symlink _ -> Error NFS3ERR_NOTDIR);
+    fs_commit = (fun _ _ -> Ok ());
+    fs_fsstat =
+      (fun _ _ ->
+        Ok (Hashtbl.length c.cache, Hashtbl.fold (fun _ o a -> a + String.length (Ro.obj_to_string o)) c.cache 0));
+  }
+
+(* Refresh the signed root (e.g. after the validity window lapses or to
+   pick up a new snapshot).  Rollback to an older serial is refused. *)
+let refresh (c : client) : unit =
+  let fsinfo = fetch_fsinfo ~exchange:c.exchange ~pubkey:c.pubkey ~clock:c.clock ~min_serial:c.last_serial in
+  if fsinfo.Ro.root_hash <> c.fsinfo.Ro.root_hash then Hashtbl.reset c.cache;
+  c.fsinfo <- fsinfo;
+  c.last_serial <- fsinfo.Ro.serial

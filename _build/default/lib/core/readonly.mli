@@ -1,0 +1,45 @@
+(** The public read-only dialect (paper sections 2.4, 3.2): snapshots
+    are content-hash trees whose root is signed once; any replica —
+    trusted or not — can serve the bytes, and clients verify every
+    object against the chain ending at the signed root. *)
+
+module Ro = Sfs_proto.Readonly_proto
+module Rabin = Sfs_crypto.Rabin
+module Memfs = Sfs_nfs.Memfs
+module Simclock = Sfs_net.Simclock
+
+exception Verification_failed of string
+
+(** {2 Publishing} *)
+
+type snapshot
+
+val snapshot :
+  ?duration_s:int -> ?serial:int -> key:Rabin.priv -> now_s:int -> Memfs.t -> snapshot
+(** Hash a Memfs tree bottom-up and sign the root; the one private-key
+    operation per snapshot.  [serial] must increase across snapshots to
+    stop rollback. *)
+
+val snapshot_size : snapshot -> int
+
+val handle_request : snapshot -> string -> string
+(** The entire server side: bytes in, bytes out, no cryptography. *)
+
+(** {2 Verifying client} *)
+
+type client
+
+val connect : exchange:(string -> string) -> pubkey:Rabin.pub -> clock:Simclock.t -> client
+(** Fetch and verify the signed root (signature, validity window).
+    @raise Verification_failed otherwise. *)
+
+val fetch : client -> string -> Ro.obj
+(** Fetch an object by hash, verify it is the preimage, cache it. *)
+
+val ops : client -> Sfs_nfs.Fs_intf.ops
+(** A read-only file system view over the verified snapshot; handles
+    are object hashes. *)
+
+val refresh : client -> unit
+(** Re-fetch the signed root (e.g. after expiry); refuses serial
+    rollback. *)

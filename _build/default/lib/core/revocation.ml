@@ -1,0 +1,119 @@
+(* Key revocation and HostID blocking (paper section 2.6).
+
+   A key revocation certificate is self-authenticating:
+
+       {"PathRevoke", Location, K, NULL} signed by K⁻¹
+
+   It revokes the self-certifying pathname whose HostID binds Location
+   to K.  Because anyone holding the certificate can check it, the
+   channels that distribute revocations need no trust: servers hand
+   them out during connection setup, agents find them in revocation
+   directories published by certification authorities (even ones the
+   user otherwise distrusts).
+
+   A forwarding pointer shares the format with NULL replaced by the new
+   pathname; "a revocation certificate always overrules a forwarding
+   pointer for the same HostID."
+
+   HostID blocking is the weaker, per-user mechanism: an agent may
+   decide a pathname has gone bad without the owner's signature (e.g.
+   an external PKI revoked a related certificate) and block it for its
+   own user only. *)
+
+module Rabin = Sfs_crypto.Rabin
+module Hostid = Sfs_proto.Hostid
+module Xdr = Sfs_xdr.Xdr
+
+type body = Revoke | Forward of Pathname.t
+
+type t = { location : string; pubkey : Rabin.pub; body : body; signature : Rabin.signature }
+
+let signed_bytes ~(location : string) ~(pubkey : Rabin.pub) ~(body : body) : string =
+  Xdr.encode
+    (fun e () ->
+      Xdr.enc_string e "PathRevoke";
+      Xdr.enc_string e location;
+      Xdr.enc_opaque e (Rabin.pub_to_string pubkey);
+      match body with
+      | Revoke -> Xdr.enc_option e (fun _ _ -> ()) None
+      | Forward p ->
+          Xdr.enc_option e
+            (fun e p ->
+              Xdr.enc_string e (Pathname.location p);
+              Xdr.enc_fixed_opaque e ~size:Hostid.size (Pathname.hostid p))
+            (Some p))
+    ()
+
+let make ~(key : Rabin.priv) ~(location : string) (body : body) : t =
+  {
+    location;
+    pubkey = key.Rabin.pub;
+    body;
+    signature = Rabin.sign key (signed_bytes ~location ~pubkey:key.Rabin.pub ~body);
+  }
+
+(* The HostID this certificate speaks for. *)
+let target (t : t) : Pathname.t =
+  Pathname.of_server ~location:t.location ~pubkey:t.pubkey
+
+let valid (t : t) : bool =
+  Rabin.verify t.pubkey (signed_bytes ~location:t.location ~pubkey:t.pubkey ~body:t.body) t.signature
+
+(* Does this certificate revoke or forward [path]?  Anyone can verify;
+   no external key material is needed (self-authenticating). *)
+let applies_to (t : t) (path : Pathname.t) : bool = valid t && Pathname.equal (target t) path
+
+(* --- Serialization --- *)
+
+let to_string (t : t) : string =
+  Xdr.encode
+    (fun e () ->
+      Xdr.enc_string e t.location;
+      Xdr.enc_opaque e (Rabin.pub_to_string t.pubkey);
+      (match t.body with
+      | Revoke -> Xdr.enc_uint32 e 0
+      | Forward p ->
+          Xdr.enc_uint32 e 1;
+          Xdr.enc_string e (Pathname.location p);
+          Xdr.enc_fixed_opaque e ~size:Hostid.size (Pathname.hostid p));
+      Xdr.enc_opaque e (Rabin.signature_to_string t.signature))
+    ()
+
+let of_string (s : string) : t option =
+  match
+    Xdr.run s (fun d ->
+        let location = Xdr.dec_string d ~max:255 in
+        let pk = Xdr.dec_opaque d ~max:4096 in
+        let body =
+          match Xdr.dec_uint32 d with
+          | 0 -> Revoke
+          | 1 ->
+              let loc = Xdr.dec_string d ~max:255 in
+              let hostid = Xdr.dec_fixed_opaque d ~size:Hostid.size in
+              Forward (Pathname.v ~location:loc ~hostid)
+          | t -> Xdr.error "bad revocation body %d" t
+        in
+        let sg = Xdr.dec_opaque d ~max:4096 in
+        (location, pk, body, sg))
+  with
+  | Result.Error _ -> None
+  | Ok (location, pk, body, sg) -> (
+      match (Rabin.pub_of_string pk, Rabin.signature_of_string sg) with
+      | Some pubkey, Some signature -> Some { location; pubkey; body; signature }
+      | _ -> None)
+
+let body_of (t : t) : body = t.body
+
+(* Parse-and-verify against a specific pathname, as clients do when a
+   server or agent hands them bytes claiming to be a revocation. *)
+let check_for (path : Pathname.t) (bytes : string) : body option =
+  match of_string bytes with
+  | Some t when applies_to t path -> Some t.body
+  | Some _ | None -> None
+
+(* Like {!check_for} but returns the whole certificate, so an agent can
+   retain it (and refuse the path before any future network traffic). *)
+let cert_for (path : Pathname.t) (bytes : string) : t option =
+  match of_string bytes with
+  | Some t when applies_to t path -> Some t
+  | Some _ | None -> None

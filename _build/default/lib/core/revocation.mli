@@ -1,0 +1,36 @@
+(** Key revocation certificates and forwarding pointers (paper section
+    2.6): self-authenticating statements [{"PathRevoke", Location, K,
+    body}] signed by [K]'s private key.  Because anyone can verify one,
+    distribution channels need no trust, and "a revocation certificate
+    always overrules a forwarding pointer for the same HostID". *)
+
+type body =
+  | Revoke
+  | Forward of Pathname.t (** a benign change of self-certifying pathname *)
+
+type t
+
+val make : key:Sfs_crypto.Rabin.priv -> location:string -> body -> t
+(** Only the key's owner can make one — revocation "happens only by
+    permission of a file server's owner". *)
+
+val body_of : t -> body
+
+val target : t -> Pathname.t
+(** The self-certifying pathname this certificate speaks for. *)
+
+val valid : t -> bool
+(** Signature check against the embedded key. *)
+
+val applies_to : t -> Pathname.t -> bool
+(** Valid and targeting exactly this pathname. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+
+val check_for : Pathname.t -> string -> body option
+(** Parse-and-verify bytes claimed to revoke [path]. *)
+
+val cert_for : Pathname.t -> string -> t option
+(** Like {!check_for} but returns the certificate itself, for agents to
+    retain. *)

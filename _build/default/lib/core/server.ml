@@ -1,0 +1,389 @@
+(* sfssd — the SFS server (paper sections 3, 3.2, 3.3).
+
+   Listens on the SFS port, answers connection requests with its public
+   key (or a revocation certificate), runs key negotiation, and then
+   serves the requested service over the connection:
+
+   - Fs: the read-write protocol inside the secure channel, relayed to
+     an NFS backend with encrypted file handles, per-attribute leases
+     and invalidation callbacks, requests tagged by authentication
+     numbers that authserv mapped from user public keys;
+   - Auth: the authserver's SRP service (sfskey's peer);
+   - Fs_readonly: the signed-snapshot dialect, served without touching
+     any private key.
+
+   One server master can hand different services and dialects to
+   different subordinate handlers — the modularity section 3.2
+   describes; here each service is a closure. *)
+
+open Sfs_nfs.Nfs_types
+module Fs_intf = Sfs_nfs.Fs_intf
+module Nfs_server = Sfs_nfs.Nfs_server
+module Simos = Sfs_os.Simos
+module Simnet = Sfs_net.Simnet
+module Simclock = Sfs_net.Simclock
+module Costmodel = Sfs_net.Costmodel
+module Rabin = Sfs_crypto.Rabin
+module Prng = Sfs_crypto.Prng
+module Keyneg = Sfs_proto.Keyneg
+module Channel = Sfs_proto.Channel
+module Authproto = Sfs_proto.Authproto
+module Sfsrw = Sfs_proto.Sfsrw
+module Lease = Sfs_proto.Lease
+module Xdr = Sfs_xdr.Xdr
+
+let sfs_port = 4
+
+type t = {
+  net : Simnet.t;
+  clock : Simclock.t;
+  costs : Costmodel.t;
+  rng : Prng.t;
+  location : string;
+  key : Rabin.priv;
+  path : Pathname.t;
+  backend : Fs_intf.ops;
+  leases : Lease.t;
+  fhc : Fhcrypt.t;
+  authserv : Authserv.t;
+  allow_anonymous : bool; (* section 2.5: servers may refuse anonymous access *)
+  mutable readonly : Readonly.snapshot option;
+  mutable revocation : Revocation.t option; (* served on connect when set *)
+  mutable connections : int;
+  mutable fs_calls : int;
+}
+
+let ( let* ) = Result.bind
+
+(* --- The per-connection secure ops wrapper ---
+
+   Translates between wire handles (Blowfish-encrypted, public) and
+   backend handles, stamps leases into attributes, registers lease
+   grants for this connection and queues invalidations to others. *)
+
+let secure_ops (t : t) ~(conn : int) : Fs_intf.ops =
+  let b = t.backend in
+  let enc h = Fhcrypt.encrypt t.fhc h in
+  let dec h =
+    match Fhcrypt.decrypt t.fhc h with Some inner -> Ok inner | None -> Error NFS3ERR_BADHANDLE
+  in
+  let lease_s = Lease.lease_seconds t.leases in
+  let stamp (a : fattr) : fattr = { a with lease = lease_s } in
+  let grant wire_fh = Lease.grant t.leases ~conn wire_fh in
+  let mutate wire_fh = Lease.invalidate t.leases ~by:conn wire_fh in
+  let attr_out wire_fh a =
+    grant wire_fh;
+    stamp a
+  in
+  {
+    Fs_intf.fs_root = enc b.Fs_intf.fs_root;
+    fs_getattr =
+      (fun cred h ->
+        let* ih = dec h in
+        let* a = b.Fs_intf.fs_getattr cred ih in
+        Ok (attr_out h a));
+    fs_setattr =
+      (fun cred h s ->
+        let* ih = dec h in
+        let* a = b.Fs_intf.fs_setattr cred ih s in
+        mutate h;
+        Ok (attr_out h a));
+    fs_lookup =
+      (fun cred ~dir name ->
+        let* idir = dec dir in
+        let* ih, a = b.Fs_intf.fs_lookup cred ~dir:idir name in
+        let wh = enc ih in
+        Ok (wh, attr_out wh a));
+    fs_access =
+      (fun cred h want ->
+        let* ih = dec h in
+        b.Fs_intf.fs_access cred ih want);
+    fs_readlink =
+      (fun cred h ->
+        let* ih = dec h in
+        b.Fs_intf.fs_readlink cred ih);
+    fs_read =
+      (fun cred h ~off ~count ->
+        let* ih = dec h in
+        let* data, eof, a = b.Fs_intf.fs_read cred ih ~off ~count in
+        Ok (data, eof, attr_out h a));
+    fs_write =
+      (fun cred h ~off ~stable data ->
+        let* ih = dec h in
+        let* a = b.Fs_intf.fs_write cred ih ~off ~stable data in
+        mutate h;
+        Ok (attr_out h a));
+    fs_create =
+      (fun cred ~dir name ~mode ->
+        let* idir = dec dir in
+        let* ih, a = b.Fs_intf.fs_create cred ~dir:idir name ~mode in
+        mutate dir;
+        let wh = enc ih in
+        Ok (wh, attr_out wh a));
+    fs_mkdir =
+      (fun cred ~dir name ~mode ->
+        let* idir = dec dir in
+        let* ih, a = b.Fs_intf.fs_mkdir cred ~dir:idir name ~mode in
+        mutate dir;
+        let wh = enc ih in
+        Ok (wh, attr_out wh a));
+    fs_symlink =
+      (fun cred ~dir name ~target ->
+        let* idir = dec dir in
+        let* ih, a = b.Fs_intf.fs_symlink cred ~dir:idir name ~target in
+        mutate dir;
+        let wh = enc ih in
+        Ok (wh, attr_out wh a));
+    fs_remove =
+      (fun cred ~dir name ->
+        let* idir = dec dir in
+        let* () = b.Fs_intf.fs_remove cred ~dir:idir name in
+        mutate dir;
+        Ok ());
+    fs_rmdir =
+      (fun cred ~dir name ->
+        let* idir = dec dir in
+        let* () = b.Fs_intf.fs_rmdir cred ~dir:idir name in
+        mutate dir;
+        Ok ());
+    fs_rename =
+      (fun cred ~from_dir ~from_name ~to_dir ~to_name ->
+        let* ifd = dec from_dir in
+        let* itd = dec to_dir in
+        let* () = b.Fs_intf.fs_rename cred ~from_dir:ifd ~from_name ~to_dir:itd ~to_name in
+        mutate from_dir;
+        mutate to_dir;
+        Ok ());
+    fs_link =
+      (fun cred ~target ~dir name ->
+        let* it = dec target in
+        let* idir = dec dir in
+        let* a = b.Fs_intf.fs_link cred ~target:it ~dir:idir name in
+        mutate dir;
+        mutate target;
+        Ok (attr_out target a));
+    fs_readdir =
+      (fun cred h ->
+        let* ih = dec h in
+        let* entries = b.Fs_intf.fs_readdir cred ih in
+        grant h;
+        Ok
+          (List.map
+             (fun de ->
+               let wh = enc de.d_fh in
+               { de with d_fh = wh; d_attr = attr_out wh de.d_attr })
+             entries));
+    fs_commit =
+      (fun cred h ->
+        let* ih = dec h in
+        b.Fs_intf.fs_commit cred ih);
+    fs_fsstat =
+      (fun cred h ->
+        let* ih = dec h in
+        b.Fs_intf.fs_fsstat cred ih);
+  }
+
+(* --- The Fs service connection --- *)
+
+type fs_session = {
+  channel : Channel.t;
+  conn_id : int;
+  dispatcher : Nfs_server.t;
+  authnos : (int, string * Simos.cred) Hashtbl.t; (* authno -> user, cred *)
+  window : Authproto.seq_window;
+  mutable next_authno : int;
+  session_id : string;
+}
+
+let handle_fs_request (t : t) (s : fs_session) (req : Sfsrw.request) : Sfsrw.response =
+  match req with
+  | Sfsrw.Auth_req { seqno; authmsg } -> (
+      (* Figure 4, server side: check the AuthID names this session,
+         the seqno is fresh, and authserv vouches for the signature. *)
+      let authid =
+        Authproto.authid_of
+          {
+            Authproto.service = "FS";
+            location = t.location;
+            hostid = Pathname.hostid t.path;
+            session_id = s.session_id;
+          }
+      in
+      if not (Authproto.window_accept s.window seqno) then
+        Sfsrw.Auth_denied { seqno; reason = "replayed or stale sequence number" }
+      else
+        match Authserv.validate t.authserv ~authmsg ~authid ~seqno with
+        | Error reason ->
+            Authserv.log_failure t.authserv ~user:"?" reason;
+            Sfsrw.Auth_denied { seqno; reason }
+        | Ok (user, cred) ->
+            let authno = s.next_authno in
+            s.next_authno <- authno + 1;
+            Hashtbl.replace s.authnos authno (user, cred);
+            Sfsrw.Auth_granted { authno; seqno })
+  | Sfsrw.Fs_call { authno; proc; args } -> (
+      t.fs_calls <- t.fs_calls + 1;
+      (* The paper's user-level server implementation cost.  Unstable
+         writes ride the write-behind pipeline, whose residual cost the
+         client already charged for both ends. *)
+      let unstable_write =
+        proc = Sfs_nfs.Nfs_proto.proc_write
+        &&
+        match Xdr.run args Sfs_nfs.Nfs_proto.dec_write_args with
+        | Ok (_, _, stable, _) -> not stable
+        | Result.Error _ -> false
+      in
+      if not unstable_write then
+        Simclock.advance t.clock t.costs.Costmodel.userlevel_us_per_side;
+      let cred =
+        if authno = Sfsrw.authno_anonymous then Simos.anonymous_cred
+        else match Hashtbl.find_opt s.authnos authno with Some (_, c) -> c | None -> Simos.anonymous_cred
+      in
+      if Simos.is_anonymous cred && not t.allow_anonymous && proc <> Sfsrw.proc_getroot then
+        (* "Depending on the server's configuration, this may permit
+           access to certain parts of the file system" — here, none. *)
+        Sfsrw.Fs_reply
+          {
+            results = Xdr.encode Sfs_nfs.Nfs_types.enc_status Sfs_nfs.Nfs_types.NFS3ERR_ACCES;
+            invalidations = Lease.take t.leases s.conn_id;
+          }
+      else if proc = Sfsrw.proc_getroot then
+        Sfsrw.Fs_reply
+          {
+            results = Xdr.encode enc_fh (Fhcrypt.encrypt t.fhc t.backend.Fs_intf.fs_root);
+            invalidations = [];
+          }
+      else
+        match Nfs_server.dispatch s.dispatcher cred proc args with
+        | Some results -> Sfsrw.Fs_reply { results; invalidations = Lease.take t.leases s.conn_id }
+        | None -> Sfsrw.Proto_error "bad procedure or arguments")
+
+let fs_connection ?(encrypt = true) (t : t) : string -> string =
+  (* Connection state machine: connect -> keyneg -> channel traffic.
+     The "no-encrypt" dialect extension (the paper's measurement
+     configuration "SFS w/o encryption") drops the ARC4 pass but keeps
+     the MAC framing. *)
+  let state = ref `Expect_keyneg in
+  fun bytes ->
+    match !state with
+    | `Expect_keyneg -> (
+        match Keyneg.server_negotiate ~rng:t.rng ~server_key:t.key bytes with
+        | Result.Error e -> Xdr.encode Keyneg.enc_connect_res (Keyneg.Connect_error e)
+        | Ok (keys, response) ->
+            let conn_id = Lease.register_conn t.leases in
+            let channel =
+              Channel.create ~encrypt ~clock:t.clock ~costs:t.costs ~send_key:keys.Keyneg.ksc
+                ~recv_key:keys.Keyneg.kcs ()
+            in
+            let dispatcher = Nfs_server.create ~fh_prefix:"" (secure_ops t ~conn:conn_id) in
+            state :=
+              `Established
+                {
+                  channel;
+                  conn_id;
+                  dispatcher;
+                  authnos = Hashtbl.create 8;
+                  window = Authproto.make_window ();
+                  next_authno = 1;
+                  session_id = keys.Keyneg.session_id;
+                };
+            response)
+    | `Established s ->
+        (* Integrity failures tear the connection down (stream cipher
+           state is unrecoverable); the exception propagates as a
+           failed exchange. *)
+        let plaintext = Channel.open_ s.channel bytes in
+        let response =
+          match Sfsrw.request_of_string plaintext with
+          | Ok req -> handle_fs_request t s req
+          | Result.Error e -> Sfsrw.Proto_error e
+        in
+        Channel.seal s.channel (Sfsrw.response_to_string response)
+
+(* --- The connection dispatcher (sfssd proper) --- *)
+
+let connection (t : t) ~(peer : string) : string -> string =
+  ignore peer;
+  t.connections <- t.connections + 1;
+  let sub = ref None in
+  fun bytes ->
+    match !sub with
+    | Some handler -> handler bytes
+    | None -> (
+        (* First message must be a connect request naming the service. *)
+        match Xdr.run bytes Keyneg.dec_connect_req with
+        | Result.Error e -> Xdr.encode Keyneg.enc_connect_res (Keyneg.Connect_error e)
+        | Ok req -> (
+            match t.revocation with
+            | Some cert ->
+                Xdr.encode Keyneg.enc_connect_res
+                  (Keyneg.Connect_revoked { certificate = Revocation.to_string cert })
+            | None ->
+                if req.Keyneg.location <> t.location then
+                  Xdr.encode Keyneg.enc_connect_res
+                    (Keyneg.Connect_error "wrong location")
+                else begin
+                  (match req.Keyneg.service with
+                  | Keyneg.Fs ->
+                      let encrypt = not (List.mem "no-encrypt" req.Keyneg.extensions) in
+                      sub := Some (fs_connection ~encrypt t)
+                  | Keyneg.Auth ->
+                      sub :=
+                        Some
+                          (Authserv.srp_connection t.authserv
+                             ~self_cert_path:(Pathname.to_string t.path))
+                  | Keyneg.Fs_readonly -> (
+                      match t.readonly with
+                      | Some snap -> sub := Some (Readonly.handle_request snap)
+                      | None -> ()));
+                  match (req.Keyneg.service, t.readonly) with
+                  | Keyneg.Fs_readonly, None ->
+                      Xdr.encode Keyneg.enc_connect_res
+                        (Keyneg.Connect_error "read-only dialect not served here")
+                  | _ ->
+                      Xdr.encode Keyneg.enc_connect_res (Keyneg.Connect_ok { pubkey = t.key.Rabin.pub })
+                end))
+
+let create ?(lease_s = 60) ?(allow_anonymous = true) (net : Simnet.t) ~(host : Simnet.host)
+    ~(location : string) ~(key : Rabin.priv) ~(rng : Prng.t) ~(backend : Fs_intf.ops)
+    ~(authserv : Authserv.t) () : t =
+  let clock = Simnet.clock net in
+  let t =
+    {
+      net;
+      clock;
+      costs = Simnet.costs net;
+      rng;
+      location;
+      key;
+      path = Pathname.of_server ~location ~pubkey:key.Rabin.pub;
+      backend;
+      leases = Lease.create ~lease_s clock;
+      fhc = Fhcrypt.of_prng rng;
+      authserv;
+      allow_anonymous;
+      readonly = None;
+      revocation = None;
+      connections = 0;
+      fs_calls = 0;
+    }
+  in
+  Simnet.listen net host ~port:sfs_port (fun ~peer -> connection t ~peer);
+  t
+
+let self_path (t : t) : Pathname.t = t.path
+let public_key (t : t) : Rabin.pub = t.key.Rabin.pub
+let fs_calls (t : t) : int = t.fs_calls
+let invalidations_sent (t : t) : int = Lease.invalidations_sent t.leases
+
+let serve_readonly (t : t) (snap : Readonly.snapshot) : unit = t.readonly <- Some snap
+
+(* Revoke this server's own pathname: subsequent connections receive
+   the self-authenticating certificate instead of service. *)
+let revoke (t : t) : Revocation.t =
+  let cert = Revocation.make ~key:t.key ~location:t.location Revocation.Revoke in
+  t.revocation <- Some cert;
+  cert
+
+let forwarding_pointer (t : t) ~(new_path : Pathname.t) : Revocation.t =
+  Revocation.make ~key:t.key ~location:t.location (Revocation.Forward new_path)

@@ -1,0 +1,53 @@
+(** sfssd — the SFS server: answers connection requests with its public
+    key (or a revocation certificate), negotiates session keys, and
+    serves the requested dialect — the read-write protocol inside the
+    secure channel, the authserver's SRP service, or the signed
+    read-only dialect (paper sections 3, 3.2, 3.3). *)
+
+module Simnet = Sfs_net.Simnet
+module Rabin = Sfs_crypto.Rabin
+module Prng = Sfs_crypto.Prng
+module Fs_intf = Sfs_nfs.Fs_intf
+
+val sfs_port : int
+(** 4, as deployed SFS used. *)
+
+type t
+
+val create :
+  ?lease_s:int ->
+  ?allow_anonymous:bool ->
+  Simnet.t ->
+  host:Simnet.host ->
+  location:string ->
+  key:Rabin.priv ->
+  rng:Prng.t ->
+  backend:Fs_intf.ops ->
+  authserv:Authserv.t ->
+  unit ->
+  t
+(** Registers the listener on {!sfs_port}.  [backend] is the NFS
+    backend (in deployment, an NFS server on the same machine reached
+    over loopback).  [lease_s] (default 60) is the attribute lease;
+    [allow_anonymous] (default true) controls whether unauthenticated
+    requests reach the file system at all (section 2.5). *)
+
+val self_path : t -> Pathname.t
+(** The server's self-certifying pathname — everything a client needs. *)
+
+val public_key : t -> Rabin.pub
+
+val serve_readonly : t -> Readonly.snapshot -> unit
+(** Also serve this signed snapshot to Fs_readonly connections. *)
+
+val revoke : t -> Revocation.t
+(** Issue a revocation certificate for this server's own pathname and
+    serve it to all subsequent connections (section 2.6). *)
+
+val forwarding_pointer : t -> new_path:Pathname.t -> Revocation.t
+(** A signed forwarding pointer for a benign pathname change. *)
+
+(** {2 Statistics} *)
+
+val fs_calls : t -> int
+val invalidations_sent : t -> int

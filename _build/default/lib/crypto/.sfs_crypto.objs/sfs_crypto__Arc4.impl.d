@@ -1,0 +1,1 @@
+lib/crypto/arc4.ml: Bytes Char List Sfs_util String

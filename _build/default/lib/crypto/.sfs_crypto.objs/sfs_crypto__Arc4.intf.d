@@ -1,0 +1,1 @@
+lib/crypto/arc4.mli:

@@ -1,0 +1,1 @@
+lib/crypto/blowfish.ml: Array Buffer Char Lazy List Pi_digits Sfs_util String

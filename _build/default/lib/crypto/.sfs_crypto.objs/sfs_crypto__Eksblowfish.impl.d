@@ -1,0 +1,1 @@
+lib/crypto/eksblowfish.ml: Blowfish List Sfs_util Sha1 String

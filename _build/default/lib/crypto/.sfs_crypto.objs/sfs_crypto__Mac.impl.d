@@ -1,0 +1,1 @@
+lib/crypto/mac.ml: Char Sfs_util Sha1 String

@@ -1,0 +1,1 @@
+lib/crypto/pi_digits.ml: Array Nat Sfs_bignum Sfs_util

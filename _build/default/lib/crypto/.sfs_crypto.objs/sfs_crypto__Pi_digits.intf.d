@@ -1,0 +1,1 @@
+lib/crypto/pi_digits.mli:

@@ -1,0 +1,1 @@
+lib/crypto/prng.ml: Buffer Char Lazy List Nat Random Sfs_bignum Sha1 String Sys

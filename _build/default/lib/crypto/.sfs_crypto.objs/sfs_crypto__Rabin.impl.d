@@ -1,0 +1,1 @@
+lib/crypto/rabin.ml: Arc4 Buffer List Mac Modarith Nat Prime Printf Prng Sfs_bignum Sfs_util Sha1 String

@@ -1,0 +1,1 @@
+lib/crypto/srp.ml: Eksblowfish Modarith Nat Prime Prng Sfs_bignum Sfs_util Sha1 String

@@ -1,0 +1,1 @@
+lib/crypto/srp.mli: Nat Prng Sfs_bignum

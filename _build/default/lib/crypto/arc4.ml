@@ -1,0 +1,54 @@
+(* ARC4 stream cipher ("alleged RC4", Kaukonen-Thayer draft).
+
+   SFS assumes ARC4 is a pseudo-random generator (paper section 3.1.3)
+   and uses it with two implementation tweaks (section 3.1.3):
+
+   - 20-byte keys, by spinning the key schedule once for each 128 bits
+     (16 bytes) of key data;
+   - the stream runs for the whole session, with 32 bytes pulled out per
+     message to re-key the MAC (those bytes are never used to encrypt).
+
+   The keystream after the schedule is identical to standard ARC4. *)
+
+type t = { s : Bytes.t; mutable i : int; mutable j : int }
+
+(* One pass of the ARC4 key schedule over the current state. *)
+let schedule_pass (st : Bytes.t) (key : string) =
+  let klen = String.length key in
+  let j = ref 0 in
+  for i = 0 to 255 do
+    let si = Char.code (Bytes.get st i) in
+    j := (!j + si + Char.code key.[i mod klen]) land 0xff;
+    Bytes.set st i (Bytes.get st !j);
+    Bytes.set st !j (Char.chr si)
+  done
+
+let create (key : string) : t =
+  if String.length key = 0 then invalid_arg "Arc4.create: empty key";
+  let s = Bytes.init 256 Char.chr in
+  (* Spin the schedule once per 16-byte chunk of key material, so a
+     20-byte key gets two passes.  A short key gets the single standard
+     pass, keeping us interoperable with plain ARC4. *)
+  let chunks = Sfs_util.Bytesutil.chunks ~size:16 key in
+  List.iter (fun chunk -> schedule_pass s chunk) chunks;
+  { s; i = 0; j = 0 }
+
+let next_byte (t : t) : int =
+  t.i <- (t.i + 1) land 0xff;
+  let si = Char.code (Bytes.get t.s t.i) in
+  t.j <- (t.j + si) land 0xff;
+  let sj = Char.code (Bytes.get t.s t.j) in
+  Bytes.set t.s t.i (Char.chr sj);
+  Bytes.set t.s t.j (Char.chr si);
+  Char.code (Bytes.get t.s ((si + sj) land 0xff))
+
+let keystream (t : t) (n : int) : string =
+  String.init n (fun _ -> Char.chr (next_byte t))
+
+let encrypt (t : t) (plaintext : string) : string =
+  String.map
+    (fun c -> Char.chr (Char.code c lxor next_byte t))
+    plaintext
+
+(* Decryption is the same xor against the same stream position. *)
+let decrypt = encrypt

@@ -1,0 +1,22 @@
+(** ARC4 stream cipher with SFS's 20-byte-key schedule spin.
+
+    A [t] is a running keystream: SFS keeps one per direction for the
+    lifetime of a session, interleaving MAC re-keying bytes and
+    encryption bytes (paper section 3.1.3). *)
+
+type t
+
+val create : string -> t
+(** [create key] runs one key-schedule pass per 16-byte chunk of [key].
+    A key of at most 16 bytes therefore behaves exactly like standard
+    ARC4. @raise Invalid_argument on an empty key. *)
+
+val next_byte : t -> int
+val keystream : t -> int -> string
+(** [keystream t n] advances the stream, returning [n] bytes. *)
+
+val encrypt : t -> string -> string
+(** Xors the input against the stream, advancing it. *)
+
+val decrypt : t -> string -> string
+(** Identical to {!encrypt}; named for call-site clarity. *)

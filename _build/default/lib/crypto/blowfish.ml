@@ -1,0 +1,165 @@
+(* Blowfish block cipher (Schneier, FSE '93).
+
+   SFS uses Blowfish in CBC mode with a 20-byte key to protect NFS file
+   handles (paper section 3.3), and eksblowfish (Provos-Mazières '99)
+   builds on its key schedule for password hashing. *)
+
+type state = { p : int array; s0 : int array; s1 : int array; s2 : int array; s3 : int array }
+
+let mask32 = 0xFFFFFFFF
+
+(* The initial P-array and S-boxes: 1042 words of pi, memoized. *)
+let initial : state Lazy.t =
+  lazy
+    (let w = Pi_digits.words 1042 in
+     {
+       p = Array.sub w 0 18;
+       s0 = Array.sub w 18 256;
+       s1 = Array.sub w 274 256;
+       s2 = Array.sub w 530 256;
+       s3 = Array.sub w 786 256;
+     })
+
+let copy_state (st : state) : state =
+  {
+    p = Array.copy st.p;
+    s0 = Array.copy st.s0;
+    s1 = Array.copy st.s1;
+    s2 = Array.copy st.s2;
+    s3 = Array.copy st.s3;
+  }
+
+let feistel (st : state) (x : int) : int =
+  let a = (x lsr 24) land 0xff
+  and b = (x lsr 16) land 0xff
+  and c = (x lsr 8) land 0xff
+  and d = x land 0xff in
+  ((((st.s0.(a) + st.s1.(b)) land mask32) lxor st.s2.(c)) + st.s3.(d)) land mask32
+
+let encrypt_words (st : state) (xl : int) (xr : int) : int * int =
+  let xl = ref xl and xr = ref xr in
+  for i = 0 to 15 do
+    xl := !xl lxor st.p.(i);
+    xr := !xr lxor feistel st !xl;
+    let t = !xl in
+    xl := !xr;
+    xr := t
+  done;
+  (* Undo the final swap, then whiten. *)
+  let t = !xl in
+  let xl = !xr lxor st.p.(17) and xr = t lxor st.p.(16) in
+  (xl, xr)
+
+let decrypt_words (st : state) (xl : int) (xr : int) : int * int =
+  let xl = ref xl and xr = ref xr in
+  for i = 17 downto 2 do
+    xl := !xl lxor st.p.(i);
+    xr := !xr lxor feistel st !xl;
+    let t = !xl in
+    xl := !xr;
+    xr := t
+  done;
+  let t = !xl in
+  let xl = !xr lxor st.p.(0) and xr = t lxor st.p.(1) in
+  (xl, xr)
+
+let key_word (key : string) (pos : int) : int * int =
+  (* 32 bits of key material starting at byte offset [pos], cyclic. *)
+  let n = String.length key in
+  let b i = Char.code key.[(pos + i) mod n] in
+  (((b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3) land mask32, (pos + 4) mod n)
+
+(* The eksblowfish ExpandKey: xors the key into P, then refills P and the
+   S-boxes by repeatedly encrypting a rolling block xored with alternating
+   8-byte halves of the salt.  A zero salt gives the standard Blowfish
+   key schedule. *)
+let expand_key (st : state) ~(salt : string) ~(key : string) : unit =
+  if String.length key = 0 then invalid_arg "Blowfish.expand_key: empty key";
+  if String.length salt <> 16 then invalid_arg "Blowfish.expand_key: salt must be 16 bytes";
+  let pos = ref 0 in
+  for i = 0 to 17 do
+    let w, p' = key_word key !pos in
+    st.p.(i) <- st.p.(i) lxor w;
+    pos := p'
+  done;
+  let salt_word half i = Sfs_util.Bytesutil.int_of_be32 salt ~off:((8 * half) + (4 * i)) in
+  let xl = ref 0 and xr = ref 0 in
+  let half = ref 0 in
+  let step () =
+    let l, r = encrypt_words st (!xl lxor salt_word !half 0) (!xr lxor salt_word !half 1) in
+    half := 1 - !half;
+    xl := l;
+    xr := r
+  in
+  for i = 0 to 8 do
+    step ();
+    st.p.(2 * i) <- !xl;
+    st.p.((2 * i) + 1) <- !xr
+  done;
+  List.iter
+    (fun box ->
+      for i = 0 to 127 do
+        step ();
+        box.(2 * i) <- !xl;
+        box.((2 * i) + 1) <- !xr
+      done)
+    [ st.s0; st.s1; st.s2; st.s3 ]
+
+let zero_salt = String.make 16 '\000'
+
+type t = state
+
+let create (key : string) : t =
+  let n = String.length key in
+  if n < 1 || n > 56 then invalid_arg "Blowfish.create: key must be 1..56 bytes";
+  let st = copy_state (Lazy.force initial) in
+  expand_key st ~salt:zero_salt ~key;
+  st
+
+let block_size = 8
+
+let encrypt_block (st : t) (block : string) : string =
+  if String.length block <> 8 then invalid_arg "Blowfish.encrypt_block";
+  let xl = Sfs_util.Bytesutil.int_of_be32 block ~off:0
+  and xr = Sfs_util.Bytesutil.int_of_be32 block ~off:4 in
+  let xl, xr = encrypt_words st xl xr in
+  Sfs_util.Bytesutil.be32_of_int xl ^ Sfs_util.Bytesutil.be32_of_int xr
+
+let decrypt_block (st : t) (block : string) : string =
+  if String.length block <> 8 then invalid_arg "Blowfish.decrypt_block";
+  let xl = Sfs_util.Bytesutil.int_of_be32 block ~off:0
+  and xr = Sfs_util.Bytesutil.int_of_be32 block ~off:4 in
+  let xl, xr = decrypt_words st xl xr in
+  Sfs_util.Bytesutil.be32_of_int xl ^ Sfs_util.Bytesutil.be32_of_int xr
+
+(* CBC over whole blocks; SFS file handles are padded to a block multiple
+   by the caller, so no padding scheme lives here. *)
+let encrypt_cbc (st : t) ~(iv : string) (plaintext : string) : string =
+  if String.length iv <> 8 then invalid_arg "Blowfish.encrypt_cbc: iv";
+  if String.length plaintext mod 8 <> 0 then invalid_arg "Blowfish.encrypt_cbc: not block-aligned";
+  let out = Buffer.create (String.length plaintext) in
+  let prev = ref iv in
+  List.iter
+    (fun block ->
+      let c = encrypt_block st (Sfs_util.Bytesutil.xor block !prev) in
+      Buffer.add_string out c;
+      prev := c)
+    (Sfs_util.Bytesutil.chunks ~size:8 plaintext);
+  Buffer.contents out
+
+let decrypt_cbc (st : t) ~(iv : string) (ciphertext : string) : string =
+  if String.length iv <> 8 then invalid_arg "Blowfish.decrypt_cbc: iv";
+  if String.length ciphertext mod 8 <> 0 then invalid_arg "Blowfish.decrypt_cbc: not block-aligned";
+  let out = Buffer.create (String.length ciphertext) in
+  let prev = ref iv in
+  List.iter
+    (fun block ->
+      Buffer.add_string out (Sfs_util.Bytesutil.xor (decrypt_block st block) !prev);
+      prev := block)
+    (Sfs_util.Bytesutil.chunks ~size:8 ciphertext);
+  Buffer.contents out
+
+(* Exposed for eksblowfish. *)
+let raw_initial () = copy_state (Lazy.force initial)
+let raw_expand_key = expand_key
+let raw_encrypt_words = encrypt_words

@@ -1,0 +1,13 @@
+(** SHA-1-based MAC over SFS traffic (HMAC-SHA-1 over length ∥ bytes). *)
+
+val mac_size : int
+
+val hmac : key:string -> string -> string
+(** Plain HMAC-SHA-1, also used by SRP key confirmation. *)
+
+val of_message : key:string -> string -> string
+(** MAC over the 4-byte big-endian length followed by the message, per
+    paper section 3.1.3. *)
+
+val verify : key:string -> tag:string -> string -> bool
+(** Constant-time comparison against a freshly computed tag. *)

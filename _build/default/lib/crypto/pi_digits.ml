@@ -1,0 +1,42 @@
+(* Hexadecimal digits of pi, for the Blowfish initial state.
+
+   Blowfish's P-array and S-boxes are the first 18 + 4*256 = 1042
+   32-bit words of pi's fractional hex expansion.  Rather than embed a
+   thousand opaque constants, we compute them with Machin's formula
+
+       pi = 16*atan(1/5) - 4*atan(1/239)
+
+   in fixed point over Sfs_bignum at init time (a few tens of
+   milliseconds).  The Blowfish test vectors validate the digits. *)
+
+open Sfs_bignum
+
+(* atan(1/x) * 2^scale_bits, by the alternating Gregory series. *)
+let atan_inv ~(scale : Nat.t) (x : int) : Nat.t =
+  let x2 = Nat.of_int (x * x) in
+  let rec go power k acc positive =
+    (* power = 2^scale / x^(2k+1); term = power / (2k+1) *)
+    if Nat.is_zero power then acc
+    else begin
+      let term = Nat.div power (Nat.of_int ((2 * k) + 1)) in
+      let acc = if positive then Nat.add acc term else Nat.sub acc term in
+      go (Nat.div power x2) (k + 1) acc (not positive)
+    end
+  in
+  let p0 = Nat.div scale (Nat.of_int x) in
+  go (Nat.div p0 x2) 1 p0 false
+
+(* First [n] 32-bit words of pi's fractional part. *)
+let words (n : int) : int array =
+  let guard_bits = 64 in
+  let bits = (32 * n) + guard_bits in
+  let scale = Nat.shift_left Nat.one bits in
+  let pi =
+    Nat.sub
+      (Nat.mul (Nat.of_int 16) (atan_inv ~scale 5))
+      (Nat.mul (Nat.of_int 4) (atan_inv ~scale 239))
+  in
+  let frac = Nat.sub pi (Nat.mul (Nat.of_int 3) scale) in
+  let frac_words = Nat.shift_right frac guard_bits in
+  let bytes = Nat.to_bytes_be_padded ~width:(4 * n) frac_words in
+  Array.init n (fun i -> Sfs_util.Bytesutil.int_of_be32 bytes ~off:(4 * i))

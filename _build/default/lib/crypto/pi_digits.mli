@@ -1,0 +1,6 @@
+(** Hex digits of pi for the Blowfish initial state, computed at init
+    with Machin's formula over [Sfs_bignum]. *)
+
+val words : int -> int array
+(** [words n] is the first [n] 32-bit words of pi's fractional hex
+    expansion: [0x243f6a88; 0x85a308d3; ...]. *)

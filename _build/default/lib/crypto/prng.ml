@@ -1,0 +1,98 @@
+(* Pseudo-random generator in the style of DSS (FIPS 186, appendix 3).
+
+   The paper (section 3.1.3) picks this design "both because it is based
+   on SHA-1 and because it cannot be run backwards in the event that its
+   state gets compromised": each output is
+
+       x_j  = G(XKEY_j)
+       XKEY_{j+1} = (1 + XKEY_j + x_j) mod 2^512
+
+   Seeding hashes a list of entropy sources through a SHA-1-based hash
+   into a 512-bit seed.  In the real system the sources are external
+   programs, /dev/random, a saved seed file and keystroke timings; in
+   this simulated deployment callers pass whatever strings they have
+   (the OS layer provides scheduling jitter), and a convenience seeder
+   mixes wall-clock and self-init randomness. *)
+
+open Sfs_bignum
+
+type t = { mutable xkey : Nat.t; mutable pool : string; mutable pool_used : int }
+
+let state_bytes = 64 (* 512 bits *)
+let modulus = Nat.shift_left Nat.one (8 * state_bytes)
+
+(* SHA-1-based expansion of arbitrary entropy into 512 bits. *)
+let condense (sources : string list) : string =
+  let base = Sha1.digest_list ("sfs-prng-seed" :: sources) in
+  String.concat ""
+    (List.map
+       (fun i -> Sha1.digest_list [ base; String.make 1 (Char.chr i) ])
+       [ 0; 1; 2; 3 ])
+  |> fun s -> String.sub s 0 state_bytes
+
+let create (sources : string list) : t =
+  { xkey = Nat.of_bytes_be (condense sources); pool = ""; pool_used = 0 }
+
+let add_entropy (t : t) (source : string) : unit =
+  let mixed = condense [ Nat.to_bytes_be_padded ~width:state_bytes t.xkey; source ] in
+  t.xkey <- Nat.of_bytes_be mixed
+
+(* One generator step: 20 fresh bytes. *)
+let step (t : t) : string =
+  let key_bytes = Nat.to_bytes_be_padded ~width:state_bytes t.xkey in
+  let x = Sha1.digest key_bytes in
+  t.xkey <- Nat.rem (Nat.add (Nat.add t.xkey (Nat.of_bytes_be x)) Nat.one) modulus;
+  x
+
+let random_bytes (t : t) (n : int) : string =
+  if n < 0 then invalid_arg "Prng.random_bytes";
+  let buf = Buffer.create n in
+  (* Drain the partial block left by the previous call first. *)
+  let from_pool = min n (String.length t.pool - t.pool_used) in
+  if from_pool > 0 then begin
+    Buffer.add_substring buf t.pool t.pool_used from_pool;
+    t.pool_used <- t.pool_used + from_pool
+  end;
+  while Buffer.length buf < n do
+    let x = step t in
+    let take = min (String.length x) (n - Buffer.length buf) in
+    Buffer.add_substring buf x 0 take;
+    if take < String.length x then begin
+      t.pool <- x;
+      t.pool_used <- take
+    end
+  done;
+  Buffer.contents buf
+
+let random_nat (t : t) ~(bits : int) : Nat.t =
+  if bits <= 0 then Nat.zero
+  else begin
+    let nbytes = (bits + 7) / 8 in
+    let s = random_bytes t nbytes in
+    Nat.rem (Nat.of_bytes_be s) (Nat.shift_left Nat.one bits)
+  end
+
+(* Uniform value in [0, bound). *)
+let random_below (t : t) ~(bound : Nat.t) : Nat.t =
+  if Nat.is_zero bound then invalid_arg "Prng.random_below: zero bound";
+  let bits = Nat.num_bits bound in
+  let rec draw () =
+    let v = random_nat t ~bits in
+    if Nat.compare v bound < 0 then v else draw ()
+  in
+  draw ()
+
+let random_int (t : t) (bound : int) : int =
+  match Nat.to_int_opt (random_below t ~bound:(Nat.of_int bound)) with
+  | Some v -> v
+  | None -> assert false
+
+(* A process-global generator for non-reproducible uses (key generation
+   in the demo binaries).  Tests construct their own seeded instances. *)
+let global : t Lazy.t =
+  lazy
+    (let self = Random.State.make_self_init () in
+     let noise = String.init 64 (fun _ -> Char.chr (Random.State.int self 256)) in
+     create [ noise; string_of_float (Sys.time ()) ])
+
+let default () = Lazy.force global

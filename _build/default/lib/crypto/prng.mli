@@ -1,0 +1,22 @@
+(** DSS-style SHA-1 pseudo-random generator (paper section 3.1.3): not
+    runnable backwards if its state leaks, seeded from a 512-bit hash of
+    entropy sources. *)
+
+type t
+
+val create : string list -> t
+(** [create sources] condenses the entropy [sources] into a 512-bit
+    seed.  Deterministic: tests pass fixed sources. *)
+
+val add_entropy : t -> string -> unit
+(** Folds more entropy into the state (keystrokes, timers, ...). *)
+
+val random_bytes : t -> int -> string
+val random_nat : t -> bits:int -> Sfs_bignum.Nat.t
+val random_below : t -> bound:Sfs_bignum.Nat.t -> Sfs_bignum.Nat.t
+val random_int : t -> int -> int
+(** [random_int t bound] is uniform in [0, bound). *)
+
+val default : unit -> t
+(** Process-global generator seeded from ambient randomness; for demo
+    binaries, not for tests. *)

@@ -1,0 +1,288 @@
+(* Rabin-Williams public-key encryption and signatures.
+
+   SFS uses Rabin (paper section 3.1.3) because, assuming only that
+   factoring is hard, "encryption and signature verification are
+   particularly fast ... because they do not require modular
+   exponentiation" — both are a single modular squaring.
+
+   Keys use the Williams congruences p ≡ 3 (mod 8), q ≡ 7 (mod 8), so
+   that for any m coprime to n = pq exactly one of {m, -m, 2m, -2m} is a
+   quadratic residue: the Jacobi symbol (2/n) is -1 and (-1/n) = +1 with
+   -1 a non-residue mod both primes.  A signature therefore carries two
+   tweak bits (e ∈ {±1}, f ∈ {1,2}) beside the root.
+
+   Encryption applies OAEP (Bellare-Rogaway) before squaring, giving the
+   plaintext-aware, chosen-ciphertext-secure scheme the paper cites;
+   decryption takes all four square roots and the OAEP redundancy
+   identifies the real plaintext. *)
+
+open Sfs_bignum
+
+type pub = { n : Nat.t; bits : int }
+
+type priv = {
+  pub : pub;
+  p : Nat.t;
+  q : Nat.t;
+}
+
+let modulus_bytes (pk : pub) = (pk.bits + 7) / 8
+
+(* --- Key generation --- *)
+
+let generate ?(bits = 1024) (rng : Prng.t) : priv =
+  if bits < 128 then invalid_arg "Rabin.generate: modulus too small";
+  let rand_bits b = Prng.random_nat rng ~bits:b in
+  let half = bits / 2 in
+  let rec go () =
+    let p = Prime.generate ~congruence:(3, 8) ~rand_bits half in
+    let q = Prime.generate ~congruence:(7, 8) ~rand_bits (bits - half) in
+    if Nat.equal p q then go ()
+    else
+      let n = Nat.mul p q in
+      { pub = { n; bits = Nat.num_bits n }; p; q }
+  in
+  go ()
+
+(* --- Serialization (feeds HostID hashing and wire formats) --- *)
+
+let pub_to_string (pk : pub) : string =
+  let nb = Nat.to_bytes_be pk.n in
+  "rabin-pk:" ^ Sfs_util.Bytesutil.be32_of_int (String.length nb) ^ nb
+
+let pub_of_string (s : string) : pub option =
+  let prefix = "rabin-pk:" in
+  let plen = String.length prefix in
+  if String.length s < plen + 4 || String.sub s 0 plen <> prefix then None
+  else begin
+    let len = Sfs_util.Bytesutil.int_of_be32 s ~off:plen in
+    if String.length s <> plen + 4 + len then None
+    else
+      let n = Nat.of_bytes_be (String.sub s (plen + 4) len) in
+      if Nat.num_bits n < 16 then None else Some { n; bits = Nat.num_bits n }
+  end
+
+let pub_equal (a : pub) (b : pub) = Nat.equal a.n b.n
+let pub_fingerprint (pk : pub) = Sha1.digest (pub_to_string pk)
+
+(* Private keys serialize for agent storage and the encrypted-key
+   registration flow (sfskey deposits them with authserv, sealed under
+   an eksblowfish-derived key). *)
+let priv_to_string (sk : priv) : string =
+  let p = Nat.to_bytes_be sk.p and q = Nat.to_bytes_be sk.q in
+  "rabin-sk:"
+  ^ Sfs_util.Bytesutil.be32_of_int (String.length p)
+  ^ p
+  ^ Sfs_util.Bytesutil.be32_of_int (String.length q)
+  ^ q
+
+let priv_of_string (s : string) : priv option =
+  let prefix = "rabin-sk:" in
+  let plen = String.length prefix in
+  if String.length s < plen + 8 || String.sub s 0 plen <> prefix then None
+  else begin
+    let lp = Sfs_util.Bytesutil.int_of_be32 s ~off:plen in
+    if String.length s < plen + 4 + lp + 4 then None
+    else begin
+      let p = Nat.of_bytes_be (String.sub s (plen + 4) lp) in
+      let lq = Sfs_util.Bytesutil.int_of_be32 s ~off:(plen + 4 + lp) in
+      if String.length s <> plen + 8 + lp + lq then None
+      else begin
+        let q = Nat.of_bytes_be (String.sub s (plen + 8 + lp) lq) in
+        if Nat.is_zero p || Nat.is_zero q then None
+        else
+          let n = Nat.mul p q in
+          Some { pub = { n; bits = Nat.num_bits n }; p; q }
+      end
+    end
+  end
+
+(* --- MGF1 with SHA-1, for OAEP and full-domain hashing --- *)
+
+let mgf1 (seed : string) (len : int) : string =
+  let buf = Buffer.create len in
+  let counter = ref 0 in
+  while Buffer.length buf < len do
+    Buffer.add_string buf (Sha1.digest (seed ^ Sfs_util.Bytesutil.be32_of_int !counter));
+    incr counter
+  done;
+  String.sub (Buffer.contents buf) 0 len
+
+(* --- Square roots mod n via CRT --- *)
+
+let half_exp p = Nat.shift_right (Nat.sub p Nat.one) 1 (* (p-1)/2 *)
+
+let is_qr_mod (x : Nat.t) (p : Nat.t) : bool =
+  Nat.equal (Nat.modexp ~base:x ~exp:(half_exp p) ~modulus:p) Nat.one
+
+(* All four square roots of a residue x mod n = pq. *)
+let sqrts (sk : priv) (x : Nat.t) : Nat.t list =
+  match (Modarith.sqrt_3mod4 ~x:(Nat.rem x sk.p) ~p:sk.p, Modarith.sqrt_3mod4 ~x:(Nat.rem x sk.q) ~p:sk.q) with
+  | Some rp, Some rq ->
+      let n = sk.pub.n in
+      let combine a b = Modarith.crt ~r1:a ~m1:sk.p ~r2:b ~m2:sk.q in
+      let rp' = Modarith.negmod rp sk.p and rq' = Modarith.negmod rq sk.q in
+      [ combine rp rq; combine rp rq'; combine rp' rq; combine rp' rq' ]
+      |> List.map (fun r -> Nat.rem r n)
+  | _ -> []
+
+(* --- Signatures --- *)
+
+type signature = { root : Nat.t; negate : bool; double : bool }
+
+(* Full-domain hash of a message to a value below n: expand with MGF1 to
+   one byte less than the modulus. *)
+let fdh (pk : pub) (message : string) : Nat.t =
+  let k = modulus_bytes pk in
+  let m = Nat.of_bytes_be (mgf1 ("rabin-fdh:" ^ Sha1.digest message) (k - 1)) in
+  (* Zero is never coprime to n; nudge (cannot occur for real SHA-1). *)
+  if Nat.is_zero m then Nat.one else m
+
+let sign (sk : priv) (message : string) : signature =
+  let n = sk.pub.n in
+  let m = fdh sk.pub message in
+  (* Apply the {1,2} tweak to reach Jacobi symbol +1. *)
+  let double = Modarith.jacobi m n <> 1 in
+  let m1 =
+    if double then
+      match Modarith.inverse ~x:Nat.two ~modulus:n with
+      | Some inv2 -> Modarith.mulmod m inv2 n
+      | None -> assert false (* n is odd *)
+    else m
+  in
+  (* Apply the {1,-1} tweak to reach an actual residue. *)
+  let negate = not (is_qr_mod (Nat.rem m1 sk.p) sk.p) in
+  let m2 = if negate then Modarith.negmod m1 n else m1 in
+  match sqrts sk m2 with
+  | root :: _ -> { root; negate; double }
+  | [] ->
+      (* m shares a factor with n: the signer's key is broken. *)
+      failwith "Rabin.sign: message hash not invertible (degenerate key)"
+
+let verify (pk : pub) (message : string) (s : signature) : bool =
+  let n = pk.n in
+  Nat.compare s.root n < 0
+  &&
+  let m = fdh pk message in
+  let v = Modarith.mulmod s.root s.root n in
+  let v = if s.negate then Modarith.negmod v n else v in
+  let v = if s.double then Modarith.mulmod v Nat.two n else v in
+  Nat.equal v (Nat.rem m n)
+
+let signature_to_string (s : signature) : string =
+  let r = Nat.to_bytes_be s.root in
+  Printf.sprintf "rabin-sig:%c%c" (if s.negate then '1' else '0') (if s.double then '1' else '0')
+  ^ Sfs_util.Bytesutil.be32_of_int (String.length r)
+  ^ r
+
+let signature_of_string (s : string) : signature option =
+  let prefix_len = String.length "rabin-sig:xy" in
+  if String.length s < prefix_len + 4 || String.sub s 0 10 <> "rabin-sig:" then None
+  else
+    let negate = s.[10] = '1' and double = s.[11] = '1' in
+    let len = Sfs_util.Bytesutil.int_of_be32 s ~off:12 in
+    if String.length s <> 16 + len then None
+    else Some { root = Nat.of_bytes_be (String.sub s 16 len); negate; double }
+
+(* --- Encryption (OAEP then squaring) --- *)
+
+let hash_len = Sha1.digest_size
+
+let max_plaintext (pk : pub) : int =
+  let k = modulus_bytes pk in
+  k - (2 * hash_len) - 3
+
+(* OAEP encode into k-1 bytes (leading zero byte keeps the value < n):
+     DB   = lhash ∥ 0x00.. ∥ 0x01 ∥ message
+     X    = DB xor MGF1(seed)
+     Y    = seed xor MGF1(X)
+     EM   = 0x00 ∥ Y ∥ X *)
+let lhash = Sha1.digest "rabin-oaep"
+
+let oaep_encode (pk : pub) (rng : Prng.t) (message : string) : Nat.t =
+  let k = modulus_bytes pk in
+  let mlen = String.length message in
+  if mlen > max_plaintext pk then invalid_arg "Rabin.encrypt: message too long";
+  let db_len = k - 1 - 1 - hash_len in
+  let pad = String.make (db_len - hash_len - 1 - mlen) '\000' in
+  let db = lhash ^ pad ^ "\x01" ^ message in
+  let seed = Prng.random_bytes rng hash_len in
+  let x = Sfs_util.Bytesutil.xor db (mgf1 seed db_len) in
+  let y = Sfs_util.Bytesutil.xor seed (mgf1 x hash_len) in
+  Nat.of_bytes_be ("\x00" ^ y ^ x)
+
+let oaep_decode (pk : pub) (em : Nat.t) : string option =
+  let k = modulus_bytes pk in
+  let db_len = k - 1 - 1 - hash_len in
+  let bytes = try Nat.to_bytes_be_padded ~width:(k - 1) em with Invalid_argument _ -> "" in
+  if String.length bytes <> k - 1 || bytes.[0] <> '\x00' then None
+  else begin
+    let y = String.sub bytes 1 hash_len in
+    let x = String.sub bytes (1 + hash_len) db_len in
+    let seed = Sfs_util.Bytesutil.xor y (mgf1 x hash_len) in
+    let db = Sfs_util.Bytesutil.xor x (mgf1 seed db_len) in
+    if not (Sfs_util.Bytesutil.ct_equal (String.sub db 0 hash_len) lhash) then None
+    else begin
+      (* Scan the zero padding for the 0x01 separator. *)
+      let rec find i =
+        if i >= String.length db then None
+        else
+          match db.[i] with
+          | '\x00' -> find (i + 1)
+          | '\x01' -> Some (String.sub db (i + 1) (String.length db - i - 1))
+          | _ -> None
+      in
+      find hash_len
+    end
+  end
+
+(* The padded value must also be a usable Rabin plaintext: coprime to n.
+   With random OAEP seeds a retry is effectively never needed, but we
+   loop for completeness. *)
+let encrypt (pk : pub) (rng : Prng.t) (message : string) : Nat.t =
+  let rec go attempts =
+    if attempts > 64 then failwith "Rabin.encrypt: could not pad (degenerate key)"
+    else
+      let m = oaep_encode pk rng message in
+      if Nat.is_zero m || not (Nat.equal (Nat.gcd m pk.n) Nat.one) then go (attempts + 1)
+      else Modarith.mulmod m m pk.n
+  in
+  go 0
+
+let decrypt (sk : priv) (c : Nat.t) : string option =
+  let candidates = sqrts sk (Nat.rem c sk.pub.n) in
+  List.fold_left
+    (fun acc root -> match acc with Some _ -> acc | None -> oaep_decode sk.pub root)
+    None candidates
+
+(* --- Hybrid encryption for protocol payloads ---
+
+   Key-negotiation messages encrypt key halves that can exceed the OAEP
+   capacity; the standard construction encrypts a fresh ARC4 key and
+   streams the rest. *)
+
+let encrypt_blob (pk : pub) (rng : Prng.t) (blob : string) : string =
+  let session = Prng.random_bytes rng 20 in
+  let c = encrypt pk rng session in
+  let cb = Nat.to_bytes_be_padded ~width:(modulus_bytes pk) c in
+  let stream = Arc4.create session in
+  let body = Arc4.encrypt stream blob in
+  let tag = Mac.of_message ~key:session body in
+  Sfs_util.Bytesutil.be32_of_int (String.length cb) ^ cb ^ tag ^ body
+
+let decrypt_blob (sk : priv) (s : string) : string option =
+  if String.length s < 4 then None
+  else begin
+    let clen = Sfs_util.Bytesutil.int_of_be32 s ~off:0 in
+    if String.length s < 4 + clen + Mac.mac_size then None
+    else begin
+      let c = Nat.of_bytes_be (String.sub s 4 clen) in
+      match decrypt sk c with
+      | None -> None
+      | Some session ->
+          let tag = String.sub s (4 + clen) Mac.mac_size in
+          let body = String.sub s (4 + clen + Mac.mac_size) (String.length s - 4 - clen - Mac.mac_size) in
+          if not (Mac.verify ~key:session ~tag body) then None
+          else Some (Arc4.decrypt (Arc4.create session) body)
+    end
+  end

@@ -1,0 +1,64 @@
+(** Rabin-Williams public-key encryption and signatures (paper section
+    3.1.3): security assuming only that factoring is hard, with
+    encryption and signature verification costing a single modular
+    squaring. *)
+
+open Sfs_bignum
+
+type pub = { n : Nat.t; bits : int }
+type priv = { pub : pub; p : Nat.t; q : Nat.t }
+
+val generate : ?bits:int -> Prng.t -> priv
+(** [generate ~bits rng] draws [p ≡ 3 (mod 8)], [q ≡ 7 (mod 8)] of
+    [bits/2] bits each.  Default 1024-bit modulus; tests use smaller. *)
+
+val modulus_bytes : pub -> int
+
+val pub_to_string : pub -> string
+(** Canonical encoding, the [PublicKey] bytes hashed into HostIDs. *)
+
+val pub_of_string : string -> pub option
+val pub_equal : pub -> pub -> bool
+
+val pub_fingerprint : pub -> string
+(** SHA-1 of the canonical encoding. *)
+
+val priv_to_string : priv -> string
+val priv_of_string : string -> priv option
+(** Private-key serialization, for agent storage and the encrypted-key
+    deposit with authserv. *)
+
+(** {2 Signatures} *)
+
+type signature = { root : Nat.t; negate : bool; double : bool }
+(** A modular square root plus the two Williams tweak bits. *)
+
+val sign : priv -> string -> signature
+val verify : pub -> string -> signature -> bool
+val signature_to_string : signature -> string
+val signature_of_string : string -> signature option
+
+(** {2 Encryption} *)
+
+val max_plaintext : pub -> int
+(** OAEP capacity in bytes for direct encryption. *)
+
+val encrypt : pub -> Prng.t -> string -> Nat.t
+(** OAEP-pad then square. @raise Invalid_argument when the message
+    exceeds {!max_plaintext}. *)
+
+val decrypt : priv -> Nat.t -> string option
+(** Takes all four square roots; the OAEP redundancy identifies the
+    plaintext. [None] on tampered or garbage ciphertext. *)
+
+val encrypt_blob : pub -> Prng.t -> string -> string
+(** Hybrid encryption for arbitrary-length payloads: Rabin-encrypts a
+    fresh 20-byte key, ARC4-encrypts the body, MACs it. *)
+
+val decrypt_blob : priv -> string -> string option
+
+(**/**)
+
+val fdh : pub -> string -> Nat.t
+val mgf1 : string -> int -> string
+val sqrts : priv -> Nat.t -> Nat.t list

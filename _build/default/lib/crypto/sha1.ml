@@ -1,0 +1,130 @@
+(* SHA-1 (FIPS 180-1).
+
+   SFS assumes SHA-1 behaves like a random oracle (paper section 3.1.3):
+   it derives HostIDs, session keys, AuthIDs, the MAC and the PRNG from
+   it.  Implemented on native ints with 32-bit masking; the compression
+   function is the hot path of the whole system, so the message schedule
+   is kept in a preallocated array per digest context. *)
+
+type ctx = {
+  mutable h0 : int;
+  mutable h1 : int;
+  mutable h2 : int;
+  mutable h3 : int;
+  mutable h4 : int;
+  block : Bytes.t; (* 64-byte staging buffer *)
+  mutable used : int; (* bytes currently staged *)
+  mutable length : int64; (* total message bytes *)
+  w : int array; (* 80-entry message schedule *)
+}
+
+let mask32 = 0xFFFFFFFF
+
+let init () =
+  {
+    h0 = 0x67452301;
+    h1 = 0xEFCDAB89;
+    h2 = 0x98BADCFE;
+    h3 = 0x10325476;
+    h4 = 0xC3D2E1F0;
+    block = Bytes.create 64;
+    used = 0;
+    length = 0L;
+    w = Array.make 80 0;
+  }
+
+let rotl32 x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
+
+let compress (c : ctx) (buf : Bytes.t) (off : int) =
+  let w = c.w in
+  for t = 0 to 15 do
+    let i = off + (4 * t) in
+    w.(t) <-
+      (Char.code (Bytes.get buf i) lsl 24)
+      lor (Char.code (Bytes.get buf (i + 1)) lsl 16)
+      lor (Char.code (Bytes.get buf (i + 2)) lsl 8)
+      lor Char.code (Bytes.get buf (i + 3))
+  done;
+  for t = 16 to 79 do
+    w.(t) <- rotl32 (w.(t - 3) lxor w.(t - 8) lxor w.(t - 14) lxor w.(t - 16)) 1
+  done;
+  let a = ref c.h0 and b = ref c.h1 and cc = ref c.h2 and d = ref c.h3 and e = ref c.h4 in
+  for t = 0 to 79 do
+    let f, k =
+      if t < 20 then ((!b land !cc) lor (lnot !b land !d) land mask32, 0x5A827999)
+      else if t < 40 then (!b lxor !cc lxor !d, 0x6ED9EBA1)
+      else if t < 60 then ((!b land !cc) lor (!b land !d) lor (!cc land !d), 0x8F1BBCDC)
+      else (!b lxor !cc lxor !d, 0xCA62C1D6)
+    in
+    let tmp = (rotl32 !a 5 + (f land mask32) + !e + w.(t) + k) land mask32 in
+    e := !d;
+    d := !cc;
+    cc := rotl32 !b 30;
+    b := !a;
+    a := tmp
+  done;
+  c.h0 <- (c.h0 + !a) land mask32;
+  c.h1 <- (c.h1 + !b) land mask32;
+  c.h2 <- (c.h2 + !cc) land mask32;
+  c.h3 <- (c.h3 + !d) land mask32;
+  c.h4 <- (c.h4 + !e) land mask32
+
+let update (c : ctx) (s : string) =
+  let n = String.length s in
+  c.length <- Int64.add c.length (Int64.of_int n);
+  let pos = ref 0 in
+  (* Fill a partial block first. *)
+  if c.used > 0 then begin
+    let take = min n (64 - c.used) in
+    Bytes.blit_string s 0 c.block c.used take;
+    c.used <- c.used + take;
+    pos := take;
+    if c.used = 64 then begin
+      compress c c.block 0;
+      c.used <- 0
+    end
+  end;
+  (* Whole blocks straight from the input. *)
+  if n - !pos >= 64 then begin
+    let tmp = Bytes.unsafe_of_string s in
+    while n - !pos >= 64 do
+      compress c tmp !pos;
+      pos := !pos + 64
+    done
+  end;
+  if !pos < n then begin
+    Bytes.blit_string s !pos c.block c.used (n - !pos);
+    c.used <- c.used + (n - !pos)
+  end
+
+let final (c : ctx) : string =
+  let bitlen = Int64.mul c.length 8L in
+  (* Append 0x80, pad with zeros to 56 mod 64, append 64-bit length. *)
+  Bytes.set c.block c.used '\x80';
+  c.used <- c.used + 1;
+  if c.used > 56 then begin
+    Bytes.fill c.block c.used (64 - c.used) '\000';
+    compress c c.block 0;
+    c.used <- 0
+  end;
+  Bytes.fill c.block c.used (56 - c.used) '\000';
+  Bytes.blit_string (Sfs_util.Bytesutil.be64_of_int64 bitlen) 0 c.block 56 8;
+  compress c c.block 0;
+  let out = Bytes.create 20 in
+  List.iteri
+    (fun i h -> Bytes.blit_string (Sfs_util.Bytesutil.be32_of_int h) 0 out (4 * i) 4)
+    [ c.h0; c.h1; c.h2; c.h3; c.h4 ];
+  Bytes.unsafe_to_string out
+
+let digest (s : string) : string =
+  let c = init () in
+  update c s;
+  final c
+
+let digest_list (parts : string list) : string =
+  let c = init () in
+  List.iter (update c) parts;
+  final c
+
+let digest_size = 20
+let hex s = Sfs_util.Hex.encode (digest s)

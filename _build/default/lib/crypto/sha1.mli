@@ -1,0 +1,17 @@
+(** SHA-1 (FIPS 180-1), the hash SFS builds everything on: HostIDs,
+    session keys, AuthIDs, the traffic MAC and the PRNG. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val final : ctx -> string
+(** 20-byte digest. The context must not be reused after [final]. *)
+
+val digest : string -> string
+val digest_list : string list -> string
+(** [digest_list parts] hashes the concatenation of [parts]. *)
+
+val digest_size : int
+val hex : string -> string
+(** [hex s] is the digest of [s] in lowercase hex. *)

@@ -1,0 +1,70 @@
+(* Timing constants for the simulated substrate.
+
+   Calibrated from the paper's own micro-benchmarks (Fig. 5, two
+   550 MHz Pentium IIIs on 100 Mbit switched Ethernet):
+
+   - a null NFS 3 RPC costs 200 us over UDP, 220 us over TCP;
+   - SFS's user-level implementation adds 570 us per RPC (790 - 220),
+     which we split evenly between client and server daemons;
+   - software encryption adds only 20 us to a null RPC (790 vs 770);
+   - effective wire bandwidth derives from Fig. 5 throughput:
+     9.3 MB/s at 8 KB reads over UDP means ~12 bytes/us raw, and TCP's
+     7.6 MB/s means ~9.6 bytes/us (FreeBSD's TCP NFS was suboptimal);
+   - the per-byte ARC4 + SHA-1-MAC cost reproduces the measured
+     4.1 MB/s encrypted SFS throughput: ~0.128 us/byte charged once per
+     message at the sender (the receiver's decrypt overlaps the
+     sender's next encrypt), plus 10 us fixed per sealed message —
+     which also reproduces the ~20 us encryption share of a null RPC;
+   - asynchronous (write-behind) RPCs pipeline: they pay wire transfer
+     but not the fixed round-trip latency, and only a fraction of the
+     user-level and crypto costs ("multiple outstanding requests can
+     overlap the latency of NFS RPCs", section 4.2).
+
+   The disk constants model the IBM 18ES 9 GB SCSI disk of the paper's
+   testbed; see Diskmodel for how they are charged. *)
+
+type transport_proto = Udp | Tcp
+
+type t = {
+  udp_rpc_us : float; (* fixed round-trip cost of a null RPC over UDP *)
+  tcp_rpc_us : float; (* same over TCP *)
+  udp_bytes_per_us : float; (* effective wire bandwidth over UDP *)
+  tcp_bytes_per_us : float;
+  userlevel_us_per_side : float; (* kernel/user crossing per RPC per daemon *)
+  crypto_us_per_byte : float; (* ARC4 + MAC, charged at the sender *)
+  crypto_us_per_msg : float; (* fixed MAC/rekey cost per sealed message *)
+  async_floor_us : float; (* minimum per-op cost of a pipelined RPC *)
+  nfs_tcp_stall_us : float; (* FreeBSD TCP-NFS delayed-ACK stall on multi-segment requests *)
+  mss_bytes : int;
+  async_userlevel_factor : float; (* share of user-level cost not hidden by the pipeline *)
+  async_crypto_factor : float; (* share of crypto cost not hidden by the pipeline *)
+}
+
+let default : t =
+  {
+    udp_rpc_us = 200.0;
+    tcp_rpc_us = 220.0;
+    udp_bytes_per_us = 12.0;
+    tcp_bytes_per_us = 9.55;
+    userlevel_us_per_side = 275.0;
+    crypto_us_per_byte = 0.128;
+    crypto_us_per_msg = 10.0;
+    async_floor_us = 50.0;
+    nfs_tcp_stall_us = 1200.0;
+    mss_bytes = 1460;
+    async_userlevel_factor = 0.35;
+    async_crypto_factor = 0.7;
+  }
+
+let rpc_fixed_us (t : t) (proto : transport_proto) : float =
+  match proto with Udp -> t.udp_rpc_us | Tcp -> t.tcp_rpc_us
+
+let bytes_per_us (t : t) (proto : transport_proto) : float =
+  match proto with Udp -> t.udp_bytes_per_us | Tcp -> t.tcp_bytes_per_us
+
+(* Wire time of one message beyond the fixed per-RPC cost. *)
+let transfer_us (t : t) (proto : transport_proto) (bytes : int) : float =
+  float_of_int bytes /. bytes_per_us t proto
+
+let crypto_us (t : t) (bytes : int) : float =
+  t.crypto_us_per_msg +. (float_of_int bytes *. t.crypto_us_per_byte)

@@ -1,0 +1,26 @@
+(* The simulated clock.
+
+   The reproduction runs SFS's real protocol code over a simulated
+   network and disk (DESIGN.md section 2): every component charges the
+   time its real-world counterpart would have spent into one of these
+   clocks.  Timestamps are microseconds since simulation start. *)
+
+type t = { mutable now_us : float }
+
+let create () : t = { now_us = 0.0 }
+
+let now_us (t : t) : float = t.now_us
+let now_s (t : t) : float = t.now_us /. 1_000_000.0
+
+let advance (t : t) (us : float) : unit =
+  if us < 0.0 then invalid_arg "Simclock.advance: negative";
+  t.now_us <- t.now_us +. us
+
+(* Measure simulated time spent in [f]. *)
+let time (t : t) (f : unit -> 'a) : 'a * float =
+  let t0 = t.now_us in
+  let v = f () in
+  (v, t.now_us -. t0)
+
+(* Coarse seconds counter used for cache-lease expiry decisions. *)
+let seconds (t : t) : int = int_of_float (t.now_us /. 1_000_000.0)

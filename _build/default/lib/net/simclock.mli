@@ -1,0 +1,15 @@
+(** Simulated clock: components charge modeled time here (DESIGN.md). *)
+
+type t
+
+val create : unit -> t
+val now_us : t -> float
+val now_s : t -> float
+val seconds : t -> int
+
+val advance : t -> float -> unit
+(** Charge [us] microseconds. @raise Invalid_argument if negative. *)
+
+val time : t -> (unit -> 'a) -> 'a * float
+(** [time t f] runs [f] and returns its result with the simulated time
+    it consumed. *)

@@ -1,0 +1,163 @@
+(* The simulated internet.
+
+   Hosts register services on ports; clients open connections and make
+   synchronous request/reply exchanges.  All protocol bytes are real
+   marshaled messages; the wire only adds modeled time (Costmodel) and
+   gives the adversary its hooks.
+
+   The paper's threat model (section 2.1.2) assumes "malicious parties
+   entirely control the network": every message passes through an
+   optional tap that can read, replace or drop it, and connections
+   expose a raw injection entry point so recorded traffic can be
+   replayed.  Under those powers an attacker should achieve nothing
+   worse than delay or denial. *)
+
+exception Timeout
+(** Raised when the adversary drops a message or the peer is gone; the
+    simulated equivalent of an RPC timing out. *)
+
+exception No_route of string
+(** No host with that address exists (or it is not listening). *)
+
+type direction = To_server | To_client
+
+type tap = {
+  mutable on_message : direction -> string -> action;
+  mutable observed : (direction * string) list; (* newest first *)
+}
+
+and action = Pass | Replace of string | Drop
+
+let passive_tap () : tap = { on_message = (fun _ _ -> Pass); observed = [] }
+
+(* A service accepts connections; each connection gets its own handler
+   closure so servers can keep per-connection state (cipher streams,
+   sequence windows).  [peer] names the connecting host. *)
+type service = peer:string -> (string -> string)
+
+type host = { host_name : string; mutable aliases : string list; services : (int, service) Hashtbl.t }
+
+type t = {
+  clock : Simclock.t;
+  costs : Costmodel.t;
+  hosts : (string, host) Hashtbl.t; (* by name and alias *)
+  mutable default_tap : tap option; (* applied to new connections *)
+}
+
+let create ?(costs = Costmodel.default) (clock : Simclock.t) : t =
+  { clock; costs; hosts = Hashtbl.create 16; default_tap = None }
+
+let clock (t : t) = t.clock
+let costs (t : t) = t.costs
+
+let add_host (t : t) (name : string) : host =
+  if Hashtbl.mem t.hosts name then invalid_arg ("Simnet.add_host: duplicate " ^ name);
+  let h = { host_name = name; aliases = []; services = Hashtbl.create 4 } in
+  Hashtbl.replace t.hosts name h;
+  h
+
+let add_alias (t : t) (h : host) (alias : string) : unit =
+  if Hashtbl.mem t.hosts alias then invalid_arg ("Simnet.add_alias: duplicate " ^ alias);
+  h.aliases <- alias :: h.aliases;
+  Hashtbl.replace t.hosts alias h
+
+let remove_host (t : t) (name : string) : unit =
+  match Hashtbl.find_opt t.hosts name with
+  | None -> ()
+  | Some h ->
+      Hashtbl.remove t.hosts h.host_name;
+      List.iter (Hashtbl.remove t.hosts) h.aliases
+
+let find_host (t : t) (name : string) : host option = Hashtbl.find_opt t.hosts name
+
+let listen (t : t) (h : host) ~(port : int) (service : service) : unit =
+  ignore t;
+  Hashtbl.replace h.services port service
+
+let unlisten (h : host) ~(port : int) : unit = Hashtbl.remove h.services port
+
+type conn = {
+  net : t;
+  proto : Costmodel.transport_proto;
+  peer : string; (* server host name as dialed *)
+  handler : string -> string;
+  mutable tap : tap option;
+  mutable closed : bool;
+  mutable rpc_count : int;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+}
+
+let connect (t : t) ~(from_host : string) ~(addr : string) ~(port : int) ~(proto : Costmodel.transport_proto) : conn =
+  match Hashtbl.find_opt t.hosts addr with
+  | None -> raise (No_route addr)
+  | Some h -> (
+      match Hashtbl.find_opt h.services port with
+      | None -> raise (No_route (Printf.sprintf "%s:%d" addr port))
+      | Some service ->
+          {
+            net = t;
+            proto;
+            peer = addr;
+            handler = service ~peer:from_host;
+            tap = t.default_tap;
+            closed = false;
+            rpc_count = 0;
+            bytes_sent = 0;
+            bytes_received = 0;
+          })
+
+let set_tap (c : conn) (tap : tap option) : unit = c.tap <- tap
+let set_default_tap (t : t) (tap : tap option) : unit = t.default_tap <- tap
+
+let close (c : conn) : unit = c.closed <- true
+
+let apply_tap (c : conn) (dir : direction) (msg : string) : string =
+  match c.tap with
+  | None -> msg
+  | Some tap -> (
+      tap.observed <- (dir, msg) :: tap.observed;
+      match tap.on_message dir msg with
+      | Pass -> msg
+      | Replace m -> m
+      | Drop -> raise Timeout)
+
+(* One synchronous request/reply exchange: charges the fixed per-RPC
+   cost plus transfer time for both messages, runs the taps, runs the
+   server handler (which charges its own processing costs). *)
+let call (c : conn) (request : string) : string =
+  if c.closed then raise Timeout;
+  let t = c.net in
+  c.rpc_count <- c.rpc_count + 1;
+  c.bytes_sent <- c.bytes_sent + String.length request;
+  Simclock.advance t.clock (Costmodel.rpc_fixed_us t.costs c.proto);
+  Simclock.advance t.clock (Costmodel.transfer_us t.costs c.proto (String.length request));
+  let request = apply_tap c To_server request in
+  let reply = c.handler request in
+  let reply = apply_tap c To_client reply in
+  c.bytes_received <- c.bytes_received + String.length reply;
+  Simclock.advance t.clock (Costmodel.transfer_us t.costs c.proto (String.length reply));
+  reply
+
+(* A pipelined (write-behind) exchange: the caller does not wait for
+   the reply, so the fixed round-trip latency is hidden; only wire
+   transfer plus a small per-op floor is charged.  Taps still see the
+   traffic. *)
+let call_async (c : conn) (request : string) : string =
+  if c.closed then raise Timeout;
+  let t = c.net in
+  c.rpc_count <- c.rpc_count + 1;
+  c.bytes_sent <- c.bytes_sent + String.length request;
+  Simclock.advance t.clock t.costs.Costmodel.async_floor_us;
+  Simclock.advance t.clock (Costmodel.transfer_us t.costs c.proto (String.length request));
+  let request = apply_tap c To_server request in
+  let reply = c.handler request in
+  let reply = apply_tap c To_client reply in
+  c.bytes_received <- c.bytes_received + String.length reply;
+  reply
+
+(* Adversary entry point: deliver a raw message to the server as if it
+   came from this connection, without charging the tap. *)
+let inject (c : conn) (request : string) : string = c.handler request
+
+let stats (c : conn) : int * int * int = (c.rpc_count, c.bytes_sent, c.bytes_received)

@@ -1,0 +1,64 @@
+(** The simulated internet: hosts, services, synchronous RPC exchanges,
+    and adversary taps with full control of the wire (paper section
+    2.1.2 threat model). *)
+
+exception Timeout
+(** An exchange was dropped (by the adversary) or the peer is gone. *)
+
+exception No_route of string
+(** No such host/port. *)
+
+type direction = To_server | To_client
+
+(** A tap observes and may rewrite every message on a connection. *)
+type tap = {
+  mutable on_message : direction -> string -> action;
+  mutable observed : (direction * string) list; (** newest first *)
+}
+
+and action = Pass | Replace of string | Drop
+
+val passive_tap : unit -> tap
+(** Records traffic without interfering. *)
+
+type service = peer:string -> (string -> string)
+(** A connection factory: invoked once per accepted connection, returns
+    the per-connection request handler. *)
+
+type host
+type t
+
+val create : ?costs:Costmodel.t -> Simclock.t -> t
+val clock : t -> Simclock.t
+val costs : t -> Costmodel.t
+
+val add_host : t -> string -> host
+val add_alias : t -> host -> string -> unit
+val remove_host : t -> string -> unit
+val find_host : t -> string -> host option
+val listen : t -> host -> port:int -> service -> unit
+val unlisten : host -> port:int -> unit
+
+type conn
+
+val connect :
+  t -> from_host:string -> addr:string -> port:int -> proto:Costmodel.transport_proto -> conn
+(** @raise No_route when the address or port is not served. *)
+
+val call : conn -> string -> string
+(** One request/reply exchange.  Charges wire time, runs taps.
+    @raise Timeout when the adversary drops either message. *)
+
+val call_async : conn -> string -> string
+(** Pipelined exchange (write-behind traffic): charges wire transfer of
+    the request plus a small floor, hiding the round-trip latency. *)
+
+val inject : conn -> string -> string
+(** Adversary-side raw delivery (replay), bypassing taps and billing. *)
+
+val set_tap : conn -> tap option -> unit
+val set_default_tap : t -> tap option -> unit
+val close : conn -> unit
+
+val stats : conn -> int * int * int
+(** [(rpc_count, bytes_sent, bytes_received)]. *)

@@ -1,0 +1,1 @@
+lib/nfs/cachefs.ml: Buffer Fs_intf Hashtbl List Nfs_types Result Sfs_net Sfs_os Sfs_util String

@@ -1,0 +1,1 @@
+lib/nfs/cachefs.mli: Fs_intf Nfs_types Sfs_net

@@ -1,0 +1,1 @@
+lib/nfs/diskmodel.ml: Hashtbl List Sfs_net

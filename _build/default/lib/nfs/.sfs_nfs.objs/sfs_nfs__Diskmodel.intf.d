@@ -1,0 +1,1 @@
+lib/nfs/diskmodel.mli: Sfs_net

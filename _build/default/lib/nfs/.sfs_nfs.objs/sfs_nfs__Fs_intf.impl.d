@@ -1,0 +1,1 @@
+lib/nfs/fs_intf.ml: Nfs_types Sfs_os

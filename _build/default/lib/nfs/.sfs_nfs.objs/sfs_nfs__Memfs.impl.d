@@ -1,0 +1,1 @@
+lib/nfs/memfs.ml: Bytes Hashtbl List Nfs_types Option Result Sfs_os String

@@ -1,0 +1,1 @@
+lib/nfs/memfs.mli: Bytes Hashtbl Nfs_types Sfs_os

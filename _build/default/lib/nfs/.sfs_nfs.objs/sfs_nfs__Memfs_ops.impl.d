@@ -1,0 +1,1 @@
+lib/nfs/memfs_ops.ml: Diskmodel Fs_intf List Memfs Nfs_types Result String

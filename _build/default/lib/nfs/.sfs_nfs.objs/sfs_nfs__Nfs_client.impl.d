@@ -1,0 +1,1 @@
+lib/nfs/nfs_client.ml: Fs_intf Nfs_proto Nfs_types Result Sfs_net Sfs_os Sfs_xdr String

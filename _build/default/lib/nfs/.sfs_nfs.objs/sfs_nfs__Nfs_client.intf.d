@@ -1,0 +1,1 @@
+lib/nfs/nfs_client.mli: Fs_intf Nfs_types Sfs_net Sfs_os

@@ -1,0 +1,1 @@
+lib/nfs/nfs_proto.ml: Int64 Nfs_types Sfs_xdr String

@@ -1,0 +1,1 @@
+lib/nfs/nfs_server.ml: Fs_intf List Nfs_proto Nfs_types Result Sfs_net Sfs_os Sfs_xdr String

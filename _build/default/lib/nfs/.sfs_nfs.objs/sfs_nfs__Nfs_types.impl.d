@@ -1,0 +1,1 @@
+lib/nfs/nfs_types.ml: Int64 Sfs_xdr String

@@ -1,0 +1,427 @@
+(* Client-side caching, wrapped around any [Fs_intf.ops].
+
+   Two policies, matching the paper's two protagonists:
+
+   - NFS 3 style ([ttl]-based): attributes and name lookups are served
+     from cache for a fixed timeout (3 s here, the classic acregmin),
+     data blocks live in a bounded buffer cache and are discarded when
+     a fresh attribute fetch shows a newer mtime (close-to-open
+     consistency).
+
+   - SFS style (leases + invalidation): "every file attribute structure
+     returned by the server has a timeout field or lease" and "the
+     server can call back to the client to invalidate entries before
+     the lease expires" (paper section 3.3).  The wrapped ops supply
+     invalidations via [take_invalidations]; consistency "does not need
+     to be perfect, just better than NFS 3".
+
+   Access-check results are cached with attributes (SFS's enhanced
+   access caching), which is what lets SFS close most of its latency
+   gap on the Andrew benchmark (section 4.3). *)
+
+open Nfs_types
+module Simos = Sfs_os.Simos
+module Simclock = Sfs_net.Simclock
+
+type policy = {
+  attr_ttl_s : float; (* fixed attribute timeout when no lease is used *)
+  use_leases : bool; (* trust per-attribute lease fields + callbacks *)
+  data_cache_bytes : int;
+  memcpy_bytes_per_us : float; (* cost of serving a hit *)
+}
+
+let nfs_policy =
+  { attr_ttl_s = 3.0; use_leases = false; data_cache_bytes = 25 * 1024 * 1024; memcpy_bytes_per_us = 400.0 }
+
+let sfs_policy =
+  { attr_ttl_s = 3.0; use_leases = true; data_cache_bytes = 25 * 1024 * 1024; memcpy_bytes_per_us = 400.0 }
+
+let block_size = 8192
+
+type attr_entry = { attr : fattr; expires_us : float }
+
+type t = {
+  inner : Fs_intf.ops;
+  clock : Simclock.t;
+  policy : policy;
+  take_invalidations : unit -> fh list; (* drained before each cache consult *)
+  attrs : (fh, attr_entry) Hashtbl.t;
+  names : (fh * string, (fh * float) (* target, expiry *)) Hashtbl.t;
+  access_cache : (fh * int * int, int * float) Hashtbl.t; (* (fh, uid, mask) -> granted, expiry *)
+  negatives : (fh * string, float) Hashtbl.t; (* lease-backed negative lookups *)
+  blocks : (fh * int, string) Hashtbl.t;
+  mutable block_lru : (fh * int) list;
+  mutable cached_bytes : int;
+  mutable lookups : int;
+  mutable lookup_hits : int;
+  mutable getattrs : int;
+  mutable getattr_hits : int;
+  mutable reads : int;
+  mutable read_hits : int;
+}
+
+let no_invalidations () : fh list = []
+
+let create ?(take_invalidations = no_invalidations) ~(clock : Simclock.t) ~(policy : policy)
+    (inner : Fs_intf.ops) : t =
+  {
+    inner;
+    clock;
+    policy;
+    take_invalidations;
+    attrs = Hashtbl.create 512;
+    names = Hashtbl.create 512;
+    access_cache = Hashtbl.create 512;
+    negatives = Hashtbl.create 512;
+    blocks = Hashtbl.create 4096;
+    block_lru = [];
+    cached_bytes = 0;
+    lookups = 0;
+    lookup_hits = 0;
+    getattrs = 0;
+    getattr_hits = 0;
+    reads = 0;
+    read_hits = 0;
+  }
+
+let drop_blocks (t : t) (h : fh) : unit =
+  let doomed = Hashtbl.fold (fun (f, b) _ acc -> if f = h then (f, b) :: acc else acc) t.blocks [] in
+  List.iter
+    (fun k ->
+      (match Hashtbl.find_opt t.blocks k with
+      | Some data -> t.cached_bytes <- t.cached_bytes - String.length data
+      | None -> ());
+      Hashtbl.remove t.blocks k)
+    doomed;
+  if doomed <> [] then t.block_lru <- List.filter (fun k -> not (List.mem k doomed)) t.block_lru
+
+let drop_access (t : t) (h : fh) : unit =
+  let doomed =
+    Hashtbl.fold (fun (f, u, m) _ acc -> if f = h then (f, u, m) :: acc else acc) t.access_cache []
+  in
+  List.iter (Hashtbl.remove t.access_cache) doomed
+
+let invalidate_fh (t : t) (h : fh) : unit =
+  Hashtbl.remove t.attrs h;
+  drop_access t h;
+  drop_blocks t h;
+  (* Name entries pointing into or out of this handle go too. *)
+  let doomed =
+    Hashtbl.fold (fun (d, n) (tgt, _) acc -> if d = h || tgt = h then (d, n) :: acc else acc) t.names []
+  in
+  List.iter (Hashtbl.remove t.names) doomed;
+  let doomed_neg = Hashtbl.fold (fun (d, n) _ acc -> if d = h then (d, n) :: acc else acc) t.negatives [] in
+  List.iter (Hashtbl.remove t.negatives) doomed_neg
+
+let drain_invalidations (t : t) : unit =
+  if t.policy.use_leases then List.iter (invalidate_fh t) (t.take_invalidations ())
+
+let invalidate_all (t : t) : unit =
+  Hashtbl.reset t.attrs;
+  Hashtbl.reset t.names;
+  Hashtbl.reset t.access_cache;
+  Hashtbl.reset t.negatives;
+  Hashtbl.reset t.blocks;
+  t.block_lru <- [];
+  t.cached_bytes <- 0
+
+let charge_hit (t : t) (bytes : int) : unit =
+  Simclock.advance t.clock (float_of_int (max bytes 64) /. t.policy.memcpy_bytes_per_us)
+
+(* Remember attributes; the expiry honours the lease when present and
+   trusted, else the fixed TTL. *)
+let note_attr (t : t) (h : fh) (a : fattr) : unit =
+  let now = Simclock.now_us t.clock in
+  let ttl_s =
+    if t.policy.use_leases && a.lease > 0 then float_of_int a.lease else t.policy.attr_ttl_s
+  in
+  (* Data cache consistency: newer mtime invalidates cached blocks. *)
+  (match Hashtbl.find_opt t.attrs h with
+  | Some old when time_compare old.attr.mtime a.mtime <> 0 -> drop_blocks t h
+  | _ -> ());
+  Hashtbl.replace t.attrs h { attr = a; expires_us = now +. (ttl_s *. 1_000_000.0) }
+
+let fresh_attr (t : t) (h : fh) : attr_entry option =
+  match Hashtbl.find_opt t.attrs h with
+  | Some e when e.expires_us > Simclock.now_us t.clock -> Some e
+  | _ -> None
+
+let evict_blocks_if_needed (t : t) : unit =
+  while t.cached_bytes > t.policy.data_cache_bytes do
+    match List.rev t.block_lru with
+    | [] ->
+        Hashtbl.reset t.blocks;
+        t.cached_bytes <- 0
+    | victim :: _ ->
+        (match Hashtbl.find_opt t.blocks victim with
+        | Some data -> t.cached_bytes <- t.cached_bytes - String.length data
+        | None -> ());
+        Hashtbl.remove t.blocks victim;
+        t.block_lru <- List.filter (fun k -> k <> victim) t.block_lru
+  done
+
+let note_block (t : t) (h : fh) (block : int) (data : string) : unit =
+  (match Hashtbl.find_opt t.blocks (h, block) with
+  | Some old -> t.cached_bytes <- t.cached_bytes - String.length old
+  | None -> ());
+  Hashtbl.replace t.blocks (h, block) data;
+  t.cached_bytes <- t.cached_bytes + String.length data;
+  t.block_lru <- (h, block) :: List.filter (fun k -> k <> (h, block)) t.block_lru;
+  evict_blocks_if_needed t
+
+(* Name-cache entry lifetime: under leases a directory entry cannot
+   change without a server callback, so names live as long as the
+   accompanying attribute lease; NFS-style caching uses the fixed TTL. *)
+let name_ttl_s (t : t) (a : fattr) : float =
+  if t.policy.use_leases && a.lease > 0 then float_of_int a.lease else t.policy.attr_ttl_s
+
+(* Client-side permission enforcement for cache hits.  The cache is
+   shared between local users (safe for consistency because they named
+   the same public key — section 5.1), but serving a hit must still
+   honour the mode bits of the cached attributes, exactly as a kernel
+   checks cached inodes. *)
+let may (cred : Simos.cred) (a : fattr) ~(want : int) : bool =
+  Simos.is_superuser cred
+  ||
+  let shift =
+    if cred.Simos.cred_uid = a.uid then 6 else if Simos.in_group cred a.gid then 3 else 0
+  in
+  (a.mode lsr shift) land want = want
+
+let ( let* ) = Result.bind
+
+let stats (t : t) : (int * int) * (int * int) * (int * int) =
+  ((t.getattrs, t.getattr_hits), (t.lookups, t.lookup_hits), (t.reads, t.read_hits))
+
+let ops (t : t) : Fs_intf.ops =
+  let inner = t.inner in
+  let getattr cred h =
+    drain_invalidations t;
+    t.getattrs <- t.getattrs + 1;
+    match fresh_attr t h with
+    | Some e ->
+        t.getattr_hits <- t.getattr_hits + 1;
+        charge_hit t 64;
+        Ok e.attr
+    | None ->
+        let* a = inner.Fs_intf.fs_getattr cred h in
+        note_attr t h a;
+        Ok a
+  in
+  {
+    Fs_intf.fs_root = inner.Fs_intf.fs_root;
+    fs_getattr = getattr;
+    fs_setattr =
+      (fun cred h s ->
+        drain_invalidations t;
+        let* a = inner.Fs_intf.fs_setattr cred h s in
+        invalidate_fh t h;
+        note_attr t h a;
+        Ok a);
+    fs_lookup =
+      (fun cred ~dir name ->
+        drain_invalidations t;
+        t.lookups <- t.lookups + 1;
+        match Hashtbl.find_opt t.negatives (dir, name) with
+        | Some expiry when t.policy.use_leases && expiry > Simclock.now_us t.clock ->
+            t.lookup_hits <- t.lookup_hits + 1;
+            charge_hit t 64;
+            Error NFS3ERR_NOENT
+        | _ -> (
+        match Hashtbl.find_opt t.names (dir, name) with
+        | Some (target, expires) when expires > Simclock.now_us t.clock -> (
+            (* Serve the lookup from cache when the target's attributes
+               are also fresh — but only for users the cached directory
+               attributes let traverse. *)
+            match (fresh_attr t target, fresh_attr t dir) with
+            | Some e, Some d when not (may cred d.attr ~want:1) ->
+                ignore e;
+                charge_hit t 64;
+                Error NFS3ERR_ACCES
+            | Some e, _ ->
+                t.lookup_hits <- t.lookup_hits + 1;
+                charge_hit t 64;
+                Ok (target, e.attr)
+            | None, _ ->
+                let* h, a = inner.Fs_intf.fs_lookup cred ~dir name in
+                note_attr t h a;
+                Hashtbl.replace t.names (dir, name)
+                  (h, Simclock.now_us t.clock +. (name_ttl_s t a *. 1_000_000.0));
+                Ok (h, a))
+        | _ -> (
+            match inner.Fs_intf.fs_lookup cred ~dir name with
+            | Ok (h, a) ->
+                note_attr t h a;
+                Hashtbl.replace t.names (dir, name)
+                  (h, Simclock.now_us t.clock +. (name_ttl_s t a *. 1_000_000.0));
+                Ok (h, a)
+            | Error NFS3ERR_NOENT when t.policy.use_leases ->
+                (* Negative caching under the directory's lease: the
+                   name cannot appear without a callback on the dir. *)
+                let ttl_s =
+                  match fresh_attr t dir with
+                  | Some e when e.attr.lease > 0 -> float_of_int e.attr.lease
+                  | _ -> t.policy.attr_ttl_s
+                in
+                Hashtbl.replace t.negatives (dir, name)
+                  (Simclock.now_us t.clock +. (ttl_s *. 1_000_000.0));
+                Error NFS3ERR_NOENT
+            | Error e -> Error e)));
+    fs_access =
+      (fun cred h want ->
+        drain_invalidations t;
+        (* Access caching: results are remembered per (handle, uid,
+           mask) for the lease/TTL window — SFS's enhanced access
+           caching (section 4.2). *)
+        let key = (h, cred.Simos.cred_uid, want) in
+        match Hashtbl.find_opt t.access_cache key with
+        | Some (granted, expiry) when expiry > Simclock.now_us t.clock ->
+            charge_hit t 64;
+            Ok granted
+        | _ ->
+            let* granted = inner.Fs_intf.fs_access cred h want in
+            let ttl_s =
+              match fresh_attr t h with
+              | Some e when t.policy.use_leases && e.attr.lease > 0 -> float_of_int e.attr.lease
+              | _ -> t.policy.attr_ttl_s
+            in
+            Hashtbl.replace t.access_cache key
+              (granted, Simclock.now_us t.clock +. (ttl_s *. 1_000_000.0));
+            Ok granted);
+    fs_readlink = (fun cred h -> inner.Fs_intf.fs_readlink cred h);
+    fs_read =
+      (fun cred h ~off ~count ->
+        drain_invalidations t;
+        t.reads <- t.reads + 1;
+        (* Whole-block caching: a read is a hit when every covered block
+           is cached and attributes are fresh. *)
+        let first = off / block_size and last = if count = 0 then off / block_size else (off + count - 1) / block_size in
+        let cached =
+          fresh_attr t h <> None
+          &&
+          let rec all b = b > last || (Hashtbl.mem t.blocks (h, b) && all (b + 1)) in
+          all first
+        in
+        if cached && not (may cred (match fresh_attr t h with Some e -> e.attr | None -> assert false) ~want:4)
+        then Error NFS3ERR_ACCES
+        else if cached then begin
+          t.read_hits <- t.read_hits + 1;
+          charge_hit t count;
+          let e = match fresh_attr t h with Some e -> e | None -> assert false in
+          let size = e.attr.size in
+          let avail = max 0 (size - off) in
+          let n = min count avail in
+          let buf = Buffer.create n in
+          let pos = ref off in
+          while Buffer.length buf < n do
+            let b = !pos / block_size in
+            let data = Hashtbl.find t.blocks (h, b) in
+            let block_off = !pos - (b * block_size) in
+            let take = min (String.length data - block_off) (n - Buffer.length buf) in
+            Buffer.add_substring buf data block_off take;
+            pos := !pos + take
+          done;
+          Ok (Buffer.contents buf, off + n >= size, e.attr)
+        end
+        else
+          let* data, eof, a = inner.Fs_intf.fs_read cred h ~off ~count in
+          note_attr t h a;
+          (* Cache only block-aligned full coverage to keep bookkeeping
+             simple; partial tail blocks are cached on eof. *)
+          if off mod block_size = 0 then begin
+            List.iteri
+              (fun i chunk ->
+                if String.length chunk = block_size || eof then
+                  note_block t h ((off / block_size) + i) chunk)
+              (Sfs_util.Bytesutil.chunks ~size:block_size data)
+          end;
+          Ok (data, eof, a));
+    fs_write =
+      (fun cred h ~off ~stable data ->
+        drain_invalidations t;
+        let* a = inner.Fs_intf.fs_write cred h ~off ~stable data in
+        (* Write-through with local block update; attributes first, so
+           the mtime change does not evict the blocks we are adding.
+           Partial chunks are cacheable when they form the file's tail
+           (the read path bounds hits by the cached size). *)
+        note_attr t h a;
+        if off mod block_size = 0 then
+          List.iteri
+            (fun i chunk ->
+              let chunk_off = off + (i * block_size) in
+              if String.length chunk = block_size || chunk_off + String.length chunk = a.size
+              then note_block t h (chunk_off / block_size) chunk)
+            (Sfs_util.Bytesutil.chunks ~size:block_size data)
+        else drop_blocks t h;
+        Ok a);
+    fs_create =
+      (fun cred ~dir name ~mode ->
+        drain_invalidations t;
+        let* h, a = inner.Fs_intf.fs_create cred ~dir name ~mode in
+        (* Our own mutation: leases stay valid for us (the server only
+           calls back other holders); NFS-style caching conservatively
+           drops the directory entry. *)
+        if not t.policy.use_leases then Hashtbl.remove t.attrs dir;
+        note_attr t h a;
+        Hashtbl.remove t.negatives (dir, name);
+        Hashtbl.remove t.negatives (dir, name);
+        Hashtbl.remove t.negatives (dir, name);
+        Hashtbl.replace t.names (dir, name) (h, Simclock.now_us t.clock +. (name_ttl_s t a *. 1_000_000.0));
+        Ok (h, a));
+    fs_mkdir =
+      (fun cred ~dir name ~mode ->
+        let* h, a = inner.Fs_intf.fs_mkdir cred ~dir name ~mode in
+        if not t.policy.use_leases then Hashtbl.remove t.attrs dir;
+        note_attr t h a;
+        Hashtbl.replace t.names (dir, name) (h, Simclock.now_us t.clock +. (name_ttl_s t a *. 1_000_000.0));
+        Ok (h, a));
+    fs_symlink =
+      (fun cred ~dir name ~target ->
+        let* h, a = inner.Fs_intf.fs_symlink cred ~dir name ~target in
+        if not t.policy.use_leases then Hashtbl.remove t.attrs dir;
+        note_attr t h a;
+        Hashtbl.replace t.names (dir, name) (h, Simclock.now_us t.clock +. (name_ttl_s t a *. 1_000_000.0));
+        Ok (h, a));
+    fs_remove =
+      (fun cred ~dir name ->
+        let* () = inner.Fs_intf.fs_remove cred ~dir name in
+        Hashtbl.remove t.names (dir, name);
+        if not t.policy.use_leases then Hashtbl.remove t.attrs dir;
+        Ok ());
+    fs_rmdir =
+      (fun cred ~dir name ->
+        let* () = inner.Fs_intf.fs_rmdir cred ~dir name in
+        Hashtbl.remove t.names (dir, name);
+        if not t.policy.use_leases then Hashtbl.remove t.attrs dir;
+        Ok ());
+    fs_rename =
+      (fun cred ~from_dir ~from_name ~to_dir ~to_name ->
+        let* () = inner.Fs_intf.fs_rename cred ~from_dir ~from_name ~to_dir ~to_name in
+        Hashtbl.remove t.names (from_dir, from_name);
+        Hashtbl.remove t.names (to_dir, to_name);
+        if not t.policy.use_leases then begin
+          Hashtbl.remove t.attrs from_dir;
+          Hashtbl.remove t.attrs to_dir
+        end;
+        Ok ());
+    fs_link =
+      (fun cred ~target ~dir name ->
+        let* a = inner.Fs_intf.fs_link cred ~target ~dir name in
+        if not t.policy.use_leases then Hashtbl.remove t.attrs dir;
+        note_attr t target a;
+        Ok a);
+    fs_readdir =
+      (fun cred h ->
+        drain_invalidations t;
+        let* entries = inner.Fs_intf.fs_readdir cred h in
+        (* READDIRPLUS feeds the attribute and name caches. *)
+        List.iter
+          (fun de ->
+            note_attr t de.d_fh de.d_attr;
+            Hashtbl.replace t.names (h, de.d_name)
+              (de.d_fh, Simclock.now_us t.clock +. (name_ttl_s t de.d_attr *. 1_000_000.0)))
+          entries;
+        Ok entries);
+    fs_commit = (fun cred h -> inner.Fs_intf.fs_commit cred h);
+    fs_fsstat = (fun cred h -> inner.Fs_intf.fs_fsstat cred h);
+  }

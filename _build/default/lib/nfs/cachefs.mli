@@ -1,0 +1,43 @@
+(** Client-side caching wrapped around any [Fs_intf.ops].
+
+    Two policies: NFS 3 style (fixed TTLs, close-to-open data
+    consistency) and SFS style (per-attribute leases with server
+    invalidation callbacks, access-result caching, lease-backed name and
+    negative-lookup caching) — the "enhanced attribute and access
+    caching" of paper section 3.3.
+
+    The cache may be shared between local users (section 5.1); hits are
+    still checked against the cached attributes' mode bits, so sharing
+    never bypasses permissions. *)
+
+open Nfs_types
+
+type policy = {
+  attr_ttl_s : float; (** fixed timeout when no lease is trusted *)
+  use_leases : bool; (** honour lease fields + invalidation callbacks *)
+  data_cache_bytes : int;
+  memcpy_bytes_per_us : float; (** cost of serving a hit *)
+}
+
+val nfs_policy : policy
+val sfs_policy : policy
+
+type t
+
+val create :
+  ?take_invalidations:(unit -> fh list) ->
+  clock:Sfs_net.Simclock.t ->
+  policy:policy ->
+  Fs_intf.ops ->
+  t
+(** [take_invalidations] drains the server's piggybacked callbacks; it
+    is polled before every cache consultation when leases are in use. *)
+
+val ops : t -> Fs_intf.ops
+(** The caching view of the wrapped file system. *)
+
+val invalidate_all : t -> unit
+(** Drop everything (unmount/remount between benchmark phases). *)
+
+val stats : t -> (int * int) * (int * int) * (int * int)
+(** [((getattrs, hits), (lookups, hits), (reads, hits))]. *)

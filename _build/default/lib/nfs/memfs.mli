@@ -1,0 +1,68 @@
+(** An in-memory Unix file system with NFS 3 semantics: the storage
+    substrate standing in for FreeBSD's FFS.  Enforces Unix permission
+    bits against credentials; timing is charged separately by
+    {!Diskmodel} at the serving layer. *)
+
+open Nfs_types
+module Simos = Sfs_os.Simos
+
+type node_kind =
+  | Reg of { mutable data : Bytes.t; mutable len : int }
+  | Dir of (string, int) Hashtbl.t
+  | Symlink of string
+
+type t
+
+val root_id : int
+
+val create : ?fsid:int -> now:(unit -> nfstime) -> unit -> t
+(** [now] supplies timestamps (wired to the simulation clock). *)
+
+val set_read_only : t -> bool -> unit
+(** A read-only file system fails all mutations with [NFS3ERR_ROFS]. *)
+
+val nobody_uid : int
+(** Anonymous creations are owned by "nobody" (65534). *)
+
+(** {2 Reads} *)
+
+val getattr : t -> int -> fattr res
+val lookup : t -> Simos.cred -> dir:int -> string -> (int * fattr) res
+val access : t -> Simos.cred -> int -> int -> int res
+val readlink : t -> Simos.cred -> int -> string res
+
+val read : t -> Simos.cred -> int -> off:int -> count:int -> (string * bool) res
+(** [(data, eof)]. *)
+
+val readdir : t -> Simos.cred -> int -> dirent list res
+(** Entries sorted by name; [d_fh] fields carry inode numbers. *)
+
+(** {2 Mutations} *)
+
+val setattr : t -> Simos.cred -> int -> sattr -> fattr res
+(** chmod/chown/utimes require ownership (chown: root); truncate
+    requires write access. *)
+
+val create_file : t -> Simos.cred -> dir:int -> string -> mode:int -> (int * fattr) res
+val mkdir : t -> Simos.cred -> dir:int -> string -> mode:int -> (int * fattr) res
+val symlink : t -> Simos.cred -> dir:int -> string -> target:string -> (int * fattr) res
+val write : t -> Simos.cred -> int -> off:int -> string -> fattr res
+val remove : t -> Simos.cred -> dir:int -> string -> unit res
+val rmdir : t -> Simos.cred -> dir:int -> string -> unit res
+
+val link : t -> Simos.cred -> target:int -> dir:int -> string -> fattr res
+
+val rename :
+  t -> Simos.cred -> from_dir:int -> from_name:string -> to_dir:int -> to_name:string -> unit res
+
+(** {2 Introspection} *)
+
+type fsstat = { total_files : int; total_bytes : int }
+
+val statfs : t -> fsstat
+
+val fold : t -> ('a -> path:string list -> int -> 'a) -> 'a -> 'a
+(** Depth-first walk of the whole tree by inode id. *)
+
+val inode_kind : t -> int -> node_kind option
+(** Direct structural access, used by the read-only snapshot builder. *)

@@ -1,0 +1,117 @@
+(* Direct [Fs_intf.ops] over a local Memfs, charging the disk model.
+
+   This is both the "Local" benchmark stack (FreeBSD FFS in the paper)
+   and the storage behind NFS and SFS servers.  File handles are the
+   decimal inode number — fine locally; the network server layer wraps
+   them in opaque protected handles. *)
+
+open Nfs_types
+
+let fh_of_id (id : int) : fh = string_of_int id
+
+let id_of_fh (h : fh) : int res =
+  match int_of_string_opt h with Some id -> Ok id | None -> Error NFS3ERR_BADHANDLE
+
+let ( let* ) = Result.bind
+
+let make ~(fs : Memfs.t) ~(disk : Diskmodel.t) : Fs_intf.ops =
+  let meta () = Diskmodel.metadata_update disk in
+  {
+    Fs_intf.fs_root = fh_of_id Memfs.root_id;
+    fs_getattr =
+      (fun _cred h ->
+        let* id = id_of_fh h in
+        Memfs.getattr fs id);
+    fs_setattr =
+      (fun cred h s ->
+        let* id = id_of_fh h in
+        let* a = Memfs.setattr fs cred id s in
+        meta ();
+        Ok a);
+    fs_lookup =
+      (fun cred ~dir name ->
+        let* id = id_of_fh dir in
+        let* eid, a = Memfs.lookup fs cred ~dir:id name in
+        Ok (fh_of_id eid, a));
+    fs_access =
+      (fun cred h want ->
+        let* id = id_of_fh h in
+        Memfs.access fs cred id want);
+    fs_readlink =
+      (fun cred h ->
+        let* id = id_of_fh h in
+        Memfs.readlink fs cred id);
+    fs_read =
+      (fun cred h ~off ~count ->
+        let* id = id_of_fh h in
+        let* data, eof = Memfs.read fs cred id ~off ~count in
+        Diskmodel.read disk ~fileid:id ~off ~bytes:(String.length data);
+        let* a = Memfs.getattr fs id in
+        Ok (data, eof, a));
+    fs_write =
+      (fun cred h ~off ~stable data ->
+        let* id = id_of_fh h in
+        let* a = Memfs.write fs cred id ~off data in
+        Diskmodel.write disk ~fileid:id ~off ~bytes:(String.length data) ~stable;
+        Ok a);
+    fs_create =
+      (fun cred ~dir name ~mode ->
+        let* id = id_of_fh dir in
+        let* eid, a = Memfs.create_file fs cred ~dir:id name ~mode in
+        meta ();
+        Ok (fh_of_id eid, a));
+    fs_mkdir =
+      (fun cred ~dir name ~mode ->
+        let* id = id_of_fh dir in
+        let* eid, a = Memfs.mkdir fs cred ~dir:id name ~mode in
+        meta ();
+        Ok (fh_of_id eid, a));
+    fs_symlink =
+      (fun cred ~dir name ~target ->
+        let* id = id_of_fh dir in
+        let* eid, a = Memfs.symlink fs cred ~dir:id name ~target in
+        meta ();
+        Ok (fh_of_id eid, a));
+    fs_remove =
+      (fun cred ~dir name ->
+        let* id = id_of_fh dir in
+        let* () = Memfs.remove fs cred ~dir:id name in
+        meta ();
+        Ok ());
+    fs_rmdir =
+      (fun cred ~dir name ->
+        let* id = id_of_fh dir in
+        let* () = Memfs.rmdir fs cred ~dir:id name in
+        meta ();
+        Ok ());
+    fs_rename =
+      (fun cred ~from_dir ~from_name ~to_dir ~to_name ->
+        let* fid = id_of_fh from_dir in
+        let* tid = id_of_fh to_dir in
+        let* () = Memfs.rename fs cred ~from_dir:fid ~from_name ~to_dir:tid ~to_name in
+        meta ();
+        Ok ());
+    fs_link =
+      (fun cred ~target ~dir name ->
+        let* tid = id_of_fh target in
+        let* did = id_of_fh dir in
+        let* a = Memfs.link fs cred ~target:tid ~dir:did name in
+        meta ();
+        Ok a);
+    fs_readdir =
+      (fun cred h ->
+        let* id = id_of_fh h in
+        let* entries = Memfs.readdir fs cred id in
+        (* Handles inside dirents come from Memfs as inode numbers
+           already; normalize through fh_of_id for clarity. *)
+        Ok (List.map (fun de -> { de with d_fh = fh_of_id de.d_fileid }) entries));
+    fs_commit =
+      (fun _cred h ->
+        let* id = id_of_fh h in
+        Diskmodel.flush disk ~fileid:id ();
+        Ok ());
+    fs_fsstat =
+      (fun _cred _h ->
+        let s = Memfs.statfs fs in
+        Ok (s.Memfs.total_files, s.Memfs.total_bytes));
+  }

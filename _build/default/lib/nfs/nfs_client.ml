@@ -1,0 +1,175 @@
+(* NFS 3 client: [Fs_intf.ops] over a Sun RPC connection.
+
+   This is the kernel NFS client of the benchmark baselines, and also
+   what an SFS server uses to reach the NFS server on its own machine
+   (in-machine traffic uses a zero-cost loopback connection).  Caching
+   lives in the separate Cachefs layer, so this module is a pure
+   protocol translator. *)
+
+open Nfs_types
+module Simos = Sfs_os.Simos
+module Simnet = Sfs_net.Simnet
+module Xdr = Sfs_xdr.Xdr
+module Sunrpc = Sfs_xdr.Sunrpc
+
+type transport = string -> string
+(** Sends one marshaled RPC call, returns the marshaled reply. *)
+
+type t = { send : transport; mutable xid : int; machine : string }
+
+let rpc_auth_of_cred (machine : string) (c : Simos.cred) : Sunrpc.auth_flavor =
+  if Simos.is_anonymous c then Sunrpc.Auth_none
+  else
+    Sunrpc.Auth_unix
+      { stamp = 0; machine; uid = c.Simos.cred_uid; gid = c.Simos.cred_gid; gids = c.Simos.cred_groups }
+
+let create ~(machine : string) (send : transport) : t = { send; xid = 1; machine }
+
+let of_conn ~(machine : string) (conn : Simnet.conn) : t =
+  create ~machine (fun bytes -> Simnet.call conn bytes)
+
+exception Rpc_failure of string
+
+(* One call: marshal, send, unmarshal, check xid. *)
+let call_raw (t : t) ~(cred : Simos.cred) ~(prog : int) ~(vers : int) ~(proc : int) (args : string) :
+    string =
+  let xid = t.xid in
+  t.xid <- t.xid + 1;
+  let msg =
+    Sunrpc.msg_to_string
+      (Sunrpc.Call { Sunrpc.xid; prog; vers; proc; cred = rpc_auth_of_cred t.machine cred; args })
+  in
+  match Sunrpc.msg_of_string (t.send msg) with
+  | Ok (Sunrpc.Reply r) when r.Sunrpc.reply_xid = xid || r.Sunrpc.reply_xid = 0 -> (
+      match r.Sunrpc.body with
+      | Sunrpc.Success results -> results
+      | Sunrpc.Prog_unavail -> raise (Rpc_failure "program unavailable")
+      | Sunrpc.Prog_mismatch _ -> raise (Rpc_failure "program version mismatch")
+      | Sunrpc.Proc_unavail -> raise (Rpc_failure "procedure unavailable")
+      | Sunrpc.Garbage_args -> raise (Rpc_failure "garbage args")
+      | Sunrpc.System_err -> raise (Rpc_failure "system error")
+      | Sunrpc.Rejected _ -> raise (Rpc_failure "call rejected"))
+  | Ok (Sunrpc.Reply _) -> raise (Rpc_failure "xid mismatch")
+  | Ok (Sunrpc.Call _) -> raise (Rpc_failure "unexpected call")
+  | Result.Error e -> raise (Rpc_failure ("unparsable reply: " ^ e))
+
+(* NFS procedures marshaled over any raw call function; shared with the
+   SFS client, whose transport is the secure channel instead of Sun
+   RPC. *)
+type raw_call = cred:Simos.cred -> proc:int -> async:bool -> string -> string
+(* [async] marks write-behind traffic (unstable WRITEs): the transport
+   may pipeline it instead of paying a full round trip. *)
+
+let generic_call ?(async = false) (call : raw_call) ~(cred : Simos.cred) ~(proc : int)
+    (enc_args : Xdr.enc -> 'a -> unit) (a : 'a) (dec_result : Xdr.dec -> 'b) : 'b =
+  let args = Xdr.encode enc_args a in
+  let results = call ~cred ~proc ~async args in
+  match Xdr.run results dec_result with
+  | Ok v -> v
+  | Result.Error e -> raise (Rpc_failure ("unparsable result: " ^ e))
+
+(* Fetch the root handle via the MOUNT program. *)
+let mount_root (t : t) ~(cred : Simos.cred) : fh =
+  let results =
+    call_raw t ~cred ~prog:Nfs_proto.mount_prog ~vers:Nfs_proto.mount_vers
+      ~proc:Nfs_proto.mount_proc_mnt ""
+  in
+  match Xdr.run results dec_fh with
+  | Ok h -> h
+  | Result.Error e -> raise (Rpc_failure ("bad mount reply: " ^ e))
+
+let generic_ops (call : raw_call) ~(root : fh) : Fs_intf.ops =
+  let open Nfs_proto in
+  let nfs_call ?async ~cred ~proc enc_args a dec_result =
+    generic_call ?async call ~cred ~proc enc_args a dec_result
+  in
+  {
+    Fs_intf.fs_root = root;
+    fs_getattr = (fun cred h -> nfs_call ~cred ~proc:proc_getattr enc_fh h (dec_res dec_fattr));
+    fs_setattr =
+      (fun cred h s -> nfs_call ~cred ~proc:proc_setattr enc_setattr_args (h, s) (dec_res dec_fattr));
+    fs_lookup =
+      (fun cred ~dir name ->
+        nfs_call ~cred ~proc:proc_lookup enc_diropargs (dir, name) (dec_res dec_lookup_ok));
+    fs_access =
+      (fun cred h want ->
+        Result.map snd
+          (nfs_call ~cred ~proc:proc_access enc_access_args (h, want) (dec_res dec_access_ok)));
+    fs_readlink =
+      (fun cred h ->
+        nfs_call ~cred ~proc:proc_readlink enc_fh h (dec_res (fun d -> Xdr.dec_string d ~max:1024)));
+    fs_read =
+      (fun cred h ~off ~count ->
+        nfs_call ~cred ~proc:proc_read enc_read_args (h, off, count) (dec_res dec_read_ok));
+    fs_write =
+      (fun cred h ~off ~stable data ->
+        nfs_call ~async:(not stable) ~cred ~proc:proc_write enc_write_args (h, off, stable, data)
+          (dec_res dec_fattr));
+    fs_create =
+      (fun cred ~dir name ~mode ->
+        nfs_call ~cred ~proc:proc_create enc_create_args (dir, name, mode) (dec_res dec_lookup_ok));
+    fs_mkdir =
+      (fun cred ~dir name ~mode ->
+        nfs_call ~cred ~proc:proc_mkdir enc_create_args (dir, name, mode) (dec_res dec_lookup_ok));
+    fs_symlink =
+      (fun cred ~dir name ~target ->
+        nfs_call ~cred ~proc:proc_symlink enc_symlink_args (dir, name, target) (dec_res dec_lookup_ok));
+    fs_remove =
+      (fun cred ~dir name ->
+        nfs_call ~cred ~proc:proc_remove enc_diropargs (dir, name) (dec_res dec_unit_ok));
+    fs_rmdir =
+      (fun cred ~dir name ->
+        nfs_call ~cred ~proc:proc_rmdir enc_diropargs (dir, name) (dec_res dec_unit_ok));
+    fs_rename =
+      (fun cred ~from_dir ~from_name ~to_dir ~to_name ->
+        nfs_call ~cred ~proc:proc_rename enc_rename_args (from_dir, from_name, to_dir, to_name)
+          (dec_res dec_unit_ok));
+    fs_link =
+      (fun cred ~target ~dir name ->
+        nfs_call ~cred ~proc:proc_link enc_link_args (target, dir, name) (dec_res dec_fattr));
+    fs_readdir =
+      (fun cred h -> nfs_call ~cred ~proc:proc_readdirplus enc_fh h (dec_res dec_readdir_ok));
+    fs_commit =
+      (fun cred h -> nfs_call ~cred ~proc:proc_commit enc_read_args (h, 0, 0) (dec_res dec_unit_ok));
+    fs_fsstat = (fun cred h -> nfs_call ~cred ~proc:proc_fsstat enc_fh h (dec_res dec_fsstat_ok));
+  }
+
+(* A variant of [of_conn] whose transport routes async traffic through
+   the pipelined path.  [stall] models FreeBSD's suboptimal kernel
+   NFS-over-TCP (paper section 4.1): requests spanning multiple TCP
+   segments hit delayed-ACK/Nagle stalls — the pathology behind NFS 3
+   (TCP)'s poor showing on write-heavy workloads. *)
+let conn_ops ?(stall = fun (_ : int) -> ()) ~(machine : string) (conn : Simnet.conn) ~(root : fh) :
+    Fs_intf.ops =
+  let sync = { send = (fun b -> Simnet.call conn b); xid = 1; machine } in
+  let async_t = { send = (fun b -> Simnet.call_async conn b); xid = 100_000_000; machine } in
+  generic_ops
+    (fun ~cred ~proc ~async args ->
+      stall (String.length args);
+      let t = if async then async_t else sync in
+      call_raw t ~cred ~prog:Nfs_proto.prog ~vers:Nfs_proto.vers ~proc args)
+    ~root
+
+let ops (t : t) ~(root : fh) : Fs_intf.ops =
+  generic_ops
+    (fun ~cred ~proc ~async:_ args ->
+      call_raw t ~cred ~prog:Nfs_proto.prog ~vers:Nfs_proto.vers ~proc args)
+    ~root
+
+(* Convenience: dial an NFS server over the simulated network and mount
+   its export. *)
+let mount (net : Simnet.t) ~(from_host : string) ~(addr : string) ~(proto : Sfs_net.Costmodel.transport_proto)
+    ~(cred : Simos.cred) : Fs_intf.ops =
+  let conn = Simnet.connect net ~from_host ~addr ~port:2049 ~proto in
+  let t = of_conn ~machine:from_host conn in
+  let root = mount_root t ~cred in
+  let costs = Simnet.costs net in
+  let stall =
+    match proto with
+    | Sfs_net.Costmodel.Udp -> fun _ -> ()
+    | Sfs_net.Costmodel.Tcp ->
+        fun bytes ->
+          if bytes > costs.Sfs_net.Costmodel.mss_bytes then
+            Sfs_net.Simclock.advance (Simnet.clock net) costs.Sfs_net.Costmodel.nfs_tcp_stall_us
+  in
+  conn_ops ~stall ~machine:from_host conn ~root

@@ -1,0 +1,44 @@
+(** NFS 3 client: [Fs_intf.ops] over Sun RPC, plus the generic
+    procedure-marshaling layer that the SFS client reuses over its
+    secure channel. *)
+
+open Nfs_types
+module Simos = Sfs_os.Simos
+module Simnet = Sfs_net.Simnet
+
+exception Rpc_failure of string
+
+type transport = string -> string
+(** Sends one marshaled RPC call, returns the marshaled reply. *)
+
+type t
+
+val create : machine:string -> transport -> t
+val of_conn : machine:string -> Simnet.conn -> t
+
+type raw_call = cred:Simos.cred -> proc:int -> async:bool -> string -> string
+(** A procedure-level transport.  [async] marks write-behind traffic
+    (unstable WRITEs), which implementations may pipeline. *)
+
+val generic_ops : raw_call -> root:fh -> Fs_intf.ops
+(** NFS 3 procedures marshaled over any raw transport — the shared core
+    of this client and the SFS client. *)
+
+val mount_root : t -> cred:Simos.cred -> fh
+(** Fetch the export's root handle via the MOUNT program. *)
+
+val ops : t -> root:fh -> Fs_intf.ops
+
+val conn_ops : ?stall:(int -> unit) -> machine:string -> Simnet.conn -> root:fh -> Fs_intf.ops
+(** Ops over a network connection, routing async traffic through the
+    pipelined path.  [stall] is invoked with each request size — the
+    hook that models FreeBSD's suboptimal NFS-over-TCP (section 4.1). *)
+
+val mount :
+  Simnet.t ->
+  from_host:string ->
+  addr:string ->
+  proto:Sfs_net.Costmodel.transport_proto ->
+  cred:Simos.cred ->
+  Fs_intf.ops
+(** Dial an NFS server on the simulated network and mount its export. *)

@@ -1,0 +1,26 @@
+(** The NFS 3 server engine: serves any [Fs_intf.ops] backend over Sun
+    RPC.  Deliberately faithful to NFS 3's weaknesses — AUTH_UNIX
+    credentials are taken at face value and file handles are guessable
+    (paper section 3.3); SFS closes both holes in its own server. *)
+
+type t
+
+val create : ?fh_prefix:string -> Fs_intf.ops -> t
+
+val root_fh : t -> Nfs_types.fh
+
+val dispatch : t -> Sfs_os.Simos.cred -> int -> string -> string option
+(** [dispatch t cred proc args] runs one procedure on marshaled
+    arguments; [None] means unparsable args or unknown procedure.  Also
+    the entry point the SFS server uses (with its own credential
+    mapping and handle translation around it). *)
+
+val handle_message : t -> string -> string
+(** One marshaled Sun RPC call (NFS or MOUNT program) to one marshaled
+    reply; never raises on garbage input. *)
+
+val service : t -> Sfs_net.Simnet.service
+(** Expose on a network port (2049 by convention). *)
+
+val calls : t -> int
+(** Total RPCs handled, for cache-behaviour assertions. *)

@@ -1,0 +1,1 @@
+lib/proto/authproto.ml: Hostid Result Sfs_crypto Sfs_xdr

@@ -1,0 +1,1 @@
+lib/proto/authproto.mli: Sfs_crypto

@@ -1,0 +1,1 @@
+lib/proto/channel.ml: Sfs_crypto Sfs_net Sfs_util String

@@ -1,0 +1,1 @@
+lib/proto/hostid.ml: Sfs_crypto Sfs_util Sfs_xdr String

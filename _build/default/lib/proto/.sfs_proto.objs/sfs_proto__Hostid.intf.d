@@ -1,0 +1,1 @@
+lib/proto/hostid.mli: Sfs_crypto

@@ -1,0 +1,1 @@
+lib/proto/keyneg.ml: Hostid Result Sfs_crypto Sfs_xdr

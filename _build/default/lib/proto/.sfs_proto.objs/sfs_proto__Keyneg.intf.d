@@ -1,0 +1,1 @@
+lib/proto/keyneg.mli: Sfs_crypto Sfs_xdr

@@ -1,0 +1,1 @@
+lib/proto/lease.ml: Hashtbl List Sfs_net

@@ -1,0 +1,1 @@
+lib/proto/lease.mli: Sfs_net

@@ -1,0 +1,1 @@
+lib/proto/readonly_proto.ml: Sfs_crypto Sfs_xdr

@@ -1,0 +1,1 @@
+lib/proto/readonly_proto.mli: Sfs_crypto Sfs_xdr

@@ -1,0 +1,1 @@
+lib/proto/sfsrw.ml: Sfs_nfs Sfs_xdr

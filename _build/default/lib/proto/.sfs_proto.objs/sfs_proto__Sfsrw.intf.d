@@ -1,0 +1,1 @@
+lib/proto/sfsrw.mli: Sfs_nfs

@@ -1,0 +1,45 @@
+(** The SFS user-authentication protocol (paper section 3.1.2,
+    Figure 4): agents sign (AuthID, SeqNo) pairs; authserv maps the
+    signing key to credentials; the file server checks session binding
+    and replay freshness, then assigns an authentication number. *)
+
+module Rabin = Sfs_crypto.Rabin
+
+type authinfo = {
+  service : string; (** "FS" *)
+  location : string;
+  hostid : string;
+  session_id : string;
+}
+(** Names exactly one session of exactly one file system, so signed
+    requests cannot be transplanted. *)
+
+val authid_of : authinfo -> string
+(** AuthID = SHA-1 of the marshaled AuthInfo. *)
+
+val signed_req_bytes : authid:string -> seqno:int -> string
+(** The exact bytes an agent signs. *)
+
+type authmsg = { user_pub : Rabin.pub; signature : Rabin.signature }
+
+val make_authmsg :
+  ?audit:(authinfo -> unit) -> key:Rabin.priv -> authinfo -> seqno:int -> authmsg
+(** Agent side.  [audit] observes every private-key operation
+    (section 2.5.1's audit trail). *)
+
+val validate_authmsg : authmsg -> authid:string -> seqno:int -> bool
+(** Authserver side: does the signature cover this (AuthID, SeqNo)? *)
+
+val authmsg_to_string : authmsg -> string
+val authmsg_of_string : string -> authmsg option
+
+(** {2 The server's replay window}
+
+    "The server accepts out-of-order sequence numbers within a
+    reasonable window" (paper footnote 4); each number is accepted at
+    most once. *)
+
+type seq_window
+
+val make_window : ?width:int -> unit -> seq_window
+val window_accept : seq_window -> int -> bool

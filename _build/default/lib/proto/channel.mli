@@ -1,0 +1,45 @@
+(** The SFS secure channel (paper section 3.1.3): one long-running ARC4
+    stream per direction, a fresh 32-byte MAC key pulled from the stream
+    for every message, length and payload MACed then encrypted.
+
+    Drop, replay or reorder desynchronizes the streams and fails the
+    MAC, so the channel provides secrecy, integrity, freshness and
+    replay protection together.  After an {!Integrity_failure} the
+    channel is unusable: tear the connection down, as SFS does. *)
+
+exception Integrity_failure
+(** MAC verification failed: tampering, replay, or reordering. *)
+
+type t
+
+val create :
+  ?encrypt:bool ->
+  ?clock:Sfs_net.Simclock.t ->
+  ?costs:Sfs_net.Costmodel.t ->
+  send_key:string ->
+  recv_key:string ->
+  unit ->
+  t
+(** One endpoint.  The peer must be created with the two keys swapped.
+    [~encrypt:false] is the "SFS w/o encryption" ablation: framing and
+    MAC stay, the ARC4 pass is skipped.  When [clock] is given, each
+    {!seal} charges the modeled software-encryption time. *)
+
+val seal : ?bill:bool -> t -> string -> string
+(** Protect one outgoing message.  [~bill:false] suppresses the time
+    charge (pipelined write-behind traffic bills a fraction instead). *)
+
+val open_ : t -> string -> string
+(** Open one incoming message. @raise Integrity_failure on any
+    mismatch; the channel is then poisoned. *)
+
+val stats : t -> int * int
+(** [(sent, received)] message counts. *)
+
+val crypto_cost_us : t -> int -> float
+(** The time {!seal} would charge for a payload of that size; zero when
+    encryption is off. *)
+
+val charge_us : t -> float -> unit
+(** Charge arbitrary microseconds to the channel's clock (used for the
+    partial billing of pipelined traffic). *)

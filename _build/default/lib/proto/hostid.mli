@@ -1,0 +1,27 @@
+(** HostIDs (paper section 2.2): the cryptographic binding between a
+    server's Location and its public key that self-certifying pathnames
+    carry.
+
+    [HostID = SHA-1("HostInfo", Location, PublicKey,
+                    "HostInfo", Location, PublicKey)]
+
+    The duplicated input cannot weaken plain SHA-1 and may help if it
+    falls to cryptanalysis (paper footnote 1). *)
+
+val size : int
+(** 20 bytes. *)
+
+val of_location_key : location:string -> pubkey:Sfs_crypto.Rabin.pub -> string
+(** The HostID naming this (location, key) pair; hashes the XDR
+    marshaling of both fields, twice. *)
+
+val to_base32 : string -> string
+(** The 32-character rendering used in pathnames. *)
+
+val of_base32 : string -> string option
+(** Inverse of {!to_base32}; [None] for anything that is not exactly 32
+    alphabet characters decoding to 20 bytes. *)
+
+val check : location:string -> pubkey:Sfs_crypto.Rabin.pub -> hostid:string -> bool
+(** Constant-time verification that a served public key matches the
+    HostID the user named — the core of server authentication. *)

@@ -1,0 +1,217 @@
+(* SFS key negotiation (paper section 3.1.1, Figure 3).
+
+   The client connects insecurely, asks for the server's public key and
+   checks it against the HostID from the self-certifying pathname.  It
+   then sends a short-lived public key K_C plus two random key-halves
+   encrypted under the server's key; the server replies with its own
+   two key-halves encrypted under K_C.  Session keys are SHA-1 hashes
+   over both public keys and one half from each side:
+
+       k_CS = SHA-1("KCS", K_S, k_S1, K_C, k_C1)
+       k_SC = SHA-1("KSC", K_S, k_S2, K_C, k_C2)
+
+   Forward secrecy: recovering traffic after the fact needs both
+   halves, and the server's halves were encrypted to the short-lived
+   K_C, which clients regenerate (hourly in the paper) and discard.
+
+   The server learns nothing about the client — "SFS servers do not
+   care which clients they talk to, only which users are on those
+   clients" — and K_C is anonymous. *)
+
+module Rabin = Sfs_crypto.Rabin
+module Sha1 = Sfs_crypto.Sha1
+module Prng = Sfs_crypto.Prng
+module Xdr = Sfs_xdr.Xdr
+
+let half_bytes = 20
+
+type service = Fs | Auth | Fs_readonly
+
+let service_code = function Fs -> 1 | Auth -> 2 | Fs_readonly -> 3
+
+let service_of_code = function
+  | 1 -> Fs
+  | 2 -> Auth
+  | 3 -> Fs_readonly
+  | c -> Xdr.error "bad service %d" c
+
+(* --- Step 1: connect request --- *)
+
+type connect_req = {
+  version : string;
+  location : string;
+  hostid : string;
+  service : service;
+  extensions : string list;
+}
+
+let enc_connect_req e (r : connect_req) =
+  Xdr.enc_string e r.version;
+  Xdr.enc_string e r.location;
+  Xdr.enc_fixed_opaque e ~size:Hostid.size r.hostid;
+  Xdr.enc_uint32 e (service_code r.service);
+  Xdr.enc_array e Xdr.enc_string r.extensions
+
+let dec_connect_req d : connect_req =
+  let version = Xdr.dec_string d ~max:32 in
+  let location = Xdr.dec_string d ~max:255 in
+  let hostid = Xdr.dec_fixed_opaque d ~size:Hostid.size in
+  let service = service_of_code (Xdr.dec_uint32 d) in
+  let extensions = Xdr.dec_array d ~max:16 (fun d -> Xdr.dec_string d ~max:255) in
+  { version; location; hostid; service; extensions }
+
+(* --- Step 2: connect response --- *)
+
+type connect_res =
+  | Connect_ok of { pubkey : Rabin.pub }
+  | Connect_revoked of { certificate : string } (* marshaled revocation cert *)
+  | Connect_error of string
+
+let enc_connect_res e (r : connect_res) =
+  match r with
+  | Connect_ok { pubkey } ->
+      Xdr.enc_uint32 e 0;
+      Xdr.enc_opaque e (Rabin.pub_to_string pubkey)
+  | Connect_revoked { certificate } ->
+      Xdr.enc_uint32 e 1;
+      Xdr.enc_opaque e certificate
+  | Connect_error msg ->
+      Xdr.enc_uint32 e 2;
+      Xdr.enc_string e msg
+
+let dec_connect_res d : connect_res =
+  match Xdr.dec_uint32 d with
+  | 0 -> (
+      match Rabin.pub_of_string (Xdr.dec_opaque d ~max:4096) with
+      | Some pubkey -> Connect_ok { pubkey }
+      | None -> Xdr.error "bad public key")
+  | 1 -> Connect_revoked { certificate = Xdr.dec_opaque d ~max:65536 }
+  | 2 -> Connect_error (Xdr.dec_string d ~max:255)
+  | c -> Xdr.error "bad connect_res tag %d" c
+
+(* --- Steps 3/4: key halves --- *)
+
+type keyneg_req = { kc_pub : Rabin.pub; sealed_client_halves : string }
+
+let enc_keyneg_req e (r : keyneg_req) =
+  Xdr.enc_opaque e (Rabin.pub_to_string r.kc_pub);
+  Xdr.enc_opaque e r.sealed_client_halves
+
+let dec_keyneg_req d : keyneg_req =
+  match Rabin.pub_of_string (Xdr.dec_opaque d ~max:4096) with
+  | Some kc_pub -> { kc_pub; sealed_client_halves = Xdr.dec_opaque d ~max:4096 }
+  | None -> Xdr.error "bad client public key"
+
+type keyneg_res = { sealed_server_halves : string }
+
+let enc_keyneg_res e (r : keyneg_res) = Xdr.enc_opaque e r.sealed_server_halves
+let dec_keyneg_res d : keyneg_res = { sealed_server_halves = Xdr.dec_opaque d ~max:4096 }
+
+let enc_halves e ((h1 : string), (h2 : string)) =
+  Xdr.enc_fixed_opaque e ~size:half_bytes h1;
+  Xdr.enc_fixed_opaque e ~size:half_bytes h2
+
+let dec_halves d =
+  let h1 = Xdr.dec_fixed_opaque d ~size:half_bytes in
+  let h2 = Xdr.dec_fixed_opaque d ~size:half_bytes in
+  (h1, h2)
+
+(* --- Session key derivation --- *)
+
+let session_key ~(label : string) ~(server_pub : Rabin.pub) ~(server_half : string)
+    ~(client_pub : Rabin.pub) ~(client_half : string) : string =
+  Sha1.digest
+    (Xdr.encode
+       (fun e () ->
+         Xdr.enc_string e label;
+         Xdr.enc_opaque e (Rabin.pub_to_string server_pub);
+         Xdr.enc_fixed_opaque e ~size:half_bytes server_half;
+         Xdr.enc_opaque e (Rabin.pub_to_string client_pub);
+         Xdr.enc_fixed_opaque e ~size:half_bytes client_half)
+       ())
+
+type session_keys = { kcs : string; ksc : string; session_id : string }
+
+let derive ~(server_pub : Rabin.pub) ~(client_pub : Rabin.pub) ~(kc1 : string) ~(kc2 : string)
+    ~(ks1 : string) ~(ks2 : string) : session_keys =
+  let kcs = session_key ~label:"KCS" ~server_pub ~server_half:ks1 ~client_pub ~client_half:kc1 in
+  let ksc = session_key ~label:"KSC" ~server_pub ~server_half:ks2 ~client_pub ~client_half:kc2 in
+  (* SessionID = SHA-1("SessionInfo", k_SC, k_CS) — section 3.1.2. *)
+  let session_id =
+    Sha1.digest
+      (Xdr.encode
+         (fun e () ->
+           Xdr.enc_string e "SessionInfo";
+           Xdr.enc_fixed_opaque e ~size:20 ksc;
+           Xdr.enc_fixed_opaque e ~size:20 kcs)
+         ())
+  in
+  { kcs; ksc; session_id }
+
+(* --- Client side --- *)
+
+type client_result = {
+  keys : session_keys;
+  server_pub : Rabin.pub;
+}
+
+exception Negotiation_failed of string
+exception Host_revoked of string (* marshaled revocation certificate *)
+
+(* Run the negotiation over a raw exchange function.  [temp_key] is the
+   client's short-lived K_C (callers cache one and regenerate hourly). *)
+let client_negotiate ?(extensions = []) ~(rng : Prng.t) ~(temp_key : Rabin.priv)
+    ~(location : string) ~(hostid : string) ~(service : service) (exchange : string -> string) :
+    client_result =
+  let req = { version = "sfs-1"; location; hostid; service; extensions } in
+  let res = exchange (Xdr.encode enc_connect_req req) in
+  match Xdr.run res dec_connect_res with
+  | Result.Error e -> raise (Negotiation_failed ("bad connect response: " ^ e))
+  | Ok (Connect_error msg) -> raise (Negotiation_failed msg)
+  | Ok (Connect_revoked { certificate }) -> raise (Host_revoked certificate)
+  | Ok (Connect_ok { pubkey }) ->
+      (* The heart of self-certifying pathnames: the reply is good iff
+         it hashes to the HostID the user named. *)
+      if not (Hostid.check ~location ~pubkey ~hostid) then
+        raise (Negotiation_failed "server key does not match HostID");
+      let kc1 = Prng.random_bytes rng half_bytes in
+      let kc2 = Prng.random_bytes rng half_bytes in
+      let sealed = Rabin.encrypt_blob pubkey rng (Xdr.encode enc_halves (kc1, kc2)) in
+      let req2 = { kc_pub = temp_key.Rabin.pub; sealed_client_halves = sealed } in
+      let res2 = exchange (Xdr.encode enc_keyneg_req req2) in
+      (match Xdr.run res2 dec_keyneg_res with
+      | Result.Error e -> raise (Negotiation_failed ("bad keyneg response: " ^ e))
+      | Ok { sealed_server_halves } -> (
+          match Rabin.decrypt_blob temp_key sealed_server_halves with
+          | None -> raise (Negotiation_failed "cannot decrypt server key halves")
+          | Some halves -> (
+              match Xdr.run halves dec_halves with
+              | Result.Error e -> raise (Negotiation_failed ("bad server halves: " ^ e))
+              | Ok (ks1, ks2) ->
+                  {
+                    keys = derive ~server_pub:pubkey ~client_pub:temp_key.Rabin.pub ~kc1 ~kc2 ~ks1 ~ks2;
+                    server_pub = pubkey;
+                  })))
+
+(* --- Server side --- *)
+
+(* Handle the second client message; the first (connect) is answered by
+   the caller, which owns key and revocation state. *)
+let server_negotiate ~(rng : Prng.t) ~(server_key : Rabin.priv) (keyneg_req_bytes : string) :
+    (session_keys * string (* response bytes *), string) result =
+  match Xdr.run keyneg_req_bytes dec_keyneg_req with
+  | Result.Error e -> Result.Error ("bad keyneg request: " ^ e)
+  | Ok { kc_pub; sealed_client_halves } -> (
+      match Rabin.decrypt_blob server_key sealed_client_halves with
+      | None -> Result.Error "cannot decrypt client key halves"
+      | Some halves -> (
+          match Xdr.run halves dec_halves with
+          | Result.Error e -> Result.Error ("bad client halves: " ^ e)
+          | Ok (kc1, kc2) ->
+              let ks1 = Prng.random_bytes rng half_bytes in
+              let ks2 = Prng.random_bytes rng half_bytes in
+              let keys =
+                derive ~server_pub:server_key.Rabin.pub ~client_pub:kc_pub ~kc1 ~kc2 ~ks1 ~ks2
+              in
+              let sealed = Rabin.encrypt_blob kc_pub rng (Xdr.encode enc_halves (ks1, ks2)) in
+              Ok (keys, Xdr.encode enc_keyneg_res { sealed_server_halves = sealed })))

@@ -1,0 +1,88 @@
+(* Server-side lease tracking for the SFS read-write protocol.
+
+   Paper section 3.3: "every file attribute structure returned by the
+   server has a timeout field or lease" and "the server can call back
+   to the client to invalidate entries before the lease expires.  The
+   server does not wait for invalidations to be acknowledged;
+   consistency does not need to be perfect, just better than NFS 3."
+
+   The registry remembers, per file handle, which connections hold an
+   unexpired lease.  When one connection mutates an object (or a
+   directory it lives in), every other holder gets an invalidation
+   queued.  Our simulated transport is synchronous request/reply, so
+   callbacks are delivered by piggybacking the queue on the next reply
+   to each client — same fire-and-forget semantics, documented in
+   DESIGN.md. *)
+
+module Simclock = Sfs_net.Simclock
+
+type t = {
+  clock : Simclock.t;
+  lease_s : int; (* lease duration stamped into attributes *)
+  holders : (string (* fh *), (int * float) list ref) Hashtbl.t; (* conn, expiry *)
+  pending : (int, string list ref) Hashtbl.t; (* conn -> queued invalidations *)
+  mutable next_conn : int;
+  mutable invalidations_sent : int;
+}
+
+let create ?(lease_s = 60) (clock : Simclock.t) : t =
+  {
+    clock;
+    lease_s;
+    holders = Hashtbl.create 256;
+    pending = Hashtbl.create 16;
+    next_conn = 1;
+    invalidations_sent = 0;
+  }
+
+let lease_seconds (t : t) : int = t.lease_s
+
+(* Register a new client connection; the id keys its callback queue. *)
+let register_conn (t : t) : int =
+  let id = t.next_conn in
+  t.next_conn <- id + 1;
+  Hashtbl.replace t.pending id (ref []);
+  id
+
+let drop_conn (t : t) (conn : int) : unit = Hashtbl.remove t.pending conn
+
+(* Record that [conn] received attributes for [fh] (it will cache them
+   until the lease expires). *)
+let grant (t : t) ~(conn : int) (fh : string) : unit =
+  let expiry = Simclock.now_us t.clock +. (float_of_int t.lease_s *. 1_000_000.0) in
+  let l = match Hashtbl.find_opt t.holders fh with Some l -> l | None -> ref [] in
+  l := (conn, expiry) :: List.remove_assoc conn !l;
+  Hashtbl.replace t.holders fh l
+
+(* A mutation of [fh] by [by]: queue invalidations to every other
+   holder with an unexpired lease. *)
+let invalidate (t : t) ~(by : int) (fh : string) : unit =
+  match Hashtbl.find_opt t.holders fh with
+  | None -> ()
+  | Some l ->
+      let now = Simclock.now_us t.clock in
+      List.iter
+        (fun (conn, expiry) ->
+          if conn <> by && expiry > now then begin
+            match Hashtbl.find_opt t.pending conn with
+            | Some q ->
+                if not (List.mem fh !q) then begin
+                  q := fh :: !q;
+                  t.invalidations_sent <- t.invalidations_sent + 1
+                end
+            | None -> ()
+          end)
+        !l;
+      (* The mutating connection keeps its (refreshed) lease. *)
+      Hashtbl.remove t.holders fh
+
+(* Drain the callback queue for a connection (piggybacked on replies). *)
+let take (t : t) (conn : int) : string list =
+  match Hashtbl.find_opt t.pending conn with
+  | None -> []
+  | Some q ->
+      let out = List.rev !q in
+      q := [];
+      out
+
+let invalidations_sent (t : t) : int = t.invalidations_sent

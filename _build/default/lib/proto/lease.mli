@@ -1,0 +1,30 @@
+(** Server-side lease tracking for the SFS read-write protocol (paper
+    section 3.3): attributes carry leases; the server calls back to
+    invalidate other clients' cache entries before their leases expire,
+    without waiting for acknowledgments.  Callbacks are delivered by
+    piggybacking on the next reply to each client (see DESIGN.md). *)
+
+type t
+
+val create : ?lease_s:int -> Sfs_net.Simclock.t -> t
+(** [lease_s] (default 60) is stamped into every attribute served. *)
+
+val lease_seconds : t -> int
+
+val register_conn : t -> int
+(** A new client connection; the id keys its callback queue. *)
+
+val drop_conn : t -> int -> unit
+
+val grant : t -> conn:int -> string -> unit
+(** Record that [conn] received (and will cache) attributes for this
+    wire handle. *)
+
+val invalidate : t -> by:int -> string -> unit
+(** A mutation by [by]: queue callbacks to every other holder with an
+    unexpired lease. *)
+
+val take : t -> int -> string list
+(** Drain the callback queue for a connection. *)
+
+val invalidations_sent : t -> int

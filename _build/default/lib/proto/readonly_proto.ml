@@ -1,0 +1,164 @@
+(* The SFS public read-only dialect (paper sections 2.4, 3.2).
+
+   "A dialect of the SFS protocol that allows servers to prove the
+   contents of public, read-only file systems using precomputed digital
+   signatures.  This dialect makes the amount of cryptographic
+   computation required from read-only servers proportional to the
+   file system's size and rate of change, rather than to the number of
+   clients connecting.  It also frees read-only servers from the need
+   to keep any on-line copies of their private keys, which in turn
+   allows read-only file systems to be replicated on untrusted
+   machines."
+
+   Mechanism: the publisher hashes every object (file contents,
+   symlink targets, directories listing the hashes of their children)
+   with SHA-1 and signs only the root digest, stamped with a validity
+   window.  Clients fetch objects by hash and verify each against the
+   hash that named it, up a chain ending at the signed root.  Serving
+   needs no cryptography at all; signing happens once per snapshot.
+
+   (Self-certifying names plus content hashing is the lineage that
+   leads to IPFS and friends.) *)
+
+module Sha1 = Sfs_crypto.Sha1
+module Rabin = Sfs_crypto.Rabin
+module Xdr = Sfs_xdr.Xdr
+
+type entry_kind = K_file | K_dir | K_symlink
+
+type entry = { e_name : string; e_kind : entry_kind; e_hash : string }
+
+type obj =
+  | O_file of string
+  | O_dir of entry list
+  | O_symlink of string
+
+let enc_kind e (k : entry_kind) = Xdr.enc_uint32 e (match k with K_file -> 0 | K_dir -> 1 | K_symlink -> 2)
+
+let dec_kind d : entry_kind =
+  match Xdr.dec_uint32 d with
+  | 0 -> K_file
+  | 1 -> K_dir
+  | 2 -> K_symlink
+  | k -> Xdr.error "bad entry kind %d" k
+
+let enc_entry e (en : entry) =
+  Xdr.enc_string e en.e_name;
+  enc_kind e en.e_kind;
+  Xdr.enc_fixed_opaque e ~size:20 en.e_hash
+
+let dec_entry d : entry =
+  let e_name = Xdr.dec_string d ~max:255 in
+  let e_kind = dec_kind d in
+  let e_hash = Xdr.dec_fixed_opaque d ~size:20 in
+  { e_name; e_kind; e_hash }
+
+let enc_obj e (o : obj) =
+  match o with
+  | O_file data ->
+      Xdr.enc_uint32 e 0;
+      Xdr.enc_opaque e data
+  | O_dir entries ->
+      Xdr.enc_uint32 e 1;
+      Xdr.enc_array e enc_entry entries
+  | O_symlink target ->
+      Xdr.enc_uint32 e 2;
+      Xdr.enc_string e target
+
+let dec_obj d : obj =
+  match Xdr.dec_uint32 d with
+  | 0 -> O_file (Xdr.dec_opaque d ~max:0x2000000)
+  | 1 -> O_dir (Xdr.dec_array d ~max:100000 dec_entry)
+  | 2 -> O_symlink (Xdr.dec_string d ~max:1024)
+  | t -> Xdr.error "bad object tag %d" t
+
+let obj_to_string (o : obj) : string = Xdr.encode enc_obj o
+
+let obj_of_string (s : string) : (obj, string) result = Xdr.run s dec_obj
+
+(* Content addressing: the hash of an object is the hash of its
+   marshaled bytes. *)
+let hash_obj (o : obj) : string = Sha1.digest (obj_to_string o)
+
+(* --- The signed root --- *)
+
+type fsinfo = {
+  root_hash : string;
+  issued_s : int; (* snapshot time *)
+  duration_s : int; (* validity window; clients refuse stale roots *)
+  serial : int; (* monotone snapshot counter, stops rollback inside the window *)
+}
+
+let enc_fsinfo e (i : fsinfo) =
+  Xdr.enc_string e "RO-FSInfo";
+  Xdr.enc_fixed_opaque e ~size:20 i.root_hash;
+  Xdr.enc_uint32 e i.issued_s;
+  Xdr.enc_uint32 e i.duration_s;
+  Xdr.enc_uint32 e i.serial
+
+let dec_fsinfo d : fsinfo =
+  let tag = Xdr.dec_string d ~max:16 in
+  if tag <> "RO-FSInfo" then Xdr.error "bad fsinfo tag";
+  let root_hash = Xdr.dec_fixed_opaque d ~size:20 in
+  let issued_s = Xdr.dec_uint32 d in
+  let duration_s = Xdr.dec_uint32 d in
+  let serial = Xdr.dec_uint32 d in
+  { root_hash; issued_s; duration_s; serial }
+
+let sign_fsinfo (key : Rabin.priv) (i : fsinfo) : string =
+  Rabin.signature_to_string (Rabin.sign key (Xdr.encode enc_fsinfo i))
+
+let verify_fsinfo (pubkey : Rabin.pub) (i : fsinfo) ~(signature : string) : bool =
+  match Rabin.signature_of_string signature with
+  | Some s -> Rabin.verify pubkey (Xdr.encode enc_fsinfo i) s
+  | None -> false
+
+(* --- Wire messages (service = Fs_readonly) --- *)
+
+type ro_request = Get_fsinfo | Get_obj of string (* hash *)
+
+type ro_response =
+  | Fsinfo_is of { fsinfo : fsinfo; signature : string }
+  | Obj_is of string (* marshaled object *)
+  | Ro_error of string
+
+let enc_ro_request e (r : ro_request) =
+  match r with
+  | Get_fsinfo -> Xdr.enc_uint32 e 0
+  | Get_obj h ->
+      Xdr.enc_uint32 e 1;
+      Xdr.enc_fixed_opaque e ~size:20 h
+
+let dec_ro_request d : ro_request =
+  match Xdr.dec_uint32 d with
+  | 0 -> Get_fsinfo
+  | 1 -> Get_obj (Xdr.dec_fixed_opaque d ~size:20)
+  | t -> Xdr.error "bad ro request %d" t
+
+let enc_ro_response e (r : ro_response) =
+  match r with
+  | Fsinfo_is { fsinfo; signature } ->
+      Xdr.enc_uint32 e 0;
+      enc_fsinfo e fsinfo;
+      Xdr.enc_opaque e signature
+  | Obj_is bytes ->
+      Xdr.enc_uint32 e 1;
+      Xdr.enc_opaque e bytes
+  | Ro_error msg ->
+      Xdr.enc_uint32 e 2;
+      Xdr.enc_string e msg
+
+let dec_ro_response d : ro_response =
+  match Xdr.dec_uint32 d with
+  | 0 ->
+      let fsinfo = dec_fsinfo d in
+      let signature = Xdr.dec_opaque d ~max:4096 in
+      Fsinfo_is { fsinfo; signature }
+  | 1 -> Obj_is (Xdr.dec_opaque d ~max:0x2000000)
+  | 2 -> Ro_error (Xdr.dec_string d ~max:255)
+  | t -> Xdr.error "bad ro response %d" t
+
+let ro_request_to_string r = Xdr.encode enc_ro_request r
+let ro_response_to_string r = Xdr.encode enc_ro_response r
+let ro_request_of_string s = Xdr.run s dec_ro_request
+let ro_response_of_string s = Xdr.run s dec_ro_response

@@ -1,0 +1,48 @@
+(** Wire format of the public read-only dialect (paper sections 2.4,
+    3.2): content-hashed objects, a signed root with a validity window
+    and a rollback-stopping serial, and the two-procedure fetch
+    protocol.  Serving needs no private key; clients verify everything. *)
+
+module Rabin = Sfs_crypto.Rabin
+module Xdr = Sfs_xdr.Xdr
+
+type entry_kind = K_file | K_dir | K_symlink
+type entry = { e_name : string; e_kind : entry_kind; e_hash : string }
+
+type obj =
+  | O_file of string
+  | O_dir of entry list (** children by content hash *)
+  | O_symlink of string
+
+val obj_to_string : obj -> string
+val obj_of_string : string -> (obj, string) result
+
+val hash_obj : obj -> string
+(** SHA-1 of the marshaled object: its content address. *)
+
+type fsinfo = {
+  root_hash : string;
+  issued_s : int;
+  duration_s : int; (** clients refuse roots past their window *)
+  serial : int; (** monotone; stops rollback inside the window *)
+}
+
+val enc_fsinfo : Xdr.enc -> fsinfo -> unit
+val dec_fsinfo : Xdr.dec -> fsinfo
+
+val sign_fsinfo : Rabin.priv -> fsinfo -> string
+(** The one signature per snapshot. *)
+
+val verify_fsinfo : Rabin.pub -> fsinfo -> signature:string -> bool
+
+type ro_request = Get_fsinfo | Get_obj of string
+
+type ro_response =
+  | Fsinfo_is of { fsinfo : fsinfo; signature : string }
+  | Obj_is of string
+  | Ro_error of string
+
+val ro_request_to_string : ro_request -> string
+val ro_response_to_string : ro_response -> string
+val ro_request_of_string : string -> (ro_request, string) result
+val ro_response_of_string : string -> (ro_response, string) result

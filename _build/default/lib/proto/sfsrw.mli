@@ -1,0 +1,29 @@
+(** Wire formats of the SFS read-write file protocol (paper section
+    3.3): NFS 3 procedure payloads tagged with authentication numbers,
+    replies carrying piggybacked lease-invalidation callbacks, plus the
+    Figure 4 authentication exchange.  All messages ride the secure
+    channel. *)
+
+open Sfs_nfs.Nfs_types
+
+type request =
+  | Fs_call of { authno : int; proc : int; args : string }
+  | Auth_req of { seqno : int; authmsg : string }
+
+type response =
+  | Fs_reply of { results : string; invalidations : fh list }
+  | Auth_granted of { authno : int; seqno : int }
+  | Auth_denied of { seqno : int; reason : string }
+  | Proto_error of string
+
+val request_to_string : request -> string
+val response_to_string : response -> string
+val request_of_string : string -> (request, string) result
+val response_of_string : string -> (response, string) result
+
+val authno_anonymous : int
+(** 0 — requests without (successful) user authentication. *)
+
+val proc_getroot : int
+(** Dialect-private procedure fetching the encrypted root handle
+    (subsumes plain NFS's separate MOUNT program). *)

@@ -1,0 +1,1 @@
+lib/util/base32.ml: Array Buffer Bytes Char String

@@ -1,0 +1,1 @@
+lib/util/base32.mli:

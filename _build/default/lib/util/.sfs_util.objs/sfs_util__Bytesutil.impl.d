@@ -1,0 +1,1 @@
+lib/util/bytesutil.ml: Char Fmt Hex Int64 List String

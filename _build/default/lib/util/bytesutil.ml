@@ -1,0 +1,47 @@
+(* Small byte-string helpers shared across SFS libraries. *)
+
+let xor (a : string) (b : string) : string =
+  let n = min (String.length a) (String.length b) in
+  String.init n (fun i -> Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+(* Constant-time comparison: MACs and password digests must not be
+   compared with a short-circuiting equality. *)
+let ct_equal (a : string) (b : string) : bool =
+  String.length a = String.length b
+  &&
+  let acc = ref 0 in
+  String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+  !acc = 0
+
+let be32_of_int (v : int) : string =
+  String.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xff))
+
+let int_of_be32 (s : string) ~(off : int) : int =
+  let b i = Char.code s.[off + i] in
+  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+let be64_of_int64 (v : int64) : string =
+  String.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * (7 - i))) land 0xff))
+
+let int64_of_be64 (s : string) ~(off : int) : int64 =
+  let b i = Int64.of_int (Char.code s.[off + i]) in
+  let ( <| ) x n = Int64.shift_left x n in
+  let ( |+ ) = Int64.logor in
+  (b 0 <| 56) |+ (b 1 <| 48) |+ (b 2 <| 40) |+ (b 3 <| 32)
+  |+ (b 4 <| 24) |+ (b 5 <| 16) |+ (b 6 <| 8) |+ b 7
+
+let chunks ~(size : int) (s : string) : string list =
+  if size <= 0 then invalid_arg "Bytesutil.chunks";
+  let n = String.length s in
+  let rec go off acc =
+    if off >= n then List.rev acc
+    else
+      let len = min size (n - off) in
+      go (off + len) (String.sub s off len :: acc)
+  in
+  if n = 0 then [] else go 0 []
+
+let pp_short ppf (s : string) =
+  if String.length s <= 8 then Fmt.string ppf (Hex.encode s)
+  else Fmt.pf ppf "%s…(%d bytes)" (Hex.encode (String.sub s 0 8)) (String.length s)

@@ -1,0 +1,22 @@
+(** Small byte-string helpers shared across SFS libraries. *)
+
+val xor : string -> string -> string
+(** [xor a b] is the byte-wise xor of the common prefix of [a] and [b]. *)
+
+val ct_equal : string -> string -> bool
+(** Constant-time equality, for MAC and digest comparison. *)
+
+val be32_of_int : int -> string
+(** Big-endian 4-byte encoding of the low 32 bits of an int. *)
+
+val int_of_be32 : string -> off:int -> int
+(** Reads a big-endian 32-bit unsigned value at [off]. *)
+
+val be64_of_int64 : int64 -> string
+val int64_of_be64 : string -> off:int -> int64
+
+val chunks : size:int -> string -> string list
+(** [chunks ~size s] splits [s] into pieces of at most [size] bytes. *)
+
+val pp_short : Format.formatter -> string -> unit
+(** Prints a byte string abbreviated as hex, for logs. *)

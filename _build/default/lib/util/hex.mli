@@ -1,0 +1,8 @@
+(** Hexadecimal encoding of byte strings. *)
+
+val encode : string -> string
+(** [encode s] is the lowercase hex rendering of the bytes of [s]. *)
+
+val decode : string -> string
+(** [decode h] inverts {!encode}. Accepts upper- or lowercase digits.
+    @raise Invalid_argument on odd length or non-hex characters. *)

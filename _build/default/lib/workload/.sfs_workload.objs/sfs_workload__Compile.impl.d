@@ -1,0 +1,1 @@
+lib/workload/compile.ml: Driver Filename List Printf Sfs_net Sfs_nfs Stacks

@@ -1,0 +1,1 @@
+lib/workload/compile.mli: Stacks

@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Char Printf Sfs_core Sfs_net Sfs_nfs Stacks String

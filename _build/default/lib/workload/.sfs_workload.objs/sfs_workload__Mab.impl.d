@@ -1,0 +1,1 @@
+lib/workload/mab.ml: Driver Filename List Printf Sfs_net Stacks String

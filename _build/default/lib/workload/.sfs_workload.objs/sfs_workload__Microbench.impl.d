@@ -1,0 +1,1 @@
+lib/workload/microbench.ml: Driver Option Sfs_core Sfs_net Sfs_nfs Sfs_os Stacks String

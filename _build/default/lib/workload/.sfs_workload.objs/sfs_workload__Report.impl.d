@@ -1,0 +1,1 @@
+lib/workload/report.ml: Buffer List Printf String

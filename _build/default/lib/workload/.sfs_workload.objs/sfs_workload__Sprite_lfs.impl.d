@@ -1,0 +1,1 @@
+lib/workload/sprite_lfs.ml: Array Driver Printf Sfs_net Sfs_nfs Stacks String

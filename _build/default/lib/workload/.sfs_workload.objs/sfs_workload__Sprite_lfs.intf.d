@@ -1,0 +1,1 @@
+lib/workload/sprite_lfs.mli: Stacks

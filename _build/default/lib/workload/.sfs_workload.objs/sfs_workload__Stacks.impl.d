@@ -1,0 +1,1 @@
+lib/workload/stacks.ml: Sfs_core Sfs_crypto Sfs_net Sfs_nfs Sfs_os

@@ -1,0 +1,1 @@
+lib/workload/stacks.mli: Sfs_core Sfs_net Sfs_nfs Sfs_os

@@ -1,0 +1,7 @@
+(** The GENERIC FreeBSD kernel compile (Figure 7): a long build over a
+    shared header pool with include-path probing, long enough that NFS
+    TTLs expire between header reuses while SFS leases survive — the
+    workload where SFS overtakes NFS 3 over TCP. *)
+
+val run : Stacks.world -> float
+(** Simulated seconds for the whole build (setup excluded). *)

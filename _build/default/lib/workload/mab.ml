@@ -1,0 +1,131 @@
+(* The Modified Andrew Benchmark (Figure 6).
+
+   Five phases over a small software tree (paper section 4.3):
+   1. directories — create the directory skeleton;
+   2. copy        — copy the source files into it (data movement and
+                    metadata updates);
+   3. attributes  — recursive stat of the whole tree;
+   4. search      — read (grep) every file for a string that never
+                    appears;
+   5. compile     — read each source plus its headers, write objects,
+                    link.
+
+   "Although MAB is a light workload for today's file systems, it is
+   still relevant, as we are more interested in protocol performance
+   than disk performance."  The tree shape approximates the original
+   benchmark: 20 directories, 70 source files of a few KB, a shared
+   header pool. *)
+
+module Simclock = Sfs_net.Simclock
+
+type phase_times = {
+  directories : float;
+  copy : float;
+  attributes : float;
+  search : float;
+  compile : float;
+}
+
+let total (p : phase_times) : float =
+  p.directories +. p.copy +. p.attributes +. p.search +. p.compile
+
+(* Tree shape. *)
+let ndirs = 20
+let nfiles = 70
+let nheaders = 25
+let file_kb i = 2 + (i mod 4) (* 2-5 KB sources *)
+let header_bytes = 2048
+
+(* Compile CPU cost: chosen so the local compile phase lands near the
+   paper's ~2 s. *)
+let compile_cpu_us_per_file = 24_000.0
+let link_cpu_us = 250_000.0
+
+let dir_of i = Printf.sprintf "dir%02d" (i mod ndirs)
+let file_of i = Printf.sprintf "%s/src%03d.c" (dir_of i) i
+
+type src_tree = { files : (string * string) list; headers : (string * string) list }
+
+let make_tree () : src_tree =
+  {
+    files = List.init nfiles (fun i -> (file_of i, Driver.content ~seed:i (file_kb i * 1024)));
+    headers =
+      List.init nheaders (fun i ->
+          (Printf.sprintf "include/hdr%02d.h" i, Driver.content ~seed:(1000 + i) header_bytes));
+  }
+
+let phase (w : Stacks.world) (f : unit -> unit) : float =
+  let t0 = Simclock.now_us w.Stacks.clock in
+  f ();
+  (Simclock.now_us w.Stacks.clock -. t0) /. 1_000_000.0
+
+let run (w : Stacks.world) : phase_times =
+  let base = w.Stacks.workdir ^ "/mab" in
+  let tree = make_tree () in
+  Driver.mkdir w base;
+  (* Phase 1: directories. *)
+  let directories =
+    phase w (fun () ->
+        Driver.mkdir w (base ^ "/include");
+        for i = 0 to ndirs - 1 do
+          Driver.mkdir w (Printf.sprintf "%s/%s" base (dir_of i))
+        done)
+  in
+  (* Phase 2: copy.  Each copy stats the target directory, creates the
+     file and writes the data. *)
+  let copy =
+    phase w (fun () ->
+        List.iter
+          (fun (name, data) ->
+            ignore (Driver.stat w (base ^ "/" ^ Filename.dirname name));
+            Driver.write_file w (base ^ "/" ^ name) data)
+          (tree.headers @ tree.files))
+  in
+  (* Phase 3: attributes — recursive stat, twice (ls -lR style). *)
+  let attributes =
+    phase w (fun () ->
+        for _ = 1 to 2 do
+          List.iter
+            (fun dir ->
+              List.iter
+                (fun name -> ignore (Driver.stat w (base ^ "/" ^ dir ^ "/" ^ name)))
+                (Driver.readdir w (base ^ "/" ^ dir)))
+            ("include" :: List.init ndirs dir_of)
+        done)
+  in
+  (* Phase 4: search — read every byte of every file. *)
+  let search =
+    phase w (fun () ->
+        List.iter
+          (fun (name, data) ->
+            let got = Driver.read_file w (base ^ "/" ^ name) in
+            if String.length got <> String.length data then Driver.fail "search: bad length")
+          (tree.headers @ tree.files))
+  in
+  (* Phase 5: compile — per source: stat + read source, read ~6
+     headers, write the object; then link everything. *)
+  let compile =
+    phase w (fun () ->
+        List.iteri
+          (fun i (name, _) ->
+            ignore (Driver.stat w (base ^ "/" ^ name));
+            ignore (Driver.read_file w (base ^ "/" ^ name));
+            for h = 0 to 5 do
+              let hdr = Printf.sprintf "%s/include/hdr%02d.h" base ((i + h) mod nheaders) in
+              ignore (Driver.read_file w hdr)
+            done;
+            Simclock.advance w.Stacks.clock compile_cpu_us_per_file;
+            Driver.write_file w
+              (base ^ "/" ^ Filename.remove_extension name ^ ".o")
+              (Driver.content ~seed:(2000 + i) (file_kb i * 1024)))
+          tree.files;
+        (* Link: read all objects, write the binary. *)
+        List.iteri
+          (fun i (name, _) ->
+            ignore (Driver.read_file w (base ^ "/" ^ Filename.remove_extension name ^ ".o"));
+            ignore i)
+          tree.files;
+        Simclock.advance w.Stacks.clock link_cpu_us;
+        Driver.write_file w (base ^ "/a.out") (Driver.content ~seed:9999 (256 * 1024)))
+  in
+  { directories; copy; attributes; search; compile }

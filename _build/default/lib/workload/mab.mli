@@ -1,0 +1,14 @@
+(** The Modified Andrew Benchmark (Figure 6): five phases over a small
+    software tree — directories, copy, attributes, search, compile. *)
+
+type phase_times = {
+  directories : float;
+  copy : float;
+  attributes : float;
+  search : float;
+  compile : float;
+}
+(** Wall-clock (simulated) seconds per phase. *)
+
+val total : phase_times -> float
+val run : Stacks.world -> phase_times

@@ -1,0 +1,10 @@
+(** Figure 5 micro-benchmarks: null-RPC latency (an unauthorized
+    fchown) and sequential-read throughput of a cached large file. *)
+
+type result = { latency_us : float; throughput_mb_s : float }
+
+val latency_us : Stacks.world -> float
+val throughput_mb_s : Stacks.world -> float
+
+val run : Stacks.stack -> result
+(** Builds the appropriate worlds and measures both columns. *)

@@ -1,0 +1,31 @@
+(* Table rendering for the benchmark harness: paper-style rows with a
+   reference column where the paper printed a number. *)
+
+let rule (widths : int list) : string =
+  String.concat "-+-" (List.map (fun w -> String.make w '-') widths)
+
+let pad (w : int) (s : string) : string =
+  if String.length s >= w then s else s ^ String.make (w - String.length s) ' '
+
+let table ~(title : string) ~(headers : string list) (rows : string list list) : string =
+  let cols = List.length headers in
+  let widths =
+    List.init cols (fun c ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row c)))
+          (String.length (List.nth headers c))
+          rows)
+  in
+  let render_row row = String.concat " | " (List.map2 pad widths row) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (render_row headers ^ "\n");
+  Buffer.add_string buf (rule widths ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row row ^ "\n")) rows;
+  Buffer.contents buf
+
+let f1 (v : float) : string = Printf.sprintf "%.1f" v
+let f0 (v : float) : string = Printf.sprintf "%.0f" v
+
+(* "paper X / measured Y" annotation helper. *)
+let vs ~(paper : string) (measured : string) : string = measured ^ "  (paper " ^ paper ^ ")"

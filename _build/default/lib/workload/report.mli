@@ -1,0 +1,12 @@
+(** Table rendering for the benchmark harness. *)
+
+val table : title:string -> headers:string list -> string list list -> string
+
+val f1 : float -> string
+(** One decimal place. *)
+
+val f0 : float -> string
+(** Rounded to integer. *)
+
+val vs : paper:string -> string -> string
+(** ["measured  (paper X)"] annotation. *)

@@ -1,0 +1,136 @@
+(* The Sprite LFS micro-benchmarks (Figures 8 and 9, paper section 4.4).
+
+   Small-file test: create, read, and unlink 1,000 1 KB files.  Client
+   caches are dropped between phases (the benchmark remounts), so the
+   read phase pays full wire latency per file — where SFS's user-level
+   latency shows — while create and unlink are dominated by the
+   server's synchronous metadata writes.
+
+   Large-file test: write a 40,000 KB file sequentially in 8 KB chunks,
+   read it sequentially, write it randomly, read it randomly, then read
+   it sequentially again, syncing data to disk at the end of each write
+   phase. *)
+
+module Simclock = Sfs_net.Simclock
+
+(* --- Small-file test --- *)
+
+type small_times = { create_s : float; read_s : float; unlink_s : float }
+
+let nsmall = 1000
+let small_bytes = 1024
+let nsmall_dirs = 10
+
+let small_path base i = Printf.sprintf "%s/d%d/f%04d" base (i mod nsmall_dirs) i
+
+let phase (w : Stacks.world) (f : unit -> unit) : float =
+  let t0 = Simclock.now_us w.Stacks.clock in
+  f ();
+  (Simclock.now_us w.Stacks.clock -. t0) /. 1_000_000.0
+
+let run_small (w : Stacks.world) : small_times =
+  let base = w.Stacks.workdir ^ "/lfs-small" in
+  Driver.mkdir w base;
+  for d = 0 to nsmall_dirs - 1 do
+    Driver.mkdir w (Printf.sprintf "%s/d%d" base d)
+  done;
+  let body = Driver.content ~seed:11 small_bytes in
+  let create_s =
+    phase w (fun () ->
+        for i = 0 to nsmall - 1 do
+          Driver.write_file w (small_path base i) body
+        done)
+  in
+  (* Remount between phases: drop client caches (server's buffer cache
+     stays warm, as on the real testbed). *)
+  (match w.Stacks.client_cache with Some c -> Sfs_nfs.Cachefs.invalidate_all c | None -> ());
+  let read_s =
+    phase w (fun () ->
+        for i = 0 to nsmall - 1 do
+          let got = Driver.read_file w (small_path base i) in
+          if String.length got <> small_bytes then Driver.fail "short read"
+        done)
+  in
+  (match w.Stacks.client_cache with Some c -> Sfs_nfs.Cachefs.invalidate_all c | None -> ());
+  let unlink_s =
+    phase w (fun () ->
+        for i = 0 to nsmall - 1 do
+          Driver.unlink w (small_path base i)
+        done)
+  in
+  { create_s; read_s; unlink_s }
+
+(* --- Large-file test --- *)
+
+type large_times = {
+  seq_write_s : float;
+  seq_read_s : float;
+  rand_write_s : float;
+  rand_read_s : float;
+  seq_read2_s : float;
+}
+
+let large_bytes = 40_000 * 1024
+let chunk = 8192
+let nchunks = large_bytes / chunk
+
+(* A fixed pseudo-random chunk permutation, identical across stacks. *)
+let permutation () : int array =
+  let a = Array.init nchunks (fun i -> i) in
+  let state = ref 123456789 in
+  for i = nchunks - 1 downto 1 do
+    state := (!state * 1103515245) + 12345;
+    let j = (!state lsr 8) mod (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let run_large (w : Stacks.world) : large_times =
+  let path = w.Stacks.workdir ^ "/lfs-large" in
+  Driver.create w path;
+  let block = Driver.content ~seed:21 chunk in
+  let drop_client () =
+    match w.Stacks.client_cache with Some c -> Sfs_nfs.Cachefs.invalidate_all c | None -> ()
+  in
+  let seq_write_s =
+    phase w (fun () ->
+        for i = 0 to nchunks - 1 do
+          Driver.write_at w path ~off:(i * chunk) block
+        done;
+        Driver.commit w path)
+  in
+  drop_client ();
+  let seq_read_s =
+    phase w (fun () ->
+        for i = 0 to nchunks - 1 do
+          if String.length (Driver.read_at w path ~off:(i * chunk) ~count:chunk) <> chunk then
+            Driver.fail "short read"
+        done)
+  in
+  drop_client ();
+  let perm = permutation () in
+  let rand_write_s =
+    phase w (fun () ->
+        Array.iter (fun i -> Driver.write_at w path ~off:(i * chunk) block) perm;
+        Driver.commit w path)
+  in
+  drop_client ();
+  let rand_read_s =
+    phase w (fun () ->
+        Array.iter
+          (fun i ->
+            if String.length (Driver.read_at w path ~off:(i * chunk) ~count:chunk) <> chunk then
+              Driver.fail "short read")
+          perm)
+  in
+  drop_client ();
+  let seq_read2_s =
+    phase w (fun () ->
+        for i = 0 to nchunks - 1 do
+          if String.length (Driver.read_at w path ~off:(i * chunk) ~count:chunk) <> chunk then
+            Driver.fail "short read"
+        done)
+  in
+  { seq_write_s; seq_read_s; rand_write_s; rand_read_s; seq_read2_s }

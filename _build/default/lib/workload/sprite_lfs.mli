@@ -1,0 +1,17 @@
+(** The Sprite LFS micro-benchmarks (Figures 8 and 9). *)
+
+type small_times = { create_s : float; read_s : float; unlink_s : float }
+(** 1,000 x 1 KB files; client caches drop between phases (remount). *)
+
+val run_small : Stacks.world -> small_times
+
+type large_times = {
+  seq_write_s : float;
+  seq_read_s : float;
+  rand_write_s : float;
+  rand_read_s : float;
+  seq_read2_s : float;
+}
+(** A 40,000 KB file in 8 KB chunks, synced after each write phase. *)
+
+val run_large : Stacks.world -> large_times

@@ -1,0 +1,49 @@
+(** Benchmark stacks: the systems compared in the paper's evaluation
+    (section 4.1) plus the ablations, assembled over the simulated
+    network and exposed behind one uniform interface. *)
+
+module Simclock = Sfs_net.Simclock
+module Simnet = Sfs_net.Simnet
+module Costmodel = Sfs_net.Costmodel
+module Simos = Sfs_os.Simos
+module Memfs = Sfs_nfs.Memfs
+module Diskmodel = Sfs_nfs.Diskmodel
+module Cachefs = Sfs_nfs.Cachefs
+module Core = Sfs_core
+
+type stack = Local | Nfs_udp | Nfs_tcp | Sfs | Sfs_noenc | Sfs_nocache
+
+val stack_name : stack -> string
+
+val all_paper_stacks : stack list
+(** [Local; Nfs_udp; Nfs_tcp; Sfs] — the four columns of Figures 6-9. *)
+
+type world = {
+  stack : stack;
+  clock : Simclock.t;
+  net : Simnet.t;
+  server_fs : Memfs.t; (** backing store, for direct seeding *)
+  server_disk : Diskmodel.t;
+  vfs : Core.Vfs.t;
+  cred : Simos.cred;
+  workdir : string; (** where workloads operate on this stack *)
+  sfs_server : Core.Server.t option;
+  sfs_client : Core.Client.t option;
+  client_cache : Cachefs.t option;
+  user : Simos.user;
+  agent : Core.Agent.t option;
+}
+
+val server_location : string
+val client_host : string
+
+val make : ?key_bits:int -> ?server_disk_params:Diskmodel.params -> ?costs:Costmodel.t -> stack -> world
+(** Build a ready world: server with a world-writable /bench, client
+    machine, and (for SFS stacks) keys, authserv, agent and a primed
+    authenticated mount. *)
+
+val flush_caches : world -> unit
+(** Client caches dropped, server disk flushed: benchmark hygiene. *)
+
+val timed : world -> (unit -> unit) -> float
+(** Simulated seconds consumed by the thunk. *)

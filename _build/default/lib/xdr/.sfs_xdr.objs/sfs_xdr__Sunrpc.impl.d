@@ -1,0 +1,1 @@
+lib/xdr/sunrpc.ml: Buffer List Result Sfs_util String Xdr

@@ -1,0 +1,1 @@
+lib/xdr/xdr.ml: Buffer List Printf Result Sfs_util String

@@ -1,0 +1,138 @@
+(* XDR — External Data Representation (RFC 1832 subset).
+
+   All SFS programs communicate with Sun RPC, and "any data that SFS
+   hashes, signs, or public-key encrypts is defined as an XDR data
+   structure; SFS computes the hash or public key function on the raw,
+   marshaled bytes" (paper section 3.2).  This module provides the
+   marshaling primitives; protocol modules compose them. *)
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* --- Encoding --- *)
+
+type enc = Buffer.t
+
+let make_enc () : enc = Buffer.create 256
+
+let to_string (e : enc) : string = Buffer.contents e
+
+let pad4 (n : int) : int = (4 - (n land 3)) land 3
+
+(* Appends pre-marshaled bytes verbatim (nested structures, RPC args). *)
+let enc_raw (e : enc) (s : string) : unit = Buffer.add_string e s
+
+let enc_uint32 (e : enc) (v : int) : unit =
+  if v < 0 || v > 0xFFFFFFFF then error "enc_uint32: out of range: %d" v;
+  Buffer.add_string e (Sfs_util.Bytesutil.be32_of_int v)
+
+let enc_int32 (e : enc) (v : int) : unit =
+  if v < -0x80000000 || v > 0x7FFFFFFF then error "enc_int32: out of range: %d" v;
+  Buffer.add_string e (Sfs_util.Bytesutil.be32_of_int (v land 0xFFFFFFFF))
+
+let enc_uint64 (e : enc) (v : int64) : unit =
+  Buffer.add_string e (Sfs_util.Bytesutil.be64_of_int64 v)
+
+let enc_bool (e : enc) (b : bool) : unit = enc_uint32 e (if b then 1 else 0)
+
+let enc_fixed_opaque (e : enc) ~(size : int) (s : string) : unit =
+  if String.length s <> size then error "enc_fixed_opaque: expected %d bytes, got %d" size (String.length s);
+  Buffer.add_string e s;
+  Buffer.add_string e (String.make (pad4 size) '\000')
+
+let enc_opaque (e : enc) (s : string) : unit =
+  enc_uint32 e (String.length s);
+  Buffer.add_string e s;
+  Buffer.add_string e (String.make (pad4 (String.length s)) '\000')
+
+let enc_string = enc_opaque
+
+let enc_option (e : enc) (f : enc -> 'a -> unit) (v : 'a option) : unit =
+  match v with
+  | None -> enc_bool e false
+  | Some x ->
+      enc_bool e true;
+      f e x
+
+let enc_array (e : enc) (f : enc -> 'a -> unit) (l : 'a list) : unit =
+  enc_uint32 e (List.length l);
+  List.iter (f e) l
+
+(* --- Decoding --- *)
+
+type dec = { data : string; mutable pos : int }
+
+let make_dec (data : string) : dec = { data; pos = 0 }
+
+let remaining (d : dec) : int = String.length d.data - d.pos
+
+let need (d : dec) (n : int) : unit =
+  if remaining d < n then error "decode: truncated (need %d, have %d)" n (remaining d)
+
+let dec_uint32 (d : dec) : int =
+  need d 4;
+  let v = Sfs_util.Bytesutil.int_of_be32 d.data ~off:d.pos in
+  d.pos <- d.pos + 4;
+  v
+
+let dec_int32 (d : dec) : int =
+  let v = dec_uint32 d in
+  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let dec_uint64 (d : dec) : int64 =
+  need d 8;
+  let v = Sfs_util.Bytesutil.int64_of_be64 d.data ~off:d.pos in
+  d.pos <- d.pos + 8;
+  v
+
+let dec_bool (d : dec) : bool =
+  match dec_uint32 d with
+  | 0 -> false
+  | 1 -> true
+  | v -> error "dec_bool: bad value %d" v
+
+let dec_fixed_opaque (d : dec) ~(size : int) : string =
+  need d (size + pad4 size);
+  let s = String.sub d.data d.pos size in
+  d.pos <- d.pos + size + pad4 size;
+  s
+
+let dec_opaque ?(max = 0x100000) (d : dec) : string =
+  let n = dec_uint32 d in
+  if n > max then error "dec_opaque: length %d exceeds bound %d" n max;
+  dec_fixed_opaque d ~size:n
+
+let dec_string = dec_opaque
+
+let dec_option (d : dec) (f : dec -> 'a) : 'a option =
+  if dec_bool d then Some (f d) else None
+
+let dec_array ?(max = 0x10000) (d : dec) (f : dec -> 'a) : 'a list =
+  let n = dec_uint32 d in
+  if n > max then error "dec_array: length %d exceeds bound %d" n max;
+  List.init n (fun _ -> f d)
+
+(* Consume all remaining bytes verbatim (trailing RPC args/results). *)
+let dec_rest (d : dec) : string =
+  let s = String.sub d.data d.pos (remaining d) in
+  d.pos <- String.length d.data;
+  s
+
+let dec_done (d : dec) : unit =
+  if remaining d <> 0 then error "decode: %d trailing bytes" (remaining d)
+
+(* Run a decoder over a complete message. *)
+let run (data : string) (f : dec -> 'a) : ('a, string) result =
+  let d = make_dec data in
+  match f d with
+  | v ->
+      if remaining d = 0 then Ok v
+      else Result.Error (Printf.sprintf "decode: %d trailing bytes" (remaining d))
+  | exception Error msg -> Result.Error msg
+
+(* Serialize with an encoder function. *)
+let encode (f : enc -> 'a -> unit) (v : 'a) : string =
+  let e = make_enc () in
+  f e v;
+  to_string e

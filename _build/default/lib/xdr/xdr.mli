@@ -1,0 +1,68 @@
+(** XDR marshaling (RFC 1832 subset).  Every SFS protocol message —
+    including everything hashed, signed or encrypted — is XDR-encoded
+    first (paper section 3.2). *)
+
+exception Error of string
+
+val error : ('a, unit, string, 'b) format4 -> 'a
+(** [error fmt ...] raises {!Error} with a formatted message. *)
+
+(** {2 Encoding} *)
+
+type enc
+
+val make_enc : unit -> enc
+val to_string : enc -> string
+
+val enc_raw : enc -> string -> unit
+(** Appends pre-marshaled bytes verbatim. *)
+
+val enc_uint32 : enc -> int -> unit
+val enc_int32 : enc -> int -> unit
+val enc_uint64 : enc -> int64 -> unit
+val enc_bool : enc -> bool -> unit
+
+val enc_fixed_opaque : enc -> size:int -> string -> unit
+(** Fixed-width opaque data, zero-padded to 4 bytes. *)
+
+val enc_opaque : enc -> string -> unit
+(** Length-prefixed opaque data. *)
+
+val enc_string : enc -> string -> unit
+val enc_option : enc -> (enc -> 'a -> unit) -> 'a option -> unit
+val enc_array : enc -> (enc -> 'a -> unit) -> 'a list -> unit
+
+val encode : (enc -> 'a -> unit) -> 'a -> string
+(** One-shot serialization. *)
+
+(** {2 Decoding}
+
+    Decoders raise {!Error} on malformed input; {!run} catches it. *)
+
+type dec
+
+val make_dec : string -> dec
+val remaining : dec -> int
+
+val dec_uint32 : dec -> int
+val dec_int32 : dec -> int
+val dec_uint64 : dec -> int64
+val dec_bool : dec -> bool
+val dec_fixed_opaque : dec -> size:int -> string
+
+val dec_opaque : ?max:int -> dec -> string
+(** Bounded (default 1 MiB): attacker-supplied lengths cannot force
+    large allocations. *)
+
+val dec_string : ?max:int -> dec -> string
+val dec_option : dec -> (dec -> 'a) -> 'a option
+val dec_array : ?max:int -> dec -> (dec -> 'a) -> 'a list
+
+val dec_rest : dec -> string
+(** Consumes all remaining bytes verbatim. *)
+
+val dec_done : dec -> unit
+(** @raise Error when input remains. *)
+
+val run : string -> (dec -> 'a) -> ('a, string) result
+(** Complete-message decode: trailing bytes are an error. *)

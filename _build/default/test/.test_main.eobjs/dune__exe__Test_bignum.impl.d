@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Modarith Nat Prime QCheck Sfs_bignum Test Testkit

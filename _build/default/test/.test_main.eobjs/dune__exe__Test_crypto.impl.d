@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Arc4 Blowfish Bytes Char Eksblowfish Gen Lazy List Mac Printf Prng QCheck Rabin Sfs_bignum Sfs_crypto Sfs_util Sha1 Srp String Sys Test Testkit

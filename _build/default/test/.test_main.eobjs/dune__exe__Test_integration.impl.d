@@ -1,0 +1,1 @@
+test/test_integration.ml: Agent Alcotest Authserv Client Keymgmt List Pathname Readonly Revocation Server Sfs_core Sfs_crypto Sfs_net Sfs_nfs Sfs_os Sfskey Testkit Vfs

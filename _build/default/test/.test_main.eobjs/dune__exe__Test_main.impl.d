@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_bignum Test_core Test_crypto Test_integration Test_memfs_model Test_net Test_nfs Test_proto Test_util Test_workload Test_xdr

@@ -1,0 +1,1 @@
+test/test_memfs_model.ml: List Option Printf QCheck Sfs_nfs Sfs_os String Testkit

@@ -1,0 +1,1 @@
+test/test_nfs.ml: Alcotest Cachefs Diskmodel Fs_intf List Memfs Memfs_ops Nfs_client Nfs_server Nfs_types Printf QCheck Result Sfs_net Sfs_nfs Sfs_os Sfs_xdr String Testkit

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Authproto Bytes Channel Char Hashtbl Hostid Keyneg Lazy Lease List QCheck Readonly_proto Result Sfs_crypto Sfs_net Sfs_proto Sfs_util Sfs_xdr Sfsrw String Testkit

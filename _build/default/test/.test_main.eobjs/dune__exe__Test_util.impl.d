@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Base32 Bytesutil Gen Hashtbl Hex List Printf QCheck Sfs_util String Test Testkit

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Compile Driver List Mab Microbench Sfs_net Sfs_nfs Sfs_workload Sprite_lfs Stacks String Testkit

@@ -1,0 +1,1 @@
+test/test_xdr.ml: Alcotest Gen Int64 List QCheck Result Sfs_xdr String Test Testkit

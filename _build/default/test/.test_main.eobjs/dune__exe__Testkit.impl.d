@@ -1,0 +1,1 @@
+test/testkit.ml: Alcotest Char Int64 List QCheck QCheck_alcotest Sfs_bignum String

@@ -1,0 +1,183 @@
+open Sfs_bignum
+
+let n = Nat.of_string
+let check_nat msg a b = Alcotest.(check string) msg (Nat.to_string a) (Nat.to_string b)
+
+let test_basic_arith () =
+  check_nat "add" (n "579") (Nat.add (n "123") (n "456"));
+  check_nat "sub" (n "333") (Nat.sub (n "456") (n "123"));
+  check_nat "mul" (n "56088") (Nat.mul (n "123") (n "456"));
+  check_nat "big mul"
+    (n "121932631137021795226185032733622923332237463801111263526900")
+    (Nat.mul (n "123456789012345678901234567890") (n "987654321098765432109876543210"));
+  let q, r = Nat.divmod (n "1000000007") (n "97") in
+  check_nat "div" (n "10309278") q;
+  check_nat "rem" (n "41") r
+
+let test_conversions () =
+  check_nat "of_int" (n "123456789") (Nat.of_int 123456789);
+  Alcotest.(check (option int)) "to_int" (Some 42) (Nat.to_int_opt (n "42"));
+  Alcotest.(check (option int)) "to_int big" None (Nat.to_int_opt (n "123456789123456789123456789"));
+  check_nat "bytes rt" (n "65536") (Nat.of_bytes_be (Nat.to_bytes_be (n "65536")));
+  Alcotest.(check string) "to_bytes" "\x01\x00\x00" (Nat.to_bytes_be (n "65536"));
+  Alcotest.(check string) "padded" "\x00\x01\x00\x00" (Nat.to_bytes_be_padded ~width:4 (n "65536"));
+  Alcotest.(check string) "hex" "10000" (Nat.to_hex (n "65536"));
+  check_nat "of_hex" (n "65536") (Nat.of_hex "10000");
+  Alcotest.(check string) "zero bytes" "" (Nat.to_bytes_be Nat.zero);
+  Alcotest.(check string) "zero decimal" "0" (Nat.to_string Nat.zero)
+
+let test_bits () =
+  Testkit.check_int "num_bits 0" 0 (Nat.num_bits Nat.zero);
+  Testkit.check_int "num_bits 1" 1 (Nat.num_bits Nat.one);
+  Testkit.check_int "num_bits 255" 8 (Nat.num_bits (n "255"));
+  Testkit.check_int "num_bits 256" 9 (Nat.num_bits (n "256"));
+  Testkit.check_bool "testbit" true (Nat.testbit (n "4") 2);
+  Testkit.check_bool "testbit off" false (Nat.testbit (n "4") 1);
+  check_nat "shl" (n "1024") (Nat.shift_left Nat.one 10);
+  check_nat "shr" (n "1") (Nat.shift_right (n "1024") 10);
+  check_nat "shr to zero" Nat.zero (Nat.shift_right (n "1024") 11)
+
+let test_modexp () =
+  (* 2^10 mod 1000 = 24 *)
+  check_nat "small" (n "24") (Nat.modexp ~base:Nat.two ~exp:(n "10") ~modulus:(n "1000"));
+  (* Fermat: a^(p-1) = 1 mod p *)
+  let p = n "1000000007" in
+  check_nat "fermat" Nat.one (Nat.modexp ~base:(n "123456") ~exp:(Nat.sub p Nat.one) ~modulus:p);
+  check_nat "mod 1" Nat.zero (Nat.modexp ~base:(n "5") ~exp:(n "5") ~modulus:Nat.one)
+
+let test_gcd () =
+  check_nat "gcd" (n "6") (Nat.gcd (n "48") (n "18"));
+  check_nat "gcd coprime" Nat.one (Nat.gcd (n "17") (n "31"));
+  check_nat "gcd zero" (n "5") (Nat.gcd (n "5") Nat.zero)
+
+let test_inverse () =
+  (match Modarith.inverse ~x:(n "3") ~modulus:(n "7") with
+  | Some v -> check_nat "3^-1 mod 7" (n "5") v
+  | None -> Alcotest.fail "expected inverse");
+  Alcotest.(check bool) "no inverse" true (Modarith.inverse ~x:(n "6") ~modulus:(n "9") = None);
+  (* inverse(x) * x = 1 for a big prime modulus *)
+  let p = n "170141183460469231731687303715884105727" (* 2^127 - 1, prime *) in
+  let x = n "123456789123456789123456789" in
+  match Modarith.inverse ~x ~modulus:p with
+  | Some v -> check_nat "big inverse" Nat.one (Modarith.mulmod v x p)
+  | None -> Alcotest.fail "expected big inverse"
+
+let test_jacobi () =
+  (* Squares have symbol 1 mod a prime; known non-residues -1. *)
+  let p = n "23" in
+  Testkit.check_int "square" 1 (Modarith.jacobi (n "2") p);
+  Testkit.check_int "nonresidue" (-1) (Modarith.jacobi (n "5") p);
+  Testkit.check_int "zero" 0 (Modarith.jacobi (n "23") p);
+  Testkit.check_int "jacobi(1/9)" 1 (Modarith.jacobi Nat.one (n "9"))
+
+let test_sqrt () =
+  let p = n "1000000007" in
+  (* p mod 4 = 3 *)
+  let x = Modarith.mulmod (n "98765") (n "98765") p in
+  (match Modarith.sqrt_3mod4 ~x ~p with
+  | Some r -> check_nat "sqrt squared" x (Modarith.mulmod r r p)
+  | None -> Alcotest.fail "expected sqrt");
+  (* A non-residue must be rejected. *)
+  let rec find_nonresidue c =
+    if Modarith.jacobi (n (string_of_int c)) p = -1 then n (string_of_int c) else find_nonresidue (c + 1)
+  in
+  Alcotest.(check bool) "nonresidue rejected" true (Modarith.sqrt_3mod4 ~x:(find_nonresidue 2) ~p = None)
+
+let test_crt () =
+  let x = Modarith.crt ~r1:(n "2") ~m1:(n "3") ~r2:(n "3") ~m2:(n "5") in
+  check_nat "crt" (n "8") x
+
+let test_primality () =
+  let rand_bits = Testkit.rand_bits_fn 1 in
+  let prime_p s = Prime.is_probably_prime ~rand_bits (n s) in
+  Testkit.check_bool "17" true (prime_p "17");
+  Testkit.check_bool "1" false (prime_p "1");
+  Testkit.check_bool "561 (Carmichael)" false (prime_p "561");
+  Testkit.check_bool "2^127-1" true (prime_p "170141183460469231731687303715884105727");
+  Testkit.check_bool "2^128+1" false (prime_p "340282366920938463463374607431768211457");
+  Testkit.check_bool "even" false (prime_p "1000000008")
+
+let test_generation () =
+  let rand_bits = Testkit.rand_bits_fn 7 in
+  let p = Prime.generate ~rand_bits 128 in
+  Testkit.check_int "width" 128 (Nat.num_bits p);
+  Testkit.check_bool "prime" true (Prime.is_probably_prime ~rand_bits p);
+  (* Rabin congruences *)
+  let p3 = Prime.generate ~congruence:(3, 8) ~rand_bits 96 in
+  Alcotest.(check (option int)) "p mod 8 = 3" (Some 3) (Nat.to_int_opt (Nat.rem p3 (Nat.of_int 8)));
+  let p7 = Prime.generate ~congruence:(7, 8) ~rand_bits 96 in
+  Alcotest.(check (option int)) "q mod 8 = 7" (Some 7) (Nat.to_int_opt (Nat.rem p7 (Nat.of_int 8)))
+
+(* Property tests: arithmetic laws on random values. *)
+let nat_gen =
+  let open QCheck.Gen in
+  map (fun s -> Nat.of_bytes_be s) (string_size ~gen:char (int_range 0 40))
+
+let nat_arb = QCheck.make ~print:Nat.to_string nat_gen
+
+let nonzero_arb =
+  QCheck.make ~print:Nat.to_string
+    (QCheck.Gen.map (fun x -> Nat.add x Nat.one) nat_gen)
+
+let props =
+  let open QCheck in
+  [
+    Test.make ~count:300 ~name:"add commutative" (pair nat_arb nat_arb) (fun (a, b) ->
+        Nat.equal (Nat.add a b) (Nat.add b a));
+    Test.make ~count:300 ~name:"add associative" (triple nat_arb nat_arb nat_arb) (fun (a, b, c) ->
+        Nat.equal (Nat.add (Nat.add a b) c) (Nat.add a (Nat.add b c)));
+    Test.make ~count:300 ~name:"mul commutative" (pair nat_arb nat_arb) (fun (a, b) ->
+        Nat.equal (Nat.mul a b) (Nat.mul b a));
+    Test.make ~count:100 ~name:"mul associative" (triple nat_arb nat_arb nat_arb) (fun (a, b, c) ->
+        Nat.equal (Nat.mul (Nat.mul a b) c) (Nat.mul a (Nat.mul b c)));
+    Test.make ~count:300 ~name:"distributive" (triple nat_arb nat_arb nat_arb) (fun (a, b, c) ->
+        Nat.equal (Nat.mul a (Nat.add b c)) (Nat.add (Nat.mul a b) (Nat.mul a c)));
+    Test.make ~count:300 ~name:"sub inverts add" (pair nat_arb nat_arb) (fun (a, b) ->
+        Nat.equal (Nat.sub (Nat.add a b) b) a);
+    Test.make ~count:300 ~name:"divmod identity" (pair nat_arb nonzero_arb) (fun (a, b) ->
+        let q, r = Nat.divmod a b in
+        Nat.equal a (Nat.add (Nat.mul q b) r) && Nat.compare r b < 0);
+    Test.make ~count:300 ~name:"bytes roundtrip" nat_arb (fun a ->
+        Nat.equal a (Nat.of_bytes_be (Nat.to_bytes_be a)));
+    Test.make ~count:300 ~name:"decimal roundtrip" nat_arb (fun a ->
+        Nat.equal a (Nat.of_string (Nat.to_string a)));
+    Test.make ~count:300 ~name:"shift inverse" (pair nat_arb (int_range 0 100)) (fun (a, k) ->
+        Nat.equal a (Nat.shift_right (Nat.shift_left a k) k));
+    Test.make ~count:300 ~name:"shift_left is mul by 2^k" (pair nat_arb (int_range 0 64)) (fun (a, k) ->
+        Nat.equal (Nat.shift_left a k) (Nat.mul a (Nat.modexp ~base:Nat.two ~exp:(Nat.of_int k) ~modulus:(Nat.shift_left Nat.one 128))));
+    Test.make ~count:100 ~name:"karatsuba agrees with schoolbook sizes"
+      (pair (QCheck.make (QCheck.Gen.string_size ~gen:QCheck.Gen.char (QCheck.Gen.int_range 100 200)))
+         (QCheck.make (QCheck.Gen.string_size ~gen:QCheck.Gen.char (QCheck.Gen.int_range 100 200))))
+      (fun (sa, sb) ->
+        let a = Nat.of_bytes_be sa and b = Nat.of_bytes_be sb in
+        (* (a+1)(b+1) = ab + a + b + 1 exercises the Karatsuba path. *)
+        let a1 = Nat.add a Nat.one and b1 = Nat.add b Nat.one in
+        Nat.equal (Nat.mul a1 b1) (Nat.add (Nat.add (Nat.mul a b) (Nat.add a b)) Nat.one));
+    Test.make ~count:50 ~name:"modexp multiplicative" (triple nat_arb nat_arb nonzero_arb)
+      (fun (a, b, m) ->
+        let m = Nat.add m Nat.one in
+        let e = Nat.of_int 13 in
+        Nat.equal
+          (Nat.modexp ~base:(Nat.mul a b) ~exp:e ~modulus:m)
+          (Nat.rem (Nat.mul (Nat.modexp ~base:a ~exp:e ~modulus:m) (Nat.modexp ~base:b ~exp:e ~modulus:m)) m));
+    Test.make ~count:200 ~name:"gcd divides both" (pair nonzero_arb nonzero_arb) (fun (a, b) ->
+        let g = Nat.gcd a b in
+        Nat.is_zero (Nat.rem a g) && Nat.is_zero (Nat.rem b g));
+  ]
+
+let suite =
+  ( "bignum",
+    [
+      Alcotest.test_case "basic arithmetic" `Quick test_basic_arith;
+      Alcotest.test_case "conversions" `Quick test_conversions;
+      Alcotest.test_case "bit operations" `Quick test_bits;
+      Alcotest.test_case "modexp" `Quick test_modexp;
+      Alcotest.test_case "gcd" `Quick test_gcd;
+      Alcotest.test_case "modular inverse" `Quick test_inverse;
+      Alcotest.test_case "jacobi symbol" `Quick test_jacobi;
+      Alcotest.test_case "modular sqrt" `Quick test_sqrt;
+      Alcotest.test_case "crt" `Quick test_crt;
+      Alcotest.test_case "primality" `Quick test_primality;
+      Alcotest.test_case "prime generation" `Slow test_generation;
+    ]
+    @ Testkit.to_alcotest props )

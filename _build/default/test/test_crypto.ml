@@ -1,0 +1,390 @@
+open Sfs_crypto
+module Nat = Sfs_bignum.Nat
+
+(* --- SHA-1: FIPS 180-1 test vectors --- *)
+
+let test_sha1_vectors () =
+  Testkit.check_string "empty" "da39a3ee5e6b4b0d3255bfef95601890afd80709" (Sha1.hex "");
+  Testkit.check_string "abc" "a9993e364706816aba3e25717850c26c9cd0d89d" (Sha1.hex "abc");
+  Testkit.check_string "two-block"
+    "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+    (Sha1.hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  Testkit.check_string "million a"
+    "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+    (Sha1.hex (String.make 1_000_000 'a'))
+
+let test_sha1_incremental () =
+  (* Chunked updates agree with one-shot digests at every split point. *)
+  let msg = String.init 300 (fun i -> Char.chr (i land 0xff)) in
+  let expect = Sha1.digest msg in
+  List.iter
+    (fun k ->
+      let c = Sha1.init () in
+      Sha1.update c (String.sub msg 0 k);
+      Sha1.update c (String.sub msg k (String.length msg - k));
+      Testkit.check_string (Printf.sprintf "split %d" k) (Sfs_util.Hex.encode expect)
+        (Sfs_util.Hex.encode (Sha1.final c)))
+    [ 0; 1; 55; 56; 63; 64; 65; 128; 300 ]
+
+let test_sha1_paper_duplication () =
+  (* The paper duplicates SHA-1's input for HostIDs; sanity-check that the
+     duplicated digest differs from the plain one. *)
+  let s = "HostInfo,server.example.com,key" in
+  Testkit.check_bool "distinct" false (Sha1.digest s = Sha1.digest (s ^ s))
+
+(* --- HMAC-SHA1: RFC 2202 test vectors --- *)
+
+let test_hmac_vectors () =
+  Testkit.check_string "rfc2202 case 1"
+    "b617318655057264e28bc0b6fb378c8ef146be00"
+    (Sfs_util.Hex.encode (Mac.hmac ~key:(String.make 20 '\x0b') "Hi There"));
+  Testkit.check_string "rfc2202 case 2"
+    "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+    (Sfs_util.Hex.encode (Mac.hmac ~key:"Jefe" "what do ya want for nothing?"));
+  Testkit.check_string "rfc2202 case 3"
+    "125d7342b9ac11cd91a39af48aa17b4f63f175d3"
+    (Sfs_util.Hex.encode (Mac.hmac ~key:(String.make 20 '\xaa') (String.make 50 '\xdd')));
+  Testkit.check_string "rfc2202 long key"
+    "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+    (Sfs_util.Hex.encode
+       (Mac.hmac ~key:(String.make 80 '\xaa') "Test Using Larger Than Block-Size Key - Hash Key First"))
+
+let test_mac_message () =
+  let key = String.make 32 '\x42' in
+  let tag = Mac.of_message ~key "hello" in
+  Testkit.check_bool "verifies" true (Mac.verify ~key ~tag "hello");
+  Testkit.check_bool "rejects other msg" false (Mac.verify ~key ~tag "hellp");
+  Testkit.check_bool "rejects other key" false (Mac.verify ~key:(String.make 32 '\x43') ~tag "hello");
+  (* Length is covered: a message with an embedded prefix must not verify
+     under a tag for the prefix. *)
+  Testkit.check_bool "length bound" false (Mac.verify ~key ~tag "hello world")
+
+(* --- ARC4: classic reference vectors --- *)
+
+let test_arc4_vectors () =
+  (* Classic vector: key 0x0123456789abcdef, plaintext same 8 bytes. *)
+  let key = Sfs_util.Hex.decode "0123456789abcdef" in
+  let pt = Sfs_util.Hex.decode "0123456789abcdef" in
+  Testkit.check_string "vector 1" "75b7878099e0c596"
+    (Sfs_util.Hex.encode (Arc4.encrypt (Arc4.create key) pt));
+  (* Keystream under the same key. *)
+  Testkit.check_string "keystream" "7494c2e7104b0879"
+    (Sfs_util.Hex.encode (Arc4.encrypt (Arc4.create key) (String.make 8 '\000')));
+  (* Key 0xef012345, 10 zero bytes. *)
+  Testkit.check_string "vector 3" "d6a141a7ec3c38dfbd61"
+    (Sfs_util.Hex.encode (Arc4.encrypt (Arc4.create (Sfs_util.Hex.decode "ef012345")) (String.make 10 '\000')))
+
+let test_arc4_spin () =
+  (* A 20-byte key must not behave like its 16-byte prefix (the schedule
+     spins once per 16 bytes). *)
+  let k20 = String.init 20 (fun i -> Char.chr i) in
+  let k16 = String.sub k20 0 16 in
+  Testkit.check_bool "spin differs" false
+    (Arc4.keystream (Arc4.create k20) 16 = Arc4.keystream (Arc4.create k16) 16);
+  (* Stream is stateful: two successive reads differ. *)
+  let t = Arc4.create k20 in
+  Testkit.check_bool "advances" false (Arc4.keystream t 8 = Arc4.keystream t 8)
+
+(* --- Blowfish: Eric Young's standard vectors --- *)
+
+let bf_vector key pt ct =
+  let t = Blowfish.create (Sfs_util.Hex.decode key) in
+  Testkit.check_string ("enc " ^ key) ct
+    (Sfs_util.Hex.encode (Blowfish.encrypt_block t (Sfs_util.Hex.decode pt)));
+  Testkit.check_string ("dec " ^ key) pt
+    (Sfs_util.Hex.encode (Blowfish.decrypt_block t (Sfs_util.Hex.decode ct)))
+
+let test_blowfish_vectors () =
+  bf_vector "0000000000000000" "0000000000000000" "4ef997456198dd78";
+  bf_vector "ffffffffffffffff" "ffffffffffffffff" "51866fd5b85ecb8a";
+  bf_vector "3000000000000000" "1000000000000001" "7d856f9a613063f2";
+  bf_vector "1111111111111111" "1111111111111111" "2466dd878b963c9d";
+  bf_vector "0123456789abcdef" "1111111111111111" "61f9c3802281b096";
+  bf_vector "fedcba9876543210" "0123456789abcdef" "0aceab0fc6a0a28d";
+  bf_vector "7ca110454a1a6e57" "01a1d6d039776742" "59c68245eb05282b"
+
+let test_blowfish_cbc () =
+  let t = Blowfish.create (String.make 20 '\x5f') in
+  let iv = "initvect" in
+  let pt = "0123456789abcdef0123456789abcdef" in
+  let ct = Blowfish.encrypt_cbc t ~iv pt in
+  Testkit.check_string "cbc roundtrip" pt (Blowfish.decrypt_cbc t ~iv ct);
+  (* Equal plaintext blocks must encrypt differently under CBC. *)
+  let pt2 = String.make 16 'A' in
+  let ct2 = Blowfish.encrypt_cbc t ~iv pt2 in
+  Testkit.check_bool "blocks differ" false (String.sub ct2 0 8 = String.sub ct2 8 8);
+  Alcotest.check_raises "unaligned" (Invalid_argument "Blowfish.encrypt_cbc: not block-aligned")
+    (fun () -> ignore (Blowfish.encrypt_cbc t ~iv "short"))
+
+(* --- Eksblowfish --- *)
+
+let test_eksblowfish () =
+  let salt = String.make 16 '\x01' in
+  let h1 = Eksblowfish.hash ~cost:2 ~salt "password" in
+  Testkit.check_int "size" Eksblowfish.hash_size (String.length h1);
+  Testkit.check_string "deterministic" (Sfs_util.Hex.encode h1)
+    (Sfs_util.Hex.encode (Eksblowfish.hash ~cost:2 ~salt "password"));
+  Testkit.check_bool "password matters" false (h1 = Eksblowfish.hash ~cost:2 ~salt "passwore");
+  Testkit.check_bool "salt matters" false
+    (h1 = Eksblowfish.hash ~cost:2 ~salt:(String.make 16 '\x02') "password");
+  Testkit.check_bool "cost matters" false (h1 = Eksblowfish.hash ~cost:3 ~salt "password")
+
+let test_eksblowfish_cost_curve () =
+  (* Doubling the cost parameter should roughly double the work; verify
+     monotonic growth in wall time. *)
+  let salt = String.make 16 '\x07' in
+  let time cost =
+    let t0 = Sys.time () in
+    ignore (Eksblowfish.hash ~cost ~salt "timing-probe");
+    Sys.time () -. t0
+  in
+  let t4 = time 4 and t6 = time 6 in
+  Testkit.check_bool "cost 6 slower than cost 4" true (t6 > t4)
+
+(* --- PRNG --- *)
+
+let test_prng () =
+  let g1 = Prng.create [ "seed-a" ] in
+  let g2 = Prng.create [ "seed-a" ] in
+  let g3 = Prng.create [ "seed-b" ] in
+  Testkit.check_string "deterministic" (Prng.random_bytes g1 40) (Prng.random_bytes g2 40);
+  Testkit.check_bool "seed matters" false (Prng.random_bytes (Prng.create [ "seed-a" ]) 40 = Prng.random_bytes g3 40);
+  let g = Prng.create [ "x" ] in
+  Testkit.check_bool "stream advances" false (Prng.random_bytes g 20 = Prng.random_bytes g 20);
+  (* add_entropy perturbs the stream *)
+  let ga = Prng.create [ "y" ] and gb = Prng.create [ "y" ] in
+  Prng.add_entropy ga "keystroke";
+  Testkit.check_bool "entropy matters" false (Prng.random_bytes ga 20 = Prng.random_bytes gb 20);
+  (* random_below respects its bound *)
+  let bound = Nat.of_int 1000 in
+  for _ = 1 to 100 do
+    Testkit.check_bool "below bound" true (Nat.compare (Prng.random_below g ~bound) bound < 0)
+  done;
+  (* partial-block pool drains correctly: many odd-size reads of one
+     stream equal one big read of an identically seeded stream *)
+  let gc = Prng.create [ "z" ] and gd = Prng.create [ "z" ] in
+  let parts = List.map (Prng.random_bytes gc) [ 3; 7; 1; 25; 4 ] in
+  Testkit.check_string "pool consistency" (Prng.random_bytes gd 40) (String.concat "" parts)
+
+(* --- Rabin-Williams --- *)
+
+let test_rng = Prng.create [ "rabin-test-rng" ]
+let test_key = lazy (Rabin.generate ~bits:512 test_rng)
+
+let test_rabin_keygen () =
+  let sk = Lazy.force test_key in
+  let eight = Nat.of_int 8 in
+  Alcotest.(check (option int)) "p = 3 mod 8" (Some 3) (Nat.to_int_opt (Nat.rem sk.Rabin.p eight));
+  Alcotest.(check (option int)) "q = 7 mod 8" (Some 7) (Nat.to_int_opt (Nat.rem sk.Rabin.q eight));
+  Testkit.check_bool "n = pq" true (Nat.equal sk.Rabin.pub.Rabin.n (Nat.mul sk.Rabin.p sk.Rabin.q))
+
+let test_rabin_sign_verify () =
+  let sk = Lazy.force test_key in
+  let s = Rabin.sign sk "attack at dawn" in
+  Testkit.check_bool "verifies" true (Rabin.verify sk.Rabin.pub "attack at dawn" s);
+  Testkit.check_bool "message bound" false (Rabin.verify sk.Rabin.pub "attack at dusk" s);
+  (* Signature serialization roundtrip. *)
+  (match Rabin.signature_of_string (Rabin.signature_to_string s) with
+  | Some s' -> Testkit.check_bool "serialized verifies" true (Rabin.verify sk.Rabin.pub "attack at dawn" s')
+  | None -> Alcotest.fail "signature roundtrip");
+  (* A tampered root must not verify. *)
+  let bad = { s with Rabin.root = Nat.add s.Rabin.root Nat.one } in
+  Testkit.check_bool "tampered root" false (Rabin.verify sk.Rabin.pub "attack at dawn" bad);
+  (* Wrong key must not verify. *)
+  let other = Rabin.generate ~bits:512 test_rng in
+  Testkit.check_bool "wrong key" false (Rabin.verify other.Rabin.pub "attack at dawn" s)
+
+let test_rabin_tweaks () =
+  (* Across several messages both tweak bits should occur: each has
+     probability 1/2 per message. *)
+  let sk = Lazy.force test_key in
+  let sigs = List.init 16 (fun i -> Rabin.sign sk (Printf.sprintf "msg %d" i)) in
+  Testkit.check_bool "some negate" true (List.exists (fun s -> s.Rabin.negate) sigs);
+  Testkit.check_bool "some not negate" true (List.exists (fun s -> not s.Rabin.negate) sigs);
+  Testkit.check_bool "some double" true (List.exists (fun s -> s.Rabin.double) sigs);
+  Testkit.check_bool "some not double" true (List.exists (fun s -> not s.Rabin.double) sigs);
+  List.iteri
+    (fun i s ->
+      Testkit.check_bool (Printf.sprintf "verify %d" i) true
+        (Rabin.verify sk.Rabin.pub (Printf.sprintf "msg %d" i) s))
+    sigs
+
+let test_rabin_encrypt () =
+  let sk = Lazy.force test_key in
+  let pk = sk.Rabin.pub in
+  let msg = "self-cert path" in
+  let c = Rabin.encrypt pk test_rng msg in
+  Alcotest.(check (option string)) "decrypts" (Some msg) (Rabin.decrypt sk c);
+  (* Probabilistic: same message encrypts differently. *)
+  Testkit.check_bool "probabilistic" false (Nat.equal c (Rabin.encrypt pk test_rng msg));
+  (* Tampered ciphertext decrypts to None, not garbage. *)
+  Alcotest.(check (option string)) "tamper" None (Rabin.decrypt sk (Nat.add c Nat.one));
+  Alcotest.(check (option string)) "empty message" (Some "") (Rabin.decrypt sk (Rabin.encrypt pk test_rng ""));
+  let maxm = String.make (Rabin.max_plaintext pk) 'm' in
+  Alcotest.(check (option string)) "max length" (Some maxm) (Rabin.decrypt sk (Rabin.encrypt pk test_rng maxm));
+  Alcotest.check_raises "too long" (Invalid_argument "Rabin.encrypt: message too long") (fun () ->
+      ignore (Rabin.encrypt pk test_rng (maxm ^ "x")))
+
+let test_rabin_blob () =
+  let sk = Lazy.force test_key in
+  let pk = sk.Rabin.pub in
+  let blob = String.init 5000 (fun i -> Char.chr (i land 0xff)) in
+  let c = Rabin.encrypt_blob pk test_rng blob in
+  Alcotest.(check (option string)) "roundtrip" (Some blob) (Rabin.decrypt_blob sk c);
+  (* Flipping any byte of the body is detected by the MAC. *)
+  let tampered = Bytes.of_string c in
+  let last = Bytes.length tampered - 1 in
+  Bytes.set tampered last (Char.chr (Char.code (Bytes.get tampered last) lxor 1));
+  Alcotest.(check (option string)) "tampered" None (Rabin.decrypt_blob sk (Bytes.to_string tampered))
+
+let test_rabin_pub_serialization () =
+  let sk = Lazy.force test_key in
+  let pk = sk.Rabin.pub in
+  (match Rabin.pub_of_string (Rabin.pub_to_string pk) with
+  | Some pk' -> Testkit.check_bool "roundtrip" true (Rabin.pub_equal pk pk')
+  | None -> Alcotest.fail "pub roundtrip");
+  Testkit.check_bool "garbage rejected" true (Rabin.pub_of_string "rabin-pk:junk" = None);
+  Testkit.check_bool "truncated rejected" true
+    (Rabin.pub_of_string (String.sub (Rabin.pub_to_string pk) 0 20) = None)
+
+(* --- SRP --- *)
+
+let srp_rng = Prng.create [ "srp-test-rng" ]
+let srp_cost = 2
+
+let run_srp ~password ~attempt =
+  let grp = Srp.default_group in
+  let v = Srp.make_verifier ~cost:srp_cost grp srp_rng ~user:"alice" ~password in
+  let client = Srp.client_start grp srp_rng ~user:"alice" ~password:attempt in
+  let server = Srp.server_start grp srp_rng v in
+  match
+    ( Srp.client_finish client ~salt:v.Srp.salt ~cost:v.Srp.cost ~b_pub:(Srp.server_pub server),
+      Srp.server_finish server ~a_pub:(Srp.client_pub client) )
+  with
+  | Some cs, Some ss -> Some (cs, ss)
+  | _ -> None
+
+let test_srp_agreement () =
+  match run_srp ~password:"hunter2" ~attempt:"hunter2" with
+  | Some (cs, ss) ->
+      Testkit.check_string "shared key" (Sfs_util.Hex.encode cs.Srp.key) (Sfs_util.Hex.encode ss.Srp.key);
+      Testkit.check_bool "client proof accepted" true (Srp.check_client_proof ss ~proof:cs.Srp.proof)
+  | None -> Alcotest.fail "srp handshake failed"
+
+let test_srp_wrong_password () =
+  match run_srp ~password:"hunter2" ~attempt:"hunter3" with
+  | Some (cs, ss) ->
+      Testkit.check_bool "keys differ" false (cs.Srp.key = ss.Srp.key);
+      Testkit.check_bool "proof rejected" false (Srp.check_client_proof ss ~proof:cs.Srp.proof)
+  | None -> Alcotest.fail "srp handshake failed"
+
+let test_srp_server_proof () =
+  match run_srp ~password:"pw" ~attempt:"pw" with
+  | Some (cs, ss) ->
+      let grp = Srp.default_group in
+      let proof = Srp.server_proof grp ~a_pub:Nat.one ss in
+      Testkit.check_bool "wrong a_pub rejected" false
+        (Srp.check_server_proof grp ~a_pub:Nat.two cs ~proof)
+  | None -> Alcotest.fail "srp handshake failed"
+
+let test_srp_degenerate () =
+  let grp = Srp.default_group in
+  let v = Srp.make_verifier ~cost:srp_cost grp srp_rng ~user:"bob" ~password:"pw" in
+  let server = Srp.server_start grp srp_rng v in
+  (* A ≡ 0 (mod N) lets an attacker force S = 0; must be rejected. *)
+  Testkit.check_bool "A=0 rejected" true (Srp.server_finish server ~a_pub:Nat.zero = None);
+  Testkit.check_bool "A=N rejected" true (Srp.server_finish server ~a_pub:grp.Srp.n = None);
+  let client = Srp.client_start grp srp_rng ~user:"bob" ~password:"pw" in
+  Testkit.check_bool "B=0 rejected" true
+    (Srp.client_finish client ~salt:v.Srp.salt ~cost:v.Srp.cost ~b_pub:Nat.zero = None)
+
+let test_srp_verifier_no_password_equivalent () =
+  (* The verifier is not password-equivalent: a client using v directly
+     as its password must not reach the same key. *)
+  let grp = Srp.default_group in
+  let v = Srp.make_verifier ~cost:srp_cost grp srp_rng ~user:"carol" ~password:"secret" in
+  let client = Srp.client_start grp srp_rng ~user:"carol" ~password:(Nat.to_hex v.Srp.v) in
+  let server = Srp.server_start grp srp_rng v in
+  match
+    ( Srp.client_finish client ~salt:v.Srp.salt ~cost:v.Srp.cost ~b_pub:(Srp.server_pub server),
+      Srp.server_finish server ~a_pub:(Srp.client_pub client) )
+  with
+  | Some cs, Some ss -> Testkit.check_bool "verifier is not a password" false (cs.Srp.key = ss.Srp.key)
+  | _ -> ()
+
+(* --- Properties --- *)
+
+let props =
+  let open QCheck in
+  let sk = Lazy.force test_key in
+  [
+    Test.make ~count:50 ~name:"arc4 encrypt/decrypt inverse"
+      (pair (string_gen_of_size (Gen.int_range 1 40) Gen.char) (string_gen Gen.char))
+      (fun (key, msg) ->
+        assume (key <> "");
+        Arc4.decrypt (Arc4.create key) (Arc4.encrypt (Arc4.create key) msg) = msg);
+    Test.make ~count:20 ~name:"blowfish block inverse"
+      (pair (string_gen_of_size (Gen.int_range 1 56) Gen.char) (string_gen_of_size (Gen.return 8) Gen.char))
+      (fun (key, block) ->
+        assume (key <> "");
+        let t = Blowfish.create key in
+        Blowfish.decrypt_block t (Blowfish.encrypt_block t block) = block);
+    Test.make ~count:20 ~name:"rabin sign/verify" (string_gen Gen.char) (fun msg ->
+        Rabin.verify sk.Rabin.pub msg (Rabin.sign sk msg));
+    Test.make ~count:20 ~name:"rabin encrypt/decrypt"
+      (string_gen_of_size (Gen.int_range 0 20) Gen.char)
+      (fun msg -> Rabin.decrypt sk (Rabin.encrypt sk.Rabin.pub test_rng msg) = Some msg);
+    Test.make ~count:20 ~name:"hmac distinguishes keys"
+      (triple
+         (string_gen_of_size (Gen.return 20) Gen.char)
+         (string_gen_of_size (Gen.return 20) Gen.char)
+         (string_gen Gen.char))
+      (fun (k1, k2, msg) -> k1 = k2 || Mac.hmac ~key:k1 msg <> Mac.hmac ~key:k2 msg);
+    Test.make ~count:50 ~name:"prng random_below bound" (int_range 1 1_000_000) (fun bound ->
+        Prng.random_int test_rng bound < bound);
+  ]
+
+let test_srp_group_generation () =
+  (* Fresh (tiny) safe-prime group: p = 2q+1, p = 3 (mod 8), g = 2. *)
+  let g = Srp.generate_group srp_rng ~bits:48 in
+  let p = g.Srp.n in
+  Testkit.check_int "width" 48 (Nat.num_bits p);
+  Alcotest.(check (option int)) "p mod 8" (Some 3) (Nat.to_int_opt (Nat.rem p (Nat.of_int 8)));
+  let q = Nat.shift_right (Nat.sub p Nat.one) 1 in
+  let rand_bits b = Prng.random_nat srp_rng ~bits:b in
+  Testkit.check_bool "p prime" true (Sfs_bignum.Prime.is_probably_prime ~rand_bits p);
+  Testkit.check_bool "q prime" true (Sfs_bignum.Prime.is_probably_prime ~rand_bits q);
+  (* And the default group checks out too. *)
+  let d = Srp.default_group.Srp.n in
+  Testkit.check_int "default width" 512 (Nat.num_bits d);
+  Testkit.check_bool "default prime" true (Sfs_bignum.Prime.is_probably_prime ~rand_bits d)
+
+let suite =
+  ( "crypto",
+    [
+      Alcotest.test_case "sha1 vectors" `Quick test_sha1_vectors;
+      Alcotest.test_case "sha1 incremental" `Quick test_sha1_incremental;
+      Alcotest.test_case "sha1 duplication" `Quick test_sha1_paper_duplication;
+      Alcotest.test_case "hmac vectors" `Quick test_hmac_vectors;
+      Alcotest.test_case "traffic mac" `Quick test_mac_message;
+      Alcotest.test_case "arc4 vectors" `Quick test_arc4_vectors;
+      Alcotest.test_case "arc4 20-byte spin" `Quick test_arc4_spin;
+      Alcotest.test_case "blowfish vectors" `Quick test_blowfish_vectors;
+      Alcotest.test_case "blowfish cbc" `Quick test_blowfish_cbc;
+      Alcotest.test_case "eksblowfish" `Quick test_eksblowfish;
+      Alcotest.test_case "eksblowfish cost curve" `Slow test_eksblowfish_cost_curve;
+      Alcotest.test_case "prng" `Quick test_prng;
+      Alcotest.test_case "rabin keygen" `Quick test_rabin_keygen;
+      Alcotest.test_case "rabin sign/verify" `Quick test_rabin_sign_verify;
+      Alcotest.test_case "rabin tweak bits" `Quick test_rabin_tweaks;
+      Alcotest.test_case "rabin encryption" `Quick test_rabin_encrypt;
+      Alcotest.test_case "rabin hybrid blob" `Quick test_rabin_blob;
+      Alcotest.test_case "rabin pub serialization" `Quick test_rabin_pub_serialization;
+      Alcotest.test_case "srp agreement" `Quick test_srp_agreement;
+      Alcotest.test_case "srp wrong password" `Quick test_srp_wrong_password;
+      Alcotest.test_case "srp server proof" `Quick test_srp_server_proof;
+      Alcotest.test_case "srp degenerate values" `Quick test_srp_degenerate;
+      Alcotest.test_case "srp verifier leak" `Quick test_srp_verifier_no_password_equivalent;
+      Alcotest.test_case "srp group generation" `Slow test_srp_group_generation;
+    ]
+    @ Testkit.to_alcotest props )

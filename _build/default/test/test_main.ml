@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "sfs"
+    [
+      Test_util.suite;
+      Test_bignum.suite;
+      Test_crypto.suite;
+      Test_xdr.suite;
+      Test_net.suite;
+      Test_nfs.suite;
+      Test_memfs_model.suite;
+      Test_proto.suite;
+      Test_core.suite;
+      Test_workload.suite;
+      Test_integration.suite;
+    ]

@@ -1,0 +1,143 @@
+module Simclock = Sfs_net.Simclock
+module Simnet = Sfs_net.Simnet
+module Costmodel = Sfs_net.Costmodel
+
+let echo_service : Simnet.service = fun ~peer:_ -> fun msg -> "echo:" ^ msg
+
+let make_net () =
+  let clock = Simclock.create () in
+  let net = Simnet.create clock in
+  let h = Simnet.add_host net "server.example.com" in
+  Simnet.listen net h ~port:7 echo_service;
+  (clock, net, h)
+
+let test_basic_exchange () =
+  let _, net, _ = make_net () in
+  let c = Simnet.connect net ~from_host:"client" ~addr:"server.example.com" ~port:7 ~proto:Costmodel.Tcp in
+  Testkit.check_string "echo" "echo:hi" (Simnet.call c "hi");
+  let rpcs, sent, received = Simnet.stats c in
+  Testkit.check_int "rpcs" 1 rpcs;
+  Testkit.check_int "sent" 2 sent;
+  Testkit.check_int "received" 7 received
+
+let test_no_route () =
+  let _, net, _ = make_net () in
+  Alcotest.check_raises "unknown host" (Simnet.No_route "nowhere") (fun () ->
+      ignore (Simnet.connect net ~from_host:"c" ~addr:"nowhere" ~port:7 ~proto:Costmodel.Tcp));
+  Alcotest.check_raises "unknown port" (Simnet.No_route "server.example.com:99") (fun () ->
+      ignore (Simnet.connect net ~from_host:"c" ~addr:"server.example.com" ~port:99 ~proto:Costmodel.Tcp))
+
+let test_aliases () =
+  let _, net, h = make_net () in
+  Simnet.add_alias net h "10.0.0.1";
+  let c = Simnet.connect net ~from_host:"c" ~addr:"10.0.0.1" ~port:7 ~proto:Costmodel.Udp in
+  Testkit.check_string "alias works" "echo:x" (Simnet.call c "x");
+  Simnet.remove_host net "server.example.com";
+  Alcotest.check_raises "aliases removed too" (Simnet.No_route "10.0.0.1") (fun () ->
+      ignore (Simnet.connect net ~from_host:"c" ~addr:"10.0.0.1" ~port:7 ~proto:Costmodel.Udp))
+
+let test_timing () =
+  let clock, net, _ = make_net () in
+  let c = Simnet.connect net ~from_host:"c" ~addr:"server.example.com" ~port:7 ~proto:Costmodel.Udp in
+  let _, us = Simclock.time clock (fun () -> ignore (Simnet.call c "")) in
+  (* Null RPC over UDP: the paper's 200 us plus the tiny reply transfer. *)
+  Testkit.check_bool "null RPC ~200us" true (us >= 200.0 && us < 210.0);
+  (* 8 KB each way costs wire transfer time: ~200 + 2 * 8190/12 = 1565 us. *)
+  let big = Simnet.connect net ~from_host:"c" ~addr:"server.example.com" ~port:7 ~proto:Costmodel.Udp in
+  let _, us2 = Simclock.time clock (fun () -> ignore (Simnet.call big (String.make 8187 'x'))) in
+  Testkit.check_bool "8K transfer time" true (us2 > 1500.0 && us2 < 1650.0);
+  (* TCP costs more per RPC than UDP. *)
+  let tcp = Simnet.connect net ~from_host:"c" ~addr:"server.example.com" ~port:7 ~proto:Costmodel.Tcp in
+  let _, us3 = Simclock.time clock (fun () -> ignore (Simnet.call tcp "")) in
+  Testkit.check_bool "tcp slower" true (us3 > us)
+
+let test_tap_tamper () =
+  let _, net, _ = make_net () in
+  let tap = Simnet.passive_tap () in
+  tap.Simnet.on_message <-
+    (fun dir msg ->
+      if dir = Simnet.To_server && msg = "attack" then Simnet.Replace "tampered" else Simnet.Pass);
+  let c = Simnet.connect net ~from_host:"c" ~addr:"server.example.com" ~port:7 ~proto:Costmodel.Tcp in
+  Simnet.set_tap c (Some tap);
+  Testkit.check_string "tampered" "echo:tampered" (Simnet.call c "attack");
+  Testkit.check_string "passed" "echo:ok" (Simnet.call c "ok");
+  (* The tap observed all four messages. *)
+  Testkit.check_int "observed" 4 (List.length tap.Simnet.observed)
+
+let test_tap_drop () =
+  let _, net, _ = make_net () in
+  let tap = Simnet.passive_tap () in
+  tap.Simnet.on_message <- (fun _ _ -> Simnet.Drop);
+  let c = Simnet.connect net ~from_host:"c" ~addr:"server.example.com" ~port:7 ~proto:Costmodel.Tcp in
+  Simnet.set_tap c (Some tap);
+  Alcotest.check_raises "dropped" Simnet.Timeout (fun () -> ignore (Simnet.call c "x"))
+
+let test_replay_via_inject () =
+  (* A stateful service: the adversary can replay a recorded message
+     through [inject]; higher layers must defend themselves. *)
+  let clock = Simclock.create () in
+  let net = Simnet.create clock in
+  let h = Simnet.add_host net "s" in
+  let counter = ref 0 in
+  Simnet.listen net h ~port:1 (fun ~peer:_ ->
+      fun _msg ->
+        incr counter;
+        string_of_int !counter);
+  let c = Simnet.connect net ~from_host:"c" ~addr:"s" ~port:1 ~proto:Costmodel.Tcp in
+  let tap = Simnet.passive_tap () in
+  Simnet.set_tap c (Some tap);
+  ignore (Simnet.call c "deposit");
+  let recorded =
+    match List.rev tap.Simnet.observed with
+    | (Simnet.To_server, m) :: _ -> m
+    | _ -> Alcotest.fail "no capture"
+  in
+  ignore (Simnet.inject c recorded);
+  Testkit.check_int "replay reached the server" 2 !counter
+
+let test_closed_conn () =
+  let _, net, _ = make_net () in
+  let c = Simnet.connect net ~from_host:"c" ~addr:"server.example.com" ~port:7 ~proto:Costmodel.Tcp in
+  Simnet.close c;
+  Alcotest.check_raises "closed" Simnet.Timeout (fun () -> ignore (Simnet.call c "x"))
+
+let test_per_connection_state () =
+  (* Each connection gets its own handler closure. *)
+  let clock = Simclock.create () in
+  let net = Simnet.create clock in
+  let h = Simnet.add_host net "s" in
+  Simnet.listen net h ~port:1 (fun ~peer ->
+      let n = ref 0 in
+      fun _ ->
+        incr n;
+        Printf.sprintf "%s:%d" peer !n);
+  let c1 = Simnet.connect net ~from_host:"alice" ~addr:"s" ~port:1 ~proto:Costmodel.Tcp in
+  let c2 = Simnet.connect net ~from_host:"bob" ~addr:"s" ~port:1 ~proto:Costmodel.Tcp in
+  Testkit.check_string "c1 first" "alice:1" (Simnet.call c1 "");
+  Testkit.check_string "c2 has own state" "bob:1" (Simnet.call c2 "");
+  Testkit.check_string "c1 second" "alice:2" (Simnet.call c1 "")
+
+let test_clock () =
+  let clock = Simclock.create () in
+  Alcotest.(check (float 0.001)) "zero" 0.0 (Simclock.now_us clock);
+  Simclock.advance clock 1500.0;
+  Alcotest.(check (float 0.001)) "advanced" 1500.0 (Simclock.now_us clock);
+  Alcotest.(check (float 0.0001)) "seconds" 0.0015 (Simclock.now_s clock);
+  Testkit.check_int "whole seconds" 0 (Simclock.seconds clock);
+  Alcotest.check_raises "negative" (Invalid_argument "Simclock.advance: negative") (fun () ->
+      Simclock.advance clock (-1.0))
+
+let suite =
+  ( "net",
+    [
+      Alcotest.test_case "basic exchange" `Quick test_basic_exchange;
+      Alcotest.test_case "no route" `Quick test_no_route;
+      Alcotest.test_case "aliases" `Quick test_aliases;
+      Alcotest.test_case "cost model timing" `Quick test_timing;
+      Alcotest.test_case "adversary tamper" `Quick test_tap_tamper;
+      Alcotest.test_case "adversary drop" `Quick test_tap_drop;
+      Alcotest.test_case "adversary replay" `Quick test_replay_via_inject;
+      Alcotest.test_case "closed connection" `Quick test_closed_conn;
+      Alcotest.test_case "per-connection state" `Quick test_per_connection_state;
+      Alcotest.test_case "clock" `Quick test_clock;
+    ] )

@@ -1,0 +1,389 @@
+open Sfs_nfs
+open Nfs_types
+module Simos = Sfs_os.Simos
+module Simclock = Sfs_net.Simclock
+module Simnet = Sfs_net.Simnet
+module Costmodel = Sfs_net.Costmodel
+
+let now_fn clock () = time_of_us (Simclock.now_us clock)
+
+let setup () =
+  let clock = Simclock.create () in
+  let fs = Memfs.create ~now:(now_fn clock) () in
+  (clock, fs)
+
+let alice = { Simos.cred_uid = 1000; cred_gid = 1000; cred_groups = [ 1000 ] }
+let bob = { Simos.cred_uid = 1001; cred_gid = 1001; cred_groups = [ 1001 ] }
+let root = Simos.cred_of_user Simos.root_user
+
+let ok msg = function Ok v -> v | Error s -> Alcotest.fail (msg ^ ": " ^ status_to_string s)
+let expect_err msg want = function
+  | Error s when s = want -> ()
+  | Error s -> Alcotest.fail (Printf.sprintf "%s: got %s" msg (status_to_string s))
+  | Ok _ -> Alcotest.fail (msg ^ ": unexpectedly succeeded")
+
+(* --- Memfs --- *)
+
+let test_memfs_create_read_write () =
+  let _, fs = setup () in
+  let id, attr = ok "create" (Memfs.create_file fs root ~dir:Memfs.root_id "hello.txt" ~mode:0o644) in
+  Testkit.check_bool "regular" true (attr.ftype = NF_REG);
+  Testkit.check_int "empty" 0 attr.size;
+  let attr = ok "write" (Memfs.write fs root id ~off:0 "hello world") in
+  Testkit.check_int "size" 11 attr.size;
+  let data, eof = ok "read" (Memfs.read fs root id ~off:0 ~count:100) in
+  Testkit.check_string "contents" "hello world" data;
+  Testkit.check_bool "eof" true eof;
+  let data, eof = ok "partial" (Memfs.read fs root id ~off:6 ~count:3) in
+  Testkit.check_string "offset read" "wor" data;
+  Testkit.check_bool "not eof" false eof;
+  (* Sparse extension via write at offset. *)
+  let attr = ok "sparse" (Memfs.write fs root id ~off:20 "end") in
+  Testkit.check_int "extended" 23 attr.size;
+  let data, _ = ok "hole" (Memfs.read fs root id ~off:11 ~count:9) in
+  Testkit.check_string "zero filled" (String.make 9 '\000') data
+
+let test_memfs_lookup_and_dirs () =
+  let _, fs = setup () in
+  let d1, _ = ok "mkdir" (Memfs.mkdir fs root ~dir:Memfs.root_id "sub" ~mode:0o755) in
+  let f1, _ = ok "create" (Memfs.create_file fs root ~dir:d1 "f" ~mode:0o644) in
+  let id, attr = ok "lookup" (Memfs.lookup fs root ~dir:d1 "f") in
+  Testkit.check_int "same inode" f1 id;
+  Testkit.check_bool "file" true (attr.ftype = NF_REG);
+  expect_err "missing" NFS3ERR_NOENT (Memfs.lookup fs root ~dir:d1 "nope");
+  expect_err "not a dir" NFS3ERR_NOTDIR (Memfs.lookup fs root ~dir:f1 "x");
+  let entries = ok "readdir" (Memfs.readdir fs root d1) in
+  Alcotest.(check (list string)) "entries" [ "f" ] (List.map (fun e -> e.d_name) entries);
+  (* nlink accounting: root gains a link from the subdir. *)
+  let ra = ok "root attr" (Memfs.getattr fs Memfs.root_id) in
+  Testkit.check_int "root nlink" 3 ra.nlink
+
+let test_memfs_permissions () =
+  let _, fs = setup () in
+  let home, _ = ok "mkhome" (Memfs.mkdir fs root ~dir:Memfs.root_id "home" ~mode:0o777) in
+  let id, _ = ok "create" (Memfs.create_file fs alice ~dir:home "private" ~mode:0o600) in
+  ignore (ok "owner writes" (Memfs.write fs alice id ~off:0 "secret"));
+  expect_err "bob cannot read" NFS3ERR_ACCES (Memfs.read fs bob id ~off:0 ~count:10);
+  expect_err "bob cannot write" NFS3ERR_ACCES (Memfs.write fs bob id ~off:0 "x");
+  ignore (ok "root reads anyway" (Memfs.read fs root id ~off:0 ~count:10));
+  (* chmod by owner then group access *)
+  ignore (ok "chmod" (Memfs.setattr fs alice id { sattr_empty with set_mode = Some 0o644 }));
+  let data, _ = ok "bob reads now" (Memfs.read fs bob id ~off:0 ~count:10) in
+  Testkit.check_string "data" "secret" data;
+  expect_err "bob cannot chmod" NFS3ERR_PERM
+    (Memfs.setattr fs bob id { sattr_empty with set_mode = Some 0o777 });
+  expect_err "alice cannot chown" NFS3ERR_PERM
+    (Memfs.setattr fs alice id { sattr_empty with set_uid = Some 1001 });
+  (* Anonymous matches "other" bits. *)
+  ignore (ok "anon read on 644" (Memfs.read fs Simos.anonymous_cred id ~off:0 ~count:6));
+  ignore (ok "chmod 640" (Memfs.setattr fs alice id { sattr_empty with set_mode = Some 0o640 }));
+  expect_err "anon denied on 640" NFS3ERR_ACCES (Memfs.read fs Simos.anonymous_cred id ~off:0 ~count:6)
+
+let test_memfs_remove_rename () =
+  let _, fs = setup () in
+  let _, _ = ok "create" (Memfs.create_file fs root ~dir:Memfs.root_id "a" ~mode:0o644) in
+  let d, _ = ok "mkdir" (Memfs.mkdir fs root ~dir:Memfs.root_id "d" ~mode:0o755) in
+  expect_err "rmdir on file" NFS3ERR_NOTDIR (Memfs.rmdir fs root ~dir:Memfs.root_id "a");
+  expect_err "remove on dir" NFS3ERR_ISDIR (Memfs.remove fs root ~dir:Memfs.root_id "d");
+  ignore (ok "rename" (Memfs.rename fs root ~from_dir:Memfs.root_id ~from_name:"a" ~to_dir:d ~to_name:"b"));
+  expect_err "old name gone" NFS3ERR_NOENT (Memfs.lookup fs root ~dir:Memfs.root_id "a");
+  ignore (ok "new name" (Memfs.lookup fs root ~dir:d "b"));
+  expect_err "rmdir non-empty" NFS3ERR_NOTEMPTY (Memfs.rmdir fs root ~dir:Memfs.root_id "d");
+  ignore (ok "remove file" (Memfs.remove fs root ~dir:d "b"));
+  ignore (ok "rmdir now" (Memfs.rmdir fs root ~dir:Memfs.root_id "d"));
+  expect_err "dir gone" NFS3ERR_NOENT (Memfs.lookup fs root ~dir:Memfs.root_id "d")
+
+let test_memfs_links_and_symlinks () =
+  let _, fs = setup () in
+  let f, _ = ok "create" (Memfs.create_file fs root ~dir:Memfs.root_id "orig" ~mode:0o644) in
+  ignore (ok "write" (Memfs.write fs root f ~off:0 "shared"));
+  let attr = ok "link" (Memfs.link fs root ~target:f ~dir:Memfs.root_id "hard") in
+  Testkit.check_int "nlink 2" 2 attr.nlink;
+  ignore (ok "remove orig" (Memfs.remove fs root ~dir:Memfs.root_id "orig"));
+  let id, attr = ok "lookup hard" (Memfs.lookup fs root ~dir:Memfs.root_id "hard") in
+  Testkit.check_int "nlink 1" 1 attr.nlink;
+  let data, _ = ok "data survives" (Memfs.read fs root id ~off:0 ~count:10) in
+  Testkit.check_string "shared data" "shared" data;
+  let s, _ = ok "symlink" (Memfs.symlink fs root ~dir:Memfs.root_id "sym" ~target:"/sfs/somewhere") in
+  Testkit.check_string "readlink" "/sfs/somewhere" (ok "readlink" (Memfs.readlink fs root s));
+  expect_err "readlink on file" NFS3ERR_INVAL (Memfs.readlink fs root id)
+
+let test_memfs_truncate () =
+  let _, fs = setup () in
+  let f, _ = ok "create" (Memfs.create_file fs root ~dir:Memfs.root_id "t" ~mode:0o644) in
+  ignore (ok "write" (Memfs.write fs root f ~off:0 "0123456789"));
+  let a = ok "shrink" (Memfs.setattr fs root f { sattr_empty with set_size = Some 4 }) in
+  Testkit.check_int "shrunk" 4 a.size;
+  let data, _ = ok "read" (Memfs.read fs root f ~off:0 ~count:10) in
+  Testkit.check_string "truncated" "0123" data;
+  let a = ok "grow" (Memfs.setattr fs root f { sattr_empty with set_size = Some 8 }) in
+  Testkit.check_int "grown" 8 a.size;
+  let data, _ = ok "read2" (Memfs.read fs root f ~off:0 ~count:10) in
+  Testkit.check_string "zero pad" "0123\000\000\000\000" data
+
+let test_memfs_read_only () =
+  let _, fs = setup () in
+  let f, _ = ok "create" (Memfs.create_file fs root ~dir:Memfs.root_id "x" ~mode:0o644) in
+  Memfs.set_read_only fs true;
+  expect_err "write on rofs" NFS3ERR_ROFS (Memfs.write fs root f ~off:0 "y");
+  expect_err "create on rofs" NFS3ERR_ROFS (Memfs.create_file fs root ~dir:Memfs.root_id "z" ~mode:0o644);
+  ignore (ok "read ok" (Memfs.read fs root f ~off:0 ~count:1))
+
+let test_memfs_bad_names () =
+  let _, fs = setup () in
+  List.iter
+    (fun name ->
+      expect_err ("name " ^ name) NFS3ERR_INVAL
+        (Memfs.create_file fs root ~dir:Memfs.root_id name ~mode:0o644))
+    [ ""; "."; ".."; "a/b" ];
+  expect_err "long name" NFS3ERR_NAMETOOLONG
+    (Memfs.create_file fs root ~dir:Memfs.root_id (String.make 300 'n') ~mode:0o644)
+
+(* --- Disk model --- *)
+
+let test_diskmodel_caching () =
+  let clock = Simclock.create () in
+  let disk = Diskmodel.create clock in
+  (* First read misses (positioning + transfer); repeat hits (memcpy). *)
+  let _, cold = Simclock.time clock (fun () -> Diskmodel.read disk ~fileid:1 ~off:0 ~bytes:8192) in
+  let _, warm = Simclock.time clock (fun () -> Diskmodel.read disk ~fileid:1 ~off:0 ~bytes:8192) in
+  Testkit.check_bool "cold read costs positioning" true (cold > 8000.0);
+  Testkit.check_bool "warm read is memcpy" true (warm < 100.0);
+  (* Sequential read amortizes positioning. *)
+  let _, seq = Simclock.time clock (fun () -> Diskmodel.read disk ~fileid:1 ~off:8192 ~bytes:8192) in
+  Testkit.check_bool "sequential cheap" true (seq < 1000.0)
+
+let test_diskmodel_writes () =
+  let clock = Simclock.create () in
+  let disk = Diskmodel.create clock in
+  let _, async = Simclock.time clock (fun () -> Diskmodel.write disk ~fileid:1 ~off:0 ~bytes:8192 ~stable:false) in
+  Testkit.check_bool "async write cheap" true (async < 100.0);
+  let _, sync = Simclock.time clock (fun () -> Diskmodel.write disk ~fileid:2 ~off:0 ~bytes:8192 ~stable:true) in
+  Testkit.check_bool "sync write costs positioning" true (sync > 8000.0);
+  (* Flush pays for the dirty block. *)
+  let _, flush = Simclock.time clock (fun () -> Diskmodel.flush disk ~fileid:1 ()) in
+  Testkit.check_bool "flush writes back" true (flush > 8000.0);
+  let _, reflush = Simclock.time clock (fun () -> Diskmodel.flush disk ~fileid:1 ()) in
+  Testkit.check_bool "second flush free" true (reflush < 1.0)
+
+(* --- NFS server + client over the simulated network --- *)
+
+let make_network_fs () =
+  let clock = Simclock.create () in
+  let net = Simnet.create clock in
+  let host = Simnet.add_host net "nfs.example.com" in
+  let fs = Memfs.create ~now:(now_fn clock) () in
+  let disk = Diskmodel.create clock in
+  let backend = Memfs_ops.make ~fs ~disk in
+  let server = Nfs_server.create backend in
+  Simnet.listen net host ~port:2049 (Nfs_server.service server);
+  (clock, net, fs, server)
+
+let test_nfs_end_to_end () =
+  let _, net, _, _ = make_network_fs () in
+  let ops = Nfs_client.mount net ~from_host:"client" ~addr:"nfs.example.com" ~proto:Costmodel.Udp ~cred:root in
+  let dir, _ = ok "mkdir" (ops.Fs_intf.fs_mkdir root ~dir:ops.Fs_intf.fs_root "docs" ~mode:0o755) in
+  let f, _ = ok "create" (ops.Fs_intf.fs_create root ~dir "paper.txt" ~mode:0o644) in
+  ignore (ok "write" (ops.Fs_intf.fs_write root f ~off:0 ~stable:false "self-certifying"));
+  let data, eof, attr = ok "read" (ops.Fs_intf.fs_read root f ~off:0 ~count:100) in
+  Testkit.check_string "data" "self-certifying" data;
+  Testkit.check_bool "eof" true eof;
+  Testkit.check_int "attr size" 15 attr.size;
+  let h2, _ = ok "lookup" (ops.Fs_intf.fs_lookup root ~dir "paper.txt") in
+  Testkit.check_string "same fh" f h2;
+  let entries = ok "readdir" (ops.Fs_intf.fs_readdir root dir) in
+  Alcotest.(check (list string)) "names" [ "paper.txt" ] (List.map (fun e -> e.d_name) entries);
+  expect_err "enoent over wire" NFS3ERR_NOENT (ops.Fs_intf.fs_lookup root ~dir "missing");
+  ignore (ok "remove" (ops.Fs_intf.fs_remove root ~dir "paper.txt"));
+  expect_err "gone" NFS3ERR_NOENT (ops.Fs_intf.fs_lookup root ~dir "paper.txt")
+
+let test_nfs_credentials_cross_wire () =
+  let _, net, _, _ = make_network_fs () in
+  let ops = Nfs_client.mount net ~from_host:"client" ~addr:"nfs.example.com" ~proto:Costmodel.Udp ~cred:root in
+  let home, _ = ok "mkhome" (ops.Fs_intf.fs_mkdir root ~dir:ops.Fs_intf.fs_root "home" ~mode:0o777) in
+  let f, _ = ok "create" (ops.Fs_intf.fs_create alice ~dir:home "mine" ~mode:0o600) in
+  ignore (ok "alice writes" (ops.Fs_intf.fs_write alice f ~off:0 ~stable:false "private"));
+  expect_err "bob denied over wire" NFS3ERR_ACCES (ops.Fs_intf.fs_read bob f ~off:0 ~count:10);
+  (* The classic NFS weakness our attack demo exploits: nothing stops a
+     client from claiming alice's uid. *)
+  let fake_alice = { Simos.cred_uid = 1000; cred_gid = 1000; cred_groups = [] } in
+  ignore (ok "forged credential accepted" (ops.Fs_intf.fs_read fake_alice f ~off:0 ~count:10))
+
+let test_nfs_bad_handle () =
+  let _, net, _, _ = make_network_fs () in
+  let ops = Nfs_client.mount net ~from_host:"client" ~addr:"nfs.example.com" ~proto:Costmodel.Udp ~cred:root in
+  expect_err "bad handle" NFS3ERR_BADHANDLE (ops.Fs_intf.fs_getattr root "bogus");
+  expect_err "stale id" NFS3ERR_STALE (ops.Fs_intf.fs_getattr root "nfs3:99999")
+
+let test_nfs_garbage_resilience () =
+  (* The server must answer something parseable to arbitrary bytes. *)
+  let _, net, _, _ = make_network_fs () in
+  let conn = Simnet.connect net ~from_host:"x" ~addr:"nfs.example.com" ~port:2049 ~proto:Costmodel.Udp in
+  let reply = Simnet.call conn "total garbage" in
+  match Sfs_xdr.Sunrpc.msg_of_string reply with
+  | Ok (Sfs_xdr.Sunrpc.Reply _) -> ()
+  | _ -> Alcotest.fail "server crashed on garbage"
+
+(* --- Cachefs --- *)
+
+let test_cachefs_attr_cache () =
+  let clock, net, _, server = make_network_fs () in
+  let ops = Nfs_client.mount net ~from_host:"client" ~addr:"nfs.example.com" ~proto:Costmodel.Udp ~cred:root in
+  let cache = Cachefs.create ~clock ~policy:Cachefs.nfs_policy ops in
+  let cops = Cachefs.ops cache in
+  let f, _ = ok "create" (cops.Fs_intf.fs_create root ~dir:cops.Fs_intf.fs_root "f" ~mode:0o644) in
+  (* Create primes the attribute cache; getattrs then bypass the server. *)
+  let calls1 = Nfs_server.calls server in
+  ignore (ok "getattr1" (cops.Fs_intf.fs_getattr root f));
+  ignore (ok "getattr2" (cops.Fs_intf.fs_getattr root f));
+  ignore (ok "getattr3" (cops.Fs_intf.fs_getattr root f));
+  Testkit.check_int "cached getattrs hit no server" calls1 (Nfs_server.calls server);
+  (* After the TTL expires the attribute is refetched. *)
+  Simclock.advance clock 4_000_000.0;
+  ignore (ok "getattr4" (cops.Fs_intf.fs_getattr root f));
+  Testkit.check_bool "ttl expiry refetches" true (Nfs_server.calls server > calls1)
+
+let test_cachefs_data_cache () =
+  let clock, net, _, server = make_network_fs () in
+  let ops = Nfs_client.mount net ~from_host:"client" ~addr:"nfs.example.com" ~proto:Costmodel.Udp ~cred:root in
+  let cache = Cachefs.create ~clock ~policy:Cachefs.nfs_policy ops in
+  let cops = Cachefs.ops cache in
+  let f, _ = ok "create" (cops.Fs_intf.fs_create root ~dir:cops.Fs_intf.fs_root "data" ~mode:0o644) in
+  let block = String.make 8192 'd' in
+  ignore (ok "write" (cops.Fs_intf.fs_write root f ~off:0 ~stable:false block));
+  let calls = Nfs_server.calls server in
+  let data, _, _ = ok "read" (cops.Fs_intf.fs_read root f ~off:0 ~count:8192) in
+  Testkit.check_string "contents" block data;
+  Testkit.check_int "served from cache" calls (Nfs_server.calls server)
+
+let test_cachefs_lease_invalidation () =
+  (* SFS-style: an invalidation delivered through the queue drops the
+     cache entry before its TTL. *)
+  let clock, net, _, _ = make_network_fs () in
+  let ops = Nfs_client.mount net ~from_host:"client" ~addr:"nfs.example.com" ~proto:Costmodel.Udp ~cred:root in
+  let queue = ref [] in
+  let cache =
+    Cachefs.create
+      ~take_invalidations:(fun () ->
+        let q = !queue in
+        queue := [];
+        q)
+      ~clock ~policy:Cachefs.sfs_policy ops
+  in
+  let cops = Cachefs.ops cache in
+  let f, _ = ok "create" (cops.Fs_intf.fs_create root ~dir:cops.Fs_intf.fs_root "shared" ~mode:0o644) in
+  ignore (ok "prime" (cops.Fs_intf.fs_getattr root f));
+  (* Another client writes through the uncached ops... *)
+  ignore (ok "foreign write" (ops.Fs_intf.fs_write root f ~off:0 ~stable:false "v2"));
+  (* ...the server queues an invalidation; once drained, the next
+     getattr refetches and sees the new size. *)
+  queue := [ f ];
+  let a = ok "getattr sees update" (cops.Fs_intf.fs_getattr root f) in
+  Testkit.check_int "fresh size" 2 a.size
+
+let test_cachefs_hit_permissions () =
+  (* Regression: a shared cache must not let one user's hits bypass
+     another user's permission checks (the section 5.1 hazard). *)
+  let clock, net, _, _ = make_network_fs () in
+  let ops = Nfs_client.mount net ~from_host:"client" ~addr:"nfs.example.com" ~proto:Costmodel.Udp ~cred:root in
+  let cache = Cachefs.create ~clock ~policy:Cachefs.sfs_policy ops in
+  let cops = Cachefs.ops cache in
+  let dir, _ = ok "mkdir" (cops.Fs_intf.fs_mkdir root ~dir:cops.Fs_intf.fs_root "locked" ~mode:0o700) in
+  let f, _ = ok "create" (cops.Fs_intf.fs_create root ~dir "secret" ~mode:0o600) in
+  ignore (ok "write" (cops.Fs_intf.fs_write root f ~off:0 ~stable:false "classified"));
+  (* Prime the caches as root. *)
+  ignore (ok "prime lookup" (cops.Fs_intf.fs_lookup root ~dir "secret"));
+  ignore (ok "prime read" (cops.Fs_intf.fs_read root f ~off:0 ~count:100));
+  (* alice now asks through the same cache. *)
+  expect_err "cached lookup checks exec" NFS3ERR_ACCES (cops.Fs_intf.fs_lookup alice ~dir "secret");
+  expect_err "cached read checks read bits" NFS3ERR_ACCES (cops.Fs_intf.fs_read alice f ~off:0 ~count:100)
+
+let test_cachefs_negative_lookup () =
+  let clock, net, _, server = make_network_fs () in
+  let ops = Nfs_client.mount net ~from_host:"client" ~addr:"nfs.example.com" ~proto:Costmodel.Udp ~cred:root in
+  (* Under leases (stamp attrs with a lease via a fake wrapping). *)
+  let stamped =
+    { ops with
+      Fs_intf.fs_getattr = (fun c h -> Result.map (fun a -> { a with lease = 60 }) (ops.Fs_intf.fs_getattr c h));
+      Fs_intf.fs_lookup =
+        (fun c ~dir n -> Result.map (fun (h, a) -> (h, { a with lease = 60 })) (ops.Fs_intf.fs_lookup c ~dir n));
+    }
+  in
+  let cache = Cachefs.create ~clock ~policy:Cachefs.sfs_policy stamped in
+  let cops = Cachefs.ops cache in
+  (* Prime the directory attributes so the negative entry gets a lease. *)
+  ignore (ok "prime" (cops.Fs_intf.fs_getattr root cops.Fs_intf.fs_root));
+  expect_err "first miss" NFS3ERR_NOENT (cops.Fs_intf.fs_lookup root ~dir:cops.Fs_intf.fs_root "ghost");
+  let calls = Nfs_server.calls server in
+  expect_err "second miss cached" NFS3ERR_NOENT
+    (cops.Fs_intf.fs_lookup root ~dir:cops.Fs_intf.fs_root "ghost");
+  Testkit.check_int "no server trip for cached negative" calls (Nfs_server.calls server);
+  (* Creating the name must clear the negative entry. *)
+  ignore (ok "create" (cops.Fs_intf.fs_create root ~dir:cops.Fs_intf.fs_root "ghost" ~mode:0o644));
+  ignore (ok "now found" (cops.Fs_intf.fs_lookup root ~dir:cops.Fs_intf.fs_root "ghost"));
+  (* NFS policy: negatives are never cached. *)
+  let cache2 = Cachefs.create ~clock ~policy:Cachefs.nfs_policy ops in
+  let cops2 = Cachefs.ops cache2 in
+  expect_err "miss" NFS3ERR_NOENT (cops2.Fs_intf.fs_lookup root ~dir:cops2.Fs_intf.fs_root "phantom");
+  let calls2 = Nfs_server.calls server in
+  expect_err "miss again" NFS3ERR_NOENT (cops2.Fs_intf.fs_lookup root ~dir:cops2.Fs_intf.fs_root "phantom");
+  Testkit.check_bool "nfs policy refetches negatives" true (Nfs_server.calls server > calls2)
+
+let cache_read_equivalence =
+  (* Property: reads through the cache agree with direct reads for
+     arbitrary offsets and sizes, across interleaved writes. *)
+  QCheck.Test.make ~count:100 ~name:"cachefs reads agree with backing store"
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_range 1 12)
+           (pair (int_range 0 30000) (string_gen_of_size (QCheck.Gen.int_range 1 500) QCheck.Gen.char)))
+        (list_of_size (QCheck.Gen.int_range 1 12) (pair (int_range 0 32000) (int_range 0 9000))))
+    (fun (writes, reads) ->
+      let clock = Simclock.create () in
+      let fs = Memfs.create ~now:(now_fn clock) () in
+      let disk = Diskmodel.create clock in
+      let backing = Memfs_ops.make ~fs ~disk in
+      let cache = Cachefs.create ~clock ~policy:Cachefs.sfs_policy backing in
+      let cops = Cachefs.ops cache in
+      let f, _ =
+        match cops.Fs_intf.fs_create root ~dir:cops.Fs_intf.fs_root "blob" ~mode:0o644 with
+        | Ok v -> v
+        | Error _ -> QCheck.assume_fail ()
+      in
+      List.iter
+        (fun (off, data) -> ignore (cops.Fs_intf.fs_write root f ~off ~stable:false data))
+        writes;
+      List.for_all
+        (fun (off, count) ->
+          let via_cache = cops.Fs_intf.fs_read root f ~off ~count in
+          let direct = backing.Fs_intf.fs_read root f ~off ~count in
+          match (via_cache, direct) with
+          | Ok (a, ea, _), Ok (b, eb, _) -> a = b && ea = eb
+          | Error _, Error _ -> true
+          | _ -> false)
+        reads)
+
+let suite =
+  ( "nfs",
+    [
+      Alcotest.test_case "memfs create/read/write" `Quick test_memfs_create_read_write;
+      Alcotest.test_case "memfs lookup and dirs" `Quick test_memfs_lookup_and_dirs;
+      Alcotest.test_case "memfs permissions" `Quick test_memfs_permissions;
+      Alcotest.test_case "memfs remove/rename" `Quick test_memfs_remove_rename;
+      Alcotest.test_case "memfs links" `Quick test_memfs_links_and_symlinks;
+      Alcotest.test_case "memfs truncate" `Quick test_memfs_truncate;
+      Alcotest.test_case "memfs read-only" `Quick test_memfs_read_only;
+      Alcotest.test_case "memfs bad names" `Quick test_memfs_bad_names;
+      Alcotest.test_case "diskmodel caching" `Quick test_diskmodel_caching;
+      Alcotest.test_case "diskmodel writes" `Quick test_diskmodel_writes;
+      Alcotest.test_case "nfs end to end" `Quick test_nfs_end_to_end;
+      Alcotest.test_case "nfs credentials" `Quick test_nfs_credentials_cross_wire;
+      Alcotest.test_case "nfs bad handles" `Quick test_nfs_bad_handle;
+      Alcotest.test_case "nfs garbage resilience" `Quick test_nfs_garbage_resilience;
+      Alcotest.test_case "cachefs attributes" `Quick test_cachefs_attr_cache;
+      Alcotest.test_case "cachefs data" `Quick test_cachefs_data_cache;
+      Alcotest.test_case "cachefs lease invalidation" `Quick test_cachefs_lease_invalidation;
+      Alcotest.test_case "cachefs hit permissions" `Quick test_cachefs_hit_permissions;
+      Alcotest.test_case "cachefs negative lookups" `Quick test_cachefs_negative_lookup;
+    ]
+    @ Testkit.to_alcotest [ cache_read_equivalence ] )

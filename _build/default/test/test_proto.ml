@@ -1,0 +1,343 @@
+open Sfs_proto
+module Rabin = Sfs_crypto.Rabin
+module Prng = Sfs_crypto.Prng
+module Simclock = Sfs_net.Simclock
+
+let rng = Prng.create [ "proto-test" ]
+let server_key = lazy (Rabin.generate ~bits:512 rng)
+let temp_key = lazy (Rabin.generate ~bits:512 rng)
+
+(* --- HostID --- *)
+
+let test_hostid () =
+  let sk = Lazy.force server_key in
+  let hostid = Hostid.of_location_key ~location:"sfs.lcs.mit.edu" ~pubkey:sk.Rabin.pub in
+  Testkit.check_int "20 bytes" 20 (String.length hostid);
+  Testkit.check_int "base32 width" 32 (String.length (Hostid.to_base32 hostid));
+  Alcotest.(check (option string)) "roundtrip" (Some hostid) (Hostid.of_base32 (Hostid.to_base32 hostid));
+  Testkit.check_bool "check" true (Hostid.check ~location:"sfs.lcs.mit.edu" ~pubkey:sk.Rabin.pub ~hostid);
+  (* Location binding: same key under another name is a different HostID. *)
+  Testkit.check_bool "location bound" false
+    (Hostid.check ~location:"evil.example.com" ~pubkey:sk.Rabin.pub ~hostid);
+  (* Key binding. *)
+  let other = Lazy.force temp_key in
+  Testkit.check_bool "key bound" false
+    (Hostid.check ~location:"sfs.lcs.mit.edu" ~pubkey:other.Rabin.pub ~hostid);
+  Testkit.check_bool "bad base32" true (Hostid.of_base32 "shorty" = None)
+
+(* --- Key negotiation --- *)
+
+let run_negotiation ?(tamper_pubkey = false) () =
+  let sk = Lazy.force server_key in
+  let tk = Lazy.force temp_key in
+  let location = "server.example.com" in
+  let hostid = Hostid.of_location_key ~location ~pubkey:sk.Rabin.pub in
+  let server_keys = ref None in
+  let exchange msg =
+    (* A miniature server loop answering the two negotiation steps. *)
+    match Sfs_xdr.Xdr.run msg Keyneg.dec_connect_req with
+    | Ok _ ->
+        let pub = if tamper_pubkey then (Lazy.force temp_key).Rabin.pub else sk.Rabin.pub in
+        Sfs_xdr.Xdr.encode Keyneg.enc_connect_res (Keyneg.Connect_ok { pubkey = pub })
+    | Result.Error _ -> (
+        match Keyneg.server_negotiate ~rng ~server_key:sk msg with
+        | Ok (keys, response) ->
+            server_keys := Some keys;
+            response
+        | Result.Error e -> Alcotest.fail e)
+  in
+  let result =
+    Keyneg.client_negotiate ~rng ~temp_key:tk ~location ~hostid ~service:Keyneg.Fs exchange
+  in
+  (result, !server_keys)
+
+let test_keyneg_agreement () =
+  let result, server_keys = run_negotiation () in
+  match server_keys with
+  | None -> Alcotest.fail "server never negotiated"
+  | Some sk ->
+      Testkit.check_string "kcs" (Sfs_util.Hex.encode sk.Keyneg.kcs)
+        (Sfs_util.Hex.encode result.Keyneg.keys.Keyneg.kcs);
+      Testkit.check_string "ksc" (Sfs_util.Hex.encode sk.Keyneg.ksc)
+        (Sfs_util.Hex.encode result.Keyneg.keys.Keyneg.ksc);
+      Testkit.check_string "session id" (Sfs_util.Hex.encode sk.Keyneg.session_id)
+        (Sfs_util.Hex.encode result.Keyneg.keys.Keyneg.session_id);
+      Testkit.check_bool "directional keys differ" false (sk.Keyneg.kcs = sk.Keyneg.ksc)
+
+let test_keyneg_wrong_key_rejected () =
+  (* A man-in-the-middle substituting its own public key fails the
+     HostID check — the defining property of self-certifying names. *)
+  match run_negotiation ~tamper_pubkey:true () with
+  | exception Keyneg.Negotiation_failed msg ->
+      Testkit.check_bool "failure reported" true (String.length msg > 0)
+  | _ -> Alcotest.fail "accepted a wrong public key"
+
+(* --- Secure channel --- *)
+
+let make_channel_pair ?(encrypt = true) () =
+  let kcs = String.make 20 'a' and ksc = String.make 20 'b' in
+  let client = Channel.create ~encrypt ~send_key:kcs ~recv_key:ksc () in
+  let server = Channel.create ~encrypt ~send_key:ksc ~recv_key:kcs () in
+  (client, server)
+
+let test_channel_roundtrip () =
+  let client, server = make_channel_pair () in
+  List.iter
+    (fun msg ->
+      let wire = Channel.seal client msg in
+      Testkit.check_bool "ciphertext differs" true (wire <> msg || msg = "");
+      Testkit.check_string "delivered" msg (Channel.open_ server wire);
+      (* And the reverse direction. *)
+      let wire2 = Channel.seal server ("reply to " ^ msg) in
+      Testkit.check_string "reply" ("reply to " ^ msg) (Channel.open_ client wire2))
+    [ "hello"; ""; String.make 10000 'z'; "\x00\x01\x02" ]
+
+let test_channel_tamper () =
+  let client, server = make_channel_pair () in
+  let wire = Channel.seal client "important message" in
+  let tampered = Bytes.of_string wire in
+  Bytes.set tampered 5 (Char.chr (Char.code (Bytes.get tampered 5) lxor 0x01));
+  Alcotest.check_raises "tampered" Channel.Integrity_failure (fun () ->
+      ignore (Channel.open_ server (Bytes.to_string tampered)))
+
+let test_channel_replay () =
+  let client, server = make_channel_pair () in
+  let wire = Channel.seal client "pay $100" in
+  Testkit.check_string "first ok" "pay $100" (Channel.open_ server wire);
+  (* Replaying the identical ciphertext desynchronizes the stream. *)
+  Alcotest.check_raises "replay" Channel.Integrity_failure (fun () ->
+      ignore (Channel.open_ server wire))
+
+let test_channel_reorder () =
+  let client, server = make_channel_pair () in
+  let w1 = Channel.seal client "first" in
+  let w2 = Channel.seal client "second" in
+  Alcotest.check_raises "reorder" Channel.Integrity_failure (fun () ->
+      ignore (Channel.open_ server w2));
+  (* After a failure the stream is poisoned: even the valid message
+     fails (the connection must be torn down, as in SFS). *)
+  Alcotest.check_raises "poisoned" Channel.Integrity_failure (fun () ->
+      ignore (Channel.open_ server w1))
+
+let test_channel_no_encryption_still_macs () =
+  let client, server = make_channel_pair ~encrypt:false () in
+  let wire = Channel.seal client "plaintext mode" in
+  let contains hay needle =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Testkit.check_bool "actually plaintext" true (contains wire "plaintext mode");
+  Testkit.check_string "delivered" "plaintext mode" (Channel.open_ server wire);
+  let tampered = "X" ^ String.sub wire 1 (String.length wire - 1) in
+  Alcotest.check_raises "still tamper-proof" Channel.Integrity_failure (fun () ->
+      ignore (Channel.open_ server tampered))
+
+let test_channel_charges_crypto_time () =
+  let clock = Simclock.create () in
+  let kcs = String.make 20 'k' in
+  let ch = Channel.create ~clock ~send_key:kcs ~recv_key:kcs () in
+  let _, us = Simclock.time clock (fun () -> ignore (Channel.seal ch (String.make 8192 'x'))) in
+  (* 10 us fixed + 8192 * 0.128 = ~1059 us, charged at the sender *)
+  Testkit.check_bool "crypto time charged" true (us > 900.0 && us < 1200.0);
+  let ch2 = Channel.create ~encrypt:false ~clock ~send_key:kcs ~recv_key:kcs () in
+  let _, us2 = Simclock.time clock (fun () -> ignore (Channel.seal ch2 (String.make 8192 'x'))) in
+  Alcotest.(check (float 0.001)) "no charge without encryption" 0.0 us2
+
+(* --- Auth protocol --- *)
+
+let user_key = lazy (Rabin.generate ~bits:512 rng)
+
+let test_auth_roundtrip () =
+  let uk = Lazy.force user_key in
+  let info =
+    {
+      Authproto.service = "FS";
+      location = "server.example.com";
+      hostid = String.make 20 'h';
+      session_id = String.make 20 's';
+    }
+  in
+  let authid = Authproto.authid_of info in
+  let msg = Authproto.make_authmsg ~key:uk info ~seqno:7 in
+  Testkit.check_bool "validates" true (Authproto.validate_authmsg msg ~authid ~seqno:7);
+  Testkit.check_bool "wrong seqno" false (Authproto.validate_authmsg msg ~authid ~seqno:8);
+  Testkit.check_bool "wrong authid" false
+    (Authproto.validate_authmsg msg ~authid:(String.make 20 'x') ~seqno:7);
+  (* Serialization roundtrip. *)
+  match Authproto.authmsg_of_string (Authproto.authmsg_to_string msg) with
+  | Some msg' -> Testkit.check_bool "serialized validates" true (Authproto.validate_authmsg msg' ~authid ~seqno:7)
+  | None -> Alcotest.fail "authmsg roundtrip"
+
+let test_auth_session_binding () =
+  (* An AuthID binds the session: the same user signing for another
+     session produces a different AuthID, so a stolen request does not
+     transplant. *)
+  let mk session_id =
+    Authproto.authid_of
+      { Authproto.service = "FS"; location = "l"; hostid = String.make 20 'h'; session_id }
+  in
+  Testkit.check_bool "session bound" false (mk (String.make 20 '1') = mk (String.make 20 '2'))
+
+let test_auth_audit_trail () =
+  let uk = Lazy.force user_key in
+  let audited = ref [] in
+  let info =
+    { Authproto.service = "FS"; location = "srv"; hostid = String.make 20 'h'; session_id = String.make 20 's' }
+  in
+  ignore (Authproto.make_authmsg ~audit:(fun i -> audited := i :: !audited) ~key:uk info ~seqno:1);
+  Testkit.check_int "audit recorded" 1 (List.length !audited)
+
+let test_seq_window () =
+  let w = Authproto.make_window () in
+  Testkit.check_bool "first" true (Authproto.window_accept w 5);
+  Testkit.check_bool "replay" false (Authproto.window_accept w 5);
+  Testkit.check_bool "forward" true (Authproto.window_accept w 10);
+  (* Out-of-order within the window is accepted once (footnote 4). *)
+  Testkit.check_bool "out of order" true (Authproto.window_accept w 7);
+  Testkit.check_bool "out of order replay" false (Authproto.window_accept w 7);
+  Testkit.check_bool "far future" true (Authproto.window_accept w 1000);
+  Testkit.check_bool "far past rejected" false (Authproto.window_accept w 10);
+  Testkit.check_bool "negative" false (Authproto.window_accept w (-1))
+
+let seq_window_prop =
+  QCheck.Test.make ~count:200 ~name:"window accepts each seqno at most once"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 100) (int_range 0 200))
+    (fun seqnos ->
+      let w = Authproto.make_window () in
+      let accepted = Hashtbl.create 16 in
+      List.for_all
+        (fun s ->
+          let r = Authproto.window_accept w s in
+          if r && Hashtbl.mem accepted s then false (* double accept: bug *)
+          else begin
+            if r then Hashtbl.replace accepted s ();
+            true
+          end)
+        seqnos)
+
+(* --- Leases --- *)
+
+let test_leases () =
+  let clock = Simclock.create () in
+  let reg = Lease.create ~lease_s:60 clock in
+  let c1 = Lease.register_conn reg in
+  let c2 = Lease.register_conn reg in
+  Lease.grant reg ~conn:c1 "fh-a";
+  Lease.grant reg ~conn:c2 "fh-a";
+  (* c1 mutates: only c2 gets the callback. *)
+  Lease.invalidate reg ~by:c1 "fh-a";
+  Alcotest.(check (list string)) "c2 invalidated" [ "fh-a" ] (Lease.take reg c2);
+  Alcotest.(check (list string)) "c1 not notified of own write" [] (Lease.take reg c1);
+  Alcotest.(check (list string)) "queue drained" [] (Lease.take reg c2)
+
+let test_lease_expiry () =
+  let clock = Simclock.create () in
+  let reg = Lease.create ~lease_s:60 clock in
+  let c1 = Lease.register_conn reg in
+  let c2 = Lease.register_conn reg in
+  Lease.grant reg ~conn:c2 "fh-b";
+  (* After the lease expires no callback is needed. *)
+  Simclock.advance clock 61_000_000.0;
+  Lease.invalidate reg ~by:c1 "fh-b";
+  Alcotest.(check (list string)) "expired lease not notified" [] (Lease.take reg c2)
+
+let test_lease_dedup () =
+  let clock = Simclock.create () in
+  let reg = Lease.create clock in
+  let c1 = Lease.register_conn reg in
+  let c2 = Lease.register_conn reg in
+  Lease.grant reg ~conn:c2 "fh-c";
+  Lease.invalidate reg ~by:c1 "fh-c";
+  Lease.grant reg ~conn:c2 "fh-c";
+  Lease.invalidate reg ~by:c1 "fh-c";
+  Alcotest.(check (list string)) "deduplicated" [ "fh-c" ] (Lease.take reg c2)
+
+(* --- SFS RW wire messages --- *)
+
+let test_sfsrw_roundtrip () =
+  let reqs =
+    [
+      Sfsrw.Fs_call { authno = 3; proc = 6; args = "argdata" };
+      Sfsrw.Auth_req { seqno = 12; authmsg = "msgdata" };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Sfsrw.request_of_string (Sfsrw.request_to_string r) with
+      | Ok r' -> Testkit.check_bool "request roundtrip" true (r = r')
+      | Result.Error e -> Alcotest.fail e)
+    reqs;
+  let resps =
+    [
+      Sfsrw.Fs_reply { results = "res"; invalidations = [ "fh1"; "fh2" ] };
+      Sfsrw.Auth_granted { authno = 4; seqno = 12 };
+      Sfsrw.Auth_denied { seqno = 13; reason = "no such user" };
+      Sfsrw.Proto_error "broken";
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Sfsrw.response_of_string (Sfsrw.response_to_string r) with
+      | Ok r' -> Testkit.check_bool "response roundtrip" true (r = r')
+      | Result.Error e -> Alcotest.fail e)
+    resps
+
+(* --- Read-only dialect --- *)
+
+let test_readonly_objects () =
+  let file = Readonly_proto.O_file "contents of README" in
+  let h = Readonly_proto.hash_obj file in
+  Testkit.check_int "sha1 size" 20 (String.length h);
+  let dir =
+    Readonly_proto.O_dir
+      [ { Readonly_proto.e_name = "README"; e_kind = Readonly_proto.K_file; e_hash = h } ]
+  in
+  (match Readonly_proto.obj_of_string (Readonly_proto.obj_to_string dir) with
+  | Ok (Readonly_proto.O_dir [ e ]) ->
+      Testkit.check_string "entry name" "README" e.Readonly_proto.e_name;
+      Testkit.check_string "entry hash" (Sfs_util.Hex.encode h) (Sfs_util.Hex.encode e.Readonly_proto.e_hash)
+  | _ -> Alcotest.fail "dir roundtrip");
+  (* Content addressing: different content, different hash. *)
+  Testkit.check_bool "hash binds content" false
+    (Readonly_proto.hash_obj (Readonly_proto.O_file "x") = Readonly_proto.hash_obj (Readonly_proto.O_file "y"))
+
+let test_readonly_fsinfo_signature () =
+  let sk = Lazy.force server_key in
+  let info = { Readonly_proto.root_hash = String.make 20 'r'; issued_s = 100; duration_s = 3600; serial = 5 } in
+  let signature = Readonly_proto.sign_fsinfo sk info in
+  Testkit.check_bool "verifies" true (Readonly_proto.verify_fsinfo sk.Rabin.pub info ~signature);
+  (* A rolled-back serial or altered root must fail. *)
+  Testkit.check_bool "root bound" false
+    (Readonly_proto.verify_fsinfo sk.Rabin.pub
+       { info with Readonly_proto.root_hash = String.make 20 'x' }
+       ~signature);
+  Testkit.check_bool "serial bound" false
+    (Readonly_proto.verify_fsinfo sk.Rabin.pub { info with Readonly_proto.serial = 4 } ~signature);
+  let other = Lazy.force temp_key in
+  Testkit.check_bool "key bound" false (Readonly_proto.verify_fsinfo other.Rabin.pub info ~signature)
+
+let suite =
+  ( "proto",
+    [
+      Alcotest.test_case "hostid" `Quick test_hostid;
+      Alcotest.test_case "keyneg agreement" `Quick test_keyneg_agreement;
+      Alcotest.test_case "keyneg MITM rejected" `Quick test_keyneg_wrong_key_rejected;
+      Alcotest.test_case "channel roundtrip" `Quick test_channel_roundtrip;
+      Alcotest.test_case "channel tamper" `Quick test_channel_tamper;
+      Alcotest.test_case "channel replay" `Quick test_channel_replay;
+      Alcotest.test_case "channel reorder" `Quick test_channel_reorder;
+      Alcotest.test_case "channel no-encryption ablation" `Quick test_channel_no_encryption_still_macs;
+      Alcotest.test_case "channel crypto cost" `Quick test_channel_charges_crypto_time;
+      Alcotest.test_case "auth roundtrip" `Quick test_auth_roundtrip;
+      Alcotest.test_case "auth session binding" `Quick test_auth_session_binding;
+      Alcotest.test_case "auth audit trail" `Quick test_auth_audit_trail;
+      Alcotest.test_case "sequence window" `Quick test_seq_window;
+      Alcotest.test_case "leases basic" `Quick test_leases;
+      Alcotest.test_case "lease expiry" `Quick test_lease_expiry;
+      Alcotest.test_case "lease dedup" `Quick test_lease_dedup;
+      Alcotest.test_case "sfsrw wire roundtrip" `Quick test_sfsrw_roundtrip;
+      Alcotest.test_case "readonly objects" `Quick test_readonly_objects;
+      Alcotest.test_case "readonly fsinfo signature" `Quick test_readonly_fsinfo_signature;
+    ]
+    @ Testkit.to_alcotest [ seq_window_prop ] )

@@ -1,0 +1,117 @@
+(* Workload/benchmark harness tests: the stacks build and behave, and
+   the headline shapes of the paper's evaluation hold as invariants. *)
+
+open Sfs_workload
+module Simclock = Sfs_net.Simclock
+
+let test_stacks_construct () =
+  List.iter
+    (fun s ->
+      let w = Stacks.make s in
+      (* Every stack exposes a usable workdir. *)
+      Driver.write_file w (w.Stacks.workdir ^ "/probe") "ok";
+      Testkit.check_string (Stacks.stack_name s) "ok" (Driver.read_file w (w.Stacks.workdir ^ "/probe")))
+    [ Stacks.Local; Stacks.Nfs_udp; Stacks.Nfs_tcp; Stacks.Sfs; Stacks.Sfs_noenc; Stacks.Sfs_nocache ]
+
+let test_driver_helpers () =
+  let w = Stacks.make Stacks.Local in
+  let d = w.Stacks.workdir ^ "/helpers" in
+  Driver.mkdir w d;
+  Driver.write_file w (d ^ "/f") (Driver.content ~seed:3 100);
+  Testkit.check_int "content length" 100 (String.length (Driver.read_file w (d ^ "/f")));
+  Testkit.check_string "content deterministic" (Driver.content ~seed:3 100) (Driver.content ~seed:3 100);
+  Testkit.check_bool "content varies by seed" false (Driver.content ~seed:3 100 = Driver.content ~seed:4 100);
+  let names = Driver.readdir w d in
+  Alcotest.(check (list string)) "readdir" [ "f" ] names;
+  Driver.stat_probe w (d ^ "/missing");
+  Driver.unlink w (d ^ "/f");
+  Driver.stat_probe w (d ^ "/f")
+
+let test_fig5_latency_shape () =
+  (* The headline shape of Figure 5: SFS latency is several times NFS,
+     dominated by the user-level implementation, not encryption. *)
+  let lat s = Microbench.latency_us (Stacks.make s) in
+  let udp = lat Stacks.Nfs_udp in
+  let tcp = lat Stacks.Nfs_tcp in
+  let sfs = lat Stacks.Sfs in
+  let noenc = lat Stacks.Sfs_noenc in
+  Testkit.check_bool "udp ~200us" true (udp > 150.0 && udp < 300.0);
+  Testkit.check_bool "tcp slower than udp" true (tcp > udp);
+  Testkit.check_bool "sfs 3-5x nfs" true (sfs > 3.0 *. udp && sfs < 5.0 *. udp);
+  Testkit.check_bool "encryption is a small share" true (sfs -. noenc < 0.15 *. sfs);
+  Testkit.check_bool "noenc still far above tcp" true (noenc > 2.0 *. tcp)
+
+let test_fig5_throughput_shape () =
+  let thr s =
+    let params = { Sfs_nfs.Diskmodel.default_params with Sfs_nfs.Diskmodel.cache_blocks = 16384 } in
+    Microbench.throughput_mb_s (Stacks.make ~server_disk_params:params s)
+  in
+  let udp = thr Stacks.Nfs_udp in
+  let tcp = thr Stacks.Nfs_tcp in
+  let sfs = thr Stacks.Sfs in
+  let noenc = thr Stacks.Sfs_noenc in
+  (* Paper ordering: UDP 9.3 > TCP 7.6 > noenc 7.1 > SFS 4.1. *)
+  Testkit.check_bool "udp fastest" true (udp > tcp);
+  Testkit.check_bool "tcp above noenc" true (tcp > noenc);
+  Testkit.check_bool "noenc above sfs" true (noenc > sfs);
+  Testkit.check_bool "udp ~9MB/s" true (udp > 7.0 && udp < 11.0);
+  Testkit.check_bool "encryption visibly hurts streaming" true (noenc > 1.3 *. sfs)
+
+let test_mab_shape () =
+  let total s = Mab.total (Mab.run (Stacks.make s)) in
+  let local = total Stacks.Local in
+  let udp = total Stacks.Nfs_udp in
+  let sfs = total Stacks.Sfs in
+  let nocache = total Stacks.Sfs_nocache in
+  Testkit.check_bool "local fastest" true (local < udp);
+  Testkit.check_bool "sfs slower than nfs" true (sfs > udp);
+  (* "SFS is only 11% slower than NFS 3 over UDP" — allow 25%. *)
+  Testkit.check_bool "sfs within 25% of nfs/udp" true (sfs < 1.25 *. udp);
+  (* "Without enhanced caching, MAB takes ... 0.7 seconds slower." *)
+  Testkit.check_bool "enhanced caching helps" true (nocache > sfs)
+
+let test_lfs_small_shape () =
+  let run s = Sprite_lfs.run_small (Stacks.make s) in
+  let udp = run Stacks.Nfs_udp in
+  let sfs = run Stacks.Sfs in
+  (* Create: "SFS performs about the same as NFS 3 over UDP". *)
+  Testkit.check_bool "create within 20%" true
+    (sfs.Sprite_lfs.create_s < 1.2 *. udp.Sprite_lfs.create_s);
+  (* Read: "SFS is 3 times slower than NFS 3 over UDP" (2-5x band). *)
+  let ratio = sfs.Sprite_lfs.read_s /. udp.Sprite_lfs.read_s in
+  Testkit.check_bool "read 2-5x slower" true (ratio > 2.0 && ratio < 5.0);
+  (* Unlink: "all file systems have roughly the same performance". *)
+  Testkit.check_bool "unlink within 10%" true
+    (sfs.Sprite_lfs.unlink_s < 1.1 *. udp.Sprite_lfs.unlink_s)
+
+let test_compile_crossover () =
+  (* Figure 7's coup: SFS beats NFS 3 over TCP while losing to UDP. *)
+  let time s = Compile.run (Stacks.make s) in
+  let local = time Stacks.Local in
+  let udp = time Stacks.Nfs_udp in
+  let tcp = time Stacks.Nfs_tcp in
+  let sfs = time Stacks.Sfs in
+  Testkit.check_bool "local < udp" true (local < udp);
+  Testkit.check_bool "udp < sfs" true (udp < sfs);
+  Testkit.check_bool "sfs < tcp (the crossover)" true (sfs < tcp)
+
+let test_flush_caches () =
+  let w = Stacks.make Stacks.Sfs in
+  Driver.write_file w (w.Stacks.workdir ^ "/cached") "data";
+  ignore (Driver.read_file w (w.Stacks.workdir ^ "/cached"));
+  Stacks.flush_caches w;
+  (* Still correct after the flush; just slower. *)
+  Testkit.check_string "reread after flush" "data" (Driver.read_file w (w.Stacks.workdir ^ "/cached"))
+
+let suite =
+  ( "workload",
+    [
+      Alcotest.test_case "stacks construct" `Quick test_stacks_construct;
+      Alcotest.test_case "driver helpers" `Quick test_driver_helpers;
+      Alcotest.test_case "fig5 latency shape" `Quick test_fig5_latency_shape;
+      Alcotest.test_case "fig5 throughput shape" `Slow test_fig5_throughput_shape;
+      Alcotest.test_case "fig6 MAB shape" `Slow test_mab_shape;
+      Alcotest.test_case "fig8 LFS small shape" `Slow test_lfs_small_shape;
+      Alcotest.test_case "fig7 compile crossover" `Slow test_compile_crossover;
+      Alcotest.test_case "flush caches" `Quick test_flush_caches;
+    ] )

@@ -1,0 +1,142 @@
+module Xdr = Sfs_xdr.Xdr
+module Sunrpc = Sfs_xdr.Sunrpc
+
+let test_primitives () =
+  let s =
+    Xdr.encode
+      (fun e () ->
+        Xdr.enc_uint32 e 7;
+        Xdr.enc_int32 e (-3);
+        Xdr.enc_uint64 e 0x1122334455667788L;
+        Xdr.enc_bool e true;
+        Xdr.enc_string e "hello";
+        Xdr.enc_option e Xdr.enc_uint32 (Some 9);
+        Xdr.enc_option e Xdr.enc_uint32 None;
+        Xdr.enc_array e Xdr.enc_uint32 [ 1; 2; 3 ])
+      ()
+  in
+  match
+    Xdr.run s (fun d ->
+        let a = Xdr.dec_uint32 d in
+        let b = Xdr.dec_int32 d in
+        let c = Xdr.dec_uint64 d in
+        let t = Xdr.dec_bool d in
+        let str = Xdr.dec_string d in
+        let o1 = Xdr.dec_option d Xdr.dec_uint32 in
+        let o2 = Xdr.dec_option d Xdr.dec_uint32 in
+        let l = Xdr.dec_array d Xdr.dec_uint32 in
+        (a, b, c, t, str, o1, o2, l))
+  with
+  | Ok (a, b, c, t, str, o1, o2, l) ->
+      Testkit.check_int "uint32" 7 a;
+      Testkit.check_int "int32" (-3) b;
+      Alcotest.(check int64) "uint64" 0x1122334455667788L c;
+      Testkit.check_bool "bool" true t;
+      Testkit.check_string "string" "hello" str;
+      Alcotest.(check (option int)) "some" (Some 9) o1;
+      Alcotest.(check (option int)) "none" None o2;
+      Alcotest.(check (list int)) "array" [ 1; 2; 3 ] l
+  | Result.Error e -> Alcotest.fail e
+
+let test_padding () =
+  (* Opaque data pads to 4-byte multiples. *)
+  let s = Xdr.encode Xdr.enc_opaque "abcde" in
+  Testkit.check_int "padded length" 12 (String.length s);
+  Testkit.check_string "roundtrip" "abcde"
+    (match Xdr.run s (fun d -> Xdr.dec_opaque d) with Ok v -> v | Result.Error e -> Alcotest.fail e)
+
+let test_errors () =
+  Testkit.check_bool "truncated" true (Result.is_error (Xdr.run "\x00\x00" Xdr.dec_uint32));
+  Testkit.check_bool "trailing" true
+    (Result.is_error (Xdr.run "\x00\x00\x00\x01\xff\xff\xff\xff" Xdr.dec_uint32));
+  Testkit.check_bool "bad bool" true (Result.is_error (Xdr.run "\x00\x00\x00\x07" Xdr.dec_bool));
+  (* Oversized opaque length is rejected before allocation. *)
+  let huge = Xdr.encode (fun e () -> Xdr.enc_uint32 e 0x40000000) () in
+  Testkit.check_bool "bounded opaque" true (Result.is_error (Xdr.run huge (fun d -> Xdr.dec_opaque d)))
+
+let test_sunrpc_roundtrip () =
+  let call =
+    Sunrpc.Call
+      {
+        Sunrpc.xid = 42;
+        prog = 100003;
+        vers = 3;
+        proc = 6;
+        cred = Sunrpc.Auth_unix { stamp = 1; machine = "client"; uid = 1000; gid = 100; gids = [ 100; 7 ] };
+        args = "argbytes";
+      }
+  in
+  (match Sunrpc.msg_of_string (Sunrpc.msg_to_string call) with
+  | Ok (Sunrpc.Call c) ->
+      Testkit.check_int "xid" 42 c.Sunrpc.xid;
+      Testkit.check_int "proc" 6 c.Sunrpc.proc;
+      Testkit.check_string "args" "argbytes" c.Sunrpc.args;
+      (match c.Sunrpc.cred with
+      | Sunrpc.Auth_unix u ->
+          Testkit.check_int "uid" 1000 u.uid;
+          Alcotest.(check (list int)) "gids" [ 100; 7 ] u.gids
+      | Sunrpc.Auth_none -> Alcotest.fail "lost credentials")
+  | _ -> Alcotest.fail "call roundtrip");
+  let reply = Sunrpc.Reply { Sunrpc.reply_xid = 42; body = Sunrpc.Success "resultbytes" } in
+  match Sunrpc.msg_of_string (Sunrpc.msg_to_string reply) with
+  | Ok (Sunrpc.Reply r) -> (
+      Testkit.check_int "reply xid" 42 r.Sunrpc.reply_xid;
+      match r.Sunrpc.body with
+      | Sunrpc.Success s -> Testkit.check_string "results" "resultbytes" s
+      | _ -> Alcotest.fail "reply body")
+  | _ -> Alcotest.fail "reply roundtrip"
+
+let test_sunrpc_errors () =
+  List.iter
+    (fun body ->
+      match Sunrpc.msg_of_string (Sunrpc.msg_to_string (Sunrpc.Reply { Sunrpc.reply_xid = 7; body })) with
+      | Ok (Sunrpc.Reply r) -> Testkit.check_bool "body survives" true (r.Sunrpc.body = body)
+      | _ -> Alcotest.fail "roundtrip")
+    [
+      Sunrpc.Prog_unavail;
+      Sunrpc.Prog_mismatch (2, 3);
+      Sunrpc.Proc_unavail;
+      Sunrpc.Garbage_args;
+      Sunrpc.System_err;
+      Sunrpc.Rejected (Sunrpc.Rpc_mismatch (2, 2));
+      Sunrpc.Rejected (Sunrpc.Auth_error 1);
+    ]
+
+let test_record_marking () =
+  let r = Sunrpc.make_reader () in
+  let wire = Sunrpc.record_to_string "first" ^ Sunrpc.record_to_string "second" in
+  (* Feed byte by byte to exercise reassembly. *)
+  String.iter (fun c -> Sunrpc.reader_feed r (String.make 1 c)) wire;
+  Alcotest.(check (option string)) "first" (Some "first") (Sunrpc.reader_next r);
+  Alcotest.(check (option string)) "second" (Some "second") (Sunrpc.reader_next r);
+  Alcotest.(check (option string)) "drained" None (Sunrpc.reader_next r)
+
+let props =
+  let open QCheck in
+  [
+    Test.make ~count:300 ~name:"opaque roundtrip" (string_gen Gen.char) (fun s ->
+        Xdr.run (Xdr.encode Xdr.enc_opaque s) (fun d -> Xdr.dec_opaque d) = Ok s);
+    Test.make ~count:300 ~name:"uint64 roundtrip" (map Int64.of_int int) (fun v ->
+        Xdr.run (Xdr.encode Xdr.enc_uint64 v) Xdr.dec_uint64 = Ok v);
+    Test.make ~count:200 ~name:"string array roundtrip"
+      (list (string_gen_of_size (Gen.int_range 0 20) Gen.char))
+      (fun l ->
+        Xdr.run
+          (Xdr.encode (fun e v -> Xdr.enc_array e Xdr.enc_string v) l)
+          (fun d -> Xdr.dec_array d (fun d -> Xdr.dec_string d))
+        = Ok l);
+    Test.make ~count:200 ~name:"decoder never crashes on garbage" (string_gen Gen.char) (fun s ->
+        match Sunrpc.msg_of_string s with Ok _ | Result.Error _ -> true);
+  ]
+
+let suite =
+  ( "xdr",
+    [
+      Alcotest.test_case "primitives" `Quick test_primitives;
+      Alcotest.test_case "padding" `Quick test_padding;
+      Alcotest.test_case "malformed input" `Quick test_errors;
+      Alcotest.test_case "sunrpc roundtrip" `Quick test_sunrpc_roundtrip;
+      Alcotest.test_case "sunrpc error bodies" `Quick test_sunrpc_errors;
+      Alcotest.test_case "record marking" `Quick test_record_marking;
+    ]
+    @ Testkit.to_alcotest props )

@@ -1,0 +1,32 @@
+(* Shared helpers for the test suites. *)
+
+let to_alcotest (tests : QCheck.Test.t list) =
+  List.map QCheck_alcotest.to_alcotest tests
+
+(* A deterministic pseudo-random byte source for tests, so failures
+   reproduce.  Not cryptographic; the crypto PRNG has its own tests. *)
+let make_rand seed =
+  let state = ref (Int64.of_int (if seed = 0 then 0x9E3779B9 else seed)) in
+  fun () ->
+    (* xorshift64* *)
+    let x = !state in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    state := x;
+    Int64.to_int (Int64.logand x 0xFFL)
+
+let rand_string rand n = String.init n (fun _ -> Char.chr (rand () land 0xff))
+
+let rand_bits_fn seed =
+  let rand = make_rand seed in
+  fun bits ->
+    let nbytes = (bits + 7) / 8 in
+    let s = rand_string rand nbytes in
+    let n = Sfs_bignum.Nat.of_bytes_be s in
+    (* Trim to the requested width. *)
+    Sfs_bignum.Nat.rem n (Sfs_bignum.Nat.shift_left Sfs_bignum.Nat.one bits)
+
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
