@@ -1,0 +1,22 @@
+# Convenience targets; everything is driven by dune underneath.
+
+.PHONY: all build lint test bench clean
+
+all: build
+
+build:
+	dune build
+
+# Run sfslint over lib/ and refresh lint-report.json.
+lint:
+	dune build @lint
+
+# Full tier-1 suite (includes the @lint gate and the linter's self-tests).
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -162,6 +162,6 @@ let block_hostid (t : t) (hostid : string) : unit =
   if not (List.mem hostid t.blocked) then t.blocked <- hostid :: t.blocked
 
 let unblock_hostid (t : t) (hostid : string) : unit =
-  t.blocked <- List.filter (fun h -> h <> hostid) t.blocked
+  t.blocked <- List.filter (fun h -> not (Sfs_util.Bytesutil.ct_equal h hostid)) t.blocked
 
 let is_blocked (t : t) (hostid : string) : bool = List.mem hostid t.blocked

@@ -264,6 +264,7 @@ let ops (c : client) : Sfs_nfs.Fs_intf.ops =
    pick up a new snapshot).  Rollback to an older serial is refused. *)
 let refresh (c : client) : unit =
   let fsinfo = fetch_fsinfo ~exchange:c.exchange ~pubkey:c.pubkey ~clock:c.clock ~min_serial:c.last_serial in
-  if fsinfo.Ro.root_hash <> c.fsinfo.Ro.root_hash then Hashtbl.reset c.cache;
+  if not (Sfs_util.Bytesutil.ct_equal fsinfo.Ro.root_hash c.fsinfo.Ro.root_hash) then
+    Hashtbl.reset c.cache;
   c.fsinfo <- fsinfo;
   c.last_serial <- fsinfo.Ro.serial

@@ -87,12 +87,20 @@ let random_int (t : t) (bound : int) : int =
   | Some v -> v
   | None -> assert false
 
-(* A process-global generator for non-reproducible uses (key generation
-   in the demo binaries).  Tests construct their own seeded instances. *)
+(* Explicit deterministic seeding: the path simulations and tests are
+   expected to take.  Same seed, same byte stream, every run. *)
+let of_seed (seed : string) : t = create [ "sfs-prng-of-seed"; seed ]
+
+(* OS-entropy fallback for non-reproducible uses (key generation in
+   the demo binaries).  This is the only place outside the simulation
+   clock that may observe ambient randomness or time; everything else
+   must go through [create]/[of_seed] so protocol runs replay exactly.
+   Stdlib.Random is permitted in this file by SL002's definition. *)
 let global : t Lazy.t =
   lazy
     (let self = Random.State.make_self_init () in
      let noise = String.init 64 (fun _ -> Char.chr (Random.State.int self 256)) in
+     (* sfslint: allow SL003 — OS-entropy seeding for demo binaries only; simulations use of_seed *)
      create [ noise; string_of_float (Sys.time ()) ])
 
 let default () = Lazy.force global

@@ -17,6 +17,12 @@ val random_below : t -> bound:Sfs_bignum.Nat.t -> Sfs_bignum.Nat.t
 val random_int : t -> int -> int
 (** [random_int t bound] is uniform in [0, bound). *)
 
+val of_seed : string -> t
+(** [of_seed seed] is the explicit deterministic path: the same seed
+    yields the same byte stream on every run.  Simulations and tests
+    must use this (or {!create} with fixed sources), never {!default}. *)
+
 val default : unit -> t
-(** Process-global generator seeded from ambient randomness; for demo
-    binaries, not for tests. *)
+(** Process-global generator seeded from ambient OS randomness and the
+    process clock; for demo binaries, not for tests.  The sole waived
+    wall-clock access in [lib/] (see SL003 in DESIGN.md). *)

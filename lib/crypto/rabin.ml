@@ -177,7 +177,7 @@ let signature_to_string (s : signature) : string =
 
 let signature_of_string (s : string) : signature option =
   let prefix_len = String.length "rabin-sig:xy" in
-  if String.length s < prefix_len + 4 || String.sub s 0 10 <> "rabin-sig:" then None
+  if String.length s < prefix_len + 4 || not (String.starts_with ~prefix:"rabin-sig:" s) then None
   else
     let negate = s.[10] = '1' and double = s.[11] = '1' in
     let len = Sfs_util.Bytesutil.int_of_be32 s ~off:12 in

@@ -1,0 +1,35 @@
+(** Timing constants for the simulated substrate, calibrated from the
+    paper's micro-benchmarks (Fig. 5: 550 MHz Pentium IIIs on 100 Mbit
+    switched Ethernet).  See the implementation header for the full
+    derivation of each constant. *)
+
+type transport_proto = Udp | Tcp
+
+type t = {
+  udp_rpc_us : float;  (** fixed round-trip cost of a null RPC over UDP *)
+  tcp_rpc_us : float;  (** same over TCP *)
+  udp_bytes_per_us : float;  (** effective wire bandwidth over UDP *)
+  tcp_bytes_per_us : float;
+  userlevel_us_per_side : float;  (** kernel/user crossing per RPC per daemon *)
+  crypto_us_per_byte : float;  (** ARC4 + MAC, charged at the sender *)
+  crypto_us_per_msg : float;  (** fixed MAC/rekey cost per sealed message *)
+  async_floor_us : float;  (** minimum per-op cost of a pipelined RPC *)
+  nfs_tcp_stall_us : float;
+      (** FreeBSD TCP-NFS delayed-ACK stall on multi-segment requests *)
+  mss_bytes : int;
+  async_userlevel_factor : float;
+      (** share of user-level cost not hidden by the pipeline *)
+  async_crypto_factor : float;  (** share of crypto cost not hidden by the pipeline *)
+}
+
+val default : t
+(** The paper's testbed. *)
+
+val rpc_fixed_us : t -> transport_proto -> float
+val bytes_per_us : t -> transport_proto -> float
+
+val transfer_us : t -> transport_proto -> int -> float
+(** Wire time of one message beyond the fixed per-RPC cost. *)
+
+val crypto_us : t -> int -> float
+(** Encryption/MAC time for one sealed message of the given size. *)

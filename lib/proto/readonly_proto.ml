@@ -98,7 +98,7 @@ let enc_fsinfo e (i : fsinfo) =
 
 let dec_fsinfo d : fsinfo =
   let tag = Xdr.dec_string d ~max:16 in
-  if tag <> "RO-FSInfo" then Xdr.error "bad fsinfo tag";
+  if not (Sfs_util.Bytesutil.ct_equal tag "RO-FSInfo") then Xdr.error "bad fsinfo tag";
   let root_hash = Xdr.dec_fixed_opaque d ~size:20 in
   let issued_s = Xdr.dec_uint32 d in
   let duration_s = Xdr.dec_uint32 d in

@@ -1,0 +1,198 @@
+(* Self-tests for the sfslint rule engine (tools/sfslint).
+
+   Every shipped rule gets the same treatment: a known-bad snippet
+   fires, a known-good snippet stays silent, and a pragma comment
+   suppresses the diagnostic.  Snippets only have to parse — the
+   linter never typechecks — so they reference modules freely. *)
+
+module Lint = Sfslint_core.Lint
+
+let check ?enabled ~path src =
+  match Lint.check_source ?enabled ~path ~source:src () with
+  | Ok ds -> ds
+  | Error e -> Alcotest.failf "unexpected parse error: %s" e
+
+let codes ?enabled ~path src = List.map (fun d -> d.Lint.code) (check ?enabled ~path src)
+
+let fires msg ~path ~code src =
+  Alcotest.(check bool) (msg ^ " fires") true (List.mem code (codes ~path src))
+
+let silent msg ~path ~code src =
+  Alcotest.(check bool) (msg ^ " silent") false (List.mem code (codes ~path src))
+
+let test_sl001 () =
+  fires "= on mac tag" ~path:"lib/crypto/mac.ml" ~code:"SL001"
+    "let verify ~key ~tag msg = tag = hmac ~key msg";
+  fires "<> on digest field" ~path:"lib/core/readonly.ml" ~code:"SL001"
+    "let changed a b = a.root_hash <> b.root_hash";
+  fires "String.equal" ~path:"lib/proto/hostid.ml" ~code:"SL001"
+    "let check a b = String.equal a b";
+  fires "Bytes.compare" ~path:"lib/core/x.ml" ~code:"SL001" "let f a b = Bytes.compare a b";
+  fires "compare against long literal" ~path:"lib/proto/x.ml" ~code:"SL001"
+    {|let f s = s = "0123456789abcdef"|};
+  silent "ct_equal" ~path:"lib/crypto/mac.ml" ~code:"SL001"
+    "let verify ~key ~tag msg = Sfs_util.Bytesutil.ct_equal tag (hmac ~key msg)";
+  silent "short public token" ~path:"lib/core/vfs.ml" ~code:"SL001"
+    {|let keep c = c <> "."|};
+  silent "no secret-shaped operand" ~path:"lib/core/vfs.ml" ~code:"SL001" "let f a b = a = b";
+  silent "outside restricted dirs" ~path:"lib/nfs/nfs_types.ml" ~code:"SL001"
+    "let verify ~key ~tag msg = tag = hmac ~key msg";
+  (* The diagnostic carries a usable span. *)
+  match check ~path:"lib/crypto/mac.ml" "let a = 1\nlet bad ~tag x = tag = x" with
+  | [ d ] ->
+      Alcotest.(check string) "code" "SL001" d.Lint.code;
+      Alcotest.(check int) "line" 2 d.Lint.line
+  | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
+
+let test_sl001_pragma () =
+  silent "pragma above" ~path:"lib/crypto/mac.ml" ~code:"SL001"
+    "(* sfslint: allow SL001 — test fixture comparing public tags *)\nlet f ~tag x = tag = x";
+  silent "pragma same line" ~path:"lib/crypto/mac.ml" ~code:"SL001"
+    "let f ~tag x = tag = x (* sfslint: allow SL001 — public tag *)";
+  (* A pragma for a different rule does not suppress. *)
+  fires "wrong-code pragma" ~path:"lib/crypto/mac.ml" ~code:"SL001"
+    "(* sfslint: allow SL002 — wrong rule *)\nlet f ~tag x = tag = x";
+  (* A pragma two lines up does not suppress. *)
+  fires "distant pragma" ~path:"lib/crypto/mac.ml" ~code:"SL001"
+    "(* sfslint: allow SL001 — too far away *)\nlet a = 1\nlet f ~tag x = tag = x"
+
+let test_sl002 () =
+  fires "Random.int" ~path:"lib/core/agent.ml" ~code:"SL002" "let x = Random.int 10";
+  fires "Random.State" ~path:"lib/workload/driver.ml" ~code:"SL002"
+    "let s = Random.State.make_self_init ()";
+  fires "Stdlib-qualified" ~path:"lib/net/simnet.ml" ~code:"SL002" "let x = Stdlib.Random.bits ()";
+  silent "inside prng.ml" ~path:"lib/crypto/prng.ml" ~code:"SL002"
+    "let s = Random.State.make_self_init ()";
+  silent "seeded prng" ~path:"lib/core/agent.ml" ~code:"SL002"
+    "let x rng = Prng.random_int rng 10";
+  silent "pragma" ~path:"lib/core/agent.ml" ~code:"SL002"
+    "(* sfslint: allow SL002 — jitter for a non-protocol heuristic *)\nlet x = Random.int 10"
+
+let test_sl003 () =
+  fires "gettimeofday" ~path:"lib/net/simnet.ml" ~code:"SL003"
+    "let now () = Unix.gettimeofday ()";
+  fires "Sys.time" ~path:"lib/crypto/prng.ml" ~code:"SL003" "let t = Sys.time ()";
+  fires "Unix.time" ~path:"lib/nfs/memfs.ml" ~code:"SL003" "let t = Unix.time ()";
+  silent "inside simclock.ml" ~path:"lib/net/simclock.ml" ~code:"SL003"
+    "let now () = Unix.gettimeofday ()";
+  silent "simulated clock" ~path:"lib/net/simnet.ml" ~code:"SL003"
+    "let now clock = Simclock.now_us clock";
+  silent "pragma" ~path:"lib/net/simnet.ml" ~code:"SL003"
+    "(* sfslint: allow SL003 — wall clock for log timestamps only *)\nlet now () = Unix.time ()"
+
+let test_sl004 () =
+  fires "failwith in dec_" ~path:"lib/xdr/sunrpc.ml" ~code:"SL004"
+    {|let dec_thing d = failwith "bad"|};
+  fires "invalid_arg in decode" ~path:"lib/proto/keyneg.ml" ~code:"SL004"
+    {|let decode_req s = invalid_arg "nope"|};
+  fires "raise in parse_" ~path:"lib/proto/channel.ml" ~code:"SL004"
+    "let parse_hdr s = raise Exit";
+  fires "raise in _of_string" ~path:"lib/proto/authproto.ml" ~code:"SL004"
+    "let thing_of_string s = raise Not_found";
+  fires "nested helper inherits decoder scope" ~path:"lib/xdr/xdr.ml" ~code:"SL004"
+    {|let dec_outer d = let helper x = failwith "inner" in helper d|};
+  silent "Xdr.error is the sanctioned path" ~path:"lib/proto/keyneg.ml" ~code:"SL004"
+    {|let dec_thing d = Xdr.error "bad tag %d" 3|};
+  silent "encoder may guard" ~path:"lib/xdr/sunrpc.ml" ~code:"SL004"
+    {|let enc_thing e = invalid_arg "too large"|};
+  silent "outside xdr/proto" ~path:"lib/core/sfskey.ml" ~code:"SL004"
+    {|let dec_thing d = failwith "bad"|};
+  silent "pragma" ~path:"lib/xdr/sunrpc.ml" ~code:"SL004"
+    {|let dec_thing d = (* sfslint: allow SL004 — unreachable: length checked above *) failwith "bad"|}
+
+let test_sl005 () =
+  fires "toplevel Hashtbl" ~path:"lib/core/authserv.ml" ~code:"SL005"
+    "let table = Hashtbl.create 16";
+  fires "toplevel ref" ~path:"lib/workload/report.ml" ~code:"SL005" "let counter = ref 0";
+  fires "toplevel Buffer under constraint" ~path:"lib/util/hex.ml" ~code:"SL005"
+    "let buf : Buffer.t = Buffer.create 64";
+  fires "toplevel in nested module" ~path:"lib/core/server.ml" ~code:"SL005"
+    "module Cache = struct let slots = Array.make 8 None end";
+  silent "constructed inside a function" ~path:"lib/core/authserv.ml" ~code:"SL005"
+    "let make () = Hashtbl.create 16";
+  silent "constant table literal" ~path:"lib/crypto/blowfish.ml" ~code:"SL005"
+    "let tbl = [| 1; 2; 3 |]";
+  silent "expression-level let" ~path:"lib/bignum/nat.ml" ~code:"SL005"
+    "let f x = let acc = ref 0 in acc := x; !acc";
+  silent "pragma" ~path:"lib/core/authserv.ml" ~code:"SL005"
+    "(* sfslint: allow SL005 — registry is process-wide by design *)\nlet table = Hashtbl.create 16"
+
+let test_sl006 () =
+  fires "Obj.magic" ~path:"lib/workload/compile.ml" ~code:"SL006" "let f x = Obj.magic x";
+  fires "Marshal" ~path:"lib/nfs/cachefs.ml" ~code:"SL006"
+    "let save x = Marshal.to_string x []";
+  silent "typed codec" ~path:"lib/nfs/cachefs.ml" ~code:"SL006"
+    "let save x = Xdr.encode enc_thing x";
+  silent "pragma" ~path:"lib/workload/compile.ml" ~code:"SL006"
+    "(* sfslint: allow SL006 — benchmarking allocator behavior *)\nlet f x = Obj.magic x"
+
+let test_sl007 () =
+  let missing ~path ~has_mli ~source =
+    Lint.missing_interface ~path ~source ~has_mli () <> None
+  in
+  Alcotest.(check bool) "fires without mli" true
+    (missing ~path:"lib/nfs/nfs_types.ml" ~has_mli:false ~source:"let x = 1");
+  Alcotest.(check bool) "silent with mli" false
+    (missing ~path:"lib/nfs/nfs_types.ml" ~has_mli:true ~source:"let x = 1");
+  Alcotest.(check bool) "outside lib" false
+    (missing ~path:"tools/sfslint/main.ml" ~has_mli:false ~source:"let x = 1");
+  Alcotest.(check bool) "pragma anywhere in file" false
+    (missing ~path:"lib/nfs/nfs_types.ml" ~has_mli:false
+       ~source:"let x = 1\n(* sfslint: allow SL007 — generated stub, interface pending *)")
+
+let test_sl000_pragma_hygiene () =
+  fires "no codes" ~path:"lib/core/vfs.ml" ~code:"SL000"
+    "(* sfslint: allow *)\nlet x = 1";
+  fires "unknown code" ~path:"lib/core/vfs.ml" ~code:"SL000"
+    "(* sfslint: allow SL999 — no such rule *)\nlet x = 1";
+  fires "missing justification" ~path:"lib/core/vfs.ml" ~code:"SL000"
+    "(* sfslint: allow SL001 *)\nlet x = 1";
+  fires "unknown directive" ~path:"lib/core/vfs.ml" ~code:"SL000"
+    "(* sfslint: disable SL001 — wrong verb *)\nlet x = 1";
+  silent "well-formed pragma" ~path:"lib/core/vfs.ml" ~code:"SL000"
+    "(* sfslint: allow SL001 — a justified waiver *)\nlet x = 1";
+  (* A malformed pragma never suppresses. *)
+  fires "malformed pragma does not suppress" ~path:"lib/crypto/mac.ml" ~code:"SL001"
+    "(* sfslint: allow SL001 *)\nlet f ~tag x = tag = x"
+
+let test_enable_disable () =
+  let src = "let x = Random.int 10\nlet f ~tag y = tag = y" in
+  let all = codes ~path:"lib/core/agent.ml" src in
+  Alcotest.(check bool) "both fire by default" true
+    (List.mem "SL001" all && List.mem "SL002" all);
+  let only2 = codes ~enabled:[ "SL002" ] ~path:"lib/core/agent.ml" src in
+  Alcotest.(check bool) "SL001 filtered out" false (List.mem "SL001" only2);
+  Alcotest.(check bool) "SL002 kept" true (List.mem "SL002" only2)
+
+let test_engine_robustness () =
+  (match Lint.check_source ~path:"lib/core/x.ml" ~source:"let x = (" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a parse error");
+  (* Comments, strings and char literals do not confuse the pragma
+     scanner: a '"' char literal must not open a string. *)
+  silent "char literal then pragma" ~path:"lib/crypto/mac.ml" ~code:"SL001"
+    "let q = '\"'\n(* sfslint: allow SL001 — quoting torture test *)\nlet f ~tag x = tag = x";
+  (* The JSON report is well-formed enough to carry counts. *)
+  let ds = check ~path:"lib/crypto/mac.ml" "let f ~tag x = tag = x" in
+  let json = Lint.report_json ~files_checked:1 ds in
+  Alcotest.(check bool) "report mentions SL001" true
+    (let rec has i =
+       i + 5 <= String.length json && (String.sub json i 5 = "SL001" || has (i + 1))
+     in
+     has 0)
+
+let suite =
+  ( "lint",
+    [
+      Alcotest.test_case "SL001 constant-time comparison" `Quick test_sl001;
+      Alcotest.test_case "SL001 pragma handling" `Quick test_sl001_pragma;
+      Alcotest.test_case "SL002 prng discipline" `Quick test_sl002;
+      Alcotest.test_case "SL003 simulated time" `Quick test_sl003;
+      Alcotest.test_case "SL004 total decoders" `Quick test_sl004;
+      Alcotest.test_case "SL005 toplevel state" `Quick test_sl005;
+      Alcotest.test_case "SL006 unsafe casts" `Quick test_sl006;
+      Alcotest.test_case "SL007 interface files" `Quick test_sl007;
+      Alcotest.test_case "SL000 pragma hygiene" `Quick test_sl000_pragma_hygiene;
+      Alcotest.test_case "enable/disable filtering" `Quick test_enable_disable;
+      Alcotest.test_case "engine robustness" `Quick test_engine_robustness;
+    ] )

@@ -12,4 +12,5 @@ let () =
       Test_core.suite;
       Test_workload.suite;
       Test_integration.suite;
+      Test_lint.suite;
     ]

@@ -111,6 +111,51 @@ let test_record_marking () =
   Alcotest.(check (option string)) "second" (Some "second") (Sunrpc.reader_next r);
   Alcotest.(check (option string)) "drained" None (Sunrpc.reader_next r)
 
+(* Generators for whole Sun RPC messages, exercising every arm of the
+   call/reply envelope. *)
+let auth_gen =
+  let open QCheck.Gen in
+  oneof
+    [
+      return Sunrpc.Auth_none;
+      (let* stamp = int_range 0 0xFFFF in
+       let* machine = string_size ~gen:printable (int_range 0 20) in
+       let* uid = int_range 0 0xFFFF in
+       let* gid = int_range 0 0xFFFF in
+       let* gids = list_size (int_range 0 8) (int_range 0 0xFFFF) in
+       return (Sunrpc.Auth_unix { stamp; machine; uid; gid; gids }));
+    ]
+
+let msg_gen =
+  let open QCheck.Gen in
+  let call =
+    let* xid = int_range 0 0xFFFFFFF in
+    let* proc = int_range 0 21 in
+    let* cred = auth_gen in
+    let* args = string_size ~gen:char (int_range 0 64) in
+    return (Sunrpc.Call { Sunrpc.xid; prog = 100003; vers = 3; proc; cred; args })
+  in
+  let reply =
+    let* reply_xid = int_range 0 0xFFFFFFF in
+    let* body =
+      oneof
+        [
+          map (fun s -> Sunrpc.Success s) (string_size ~gen:char (int_range 0 64));
+          return Sunrpc.Prog_unavail;
+          map2 (fun lo hi -> Sunrpc.Prog_mismatch (lo, hi)) (int_range 0 9) (int_range 0 9);
+          return Sunrpc.Proc_unavail;
+          return Sunrpc.Garbage_args;
+          return Sunrpc.System_err;
+          map2
+            (fun lo hi -> Sunrpc.Rejected (Sunrpc.Rpc_mismatch (lo, hi)))
+            (int_range 0 9) (int_range 0 9);
+          map (fun s -> Sunrpc.Rejected (Sunrpc.Auth_error s)) (int_range 0 5);
+        ]
+    in
+    return (Sunrpc.Reply { Sunrpc.reply_xid; body })
+  in
+  oneof [ call; reply ]
+
 let props =
   let open QCheck in
   [
@@ -118,6 +163,24 @@ let props =
         Xdr.run (Xdr.encode Xdr.enc_opaque s) (fun d -> Xdr.dec_opaque d) = Ok s);
     Test.make ~count:300 ~name:"uint64 roundtrip" (map Int64.of_int int) (fun v ->
         Xdr.run (Xdr.encode Xdr.enc_uint64 v) Xdr.dec_uint64 = Ok v);
+    Test.make ~count:300 ~name:"uint32 roundtrip" (int_range 0 0xFFFFFFFF) (fun v ->
+        Xdr.run (Xdr.encode Xdr.enc_uint32 v) Xdr.dec_uint32 = Ok v);
+    Test.make ~count:300 ~name:"int32 roundtrip" (int_range (-0x80000000) 0x7FFFFFFF) (fun v ->
+        Xdr.run (Xdr.encode Xdr.enc_int32 v) Xdr.dec_int32 = Ok v);
+    Test.make ~count:100 ~name:"bool roundtrip" bool (fun b ->
+        Xdr.run (Xdr.encode Xdr.enc_bool b) Xdr.dec_bool = Ok b);
+    Test.make ~count:200 ~name:"fixed opaque roundtrip"
+      (string_gen_of_size (Gen.return 20) Gen.char)
+      (fun s ->
+        Xdr.run
+          (Xdr.encode (fun e v -> Xdr.enc_fixed_opaque e ~size:20 v) s)
+          (fun d -> Xdr.dec_fixed_opaque d ~size:20)
+        = Ok s);
+    Test.make ~count:200 ~name:"option roundtrip" (option (int_range 0 0xFFFF)) (fun o ->
+        Xdr.run
+          (Xdr.encode (fun e v -> Xdr.enc_option e Xdr.enc_uint32 v) o)
+          (fun d -> Xdr.dec_option d Xdr.dec_uint32)
+        = Ok o);
     Test.make ~count:200 ~name:"string array roundtrip"
       (list (string_gen_of_size (Gen.int_range 0 20) Gen.char))
       (fun l ->
@@ -125,8 +188,27 @@ let props =
           (Xdr.encode (fun e v -> Xdr.enc_array e Xdr.enc_string v) l)
           (fun d -> Xdr.dec_array d (fun d -> Xdr.dec_string d))
         = Ok l);
+    (* The whole RPC envelope: encode∘decode = id across every arm. *)
+    Test.make ~count:500 ~name:"sunrpc msg roundtrip" (make msg_gen) (fun m ->
+        Sunrpc.msg_of_string (Sunrpc.msg_to_string m) = Ok m);
+    Test.make ~count:200 ~name:"record marking roundtrip"
+      (list (string_gen_of_size (Gen.int_range 0 50) Gen.char))
+      (fun records ->
+        let r = Sunrpc.make_reader () in
+        Sunrpc.reader_feed r (String.concat "" (List.map Sunrpc.record_to_string records));
+        let rec drain acc =
+          match Sunrpc.reader_next r with Some x -> drain (x :: acc) | None -> List.rev acc
+        in
+        drain [] = records);
     Test.make ~count:200 ~name:"decoder never crashes on garbage" (string_gen Gen.char) (fun s ->
         match Sunrpc.msg_of_string s with Ok _ | Result.Error _ -> true);
+    Test.make ~count:200 ~name:"truncated messages decode to Error, not exceptions"
+      (pair (make msg_gen) (int_range 0 200))
+      (fun (m, cut) ->
+        let wire = Sunrpc.msg_to_string m in
+        let cut = min cut (String.length wire) in
+        match Sunrpc.msg_of_string (String.sub wire 0 cut) with
+        | Ok _ | Result.Error _ -> true);
   ]
 
 let suite =

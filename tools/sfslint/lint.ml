@@ -1,0 +1,587 @@
+(* sfslint — AST-based invariant linter for the SFS tree.
+
+   The security argument of SFS rests on invariants the type system
+   cannot see: secrets must be compared in constant time, all entropy
+   must flow through the seeded PRNG, and the simulated network/clock
+   must stay deterministic so protocol runs are reproducible.  This
+   engine parses each .ml file into a Parsetree (compiler-libs) and
+   runs a small rule set over it; violations carry a code (SL001…), a
+   file:line span and a fix-it hint.
+
+   A violation can be waived in place with a pragma comment on the
+   same line or the line directly above:
+
+       (* sfslint: allow SL003 — OS-entropy fallback for demo binaries *)
+
+   Pragmas must name a known rule code and carry a justification;
+   malformed pragmas are themselves reported (SL000).
+
+   Rule applicability keys on repo-relative paths ("lib/crypto/mac.ml"),
+   so the engine can be driven both by the CLI walking the tree and by
+   the self-test suite feeding synthetic sources under synthetic
+   paths. *)
+
+open Parsetree
+
+type diagnostic = {
+  code : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+  hint : string;
+}
+
+type rule_info = { ri_code : string; ri_title : string; ri_hint : string }
+
+let rules : rule_info list =
+  [
+    {
+      ri_code = "SL000";
+      ri_title = "malformed sfslint pragma";
+      ri_hint = "write (* sfslint: allow SLxxx — reason *) with a known code and a justification";
+    };
+    {
+      ri_code = "SL001";
+      ri_title = "non-constant-time comparison of string/bytes values";
+      ri_hint = "use Sfs_util.Bytesutil.ct_equal for anything secret-shaped";
+    };
+    {
+      ri_code = "SL002";
+      ri_title = "Stdlib.Random outside lib/crypto/prng.ml";
+      ri_hint = "draw entropy from a seeded Sfs_crypto.Prng.t instead";
+    };
+    {
+      ri_code = "SL003";
+      ri_title = "wall-clock access outside lib/net/simclock.ml";
+      ri_hint = "read simulated time from Sfs_net.Simclock to keep runs reproducible";
+    };
+    {
+      ri_code = "SL004";
+      ri_title = "exception-throwing decode path";
+      ri_hint = "decoders must return result/option; use Xdr.error (caught by Xdr.run) for wire errors";
+    };
+    {
+      ri_code = "SL005";
+      ri_title = "module-toplevel mutable state";
+      ri_hint = "construct mutable state inside create/make functions so runs stay independent";
+    };
+    {
+      ri_code = "SL006";
+      ri_title = "Obj.magic / Marshal in lib/";
+      ri_hint = "use typed XDR codecs; unsafe casts and Marshal break the security argument";
+    };
+    {
+      ri_code = "SL007";
+      ri_title = "lib module without an interface file";
+      ri_hint = "add a .mli so the module's public surface is explicit";
+    };
+  ]
+
+let all_codes = List.map (fun r -> r.ri_code) rules
+
+let hint_of_code code =
+  match List.find_opt (fun r -> r.ri_code = code) rules with
+  | Some r -> r.ri_hint
+  | None -> ""
+
+(* --- path predicates --- *)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let ends_with ~suffix s =
+  let n = String.length s and m = String.length suffix in
+  n >= m && String.sub s (n - m) m = suffix
+
+let in_lib path = starts_with ~prefix:"lib/" path
+
+let sl001_applies path =
+  starts_with ~prefix:"lib/crypto/" path
+  || starts_with ~prefix:"lib/proto/" path
+  || starts_with ~prefix:"lib/core/" path
+
+let sl002_applies path = in_lib path && path <> "lib/crypto/prng.ml"
+let sl003_applies path = in_lib path && path <> "lib/net/simclock.ml"
+let sl004_applies path = starts_with ~prefix:"lib/xdr/" path || starts_with ~prefix:"lib/proto/" path
+
+(* --- identifier helpers --- *)
+
+let lid_flatten (lid : Longident.t) : string list =
+  match Longident.flatten lid with l -> l | exception _ -> []
+
+let strip_stdlib = function "Stdlib" :: rest -> rest | l -> l
+
+let lid_last (lid : Longident.t) : string =
+  match Longident.last lid with s -> s | exception _ -> ""
+
+(* Names whose '_'-separated segments suggest secret material.  This is
+   a heuristic: it is how the linter decides a polymorphic (=) touches
+   bytes worth constant-time treatment. *)
+let secret_segments =
+  [
+    "mac"; "hmac"; "tag"; "digest"; "hash"; "key"; "keys"; "secret"; "hostid";
+    "session"; "nonce"; "password"; "passwd"; "verifier"; "half"; "halves";
+    "share"; "sig"; "signature"; "token"; "seed";
+  ]
+
+let secretish_name (name : string) : bool =
+  String.split_on_char '_' (String.lowercase_ascii name)
+  |> List.exists (fun seg -> List.mem seg secret_segments)
+
+(* Decoder-shaped binding names: the SL004 scope. *)
+let is_decoder_name (name : string) : bool =
+  starts_with ~prefix:"dec_" name
+  || starts_with ~prefix:"decode" name
+  || starts_with ~prefix:"parse_" name
+  || ends_with ~suffix:"_of_string" name
+  || ends_with ~suffix:"_of_wire" name
+  || ends_with ~suffix:"_of_bytes" name
+
+(* Syntactic evidence that an operand of (=) is string/bytes-like and
+   secret-shaped: a long string literal (short literals are public
+   tokens — path components, flags — and comparing them leaks
+   nothing), or an identifier/field whose name suggests secret
+   material. *)
+let rec sl001_operand_evidence (e : expression) : string option =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_string (s, _, _)) when String.length s >= 8 ->
+      Some (Printf.sprintf "%S" s)
+  | Pexp_ident { txt; _ } when secretish_name (lid_last txt) -> Some (lid_last txt)
+  | Pexp_field (_, { txt; _ }) when secretish_name (lid_last txt) -> Some (lid_last txt)
+  | Pexp_constraint (e, _) -> sl001_operand_evidence e
+  | _ -> None
+
+(* Applications whose result is mutable state when bound at module
+   toplevel.  Array/Bytes literal tables are deliberately not flagged:
+   the constant-table idiom is pervasive and read-only. *)
+let mutable_creators =
+  [
+    [ "ref" ];
+    [ "Hashtbl"; "create" ];
+    [ "Array"; "make" ];
+    [ "Array"; "init" ];
+    [ "Array"; "create_float" ];
+    [ "Array"; "copy" ];
+    [ "Bytes"; "create" ];
+    [ "Bytes"; "make" ];
+    [ "Bytes"; "of_string" ];
+    [ "Bytes"; "copy" ];
+    [ "Buffer"; "create" ];
+    [ "Queue"; "create" ];
+    [ "Stack"; "create" ];
+    [ "Atomic"; "make" ];
+    [ "Weak"; "create" ];
+  ]
+
+let rec mutable_creator_rhs (e : expression) : string option =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_lazy e -> mutable_creator_rhs e
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+      let path = strip_stdlib (lid_flatten txt) in
+      if List.mem path mutable_creators then Some (String.concat "." path) else None
+  | _ -> None
+
+let pat_name (p : pattern) : string option =
+  let rec go p =
+    match p.ppat_desc with
+    | Ppat_var { txt; _ } -> Some txt
+    | Ppat_constraint (p, _) -> go p
+    | _ -> None
+  in
+  go p
+
+(* --- pragma comments --- *)
+
+type pragma = {
+  p_line_start : int;
+  p_line_end : int;
+  p_codes : string list; (* empty when malformed *)
+  p_malformed : string option; (* SL000 message *)
+}
+
+(* Extract every comment from [src] with its line span.  A small lexer:
+   tracks strings (with escapes), char literals (so '"' does not open a
+   string) and nested comments.  Quoted-string literals {x|…|x} are not
+   handled; the tree does not use them. *)
+let scan_comments (src : string) : (string * int * int) list =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let bump c = if c = '\n' then incr line in
+  let is_char_literal i =
+    (* 'c' or '\x' escapes; distinguishes from type variables 'a *)
+    if i + 2 < n && src.[i + 1] <> '\\' && src.[i + 2] = '\'' then Some (i + 3)
+    else if i + 2 < n && src.[i + 1] = '\\' then
+      let rec close j = if j < n && j <= i + 6 then (if src.[j] = '\'' then Some (j + 1) else close (j + 1)) else None in
+      close (i + 2)
+    else None
+  in
+  let skip_string j0 =
+    (* [j0] points at the opening quote; returns index past closing. *)
+    let j = ref (j0 + 1) in
+    let fin = ref false in
+    while (not !fin) && !j < n do
+      (match src.[!j] with
+      | '\\' ->
+          bump src.[!j];
+          incr j;
+          if !j < n then bump src.[!j]
+      | '"' -> fin := true
+      | c -> bump c);
+      incr j
+    done;
+    !j
+  in
+  while !i < n do
+    match src.[!i] with
+    | '"' -> i := skip_string !i
+    | '\'' -> (
+        match is_char_literal !i with
+        | Some j ->
+            for k = !i to j - 1 do
+              if k < n then bump src.[k]
+            done;
+            i := j
+        | None ->
+            bump '\'';
+            incr i)
+    | '(' when !i + 1 < n && src.[!i + 1] = '*' ->
+        let start_line = !line in
+        let buf = Buffer.create 64 in
+        let depth = ref 1 in
+        let j = ref (!i + 2) in
+        while !depth > 0 && !j < n do
+          if !j + 1 < n && src.[!j] = '(' && src.[!j + 1] = '*' then begin
+            incr depth;
+            Buffer.add_string buf "(*";
+            j := !j + 2
+          end
+          else if !j + 1 < n && src.[!j] = '*' && src.[!j + 1] = ')' then begin
+            decr depth;
+            if !depth > 0 then Buffer.add_string buf "*)";
+            j := !j + 2
+          end
+          else if src.[!j] = '"' then begin
+            (* strings inside comments are lexed by OCaml; honor them *)
+            let k = skip_string !j in
+            Buffer.add_string buf (String.sub src !j (min (k - !j) (n - !j)));
+            j := k
+          end
+          else begin
+            bump src.[!j];
+            Buffer.add_char buf src.[!j];
+            incr j
+          end
+        done;
+        out := (Buffer.contents buf, start_line, !line) :: !out;
+        i := !j
+    | c ->
+        bump c;
+        incr i
+  done;
+  List.rev !out
+
+let contains_sub (s : string) (sub : string) : bool =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Find every SLxxx token in [s]; returns codes in order with the end
+   offset of the last one. *)
+let find_codes (s : string) : string list * int =
+  let n = String.length s in
+  let codes = ref [] in
+  let last_end = ref 0 in
+  let is_digit c = c >= '0' && c <= '9' in
+  for i = 0 to n - 5 do
+    if
+      s.[i] = 'S' && s.[i + 1] = 'L' && is_digit s.[i + 2] && is_digit s.[i + 3]
+      && is_digit s.[i + 4]
+    then begin
+      codes := String.sub s i 5 :: !codes;
+      last_end := i + 5
+    end
+  done;
+  (List.rev !codes, !last_end)
+
+let parse_pragma (text : string) (line_start : int) (line_end : int) : pragma option =
+  if not (contains_sub text "sfslint") then None
+  else
+    let malformed msg =
+      Some { p_line_start = line_start; p_line_end = line_end; p_codes = []; p_malformed = Some msg }
+    in
+    if not (contains_sub text "allow") then
+      malformed "sfslint pragma without an 'allow' directive"
+    else
+      let codes, last_end = find_codes text in
+      let unknown = List.filter (fun c -> not (List.mem c all_codes)) codes in
+      if codes = [] then malformed "sfslint pragma names no rule code (SLxxx)"
+      else if unknown <> [] then
+        malformed (Printf.sprintf "sfslint pragma names unknown rule %s" (List.hd unknown))
+      else
+        let tail = String.sub text last_end (String.length text - last_end) in
+        let has_reason =
+          String.exists
+            (fun c ->
+              (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9'))
+            tail
+        in
+        if not has_reason then malformed "sfslint pragma carries no justification"
+        else
+          Some { p_line_start = line_start; p_line_end = line_end; p_codes = codes; p_malformed = None }
+
+let scan_pragmas (src : string) : pragma list =
+  List.filter_map (fun (text, ls, le) -> parse_pragma text ls le) (scan_comments src)
+
+(* A pragma covers a diagnostic on its own line span or on the line
+   directly below the comment. *)
+let suppressed (pragmas : pragma list) (code : string) (line : int) : bool =
+  List.exists
+    (fun p -> List.mem code p.p_codes && line >= p.p_line_start && line <= p.p_line_end + 1)
+    pragmas
+
+(* --- the AST pass --- *)
+
+let check_ast ~(path : string) ~(enabled : string list) (ast : structure) : diagnostic list =
+  let diags = ref [] in
+  let add ~(loc : Location.t) code message =
+    if List.mem code enabled then
+      let pos = loc.Location.loc_start in
+      diags :=
+        {
+          code;
+          file = path;
+          line = pos.Lexing.pos_lnum;
+          col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+          message;
+          hint = hint_of_code code;
+        }
+        :: !diags
+  in
+  (* Innermost-to-outermost chain of enclosing let-binding names, for
+     the SL004 decoder scope. *)
+  let binding_stack = ref [] in
+  let in_decoder () = List.exists is_decoder_name !binding_stack in
+  let on_ident ~loc (txt : Longident.t) =
+    let p = strip_stdlib (lid_flatten txt) in
+    (if sl001_applies path then
+       match p with
+       | [ "String"; "equal" ] | [ "Bytes"; "equal" ] | [ "String"; "compare" ] | [ "Bytes"; "compare" ]
+         ->
+           add ~loc "SL001"
+             (Printf.sprintf "%s short-circuits on the first differing byte" (String.concat "." p))
+       | _ -> ());
+    (if sl002_applies path then
+       match p with
+       | "Random" :: _ ->
+           add ~loc "SL002"
+             (Printf.sprintf "%s bypasses the seeded PRNG" (String.concat "." p))
+       | _ -> ());
+    (if sl003_applies path then
+       match p with
+       | [ "Unix"; "gettimeofday" ] | [ "Unix"; "time" ] | [ "Sys"; "time" ] ->
+           add ~loc "SL003"
+             (Printf.sprintf "%s reads the wall clock inside the simulation boundary"
+                (String.concat "." p))
+       | _ -> ());
+    (if sl004_applies path && in_decoder () then
+       match p with
+       | [ "failwith" ] | [ "invalid_arg" ] | [ "raise" ] | [ "raise_notrace" ] ->
+           add ~loc "SL004"
+             (Printf.sprintf "%s in decoder '%s' lets a malicious peer crash the server"
+                (String.concat "." p)
+                (match !binding_stack with b :: _ -> b | [] -> "?"))
+       | _ -> ());
+    if in_lib path then
+      match p with
+      | "Obj" :: rest when List.mem "magic" rest ->
+          add ~loc "SL006" "Obj.magic defeats the type system"
+      | "Marshal" :: _ ->
+          add ~loc "SL006" "Marshal bypasses the XDR codecs and is unsafe on untrusted bytes"
+      | _ -> ()
+  in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> on_ident ~loc:e.pexp_loc txt
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) when sl001_applies path
+            -> (
+              let p = strip_stdlib (lid_flatten txt) in
+              match (p, args) with
+              | ([ "=" ] | [ "<>" ] | [ "compare" ]), [ (_, a); (_, b) ] -> (
+                  let ev =
+                    match sl001_operand_evidence a with
+                    | Some _ as s -> s
+                    | None -> sl001_operand_evidence b
+                  in
+                  match ev with
+                  | Some witness ->
+                      add ~loc:e.pexp_loc "SL001"
+                        (Printf.sprintf
+                           "polymorphic %s on string/bytes value (%s) is not constant-time"
+                           (String.concat "." p) witness)
+                  | None -> ())
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+      value_binding =
+        (fun self vb ->
+          match pat_name vb.pvb_pat with
+          | Some name ->
+              binding_stack := name :: !binding_stack;
+              Ast_iterator.default_iterator.value_binding self vb;
+              binding_stack := List.tl !binding_stack
+          | None -> Ast_iterator.default_iterator.value_binding self vb);
+      structure_item =
+        (fun self si ->
+          (match si.pstr_desc with
+          | Pstr_value (_, vbs) when in_lib path ->
+              List.iter
+                (fun vb ->
+                  match mutable_creator_rhs vb.pvb_expr with
+                  | Some what ->
+                      let name =
+                        match pat_name vb.pvb_pat with Some n -> n | None -> "_"
+                      in
+                      add ~loc:vb.pvb_loc "SL005"
+                        (Printf.sprintf
+                           "module-toplevel mutable state '%s' (%s) is shared across runs" name
+                           what)
+                  | None -> ())
+                vbs
+          | _ -> ());
+          Ast_iterator.default_iterator.structure_item self si);
+    }
+  in
+  iter.structure iter ast;
+  List.rev !diags
+
+(* --- entry points --- *)
+
+let parse_implementation ~(path : string) (source : string) : (structure, string) result =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | ast -> Ok ast
+  | exception e -> (
+      match Location.error_of_exn e with
+      | Some (`Ok report) -> Error (Format.asprintf "%a" Location.print_report report)
+      | _ -> Error (Printexc.to_string e))
+
+let compare_diag (a : diagnostic) (b : diagnostic) : int =
+  match compare a.file b.file with
+  | 0 -> (
+      match compare a.line b.line with
+      | 0 -> ( match compare a.col b.col with 0 -> compare a.code b.code | c -> c)
+      | c -> c)
+  | c -> c
+
+(* Lint one compilation unit.  [path] is the repo-relative path used
+   for rule applicability; [source] is the file contents. *)
+let check_source ?(enabled = all_codes) ~(path : string) ~(source : string) () :
+    (diagnostic list, string) result =
+  match parse_implementation ~path source with
+  | Error msg -> Error msg
+  | Ok ast ->
+      let pragmas = scan_pragmas source in
+      let ast_diags = check_ast ~path ~enabled ast in
+      let pragma_diags =
+        if List.mem "SL000" enabled then
+          List.filter_map
+            (fun p ->
+              match p.p_malformed with
+              | Some msg ->
+                  Some
+                    {
+                      code = "SL000";
+                      file = path;
+                      line = p.p_line_start;
+                      col = 0;
+                      message = msg;
+                      hint = hint_of_code "SL000";
+                    }
+              | None -> None)
+            pragmas
+        else []
+      in
+      let kept =
+        List.filter (fun d -> not (suppressed pragmas d.code d.line)) ast_diags
+      in
+      Ok (List.sort compare_diag (kept @ pragma_diags))
+
+(* SL007 is a file-level rule: the caller knows whether the sibling
+   .mli exists.  A pragma anywhere in the file waives it. *)
+let missing_interface ?(enabled = all_codes) ~(path : string) ~(source : string)
+    ~(has_mli : bool) () : diagnostic option =
+  if
+    (not (List.mem "SL007" enabled))
+    || (not (in_lib path))
+    || (not (ends_with ~suffix:".ml" path))
+    || has_mli
+    || List.exists (fun p -> List.mem "SL007" p.p_codes) (scan_pragmas source)
+  then None
+  else
+    Some
+      {
+        code = "SL007";
+        file = path;
+        line = 1;
+        col = 0;
+        message = "module has no interface file (.mli)";
+        hint = hint_of_code "SL007";
+      }
+
+(* --- rendering --- *)
+
+let render_text (d : diagnostic) : string =
+  Printf.sprintf "%s:%d:%d: %s %s\n  hint: %s" d.file d.line d.col d.code d.message d.hint
+
+let render_github (d : diagnostic) : string =
+  Printf.sprintf "::error file=%s,line=%d,col=%d,title=%s::%s (hint: %s)" d.file d.line d.col
+    d.code d.message d.hint
+
+let json_escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_json_diag (d : diagnostic) : string =
+  Printf.sprintf
+    {|{"code":"%s","file":"%s","line":%d,"col":%d,"message":"%s","hint":"%s"}|}
+    (json_escape d.code) (json_escape d.file) d.line d.col (json_escape d.message)
+    (json_escape d.hint)
+
+(* The machine-readable report emitted by the @lint alias; future PRs
+   track per-rule counts alongside the BENCH_*.json artifacts.  The
+   layout is deterministic: diagnostics sorted by file/line/col/code,
+   counts sorted by code. *)
+let report_json ~(files_checked : int) (diags : diagnostic list) : string =
+  let diags = List.sort compare_diag diags in
+  let counts =
+    List.filter_map
+      (fun r ->
+        match List.length (List.filter (fun d -> d.code = r.ri_code) diags) with
+        | 0 -> None
+        | n -> Some (Printf.sprintf {|"%s":%d|} r.ri_code n))
+      rules
+  in
+  Printf.sprintf
+    {|{"tool":"sfslint","version":1,"files_checked":%d,"total_violations":%d,"counts":{%s},"violations":[%s]}|}
+    files_checked (List.length diags)
+    (String.concat "," counts)
+    (String.concat "," (List.map render_json_diag diags))
