@@ -1,6 +1,6 @@
 # Convenience targets; everything is driven by dune underneath.
 
-.PHONY: all build lint test bench clean
+.PHONY: all build lint test bench trace clean
 
 all: build
 
@@ -17,6 +17,18 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Re-run each figure with tracing on: Chrome trace_event JSON (load in
+# Perfetto / about:tracing) plus flat JSONL metrics, one pair per figure,
+# under _traces/.  --no-results keeps BENCH_results.json untouched.
+trace: build
+	mkdir -p _traces
+	for fig in fig5 fig6 fig7 fig8 fig9; do \
+	  dune exec bench/main.exe -- $$fig \
+	    --trace _traces/$$fig.trace.json \
+	    --metrics _traces/$$fig.metrics.jsonl \
+	    --no-results; \
+	done
 
 clean:
 	dune clean

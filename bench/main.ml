@@ -2,14 +2,53 @@
    paper's evaluation (section 4), plus the in-text ablations and real
    (bechamel) micro-benchmarks of the crypto substrate.
 
-   Usage:  main.exe [fig5] [fig6] [fig7] [fig8] [fig9] [ablations] [crypto]
-   With no arguments, everything runs in order.  Absolute numbers come
-   from the calibrated simulation (see DESIGN.md section 2); the column
-   annotated "paper" is what the authors measured on their testbed. *)
+   Usage:
+     main.exe [fig5] [fig6] [fig7] [fig8] [fig9] [ablations] [crypto]
+              [--trace FILE] [--metrics FILE] [--json]
+              [--results FILE] [--no-results]
+
+   With no figure arguments, everything runs in order.  Absolute numbers
+   come from the calibrated simulation (see DESIGN.md section 2); the
+   column annotated "paper" is what the authors measured on their
+   testbed.
+
+   Observability: every simulated world carries an Obs registry keyed to
+   the simulated clock, so --trace (Chrome trace_event JSON, loadable in
+   Perfetto) and --metrics (flat JSONL) are byte-identical across runs.
+   Each figure also appends its headline numbers plus all counters to
+   BENCH_results.json (one JSON object per line; override the path with
+   --results FILE, suppress with --no-results).  The crypto bechamel
+   suite and the ablations' real-CPU read-only table measure wall-clock
+   time and are deliberately excluded from all deterministic outputs. *)
 
 open Sfs_workload
+module Obs = Sfs_obs.Obs
 
 let hr () = print_endline (String.make 78 '=')
+
+(* --- Run context: everything the exporters need, gathered as figures run --- *)
+
+type fig_out = {
+  fo_name : string;
+  fo_headers : string list;
+  fo_rows : (string * float list) list; (* row label, plain measured values *)
+  fo_regs : (string * Obs.registry) list; (* label -> the world's registry *)
+}
+
+let figures : fig_out list ref = ref []
+
+(* Record a figure's machine-readable results and print its cross-stack
+   counter summary. *)
+let record (fo : fig_out) : unit =
+  figures := !figures @ [ fo ];
+  if fo.fo_regs <> [] then
+    print_endline
+      (Report.obs_table
+         ~title:(Printf.sprintf "Observability counters (%s)" fo.fo_name)
+         (List.map (fun (label, r) -> (label, Obs.snapshot r)) fo.fo_regs))
+
+let all_regs () : (string * Obs.registry) list =
+  List.concat_map (fun fo -> fo.fo_regs) !figures
 
 (* --- Figure 5: latency and throughput micro-benchmarks --- *)
 
@@ -26,20 +65,42 @@ let fig5 () =
   print_endline "(latency: unauthorized fchown; throughput: sequential read of a";
   print_endline " cached 64 MB file in 8 KB chunks — paper used a sparse 1,000 MB file)\n";
   let stacks = [ Stacks.Nfs_udp; Stacks.Nfs_tcp; Stacks.Sfs; Stacks.Sfs_noenc ] in
-  let rows =
+  let measured =
     List.map
       (fun s ->
-        let r = Microbench.run s in
+        let r, worlds = Microbench.run s in
+        let regs =
+          List.map2
+            (fun phase w -> (Printf.sprintf "fig5/%s/%s" (Stacks.stack_name s) phase, w.Stacks.obs))
+            [ "latency"; "throughput" ] worlds
+        in
+        (s, r, regs))
+      stacks
+  in
+  let rows =
+    List.map
+      (fun (s, r, _) ->
         let lat_p, thr_p = paper_fig5 s in
         [
           Stacks.stack_name s;
           Report.vs ~paper:lat_p (Report.f0 r.Microbench.latency_us);
           Report.vs ~paper:thr_p (Report.f1 r.Microbench.throughput_mb_s);
         ])
-      stacks
+      measured
   in
   print_endline
-    (Report.table ~title:"" ~headers:[ "File System"; "Latency (us)"; "Throughput (MB/s)" ] rows)
+    (Report.table ~title:"" ~headers:[ "File System"; "Latency (us)"; "Throughput (MB/s)" ] rows);
+  record
+    {
+      fo_name = "fig5";
+      fo_headers = [ "latency_us"; "throughput_mb_s" ];
+      fo_rows =
+        List.map
+          (fun (s, r, _) ->
+            (Stacks.stack_name s, [ r.Microbench.latency_us; r.Microbench.throughput_mb_s ]))
+          measured;
+      fo_regs = List.concat_map (fun (_, _, regs) -> regs) measured;
+    }
 
 (* --- Figure 6: the Modified Andrew Benchmark --- *)
 
@@ -54,11 +115,17 @@ let paper_fig6 = function
 let fig6 () =
   hr ();
   print_endline "Figure 6: Modified Andrew Benchmark, wall-clock seconds per phase\n";
-  let rows =
+  let measured =
     List.map
       (fun s ->
         let w = Stacks.make s in
         let p = Mab.run w in
+        (s, p, (Printf.sprintf "fig6/%s" (Stacks.stack_name s), w.Stacks.obs)))
+      Stacks.all_paper_stacks
+  in
+  let rows =
+    List.map
+      (fun (s, p, _) ->
         [
           Stacks.stack_name s;
           Report.f1 p.Mab.directories;
@@ -68,12 +135,27 @@ let fig6 () =
           Report.f1 p.Mab.compile;
           Report.vs ~paper:(paper_fig6 s) (Report.f1 (Mab.total p));
         ])
-      Stacks.all_paper_stacks
+      measured
   in
   print_endline
     (Report.table ~title:""
        ~headers:[ "File System"; "directories"; "copy"; "attributes"; "search"; "compile"; "total" ]
-       rows)
+       rows);
+  record
+    {
+      fo_name = "fig6";
+      fo_headers = [ "directories"; "copy"; "attributes"; "search"; "compile"; "total" ];
+      fo_rows =
+        List.map
+          (fun (s, p, _) ->
+            ( Stacks.stack_name s,
+              [
+                p.Mab.directories; p.Mab.copy; p.Mab.attributes; p.Mab.search; p.Mab.compile;
+                Mab.total p;
+              ] ))
+          measured;
+      fo_regs = List.map (fun (_, _, reg) -> reg) measured;
+    }
 
 (* --- Figure 7: compiling the GENERIC kernel --- *)
 
@@ -87,47 +169,84 @@ let paper_fig7 = function
 let fig7 () =
   hr ();
   print_endline "Figure 7: compiling the GENERIC FreeBSD 3.3 kernel (seconds)\n";
-  let rows =
+  let measured =
     List.map
       (fun s ->
         let w = Stacks.make s in
         let secs = Compile.run w in
-        [ Stacks.stack_name s; Report.vs ~paper:(paper_fig7 s) (Report.f0 secs) ])
+        (s, secs, (Printf.sprintf "fig7/%s" (Stacks.stack_name s), w.Stacks.obs)))
       Stacks.all_paper_stacks
   in
-  print_endline (Report.table ~title:"" ~headers:[ "System"; "Time (seconds)" ] rows)
+  let rows =
+    List.map
+      (fun (s, secs, _) ->
+        [ Stacks.stack_name s; Report.vs ~paper:(paper_fig7 s) (Report.f0 secs) ])
+      measured
+  in
+  print_endline (Report.table ~title:"" ~headers:[ "System"; "Time (seconds)" ] rows);
+  record
+    {
+      fo_name = "fig7";
+      fo_headers = [ "seconds" ];
+      fo_rows = List.map (fun (s, secs, _) -> (Stacks.stack_name s, [ secs ])) measured;
+      fo_regs = List.map (fun (_, _, reg) -> reg) measured;
+    }
 
 (* --- Figure 8: Sprite LFS small-file benchmark --- *)
 
 let fig8 () =
   hr ();
   print_endline "Figure 8: Sprite LFS small-file benchmark (1,000 x 1 KB files), seconds\n";
-  let rows =
+  let measured =
     List.map
       (fun s ->
         let w = Stacks.make s in
         let p = Sprite_lfs.run_small w in
+        (s, p, (Printf.sprintf "fig8/%s" (Stacks.stack_name s), w.Stacks.obs)))
+      Stacks.all_paper_stacks
+  in
+  let rows =
+    List.map
+      (fun (s, p, _) ->
         [
           Stacks.stack_name s;
           Report.f1 p.Sprite_lfs.create_s;
           Report.f1 p.Sprite_lfs.read_s;
           Report.f1 p.Sprite_lfs.unlink_s;
         ])
-      Stacks.all_paper_stacks
+      measured
   in
   print_endline (Report.table ~title:"" ~headers:[ "File System"; "create"; "read"; "unlink" ] rows);
-  print_endline "Paper's shape: create SFS ~= NFS/UDP; read SFS ~3x NFS/UDP; unlink ~equal."
+  print_endline "Paper's shape: create SFS ~= NFS/UDP; read SFS ~3x NFS/UDP; unlink ~equal.";
+  record
+    {
+      fo_name = "fig8";
+      fo_headers = [ "create_s"; "read_s"; "unlink_s" ];
+      fo_rows =
+        List.map
+          (fun (s, p, _) ->
+            ( Stacks.stack_name s,
+              [ p.Sprite_lfs.create_s; p.Sprite_lfs.read_s; p.Sprite_lfs.unlink_s ] ))
+          measured;
+      fo_regs = List.map (fun (_, _, reg) -> reg) measured;
+    }
 
 (* --- Figure 9: Sprite LFS large-file benchmark --- *)
 
 let fig9 () =
   hr ();
   print_endline "Figure 9: Sprite LFS large-file benchmark (40,000 KB, 8 KB chunks), seconds\n";
-  let rows =
+  let measured =
     List.map
       (fun s ->
         let w = Stacks.make s in
         let p = Sprite_lfs.run_large w in
+        (s, p, (Printf.sprintf "fig9/%s" (Stacks.stack_name s), w.Stacks.obs)))
+      Stacks.all_paper_stacks
+  in
+  let rows =
+    List.map
+      (fun (s, p, _) ->
         [
           Stacks.stack_name s;
           Report.f1 p.Sprite_lfs.seq_write_s;
@@ -136,14 +255,29 @@ let fig9 () =
           Report.f1 p.Sprite_lfs.rand_read_s;
           Report.f1 p.Sprite_lfs.seq_read2_s;
         ])
-      Stacks.all_paper_stacks
+      measured
   in
   print_endline
     (Report.table ~title:""
        ~headers:[ "File System"; "seq write"; "seq read"; "rand write"; "rand read"; "seq read" ]
        rows);
   print_endline
-    "Paper's shape: SFS +44% on seq write and +145% on seq read vs NFS/UDP;\nrandom phases dominated by the disk and roughly equal."
+    "Paper's shape: SFS +44% on seq write and +145% on seq read vs NFS/UDP;\nrandom phases dominated by the disk and roughly equal.";
+  record
+    {
+      fo_name = "fig9";
+      fo_headers = [ "seq_write_s"; "seq_read_s"; "rand_write_s"; "rand_read_s"; "seq_read2_s" ];
+      fo_rows =
+        List.map
+          (fun (s, p, _) ->
+            ( Stacks.stack_name s,
+              [
+                p.Sprite_lfs.seq_write_s; p.Sprite_lfs.seq_read_s; p.Sprite_lfs.rand_write_s;
+                p.Sprite_lfs.rand_read_s; p.Sprite_lfs.seq_read2_s;
+              ] ))
+          measured;
+      fo_regs = List.map (fun (_, _, reg) -> reg) measured;
+    }
 
 (* --- In-text ablations (sections 4.3, 4.4) --- *)
 
@@ -153,12 +287,12 @@ let ablations () =
   (* MAB: SFS with/without enhanced caching, with/without encryption. *)
   let mab_of s =
     let w = Stacks.make s in
-    Mab.total (Mab.run w)
+    (Mab.total (Mab.run w), (Printf.sprintf "ablations/mab/%s" (Stacks.stack_name s), w.Stacks.obs))
   in
-  let sfs = mab_of Stacks.Sfs in
-  let nocache = mab_of Stacks.Sfs_nocache in
-  let noenc = mab_of Stacks.Sfs_noenc in
-  let udp = mab_of Stacks.Nfs_udp in
+  let sfs, r1 = mab_of Stacks.Sfs in
+  let nocache, r2 = mab_of Stacks.Sfs_nocache in
+  let noenc, r3 = mab_of Stacks.Sfs_noenc in
+  let udp, r4 = mab_of Stacks.Nfs_udp in
   print_endline
     (Report.table ~title:"MAB total (s)"
        ~headers:[ "Configuration"; "Measured"; "Paper" ]
@@ -168,20 +302,50 @@ let ablations () =
          [ "SFS w/o encryption"; Report.f1 noenc; "5.7 (0.2 faster)" ];
          [ "NFS 3 (UDP)"; Report.f1 udp; "5.3" ];
        ]);
+  record
+    {
+      fo_name = "ablations-mab";
+      fo_headers = [ "total_s" ];
+      fo_rows =
+        [
+          ("SFS", [ sfs ]);
+          ("SFS w/o enhanced caching", [ nocache ]);
+          ("SFS w/o encryption", [ noenc ]);
+          ("NFS 3 (UDP)", [ udp ]);
+        ];
+      fo_regs = [ r1; r2; r3; r4 ];
+    };
   (* LFS small-file create phase without attribute caching. *)
   let create_of s =
     let w = Stacks.make s in
-    (Sprite_lfs.run_small w).Sprite_lfs.create_s
+    ( (Sprite_lfs.run_small w).Sprite_lfs.create_s,
+      (Printf.sprintf "ablations/lfs-create/%s" (Stacks.stack_name s), w.Stacks.obs) )
   in
+  let c_sfs, c1 = create_of Stacks.Sfs in
+  let c_nocache, c2 = create_of Stacks.Sfs_nocache in
+  let c_udp, c3 = create_of Stacks.Nfs_udp in
   print_endline
     (Report.table ~title:"LFS small-file create phase (s)"
        ~headers:[ "Configuration"; "Measured"; "Paper" ]
        [
-         [ "SFS"; Report.f1 (create_of Stacks.Sfs); "~= NFS/UDP" ];
-         [ "SFS w/o enhanced caching"; Report.f1 (create_of Stacks.Sfs_nocache); "+1 s" ];
-         [ "NFS 3 (UDP)"; Report.f1 (create_of Stacks.Nfs_udp); "baseline" ];
+         [ "SFS"; Report.f1 c_sfs; "~= NFS/UDP" ];
+         [ "SFS w/o enhanced caching"; Report.f1 c_nocache; "+1 s" ];
+         [ "NFS 3 (UDP)"; Report.f1 c_udp; "baseline" ];
        ]);
-  (* Read-only dialect: serving cost is independent of client count. *)
+  record
+    {
+      fo_name = "ablations-lfs-create";
+      fo_headers = [ "create_s" ];
+      fo_rows =
+        [
+          ("SFS", [ c_sfs ]);
+          ("SFS w/o enhanced caching", [ c_nocache ]);
+          ("NFS 3 (UDP)", [ c_udp ]);
+        ];
+      fo_regs = [ c1; c2; c3 ];
+    };
+  (* Read-only dialect: serving cost is independent of client count.
+     Real CPU seconds — excluded from the deterministic outputs. *)
   let ro_cost clients =
     let clock = Sfs_net.Simclock.create () in
     let net = Sfs_net.Simnet.create clock in
@@ -284,8 +448,87 @@ let crypto () =
      signing; ARC4 runs at stream-cipher speed; eksblowfish cost 6 is within an\n\
      order of magnitude of interactive use and scales by powers of two.)"
 
+(* --- JSON output (stable key order, no dependencies) --- *)
+
+let json_escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_fig (fo : fig_out) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "{\"figure\":\"%s\",\"headers\":[" (json_escape fo.fo_name));
+  Buffer.add_string buf
+    (String.concat "," (List.map (fun h -> Printf.sprintf "\"%s\"" (json_escape h)) fo.fo_headers));
+  Buffer.add_string buf "],\"rows\":[";
+  Buffer.add_string buf
+    (String.concat ","
+       (List.map
+          (fun (label, values) ->
+            Printf.sprintf "{\"system\":\"%s\",\"values\":[%s]}" (json_escape label)
+              (String.concat "," (List.map (fun v -> Printf.sprintf "%.3f" v) values)))
+          fo.fo_rows));
+  Buffer.add_string buf "],\"counters\":{";
+  Buffer.add_string buf
+    (String.concat ","
+       (List.map
+          (fun (label, reg) ->
+            let snap = Obs.snapshot reg in
+            Printf.sprintf "\"%s\":{%s}" (json_escape label)
+              (String.concat ","
+                 (List.map
+                    (fun (n, v) -> Printf.sprintf "\"%s\":%d" (json_escape n) v)
+                    snap.Obs.snap_counters)))
+          fo.fo_regs));
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let write_file (path : string) (contents : string) : unit =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let append_results (path : string) : unit =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  List.iter (fun fo -> output_string oc (json_of_fig fo ^ "\n")) !figures;
+  close_out oc
+
+(* --- Entry point --- *)
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let argv = List.tl (Array.to_list Sys.argv) in
+  let trace_file = ref None in
+  let metrics_file = ref None in
+  let json_stdout = ref false in
+  let results_file = ref (Some "BENCH_results.json") in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--trace" :: f :: rest ->
+        trace_file := Some f;
+        parse acc rest
+    | "--metrics" :: f :: rest ->
+        metrics_file := Some f;
+        parse acc rest
+    | "--json" :: rest ->
+        json_stdout := true;
+        parse acc rest
+    | "--results" :: f :: rest ->
+        results_file := Some f;
+        parse acc rest
+    | "--no-results" :: rest ->
+        results_file := None;
+        parse acc rest
+    | a :: rest -> parse (a :: acc) rest
+  in
+  let args = parse [] argv in
   let all = args = [] in
   let want name = all || List.mem name args in
   if want "fig5" then fig5 ();
@@ -295,5 +538,24 @@ let () =
   if want "fig9" then fig9 ();
   if want "ablations" then ablations ();
   if want "crypto" then crypto ();
+  (match !trace_file with
+  | Some path ->
+      write_file path (Obs.chrome_trace (all_regs ()));
+      Printf.printf "Wrote Chrome trace to %s (load in Perfetto or about:tracing).\n" path
+  | None -> ());
+  (match !metrics_file with
+  | Some path ->
+      write_file path (Obs.jsonl_of (all_regs ()));
+      Printf.printf "Wrote JSONL metrics to %s.\n" path
+  | None -> ());
+  (match !results_file with
+  | Some path when !figures <> [] ->
+      append_results path;
+      Printf.printf "Appended %d figure result(s) to %s.\n" (List.length !figures) path
+  | _ -> ());
+  if !json_stdout then begin
+    print_endline
+      ("{\"results\":[" ^ String.concat "," (List.map json_of_fig !figures) ^ "]}")
+  end;
   hr ();
   print_endline "Done.  See EXPERIMENTS.md for the paper-vs-measured discussion."

@@ -18,6 +18,7 @@
 module Simos = Sfs_os.Simos
 module Rabin = Sfs_crypto.Rabin
 module Authproto = Sfs_proto.Authproto
+module Obs = Sfs_obs.Obs
 
 type audit_entry = { at_us : float; info : Authproto.authinfo; seqno : int }
 
@@ -48,10 +49,21 @@ type t = {
   mutable blocked : string list; (* hostids blocked for this user only *)
   mutable audit : audit_entry list;
   now_us : unit -> float;
+  obs : Obs.registry option;
 }
 
-let create ?(now_us = fun () -> 0.0) (user : Simos.user) : t =
-  { user; signers = []; links = []; hooks = []; revocations = []; blocked = []; audit = []; now_us }
+let create ?(now_us = fun () -> 0.0) ?obs (user : Simos.user) : t =
+  {
+    user;
+    signers = [];
+    links = [];
+    hooks = [];
+    revocations = [];
+    blocked = [];
+    audit = [];
+    now_us;
+    obs;
+  }
 
 let user (t : t) = t.user
 
@@ -77,14 +89,17 @@ let sign_one (t : t) (signer : signer) (info : Authproto.authinfo) ~(seqno : int
   match signer with
   | Local_key key ->
       t.audit <- { at_us = t.now_us (); info; seqno } :: t.audit;
-      Some (Authproto.make_authmsg ~key info ~seqno)
+      Obs.incr t.obs "agent.signatures";
+      Some (Obs.span t.obs ~cat:"agent" "sign" (fun () -> Authproto.make_authmsg ~key info ~seqno))
   | Split_key { local; fetch_rest } -> (
       (* Reconstruct transiently; shares alone reveal nothing. *)
       match Keysplit.combine (local :: fetch_rest ()) with
       | None -> None
       | Some key ->
           t.audit <- { at_us = t.now_us (); info; seqno } :: t.audit;
-          Some (Authproto.make_authmsg ~key info ~seqno))
+          Obs.incr t.obs "agent.signatures";
+          Some
+            (Obs.span t.obs ~cat:"agent" "sign" (fun () -> Authproto.make_authmsg ~key info ~seqno)))
   | Proxy { forward; _ } ->
       (* The remote agent keeps its own audit trail of the operation. *)
       forward info ~seqno
@@ -154,6 +169,7 @@ let learn_revocation (t : t) (cert : Revocation.t) : bool =
    first access; the agent may consult revocation directories through
    its hooks, here modeled by the certificates it has collected. *)
 let check_revoked (t : t) (path : Pathname.t) : Revocation.t option =
+  Obs.incr t.obs "agent.revocation_checks";
   match List.assoc_opt (Pathname.hostid path) t.revocations with
   | Some cert when Revocation.applies_to cert path -> Some cert
   | _ -> None

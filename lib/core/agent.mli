@@ -18,7 +18,11 @@ type link_hook = string -> string option
 
 type t
 
-val create : ?now_us:(unit -> float) -> Simos.user -> t
+val create : ?now_us:(unit -> float) -> ?obs:Sfs_obs.Obs.registry -> Simos.user -> t
+(** [now_us] timestamps the audit trail.  When [obs] is given,
+    signature spans and [agent.signatures] / [agent.revocation_checks]
+    counters are recorded. *)
+
 val user : t -> Simos.user
 
 (** {2 Keys and signing} *)

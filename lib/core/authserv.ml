@@ -22,6 +22,7 @@ module Srp = Sfs_crypto.Srp
 module Prng = Sfs_crypto.Prng
 module Authproto = Sfs_proto.Authproto
 module Xdr = Sfs_xdr.Xdr
+module Obs = Sfs_obs.Obs
 
 type public_record = {
   pr_user : string;
@@ -47,11 +48,12 @@ type t = {
   mutable dbs : db list; (* searched in order *)
   srp_group : Srp.group;
   mutable failed_attempts : (string * string) list; (* user, reason — the audit log *)
+  obs : Obs.registry option;
 }
 
-let create ?(srp_group = Srp.default_group) (rng : Prng.t) : t =
+let create ?(srp_group = Srp.default_group) ?obs (rng : Prng.t) : t =
   let local = { db_name = "local"; writable = true; public = Hashtbl.create 16; private_ = Hashtbl.create 16 } in
-  { rng; dbs = [ local ]; srp_group; failed_attempts = [] }
+  { rng; dbs = [ local ]; srp_group; failed_attempts = []; obs }
 
 let local_db (t : t) : db = List.find (fun db -> db.writable) t.dbs
 
@@ -159,14 +161,21 @@ let cred_of_pubkey (t : t) (pubkey : Rabin.pub) : (string * Simos.cred) option =
    server; here we verify the signature and the key mapping. *)
 let validate (t : t) ~(authmsg : string) ~(authid : string) ~(seqno : int) :
     (string * Simos.cred, string) result =
-  match Authproto.authmsg_of_string authmsg with
-  | None -> Error "unparsable authentication message"
-  | Some msg ->
-      if not (Authproto.validate_authmsg msg ~authid ~seqno) then Error "bad signature"
-      else
-        match cred_of_pubkey t msg.Authproto.user_pub with
-        | Some (user, cred) -> Ok (user, cred)
-        | None -> Error "unknown public key"
+  let res =
+    Obs.span t.obs ~cat:"auth" "validate" (fun () ->
+        match Authproto.authmsg_of_string authmsg with
+        | None -> Error "unparsable authentication message"
+        | Some msg -> (
+            if not (Authproto.validate_authmsg msg ~authid ~seqno) then Error "bad signature"
+            else
+              match cred_of_pubkey t msg.Authproto.user_pub with
+              | Some (user, cred) -> Ok (user, cred)
+              | None -> Error "unknown public key"))
+  in
+  (match res with
+  | Ok _ -> Obs.incr t.obs "auth.validate.ok"
+  | Error _ -> Obs.incr t.obs "auth.validate.fail");
+  res
 
 (* --- Public database export/import (section 2.5.2) ---
 

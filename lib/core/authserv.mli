@@ -16,7 +16,9 @@ module Xdr = Sfs_xdr.Xdr
 
 type t
 
-val create : ?srp_group:Srp.group -> Prng.t -> t
+val create : ?srp_group:Srp.group -> ?obs:Sfs_obs.Obs.registry -> Prng.t -> t
+(** When [obs] is given, {!validate} records a span plus
+    [auth.validate.ok] / [auth.validate.fail] counters. *)
 
 (** {2 User management} *)
 

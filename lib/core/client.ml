@@ -28,6 +28,7 @@ module Channel = Sfs_proto.Channel
 module Authproto = Sfs_proto.Authproto
 module Sfsrw = Sfs_proto.Sfsrw
 module Xdr = Sfs_xdr.Xdr
+module Obs = Sfs_obs.Obs
 
 type mount_error =
   | Host_unreachable of string
@@ -70,11 +71,12 @@ type t = {
   mounts : (string, mount) Hashtbl.t; (* by Pathname.to_name *)
   mutable encrypt : bool; (* ablation switch: "SFS w/o encryption" *)
   mutable cache_policy : Cachefs.policy;
+  obs : Obs.registry option;
 }
 
 let create ?(temp_key_bits = 512) ?(temp_key_lifetime_s = 3600.0) ?(encrypt = true)
-    ?(cache_policy = Cachefs.sfs_policy) (net : Simnet.t) ~(from_host : string) ~(rng : Prng.t) () : t
-    =
+    ?(cache_policy = Cachefs.sfs_policy) ?obs (net : Simnet.t) ~(from_host : string)
+    ~(rng : Prng.t) () : t =
   {
     net;
     clock = Simnet.clock net;
@@ -88,6 +90,7 @@ let create ?(temp_key_bits = 512) ?(temp_key_lifetime_s = 3600.0) ?(encrypt = tr
     mounts = Hashtbl.create 8;
     encrypt;
     cache_policy;
+    obs;
   }
 
 (* "Clients discard and regenerate K_C at regular intervals (every hour
@@ -119,7 +122,14 @@ let channel_exchange ~(channel : Channel.t) ~(conn : Simnet.conn) (req : Sfsrw.r
 let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
   match find_mount t path with
   | Some m -> Ok m
-  | None -> (
+  | None ->
+      (* Only the cold path is a span: repeat references are a cheap
+         hashtable hit, as in the real automounter. *)
+      Obs.incr t.obs "client.automounts";
+      Obs.span
+        ~args:[ ("path", Pathname.to_string path) ]
+        t.obs ~cat:"client" "automount"
+        (fun () ->
       let location = Pathname.location path in
       match
         Simnet.connect t.net ~from_host:t.from_host ~addr:location ~port:Server.sfs_port
@@ -138,8 +148,8 @@ let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
           | exception Simnet.Timeout -> Error (Host_unreachable location)
           | { Keyneg.keys; server_pub } -> (
               let channel =
-                Channel.create ~encrypt:t.encrypt ~clock:t.clock ~costs:t.costs
-                  ~send_key:keys.Keyneg.kcs ~recv_key:keys.Keyneg.ksc ()
+                Channel.create ~encrypt:t.encrypt ~clock:t.clock ~costs:t.costs ?obs:t.obs
+                  ~label:"client" ~send_key:keys.Keyneg.kcs ~recv_key:keys.Keyneg.ksc ()
               in
               let invalidations = ref [] in
               let authnos = Hashtbl.create 4 in
@@ -198,7 +208,7 @@ let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
                         let inv = !invalidations in
                         invalidations := [];
                         inv)
-                      ~clock:t.clock ~policy:t.cache_policy inner_ops
+                      ?obs:t.obs ~clock:t.clock ~policy:t.cache_policy inner_ops
                   in
                   let m =
                     {
@@ -262,7 +272,7 @@ let mount_readonly (t : t) (path : Pathname.t) : (mount, mount_error) result =
                 | exception Readonly.Verification_failed e -> Error (Negotiation_failed e)
                 | ro ->
                     let ops = Readonly.ops ro in
-                    let cache = Cachefs.create ~clock:t.clock ~policy:t.cache_policy ops in
+                    let cache = Cachefs.create ?obs:t.obs ~clock:t.clock ~policy:t.cache_policy ops in
                     let m =
                       {
                         m_path = path;
@@ -286,7 +296,6 @@ let mount_readonly (t : t) (path : Pathname.t) : (mount, mount_error) result =
 (* --- User authentication (Figure 4, client and agent side) --- *)
 
 let authenticate ?local_uid (t : t) (m : mount) (agent : Agent.t) : int =
-  ignore t;
   (* [local_uid] is the local credential the agent is answering for —
      normally the agent's own user, but ssu maps a super-user shell to
      an ordinary user's agent (paper footnote 2). *)
@@ -299,34 +308,37 @@ let authenticate ?local_uid (t : t) (m : mount) (agent : Agent.t) : int =
         Sfsrw.authno_anonymous
       end
       else begin
-        let info =
-          {
-            Authproto.service = "FS";
-            location = Pathname.location m.m_path;
-            hostid = Pathname.hostid m.m_path;
-            session_id = m.m_session_id;
-          }
-        in
-        let base = m.m_seqno in
-        let msgs = Agent.sign_requests agent info ~seqno_of:(fun i -> base + i) in
-        m.m_seqno <- base + List.length msgs;
-        let try_one i msg =
-          match
-            channel_exchange ~channel:m.m_channel ~conn:m.m_conn
-              (Sfsrw.Auth_req { seqno = base + i; authmsg = Authproto.authmsg_to_string msg })
-          with
-          | Ok (Sfsrw.Auth_granted { authno; seqno }) when seqno = base + i -> Some authno
-          | _ -> None
-        in
-        let authno =
-          List.fold_left
-            (fun acc (i, msg) -> match acc with Some _ -> acc | None -> try_one i msg)
-            None
-            (List.mapi (fun i msg -> (i, msg)) msgs)
-        in
-        let authno = Option.value authno ~default:Sfsrw.authno_anonymous in
-        Hashtbl.replace m.m_authnos uid authno;
-        authno
+        Obs.incr t.obs "client.auth_attempts";
+        Obs.span t.obs ~cat:"client" "authenticate" (fun () ->
+            let info =
+              {
+                Authproto.service = "FS";
+                location = Pathname.location m.m_path;
+                hostid = Pathname.hostid m.m_path;
+                session_id = m.m_session_id;
+              }
+            in
+            let base = m.m_seqno in
+            let msgs = Agent.sign_requests agent info ~seqno_of:(fun i -> base + i) in
+            m.m_seqno <- base + List.length msgs;
+            let try_one i msg =
+              match
+                channel_exchange ~channel:m.m_channel ~conn:m.m_conn
+                  (Sfsrw.Auth_req { seqno = base + i; authmsg = Authproto.authmsg_to_string msg })
+              with
+              | Ok (Sfsrw.Auth_granted { authno; seqno }) when seqno = base + i -> Some authno
+              | _ -> None
+            in
+            let authno =
+              List.fold_left
+                (fun acc (i, msg) -> match acc with Some _ -> acc | None -> try_one i msg)
+                None
+                (List.mapi (fun i msg -> (i, msg)) msgs)
+            in
+            if authno <> None then Obs.incr t.obs "client.auth_granted";
+            let authno = Option.value authno ~default:Sfsrw.authno_anonymous in
+            Hashtbl.replace m.m_authnos uid authno;
+            authno)
       end
 
 let ops (m : mount) : Fs_intf.ops = m.m_ops

@@ -28,6 +28,7 @@ val create :
   ?temp_key_lifetime_s:float ->
   ?encrypt:bool ->
   ?cache_policy:Cachefs.policy ->
+  ?obs:Sfs_obs.Obs.registry ->
   Simnet.t ->
   from_host:string ->
   rng:Prng.t ->
@@ -36,7 +37,9 @@ val create :
 (** [~encrypt:false] negotiates the "SFS w/o encryption" dialect;
     [cache_policy] defaults to lease-based SFS caching.  The short-lived
     key regenerates after [temp_key_lifetime_s] (default one hour) for
-    forward secrecy. *)
+    forward secrecy.  When [obs] is given, automount and authentication
+    spans are recorded, and the mount's channel and cache are
+    instrumented too ([channel.client.*], [cache.*]). *)
 
 val mount : t -> Pathname.t -> (mount, mount_error) result
 (** Dial the Location, negotiate keys, verify the HostID, fetch the

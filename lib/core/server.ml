@@ -31,6 +31,7 @@ module Authproto = Sfs_proto.Authproto
 module Sfsrw = Sfs_proto.Sfsrw
 module Lease = Sfs_proto.Lease
 module Xdr = Sfs_xdr.Xdr
+module Obs = Sfs_obs.Obs
 
 let sfs_port = 4
 
@@ -51,6 +52,7 @@ type t = {
   mutable revocation : Revocation.t option; (* served on connect when set *)
   mutable connections : int;
   mutable fs_calls : int;
+  obs : Obs.registry option;
 }
 
 let ( let* ) = Result.bind
@@ -272,10 +274,12 @@ let fs_connection ?(encrypt = true) (t : t) : string -> string =
         | Ok (keys, response) ->
             let conn_id = Lease.register_conn t.leases in
             let channel =
-              Channel.create ~encrypt ~clock:t.clock ~costs:t.costs ~send_key:keys.Keyneg.ksc
-                ~recv_key:keys.Keyneg.kcs ()
+              Channel.create ~encrypt ~clock:t.clock ~costs:t.costs ?obs:t.obs ~label:"server"
+                ~send_key:keys.Keyneg.ksc ~recv_key:keys.Keyneg.kcs ()
             in
-            let dispatcher = Nfs_server.create ~fh_prefix:"" (secure_ops t ~conn:conn_id) in
+            let dispatcher =
+              Nfs_server.create ~fh_prefix:"" ?obs:t.obs (secure_ops t ~conn:conn_id)
+            in
             state :=
               `Established
                 {
@@ -305,6 +309,7 @@ let fs_connection ?(encrypt = true) (t : t) : string -> string =
 let connection (t : t) ~(peer : string) : string -> string =
   ignore peer;
   t.connections <- t.connections + 1;
+  Obs.incr t.obs "server.connections";
   let sub = ref None in
   fun bytes ->
     match !sub with
@@ -344,7 +349,7 @@ let connection (t : t) ~(peer : string) : string -> string =
                       Xdr.encode Keyneg.enc_connect_res (Keyneg.Connect_ok { pubkey = t.key.Rabin.pub })
                 end))
 
-let create ?(lease_s = 60) ?(allow_anonymous = true) (net : Simnet.t) ~(host : Simnet.host)
+let create ?(lease_s = 60) ?(allow_anonymous = true) ?obs (net : Simnet.t) ~(host : Simnet.host)
     ~(location : string) ~(key : Rabin.priv) ~(rng : Prng.t) ~(backend : Fs_intf.ops)
     ~(authserv : Authserv.t) () : t =
   let clock = Simnet.clock net in
@@ -358,7 +363,7 @@ let create ?(lease_s = 60) ?(allow_anonymous = true) (net : Simnet.t) ~(host : S
       key;
       path = Pathname.of_server ~location ~pubkey:key.Rabin.pub;
       backend;
-      leases = Lease.create ~lease_s clock;
+      leases = Lease.create ~lease_s ?obs clock;
       fhc = Fhcrypt.of_prng rng;
       authserv;
       allow_anonymous;
@@ -366,6 +371,7 @@ let create ?(lease_s = 60) ?(allow_anonymous = true) (net : Simnet.t) ~(host : S
       revocation = None;
       connections = 0;
       fs_calls = 0;
+      obs;
     }
   in
   Simnet.listen net host ~port:sfs_port (fun ~peer -> connection t ~peer);

@@ -17,6 +17,7 @@ type t
 val create :
   ?lease_s:int ->
   ?allow_anonymous:bool ->
+  ?obs:Sfs_obs.Obs.registry ->
   Simnet.t ->
   host:Simnet.host ->
   location:string ->
@@ -30,7 +31,10 @@ val create :
     backend (in deployment, an NFS server on the same machine reached
     over loopback).  [lease_s] (default 60) is the attribute lease;
     [allow_anonymous] (default true) controls whether unauthenticated
-    requests reach the file system at all (section 2.5). *)
+    requests reach the file system at all (section 2.5).  When [obs]
+    is given the leases, per-connection channels ([channel.server.*])
+    and NFS dispatcher are instrumented, plus a [server.connections]
+    counter. *)
 
 val self_path : t -> Pathname.t
 (** The server's self-certifying pathname — everything a client needs. *)

@@ -12,6 +12,8 @@
    replayed.  Under those powers an attacker should achieve nothing
    worse than delay or denial. *)
 
+module Obs = Sfs_obs.Obs
+
 exception Timeout
 (** Raised when the adversary drops a message or the peer is gone; the
     simulated equivalent of an RPC timing out. *)
@@ -42,10 +44,11 @@ type t = {
   costs : Costmodel.t;
   hosts : (string, host) Hashtbl.t; (* by name and alias *)
   mutable default_tap : tap option; (* applied to new connections *)
+  obs : Obs.registry option;
 }
 
-let create ?(costs = Costmodel.default) (clock : Simclock.t) : t =
-  { clock; costs; hosts = Hashtbl.create 16; default_tap = None }
+let create ?(costs = Costmodel.default) ?obs (clock : Simclock.t) : t =
+  { clock; costs; hosts = Hashtbl.create 16; default_tap = None; obs }
 
 let clock (t : t) = t.clock
 let costs (t : t) = t.costs
@@ -86,6 +89,13 @@ type conn = {
   mutable rpc_count : int;
   mutable bytes_sent : int;
   mutable bytes_received : int;
+  (* Precomputed observability counter names ("net.<peer>:<port>.x"),
+     so the per-call cost is a hash lookup. *)
+  k_rpcs : string;
+  k_bytes_out : string;
+  k_bytes_in : string;
+  k_rpc_us : string;
+  span_args : (string * string) list;
 }
 
 let connect (t : t) ~(from_host : string) ~(addr : string) ~(port : int) ~(proto : Costmodel.transport_proto) : conn =
@@ -95,6 +105,7 @@ let connect (t : t) ~(from_host : string) ~(addr : string) ~(port : int) ~(proto
       match Hashtbl.find_opt h.services port with
       | None -> raise (No_route (Printf.sprintf "%s:%d" addr port))
       | Some service ->
+          let base = Printf.sprintf "net.%s:%d" addr port in
           {
             net = t;
             proto;
@@ -105,6 +116,11 @@ let connect (t : t) ~(from_host : string) ~(addr : string) ~(port : int) ~(proto
             rpc_count = 0;
             bytes_sent = 0;
             bytes_received = 0;
+            k_rpcs = base ^ ".rpcs";
+            k_bytes_out = base ^ ".bytes_out";
+            k_bytes_in = base ^ ".bytes_in";
+            k_rpc_us = base ^ ".rpc_us";
+            span_args = [ ("peer", Printf.sprintf "%s:%d" addr port) ];
           })
 
 let set_tap (c : conn) (tap : tap option) : unit = c.tap <- tap
@@ -128,16 +144,22 @@ let apply_tap (c : conn) (dir : direction) (msg : string) : string =
 let call (c : conn) (request : string) : string =
   if c.closed then raise Timeout;
   let t = c.net in
-  c.rpc_count <- c.rpc_count + 1;
-  c.bytes_sent <- c.bytes_sent + String.length request;
-  Simclock.advance t.clock (Costmodel.rpc_fixed_us t.costs c.proto);
-  Simclock.advance t.clock (Costmodel.transfer_us t.costs c.proto (String.length request));
-  let request = apply_tap c To_server request in
-  let reply = c.handler request in
-  let reply = apply_tap c To_client reply in
-  c.bytes_received <- c.bytes_received + String.length reply;
-  Simclock.advance t.clock (Costmodel.transfer_us t.costs c.proto (String.length reply));
-  reply
+  Obs.span ~args:c.span_args t.obs ~cat:"net" "rpc" (fun () ->
+      let start_us = Simclock.now_us t.clock in
+      c.rpc_count <- c.rpc_count + 1;
+      c.bytes_sent <- c.bytes_sent + String.length request;
+      Obs.incr t.obs c.k_rpcs;
+      Obs.add t.obs c.k_bytes_out (String.length request);
+      Simclock.advance t.clock (Costmodel.rpc_fixed_us t.costs c.proto);
+      Simclock.advance t.clock (Costmodel.transfer_us t.costs c.proto (String.length request));
+      let request = apply_tap c To_server request in
+      let reply = c.handler request in
+      let reply = apply_tap c To_client reply in
+      c.bytes_received <- c.bytes_received + String.length reply;
+      Obs.add t.obs c.k_bytes_in (String.length reply);
+      Simclock.advance t.clock (Costmodel.transfer_us t.costs c.proto (String.length reply));
+      Obs.observe t.obs c.k_rpc_us (int_of_float (Simclock.now_us t.clock -. start_us));
+      reply)
 
 (* A pipelined (write-behind) exchange: the caller does not wait for
    the reply, so the fixed round-trip latency is hidden; only wire
@@ -146,15 +168,21 @@ let call (c : conn) (request : string) : string =
 let call_async (c : conn) (request : string) : string =
   if c.closed then raise Timeout;
   let t = c.net in
-  c.rpc_count <- c.rpc_count + 1;
-  c.bytes_sent <- c.bytes_sent + String.length request;
-  Simclock.advance t.clock t.costs.Costmodel.async_floor_us;
-  Simclock.advance t.clock (Costmodel.transfer_us t.costs c.proto (String.length request));
-  let request = apply_tap c To_server request in
-  let reply = c.handler request in
-  let reply = apply_tap c To_client reply in
-  c.bytes_received <- c.bytes_received + String.length reply;
-  reply
+  Obs.span ~args:c.span_args t.obs ~cat:"net" "rpc_async" (fun () ->
+      let start_us = Simclock.now_us t.clock in
+      c.rpc_count <- c.rpc_count + 1;
+      c.bytes_sent <- c.bytes_sent + String.length request;
+      Obs.incr t.obs c.k_rpcs;
+      Obs.add t.obs c.k_bytes_out (String.length request);
+      Simclock.advance t.clock t.costs.Costmodel.async_floor_us;
+      Simclock.advance t.clock (Costmodel.transfer_us t.costs c.proto (String.length request));
+      let request = apply_tap c To_server request in
+      let reply = c.handler request in
+      let reply = apply_tap c To_client reply in
+      c.bytes_received <- c.bytes_received + String.length reply;
+      Obs.add t.obs c.k_bytes_in (String.length reply);
+      Obs.observe t.obs c.k_rpc_us (int_of_float (Simclock.now_us t.clock -. start_us));
+      reply)
 
 (* Adversary entry point: deliver a raw message to the server as if it
    came from this connection, without charging the tap. *)

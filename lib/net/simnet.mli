@@ -28,7 +28,12 @@ type service = peer:string -> (string -> string)
 type host
 type t
 
-val create : ?costs:Costmodel.t -> Simclock.t -> t
+val create : ?costs:Costmodel.t -> ?obs:Sfs_obs.Obs.registry -> Simclock.t -> t
+(** When [obs] is given, every connection records per-peer RPC, byte
+    and modeled-latency metrics under [net.<addr>:<port>.*], plus one
+    span per {!call}/{!call_async}.  {!inject} (the adversary's raw
+    entry point) is deliberately not instrumented. *)
+
 val clock : t -> Simclock.t
 val costs : t -> Costmodel.t
 

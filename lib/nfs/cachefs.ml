@@ -22,6 +22,7 @@
 open Nfs_types
 module Simos = Sfs_os.Simos
 module Simclock = Sfs_net.Simclock
+module Obs = Sfs_obs.Obs
 
 type policy = {
   attr_ttl_s : float; (* fixed attribute timeout when no lease is used *)
@@ -58,17 +59,19 @@ type t = {
   mutable getattr_hits : int;
   mutable reads : int;
   mutable read_hits : int;
+  obs : Obs.registry option;
 }
 
 let no_invalidations () : fh list = []
 
-let create ?(take_invalidations = no_invalidations) ~(clock : Simclock.t) ~(policy : policy)
+let create ?(take_invalidations = no_invalidations) ?obs ~(clock : Simclock.t) ~(policy : policy)
     (inner : Fs_intf.ops) : t =
   {
     inner;
     clock;
     policy;
     take_invalidations;
+    obs;
     attrs = Hashtbl.create 512;
     names = Hashtbl.create 512;
     access_cache = Hashtbl.create 512;
@@ -114,7 +117,11 @@ let invalidate_fh (t : t) (h : fh) : unit =
   List.iter (Hashtbl.remove t.negatives) doomed_neg
 
 let drain_invalidations (t : t) : unit =
-  if t.policy.use_leases then List.iter (invalidate_fh t) (t.take_invalidations ())
+  if t.policy.use_leases then begin
+    let fhs = t.take_invalidations () in
+    if fhs <> [] then Obs.add t.obs "cache.invalidations" (List.length fhs);
+    List.iter (invalidate_fh t) fhs
+  end
 
 let invalidate_all (t : t) : unit =
   Hashtbl.reset t.attrs;
@@ -201,9 +208,11 @@ let ops (t : t) : Fs_intf.ops =
     match fresh_attr t h with
     | Some e ->
         t.getattr_hits <- t.getattr_hits + 1;
+        Obs.incr t.obs "cache.attr.hit";
         charge_hit t 64;
         Ok e.attr
     | None ->
+        Obs.incr t.obs "cache.attr.miss";
         let* a = inner.Fs_intf.fs_getattr cred h in
         note_attr t h a;
         Ok a
@@ -225,6 +234,7 @@ let ops (t : t) : Fs_intf.ops =
         match Hashtbl.find_opt t.negatives (dir, name) with
         | Some expiry when t.policy.use_leases && expiry > Simclock.now_us t.clock ->
             t.lookup_hits <- t.lookup_hits + 1;
+            Obs.incr t.obs "cache.neg.hit";
             charge_hit t 64;
             Error NFS3ERR_NOENT
         | _ -> (
@@ -240,15 +250,18 @@ let ops (t : t) : Fs_intf.ops =
                 Error NFS3ERR_ACCES
             | Some e, _ ->
                 t.lookup_hits <- t.lookup_hits + 1;
+                Obs.incr t.obs "cache.name.hit";
                 charge_hit t 64;
                 Ok (target, e.attr)
             | None, _ ->
+                Obs.incr t.obs "cache.name.miss";
                 let* h, a = inner.Fs_intf.fs_lookup cred ~dir name in
                 note_attr t h a;
                 Hashtbl.replace t.names (dir, name)
                   (h, Simclock.now_us t.clock +. (name_ttl_s t a *. 1_000_000.0));
                 Ok (h, a))
         | _ -> (
+            Obs.incr t.obs "cache.name.miss";
             match inner.Fs_intf.fs_lookup cred ~dir name with
             | Ok (h, a) ->
                 note_attr t h a;
@@ -276,9 +289,11 @@ let ops (t : t) : Fs_intf.ops =
         let key = (h, cred.Simos.cred_uid, want) in
         match Hashtbl.find_opt t.access_cache key with
         | Some (granted, expiry) when expiry > Simclock.now_us t.clock ->
+            Obs.incr t.obs "cache.access.hit";
             charge_hit t 64;
             Ok granted
         | _ ->
+            Obs.incr t.obs "cache.access.miss";
             let* granted = inner.Fs_intf.fs_access cred h want in
             let ttl_s =
               match fresh_attr t h with
@@ -306,6 +321,7 @@ let ops (t : t) : Fs_intf.ops =
         then Error NFS3ERR_ACCES
         else if cached then begin
           t.read_hits <- t.read_hits + 1;
+          Obs.incr t.obs "cache.read.hit";
           charge_hit t count;
           let e = match fresh_attr t h with Some e -> e | None -> assert false in
           let size = e.attr.size in
@@ -323,7 +339,8 @@ let ops (t : t) : Fs_intf.ops =
           done;
           Ok (Buffer.contents buf, off + n >= size, e.attr)
         end
-        else
+        else begin
+          Obs.incr t.obs "cache.read.miss";
           let* data, eof, a = inner.Fs_intf.fs_read cred h ~off ~count in
           note_attr t h a;
           (* Cache only block-aligned full coverage to keep bookkeeping
@@ -335,7 +352,8 @@ let ops (t : t) : Fs_intf.ops =
                   note_block t h ((off / block_size) + i) chunk)
               (Sfs_util.Bytesutil.chunks ~size:block_size data)
           end;
-          Ok (data, eof, a));
+          Ok (data, eof, a)
+        end);
     fs_write =
       (fun cred h ~off ~stable data ->
         drain_invalidations t;

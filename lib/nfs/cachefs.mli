@@ -26,12 +26,16 @@ type t
 
 val create :
   ?take_invalidations:(unit -> fh list) ->
+  ?obs:Sfs_obs.Obs.registry ->
   clock:Sfs_net.Simclock.t ->
   policy:policy ->
   Fs_intf.ops ->
   t
 (** [take_invalidations] drains the server's piggybacked callbacks; it
-    is polled before every cache consultation when leases are in use. *)
+    is polled before every cache consultation when leases are in use.
+    When [obs] is given, per-cache hit/miss tallies are recorded under
+    [cache.attr.*], [cache.name.*], [cache.neg.hit], [cache.access.*],
+    [cache.read.*], plus [cache.invalidations] for drained callbacks. *)
 
 val ops : t -> Fs_intf.ops
 (** The caching view of the wrapped file system. *)

@@ -33,6 +33,27 @@ let mount_prog = 100005
 let mount_vers = 3
 let mount_proc_mnt = 1
 
+let proc_name (proc : int) : string =
+  if proc = proc_null then "null"
+  else if proc = proc_getattr then "getattr"
+  else if proc = proc_setattr then "setattr"
+  else if proc = proc_lookup then "lookup"
+  else if proc = proc_access then "access"
+  else if proc = proc_readlink then "readlink"
+  else if proc = proc_read then "read"
+  else if proc = proc_write then "write"
+  else if proc = proc_create then "create"
+  else if proc = proc_mkdir then "mkdir"
+  else if proc = proc_symlink then "symlink"
+  else if proc = proc_remove then "remove"
+  else if proc = proc_rmdir then "rmdir"
+  else if proc = proc_rename then "rename"
+  else if proc = proc_link then "link"
+  else if proc = proc_readdirplus then "readdirplus"
+  else if proc = proc_fsstat then "fsstat"
+  else if proc = proc_commit then "commit"
+  else Printf.sprintf "proc%d" proc
+
 (* --- result envelope --- *)
 
 let enc_res (enc_ok : Xdr.enc -> 'a -> unit) (e : Xdr.enc) (r : 'a res) : unit =

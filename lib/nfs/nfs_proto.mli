@@ -35,6 +35,10 @@ val mount_prog : int
 val mount_vers : int
 val mount_proc_mnt : int
 
+val proc_name : int -> string
+(** Human-readable procedure name ("getattr", "lookup", ...); falls
+    back to ["proc<N>"] for unknown numbers. *)
+
 (** {2 Result envelope} *)
 
 val enc_res : (Sfs_xdr.Xdr.enc -> 'a -> unit) -> Sfs_xdr.Xdr.enc -> 'a res -> unit

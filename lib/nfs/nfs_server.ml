@@ -16,13 +16,17 @@ module Simnet = Sfs_net.Simnet
 module Xdr = Sfs_xdr.Xdr
 module Sunrpc = Sfs_xdr.Sunrpc
 
+module Obs = Sfs_obs.Obs
+
 type t = {
   backend : Fs_intf.ops;
   fh_prefix : string; (* distinguishes wire handles from backend ones *)
   mutable calls : int;
+  obs : Obs.registry option;
 }
 
-let create ?(fh_prefix = "nfs3:") (backend : Fs_intf.ops) : t = { backend; fh_prefix; calls = 0 }
+let create ?(fh_prefix = "nfs3:") ?obs (backend : Fs_intf.ops) : t =
+  { backend; fh_prefix; calls = 0; obs }
 
 (* Wire handles just prefix the backend handle: deliberately guessable,
    like the weak handles the paper warns about (section 3.3). *)
@@ -51,7 +55,7 @@ let export_lookup (t : t) (r : (fh * fattr) res) : (fh * fattr) res =
 let export_dirents (t : t) (r : dirent list res) : dirent list res =
   Result.map (List.map (fun de -> { de with d_fh = export_fh t de.d_fh })) r
 
-let dispatch (t : t) (cred : Simos.cred) (proc : int) (args : string) : string option =
+let dispatch_body (t : t) (cred : Simos.cred) (proc : int) (args : string) : string option =
   (* [None] = unparsable args (GARBAGE_ARGS). *)
   let b = t.backend in
   let run dec_args enc_result f =
@@ -134,6 +138,18 @@ let dispatch (t : t) (cred : Simos.cred) (proc : int) (args : string) : string o
         let* h = import_fh t h in
         b.Fs_intf.fs_commit cred h)
   else None
+
+(* The counting/span wrapper sits here (not in [handle_message]) so the
+   SFS server path — which calls [dispatch] directly with its own
+   credential mapping — is observed too. *)
+let dispatch (t : t) (cred : Simos.cred) (proc : int) (args : string) : string option =
+  match t.obs with
+  | None -> dispatch_body t cred proc args
+  | Some _ as obs ->
+      let name = Nfs_proto.proc_name proc in
+      Obs.incr obs "nfs.calls";
+      Obs.incr obs ("nfs.op." ^ name);
+      Obs.span obs ~cat:"nfs" name (fun () -> dispatch_body t cred proc args)
 
 let dispatchable (proc : int) : bool =
   let open Nfs_proto in

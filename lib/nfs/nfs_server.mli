@@ -5,7 +5,9 @@
 
 type t
 
-val create : ?fh_prefix:string -> Fs_intf.ops -> t
+val create : ?fh_prefix:string -> ?obs:Sfs_obs.Obs.registry -> Fs_intf.ops -> t
+(** When [obs] is given, every dispatched procedure records a span plus
+    [nfs.calls] and [nfs.op.<name>] counters. *)
 
 val root_fh : t -> Nfs_types.fh
 

@@ -1,0 +1,91 @@
+(** Deterministic observability: spans, counters and histograms.
+
+    A {!registry} is an explicit value created by whoever builds a
+    stack (see [Sfs_workload.Stacks.make]) and threaded down through
+    constructors — there is no global registry.  All timestamps come
+    from the [now_us] closure supplied at creation (in practice the
+    simulated clock), never the wall clock, so two identical runs
+    export byte-identical traces.
+
+    Instrumentation entry points ({!add}, {!observe}, {!span}) take a
+    [registry option]: passing [None] makes them no-ops, so
+    uninstrumented stacks pay only an option test. *)
+
+type histogram
+
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_start_us : float;
+  sp_dur_us : float;
+  sp_depth : int;  (** nesting depth at the time the span opened *)
+  sp_args : (string * string) list;
+}
+
+type registry
+
+val create : ?max_spans:int -> now_us:(unit -> float) -> unit -> registry
+(** [create ~now_us ()] makes an empty registry.  At most [max_spans]
+    spans are retained (default 200_000); further completions bump the
+    [obs.spans_dropped] counter instead of allocating. *)
+
+val now_us : registry -> float
+
+val add : registry option -> string -> int -> unit
+(** [add r name n] bumps counter [name] by [n]. *)
+
+val incr : registry option -> string -> unit
+val counter : registry -> string -> int
+
+val observe : registry option -> string -> int -> unit
+(** [observe r name v] records integer observation [v] (microseconds or
+    bytes, rounded by the caller) into histogram [name].  Buckets are
+    power-of-two sized: bucket index = bit count of [v]. *)
+
+val span : ?args:(string * string) list -> registry option -> cat:string -> string -> (unit -> 'a) -> 'a
+(** [span r ~cat name f] runs [f], recording a span on completion —
+    whether [f] returns or raises. *)
+
+val spans : registry -> span list
+(** Completed spans in completion order. *)
+
+val dropped_spans : registry -> int
+
+type histo_snapshot = {
+  hs_count : int;
+  hs_sum : int;
+  hs_buckets : (int * int) list;  (** (bucket index, count), sparse, ascending *)
+}
+
+type snapshot = {
+  snap_counters : (string * int) list;  (** sorted by name *)
+  snap_histograms : (string * histo_snapshot) list;  (** sorted by name *)
+  snap_spans : span list;  (** completion order *)
+}
+
+val snapshot : registry -> snapshot
+val snap_counter : snapshot -> string -> int
+
+val histo_of_observations : int list -> histo_snapshot
+(** Pure constructor for property tests. *)
+
+val histo_merge : histo_snapshot -> histo_snapshot -> histo_snapshot
+(** Pointwise sum of counts, sums and buckets; associative and
+    commutative because everything is an integer. *)
+
+val chrome_trace : (string * registry) list -> string
+(** Chrome [trace_event] JSON (Perfetto / chrome://tracing loadable).
+    Each [(label, registry)] pair becomes one process, named [label]. *)
+
+val jsonl : registry -> string
+(** Flat JSONL event stream: one [{"type":"counter"|"histogram"|"span",...}]
+    object per line, counters and histograms sorted by name, spans in
+    completion order. *)
+
+val jsonl_of : (string * registry) list -> string
+(** Like {!jsonl} but for several registries; each is preceded by a
+    [{"type":"registry","label":...}] line. *)
+
+val counters_of_jsonl : string -> (string * int) list
+(** Decode the counter lines of the {!jsonl} format (inverse of the
+    counter part of {!jsonl}; ignores other line types). *)

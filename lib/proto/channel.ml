@@ -20,6 +20,7 @@ module Arc4 = Sfs_crypto.Arc4
 module Mac = Sfs_crypto.Mac
 module Simclock = Sfs_net.Simclock
 module Costmodel = Sfs_net.Costmodel
+module Obs = Sfs_obs.Obs
 
 exception Integrity_failure
 (** MAC verification failed: the wire was tampered with (or messages
@@ -27,28 +28,68 @@ exception Integrity_failure
 
 type half = { stream : Arc4.t }
 
+type stats = {
+  sent : int;
+  received : int;
+  mac_failures : int;
+  bytes_out : int;
+  bytes_in : int;
+}
+
+(* Counter names are precomputed in [create] so the per-message cost of
+   instrumentation is a hash lookup, not string concatenation. *)
+type keys = {
+  k_sent : string;
+  k_received : string;
+  k_bytes_out : string;
+  k_bytes_in : string;
+  k_mac_failures : string;
+  k_crypto_us_out : string;
+  k_crypto_us_in : string;
+}
+
 type t = {
   send_half : half;
   recv_half : half;
   encrypt : bool;
   clock : Simclock.t option;
   costs : Costmodel.t;
+  obs : Obs.registry option;
+  keys : keys;
   mutable sent : int;
   mutable received : int;
+  mutable mac_failures : int;
+  mutable bytes_out : int;
+  mutable bytes_in : int;
 }
 
 let mac_key_bytes = 32
 
-let create ?(encrypt = true) ?clock ?(costs = Costmodel.default) ~(send_key : string)
-    ~(recv_key : string) () : t =
+let create ?(encrypt = true) ?clock ?(costs = Costmodel.default) ?obs ?(label = "chan")
+    ~(send_key : string) ~(recv_key : string) () : t =
+  let k s = "channel." ^ label ^ "." ^ s in
   {
     send_half = { stream = Arc4.create send_key };
     recv_half = { stream = Arc4.create recv_key };
     encrypt;
     clock;
     costs;
+    obs;
+    keys =
+      {
+        k_sent = k "sent";
+        k_received = k "received";
+        k_bytes_out = k "bytes_out";
+        k_bytes_in = k "bytes_in";
+        k_mac_failures = k "mac_failures";
+        k_crypto_us_out = k "crypto_us_out";
+        k_crypto_us_in = k "crypto_us_in";
+      };
     sent = 0;
     received = 0;
+    mac_failures = 0;
+    bytes_out = 0;
+    bytes_in = 0;
   }
 
 let charge (t : t) (bytes : int) : unit =
@@ -64,36 +105,62 @@ let frame (plaintext : string) : string =
    encryption" still detects tampering, as the real system's
    no-encryption dialect would still MAC traffic. *)
 let seal ?(bill = true) (t : t) (plaintext : string) : string =
-  t.sent <- t.sent + 1;
-  if bill then charge t (String.length plaintext);
-  let mac_key = Arc4.keystream t.send_half.stream mac_key_bytes in
-  let tag = Mac.of_message ~key:mac_key plaintext in
-  let body = frame plaintext ^ tag in
-  if t.encrypt then Arc4.encrypt t.send_half.stream body
-  else
-    (* Keep the stream positions in lock-step with the encrypted mode. *)
-    let _ = Arc4.keystream t.send_half.stream (String.length body) in
-    body
+  Obs.span t.obs ~cat:"channel" "seal" (fun () ->
+      t.sent <- t.sent + 1;
+      t.bytes_out <- t.bytes_out + String.length plaintext;
+      Obs.incr t.obs t.keys.k_sent;
+      Obs.add t.obs t.keys.k_bytes_out (String.length plaintext);
+      if t.encrypt then
+        Obs.add t.obs t.keys.k_crypto_us_out
+          (int_of_float (Costmodel.crypto_us t.costs (String.length plaintext)));
+      if bill then charge t (String.length plaintext);
+      let mac_key = Arc4.keystream t.send_half.stream mac_key_bytes in
+      let tag = Mac.of_message ~key:mac_key plaintext in
+      let body = frame plaintext ^ tag in
+      if t.encrypt then Arc4.encrypt t.send_half.stream body
+      else
+        (* Keep the stream positions in lock-step with the encrypted mode. *)
+        let _ = Arc4.keystream t.send_half.stream (String.length body) in
+        body)
+
+let integrity_failure (t : t) : 'a =
+  t.mac_failures <- t.mac_failures + 1;
+  Obs.incr t.obs t.keys.k_mac_failures;
+  raise Integrity_failure
 
 let open_ (t : t) (wire : string) : string =
-  t.received <- t.received + 1;
-  if String.length wire < 4 + Mac.mac_size then raise Integrity_failure;
-  let mac_key = Arc4.keystream t.recv_half.stream mac_key_bytes in
-  let body =
-    if t.encrypt then Arc4.decrypt t.recv_half.stream wire
-    else begin
-      let _ = Arc4.keystream t.recv_half.stream (String.length wire) in
-      wire
-    end
-  in
-  let len = Sfs_util.Bytesutil.int_of_be32 body ~off:0 in
-  if len < 0 || len <> String.length body - 4 - Mac.mac_size then raise Integrity_failure;
-  let plaintext = String.sub body 4 len in
-  let tag = String.sub body (4 + len) Mac.mac_size in
-  if not (Mac.verify ~key:mac_key ~tag plaintext) then raise Integrity_failure;
-  plaintext
+  Obs.span t.obs ~cat:"channel" "open" (fun () ->
+      t.received <- t.received + 1;
+      Obs.incr t.obs t.keys.k_received;
+      if t.encrypt then
+        Obs.add t.obs t.keys.k_crypto_us_in
+          (int_of_float (Costmodel.crypto_us t.costs (String.length wire)));
+      if String.length wire < 4 + Mac.mac_size then integrity_failure t;
+      let mac_key = Arc4.keystream t.recv_half.stream mac_key_bytes in
+      let body =
+        if t.encrypt then Arc4.decrypt t.recv_half.stream wire
+        else begin
+          let _ = Arc4.keystream t.recv_half.stream (String.length wire) in
+          wire
+        end
+      in
+      let len = Sfs_util.Bytesutil.int_of_be32 body ~off:0 in
+      if len < 0 || len <> String.length body - 4 - Mac.mac_size then integrity_failure t;
+      let plaintext = String.sub body 4 len in
+      let tag = String.sub body (4 + len) Mac.mac_size in
+      if not (Mac.verify ~key:mac_key ~tag plaintext) then integrity_failure t;
+      t.bytes_in <- t.bytes_in + len;
+      Obs.add t.obs t.keys.k_bytes_in len;
+      plaintext)
 
-let stats (t : t) : int * int = (t.sent, t.received)
+let stats (t : t) : stats =
+  {
+    sent = t.sent;
+    received = t.received;
+    mac_failures = t.mac_failures;
+    bytes_out = t.bytes_out;
+    bytes_in = t.bytes_in;
+  }
 
 (* The crypto time [seal] would charge for [bytes], for callers that
    bill pipelined traffic at a fraction. *)

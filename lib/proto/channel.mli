@@ -12,10 +12,20 @@ exception Integrity_failure
 
 type t
 
+type stats = {
+  sent : int;
+  received : int;
+  mac_failures : int;
+  bytes_out : int;  (** plaintext bytes sealed *)
+  bytes_in : int;  (** plaintext bytes successfully opened *)
+}
+
 val create :
   ?encrypt:bool ->
   ?clock:Sfs_net.Simclock.t ->
   ?costs:Sfs_net.Costmodel.t ->
+  ?obs:Sfs_obs.Obs.registry ->
+  ?label:string ->
   send_key:string ->
   recv_key:string ->
   unit ->
@@ -23,7 +33,10 @@ val create :
 (** One endpoint.  The peer must be created with the two keys swapped.
     [~encrypt:false] is the "SFS w/o encryption" ablation: framing and
     MAC stay, the ARC4 pass is skipped.  When [clock] is given, each
-    {!seal} charges the modeled software-encryption time. *)
+    {!seal} charges the modeled software-encryption time.  When [obs]
+    is given, seal/open spans and per-direction message, byte, crypto-µs
+    and MAC-failure counters are recorded under [channel.<label>.*]
+    (default label ["chan"]). *)
 
 val seal : ?bill:bool -> t -> string -> string
 (** Protect one outgoing message.  [~bill:false] suppresses the time
@@ -33,8 +46,8 @@ val open_ : t -> string -> string
 (** Open one incoming message. @raise Integrity_failure on any
     mismatch; the channel is then poisoned. *)
 
-val stats : t -> int * int
-(** [(sent, received)] message counts. *)
+val stats : t -> stats
+(** Message counts, tamper detections and plaintext byte totals. *)
 
 val crypto_cost_us : t -> int -> float
 (** The time {!seal} would charge for a payload of that size; zero when

@@ -15,6 +15,7 @@
    DESIGN.md. *)
 
 module Simclock = Sfs_net.Simclock
+module Obs = Sfs_obs.Obs
 
 type t = {
   clock : Simclock.t;
@@ -23,9 +24,10 @@ type t = {
   pending : (int, string list ref) Hashtbl.t; (* conn -> queued invalidations *)
   mutable next_conn : int;
   mutable invalidations_sent : int;
+  obs : Obs.registry option;
 }
 
-let create ?(lease_s = 60) (clock : Simclock.t) : t =
+let create ?(lease_s = 60) ?obs (clock : Simclock.t) : t =
   {
     clock;
     lease_s;
@@ -33,6 +35,7 @@ let create ?(lease_s = 60) (clock : Simclock.t) : t =
     pending = Hashtbl.create 16;
     next_conn = 1;
     invalidations_sent = 0;
+    obs;
   }
 
 let lease_seconds (t : t) : int = t.lease_s
@@ -49,6 +52,7 @@ let drop_conn (t : t) (conn : int) : unit = Hashtbl.remove t.pending conn
 (* Record that [conn] received attributes for [fh] (it will cache them
    until the lease expires). *)
 let grant (t : t) ~(conn : int) (fh : string) : unit =
+  Obs.incr t.obs "lease.grants";
   let expiry = Simclock.now_us t.clock +. (float_of_int t.lease_s *. 1_000_000.0) in
   let l = match Hashtbl.find_opt t.holders fh with Some l -> l | None -> ref [] in
   l := (conn, expiry) :: List.remove_assoc conn !l;
@@ -68,7 +72,8 @@ let invalidate (t : t) ~(by : int) (fh : string) : unit =
             | Some q ->
                 if not (List.mem fh !q) then begin
                   q := fh :: !q;
-                  t.invalidations_sent <- t.invalidations_sent + 1
+                  t.invalidations_sent <- t.invalidations_sent + 1;
+                  Obs.incr t.obs "lease.invalidations"
                 end
             | None -> ()
           end)

@@ -6,8 +6,10 @@
 
 type t
 
-val create : ?lease_s:int -> Sfs_net.Simclock.t -> t
-(** [lease_s] (default 60) is stamped into every attribute served. *)
+val create : ?lease_s:int -> ?obs:Sfs_obs.Obs.registry -> Sfs_net.Simclock.t -> t
+(** [lease_s] (default 60) is stamped into every attribute served.
+    When [obs] is given, [lease.grants] and [lease.invalidations]
+    counters are recorded. *)
 
 val lease_seconds : t -> int
 

@@ -99,8 +99,9 @@ let throughput_mb_s (w : Stacks.world) : float =
   let elapsed_s = (Simclock.now_us w.Stacks.clock -. t0) /. 1_000_000.0 in
   float_of_int throughput_file_mb /. elapsed_s
 
-(* One Figure 5 row. *)
-let run (stack : Stacks.stack) : result =
+(* One Figure 5 row.  Returns the worlds too (latency then throughput)
+   so the caller can export their observability registries. *)
+let run (stack : Stacks.stack) : result * Stacks.world list =
   (* Latency world: defaults suffice. *)
   let w = Stacks.make stack in
   let latency = latency_us w in
@@ -108,4 +109,4 @@ let run (stack : Stacks.stack) : result =
   let params = { Diskmodel.default_params with Diskmodel.cache_blocks = 16384 } in
   let w2 = Stacks.make ~server_disk_params:params stack in
   let thru = throughput_mb_s w2 in
-  { latency_us = latency; throughput_mb_s = thru }
+  ({ latency_us = latency; throughput_mb_s = thru }, [ w; w2 ])

@@ -6,5 +6,7 @@ type result = { latency_us : float; throughput_mb_s : float }
 val latency_us : Stacks.world -> float
 val throughput_mb_s : Stacks.world -> float
 
-val run : Stacks.stack -> result
-(** Builds the appropriate worlds and measures both columns. *)
+val run : Stacks.stack -> result * Stacks.world list
+(** Builds the appropriate worlds and measures both columns; the worlds
+    (latency then throughput) are returned so the caller can export
+    their observability registries. *)

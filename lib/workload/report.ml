@@ -29,3 +29,25 @@ let f0 (v : float) : string = Printf.sprintf "%.0f" v
 
 (* "paper X / measured Y" annotation helper. *)
 let vs ~(paper : string) (measured : string) : string = measured ^ "  (paper " ^ paper ^ ")"
+
+(* Cross-stack counter comparison: one row per counter name (sorted
+   union over all registries), one column per stack.  Registries that
+   never touched a counter print 0 — which is itself the observation
+   (e.g. the Local stack reports zero channel traffic). *)
+let obs_table ~(title : string) (regs : (string * Sfs_obs.Obs.snapshot) list) : string =
+  let module SS = Set.Make (String) in
+  let names =
+    List.fold_left
+      (fun acc (_, snap) ->
+        List.fold_left (fun acc (n, _) -> SS.add n acc) acc snap.Sfs_obs.Obs.snap_counters)
+      SS.empty regs
+  in
+  let headers = "counter" :: List.map fst regs in
+  let rows =
+    List.map
+      (fun name ->
+        name
+        :: List.map (fun (_, snap) -> string_of_int (Sfs_obs.Obs.snap_counter snap name)) regs)
+      (SS.elements names)
+  in
+  table ~title ~headers rows

@@ -10,3 +10,8 @@ val f0 : float -> string
 
 val vs : paper:string -> string -> string
 (** ["measured  (paper X)"] annotation. *)
+
+val obs_table : title:string -> (string * Sfs_obs.Obs.snapshot) list -> string
+(** Cross-stack counter comparison: one row per counter (sorted union
+    over all snapshots), one column per labelled snapshot; counters a
+    stack never touched print 0. *)

@@ -27,6 +27,7 @@ module Nfs_types = Sfs_nfs.Nfs_types
 module Prng = Sfs_crypto.Prng
 module Rabin = Sfs_crypto.Rabin
 module Core = Sfs_core
+module Obs = Sfs_obs.Obs
 
 type stack = Local | Nfs_udp | Nfs_tcp | Sfs | Sfs_noenc | Sfs_nocache
 
@@ -54,6 +55,7 @@ type world = {
   client_cache : Cachefs.t option; (* the NFS/SFS client cache, for invalidation *)
   user : Simos.user;
   agent : Core.Agent.t option;
+  obs : Obs.registry;
 }
 
 let server_location = "server.lcs.mit.edu"
@@ -64,7 +66,11 @@ let client_host = "client.lcs.mit.edu"
 let make ?(key_bits = 512) ?(server_disk_params = Diskmodel.default_params)
     ?(costs = Costmodel.default) (stack : stack) : world =
   let clock = Simclock.create () in
-  let net = Simnet.create ~costs clock in
+  (* One registry per world: the deterministic observability spine.
+     Everything below it keys its spans and counters to the simulated
+     clock, so two identical runs export byte-identical traces. *)
+  let obs = Obs.create ~now_us:(fun () -> Simclock.now_us clock) () in
+  let net = Simnet.create ~costs ~obs clock in
   let server_host = Simnet.add_host net server_location in
   let _client_h = Simnet.add_host net client_host in
   let now () = Nfs_types.time_of_us (Simclock.now_us clock) in
@@ -101,15 +107,16 @@ let make ?(key_bits = 512) ?(server_disk_params = Diskmodel.default_params)
         client_cache = None;
         user;
         agent = None;
+        obs;
       }
   | Nfs_udp | Nfs_tcp ->
-      let server = Nfs_server.create backend in
+      let server = Nfs_server.create ~obs backend in
       Simnet.listen net server_host ~port:2049 (Nfs_server.service server);
       let proto = if stack = Nfs_udp then Costmodel.Udp else Costmodel.Tcp in
       let ops =
         Nfs_client.mount net ~from_host:client_host ~addr:server_location ~proto ~cred:root_cred
       in
-      let cache = Cachefs.create ~clock ~policy:Cachefs.nfs_policy ops in
+      let cache = Cachefs.create ~obs ~clock ~policy:Cachefs.nfs_policy ops in
       let vfs = Core.Vfs.make ~clock ~root_fs:client_root () in
       Core.Vfs.add_mount vfs ~at:"/mnt" (Cachefs.ops cache);
       {
@@ -126,25 +133,28 @@ let make ?(key_bits = 512) ?(server_disk_params = Diskmodel.default_params)
         client_cache = Some cache;
         user;
         agent = None;
+        obs;
       }
   | Sfs | Sfs_noenc | Sfs_nocache ->
       let rng = Prng.create [ "stack-rng"; stack_name stack ] in
       let server_key = Rabin.generate ~bits:key_bits rng in
-      let authserv = Core.Authserv.create rng in
+      let authserv = Core.Authserv.create ~obs rng in
       Core.Authserv.add_user authserv ~user:"bench" ~cred;
       let user_key = Rabin.generate ~bits:key_bits rng in
       (match Core.Authserv.register_pubkey authserv ~user:"bench" user_key.Rabin.pub with
       | Ok () -> ()
       | Error e -> invalid_arg e);
       let server =
-        Core.Server.create net ~host:server_host ~location:server_location ~key:server_key ~rng
-          ~backend ~authserv ()
+        Core.Server.create ~obs net ~host:server_host ~location:server_location ~key:server_key
+          ~rng ~backend ~authserv ()
       in
       let encrypt = stack <> Sfs_noenc in
       let cache_policy = if stack = Sfs_nocache then Cachefs.nfs_policy else Cachefs.sfs_policy in
-      let client = Core.Client.create ~encrypt ~cache_policy net ~from_host:client_host ~rng () in
+      let client =
+        Core.Client.create ~encrypt ~cache_policy ~obs net ~from_host:client_host ~rng ()
+      in
       let vfs = Core.Vfs.make ~sfscd:client ~clock ~root_fs:client_root () in
-      let agent = Core.Agent.create ~now_us:(fun () -> Simclock.now_us clock) user in
+      let agent = Core.Agent.create ~now_us:(fun () -> Simclock.now_us clock) ~obs user in
       Core.Agent.add_key agent user_key;
       Core.Vfs.set_agent vfs ~uid:user.Simos.uid agent;
       let path = Core.Server.self_path server in
@@ -172,6 +182,7 @@ let make ?(key_bits = 512) ?(server_disk_params = Diskmodel.default_params)
         client_cache = cache;
         user;
         agent = Some agent;
+        obs;
       }
 
 (* Drop client caches and flush the server disk: simulates the

@@ -32,6 +32,9 @@ type world = {
   client_cache : Cachefs.t option;
   user : Simos.user;
   agent : Core.Agent.t option;
+  obs : Sfs_obs.Obs.registry;
+      (** the world's observability registry, keyed to [clock]; every
+          layer below records its spans and counters here *)
 }
 
 val server_location : string

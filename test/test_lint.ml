@@ -140,6 +140,26 @@ let test_sl007 () =
     (missing ~path:"lib/nfs/nfs_types.ml" ~has_mli:false
        ~source:"let x = 1\n(* sfslint: allow SL007 — generated stub, interface pending *)")
 
+let test_sl008 () =
+  fires "print_endline" ~path:"lib/core/client.ml" ~code:"SL008"
+    {|let f () = print_endline "mounted"|};
+  fires "Printf.printf" ~path:"lib/nfs/cachefs.ml" ~code:"SL008"
+    {|let f n = Printf.printf "hits: %d\n" n|};
+  fires "Format.printf" ~path:"lib/workload/report.ml" ~code:"SL008"
+    {|let f n = Format.printf "%d@." n|};
+  fires "print_string" ~path:"lib/obs/obs.ml" ~code:"SL008"
+    {|let f s = print_string s|};
+  silent "sprintf returns a string" ~path:"lib/workload/report.ml" ~code:"SL008"
+    {|let f n = Printf.sprintf "hits: %d" n|};
+  silent "Buffer-based rendering" ~path:"lib/obs/obs.ml" ~code:"SL008"
+    "let f b s = Buffer.add_string b s";
+  silent "outside lib" ~path:"bench/main.ml" ~code:"SL008"
+    {|let f () = print_endline "ok"|};
+  silent "outside lib (tools)" ~path:"tools/sfslint/main.ml" ~code:"SL008"
+    {|let f d = Printf.printf "%s\n" d|};
+  silent "pragma" ~path:"lib/workload/driver.ml" ~code:"SL008"
+    "(* sfslint: allow SL008 — progress line for interactive debugging *)\nlet f () = print_newline ()"
+
 let test_sl000_pragma_hygiene () =
   fires "no codes" ~path:"lib/core/vfs.ml" ~code:"SL000"
     "(* sfslint: allow *)\nlet x = 1";
@@ -192,6 +212,7 @@ let suite =
       Alcotest.test_case "SL005 toplevel state" `Quick test_sl005;
       Alcotest.test_case "SL006 unsafe casts" `Quick test_sl006;
       Alcotest.test_case "SL007 interface files" `Quick test_sl007;
+      Alcotest.test_case "SL008 stdout silence" `Quick test_sl008;
       Alcotest.test_case "SL000 pragma hygiene" `Quick test_sl000_pragma_hygiene;
       Alcotest.test_case "enable/disable filtering" `Quick test_enable_disable;
       Alcotest.test_case "engine robustness" `Quick test_engine_robustness;

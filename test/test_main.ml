@@ -13,4 +13,5 @@ let () =
       Test_workload.suite;
       Test_integration.suite;
       Test_lint.suite;
+      Test_obs.suite;
     ]

@@ -1,0 +1,199 @@
+(* Tests for sfs_obs: the deterministic observability layer.
+
+   The contract under test is determinism — two identical op sequences
+   (and two identical simulated stack runs) must export byte-identical
+   snapshots and JSONL — plus span well-formedness across exceptions,
+   and the algebraic laws the histogram and codec lean on. *)
+
+module Obs = Sfs_obs.Obs
+module Stacks = Sfs_workload.Stacks
+
+(* A fake clock: tests advance it by hand, like Simclock but local. *)
+let fake_clock () =
+  let t = ref 0.0 in
+  ((fun () -> !t), fun us -> t := !t +. us)
+
+(* --- spans --- *)
+
+let test_span_nesting () =
+  let now, advance = fake_clock () in
+  let r = Obs.create ~now_us:now () in
+  let obs = Some r in
+  Obs.span obs ~cat:"outer" "a" (fun () ->
+      advance 10.0;
+      Obs.span obs ~cat:"inner" "b" (fun () -> advance 5.0);
+      advance 2.0);
+  (match Obs.spans r with
+  | [ b; a ] ->
+      (* Completion order: the inner span closes first. *)
+      Alcotest.(check string) "inner name" "b" b.Obs.sp_name;
+      Alcotest.(check int) "inner depth" 1 b.Obs.sp_depth;
+      Alcotest.(check (float 1e-9)) "inner start" 10.0 b.Obs.sp_start_us;
+      Alcotest.(check (float 1e-9)) "inner dur" 5.0 b.Obs.sp_dur_us;
+      Alcotest.(check string) "outer name" "a" a.Obs.sp_name;
+      Alcotest.(check int) "outer depth" 0 a.Obs.sp_depth;
+      Alcotest.(check (float 1e-9)) "outer start" 0.0 a.Obs.sp_start_us;
+      Alcotest.(check (float 1e-9)) "outer dur" 17.0 a.Obs.sp_dur_us;
+      (* The parent interval contains the child interval. *)
+      Alcotest.(check bool) "containment" true
+        (a.Obs.sp_start_us <= b.Obs.sp_start_us
+        && b.Obs.sp_start_us +. b.Obs.sp_dur_us <= a.Obs.sp_start_us +. a.Obs.sp_dur_us)
+  | ss -> Alcotest.failf "expected 2 spans, got %d" (List.length ss));
+  Alcotest.(check int) "nothing dropped" 0 (Obs.dropped_spans r)
+
+let test_span_exception () =
+  let now, advance = fake_clock () in
+  let r = Obs.create ~now_us:now () in
+  let obs = Some r in
+  (* A raising body still closes its span, and the depth counter
+     recovers so later spans are well-formed. *)
+  (try
+     Obs.span obs ~cat:"c" "boom" (fun () ->
+         advance 3.0;
+         failwith "boom")
+   with Failure _ -> ());
+  Obs.span obs ~cat:"c" "after" (fun () -> advance 1.0);
+  match Obs.spans r with
+  | [ boom; after ] ->
+      Alcotest.(check string) "raising span recorded" "boom" boom.Obs.sp_name;
+      Alcotest.(check (float 1e-9)) "raising span duration" 3.0 boom.Obs.sp_dur_us;
+      Alcotest.(check int) "depth recovered" 0 after.Obs.sp_depth
+  | ss -> Alcotest.failf "expected 2 spans, got %d" (List.length ss)
+
+let test_span_cap () =
+  let now, _ = fake_clock () in
+  let r = Obs.create ~max_spans:3 ~now_us:now () in
+  let obs = Some r in
+  for _ = 1 to 5 do
+    Obs.span obs ~cat:"c" "s" (fun () -> ())
+  done;
+  Alcotest.(check int) "retained" 3 (List.length (Obs.spans r));
+  Alcotest.(check int) "dropped" 2 (Obs.dropped_spans r);
+  Alcotest.(check int) "drop counter exported" 2
+    (Obs.snap_counter (Obs.snapshot r) "obs.spans_dropped")
+
+(* --- determinism --- *)
+
+(* One arbitrary-but-fixed op sequence against a fresh registry. *)
+let scripted_run () =
+  let now, advance = fake_clock () in
+  let r = Obs.create ~now_us:now () in
+  let obs = Some r in
+  Obs.incr obs "zeta";
+  Obs.add obs "alpha" 3;
+  Obs.span obs ~cat:"net" "rpc" (fun () ->
+      advance 12.0;
+      Obs.observe obs "lat" 12;
+      Obs.span ~args:[ ("peer", "s1") ] obs ~cat:"net" "inner" (fun () -> advance 4.0));
+  Obs.observe obs "lat" 900;
+  Obs.add obs "alpha" 1;
+  r
+
+let test_jsonl_determinism () =
+  let a = Obs.jsonl (scripted_run ()) in
+  let b = Obs.jsonl (scripted_run ()) in
+  Alcotest.(check string) "identical op sequences export identical JSONL" a b;
+  (* Counters come out sorted regardless of touch order. *)
+  let names = List.map fst (Obs.snapshot (scripted_run ())).Obs.snap_counters in
+  Alcotest.(check (list string)) "sorted counter names" [ "alpha"; "zeta" ] names
+
+let test_stack_determinism () =
+  (* Two identical simulated SFS worlds produce byte-equal exports.
+     A tiny workload keeps this fast; it still exercises channel, net,
+     nfs, cache and client instrumentation end to end. *)
+  let run () =
+    let w = Stacks.make Stacks.Sfs in
+    Sfs_workload.Driver.write_file w (w.Stacks.workdir ^ "/f") "hello";
+    ignore (Sfs_workload.Driver.read_file w (w.Stacks.workdir ^ "/f"));
+    w.Stacks.obs
+  in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check string) "jsonl byte-equal" (Obs.jsonl r1) (Obs.jsonl r2);
+  Alcotest.(check string) "chrome trace byte-equal"
+    (Obs.chrome_trace [ ("sfs", r1) ])
+    (Obs.chrome_trace [ ("sfs", r2) ]);
+  (* And the instrumentation actually observed traffic. *)
+  let snap = Obs.snapshot r1 in
+  Alcotest.(check bool) "channel bytes flowed" true
+    (Obs.snap_counter snap "channel.client.bytes_out" > 0);
+  Alcotest.(check bool) "nfs ops counted" true (Obs.snap_counter snap "nfs.calls" > 0)
+
+let test_chrome_trace_shape () =
+  let trace = Obs.chrome_trace [ ("lbl", scripted_run ()) ] in
+  let has sub =
+    let n = String.length trace and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub trace i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "traceEvents array" true (has "{\"traceEvents\":[");
+  Alcotest.(check bool) "process metadata" true (has "\"process_name\"");
+  Alcotest.(check bool) "label present" true (has "\"lbl\"");
+  Alcotest.(check bool) "complete events" true (has "\"ph\":\"X\"");
+  Alcotest.(check bool) "span args survive" true (has "\"peer\":\"s1\"")
+
+(* --- QCheck: histogram algebra and counter codec --- *)
+
+let histo_eq (a : Obs.histo_snapshot) (b : Obs.histo_snapshot) : bool =
+  a.Obs.hs_count = b.Obs.hs_count && a.Obs.hs_sum = b.Obs.hs_sum
+  && a.Obs.hs_buckets = b.Obs.hs_buckets
+
+let obs_list = QCheck.list_of_size (QCheck.Gen.int_bound 40) (QCheck.int_bound 1_000_000)
+
+let prop_merge_commutative =
+  QCheck.Test.make ~count:200 ~name:"histo_merge commutative" (QCheck.pair obs_list obs_list)
+    (fun (xs, ys) ->
+      let a = Obs.histo_of_observations xs and b = Obs.histo_of_observations ys in
+      histo_eq (Obs.histo_merge a b) (Obs.histo_merge b a))
+
+let prop_merge_associative =
+  QCheck.Test.make ~count:200 ~name:"histo_merge associative"
+    (QCheck.triple obs_list obs_list obs_list) (fun (xs, ys, zs) ->
+      let a = Obs.histo_of_observations xs
+      and b = Obs.histo_of_observations ys
+      and c = Obs.histo_of_observations zs in
+      histo_eq
+        (Obs.histo_merge a (Obs.histo_merge b c))
+        (Obs.histo_merge (Obs.histo_merge a b) c))
+
+let prop_merge_models_concat =
+  QCheck.Test.make ~count:200 ~name:"histo_merge models list concat"
+    (QCheck.pair obs_list obs_list) (fun (xs, ys) ->
+      histo_eq
+        (Obs.histo_merge (Obs.histo_of_observations xs) (Obs.histo_of_observations ys))
+        (Obs.histo_of_observations (xs @ ys)))
+
+let counter_name =
+  (* Printable names, including chars the JSON codec must escape. *)
+  QCheck.string_gen_of_size (QCheck.Gen.int_range 1 12)
+    (QCheck.Gen.oneof
+       [
+         QCheck.Gen.char_range 'a' 'z';
+         QCheck.Gen.oneofl [ '.'; '_'; '"'; '\\'; ' '; '/' ];
+       ])
+
+let prop_counter_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"counter JSONL round-trip"
+    (QCheck.list_of_size (QCheck.Gen.int_bound 20)
+       (QCheck.pair counter_name (QCheck.int_bound 1_000_000_000)))
+    (fun pairs ->
+      let now, _ = fake_clock () in
+      let r = Obs.create ~now_us:now () in
+      let obs = Some r in
+      List.iter (fun (name, v) -> Obs.add obs name v) pairs;
+      let expected = (Obs.snapshot r).Obs.snap_counters in
+      Obs.counters_of_jsonl (Obs.jsonl r) = expected)
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "span nesting" `Quick test_span_nesting;
+      Alcotest.test_case "span closes across exceptions" `Quick test_span_exception;
+      Alcotest.test_case "span cap and drop counter" `Quick test_span_cap;
+      Alcotest.test_case "jsonl determinism" `Quick test_jsonl_determinism;
+      Alcotest.test_case "stack run determinism" `Quick test_stack_determinism;
+      Alcotest.test_case "chrome trace shape" `Quick test_chrome_trace_shape;
+      QCheck_alcotest.to_alcotest prop_merge_commutative;
+      QCheck_alcotest.to_alcotest prop_merge_associative;
+      QCheck_alcotest.to_alcotest prop_merge_models_concat;
+      QCheck_alcotest.to_alcotest prop_counter_roundtrip;
+    ] )

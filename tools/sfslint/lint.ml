@@ -76,6 +76,12 @@ let rules : rule_info list =
       ri_title = "lib module without an interface file";
       ri_hint = "add a .mli so the module's public surface is explicit";
     };
+    {
+      ri_code = "SL008";
+      ri_title = "stdout printing inside lib/";
+      ri_hint =
+        "libraries must stay silent; record through Sfs_obs.Obs or return strings for Sfs_workload.Report to render";
+    };
   ]
 
 let all_codes = List.map (fun r -> r.ri_code) rules
@@ -394,12 +400,20 @@ let check_ast ~(path : string) ~(enabled : string list) (ast : structure) : diag
                 (String.concat "." p)
                 (match !binding_stack with b :: _ -> b | [] -> "?"))
        | _ -> ());
+    (if in_lib path then
+       match p with
+       | "Obj" :: rest when List.mem "magic" rest ->
+           add ~loc "SL006" "Obj.magic defeats the type system"
+       | "Marshal" :: _ ->
+           add ~loc "SL006" "Marshal bypasses the XDR codecs and is unsafe on untrusted bytes"
+       | _ -> ());
     if in_lib path then
       match p with
-      | "Obj" :: rest when List.mem "magic" rest ->
-          add ~loc "SL006" "Obj.magic defeats the type system"
-      | "Marshal" :: _ ->
-          add ~loc "SL006" "Marshal bypasses the XDR codecs and is unsafe on untrusted bytes"
+      | [ "print_string" ] | [ "print_endline" ] | [ "print_newline" ] | [ "print_char" ]
+      | [ "print_int" ] | [ "print_float" ] | [ "print_bytes" ]
+      | [ "Printf"; "printf" ] | [ "Format"; "printf" ] | [ "Format"; "print_string" ] ->
+          add ~loc "SL008"
+            (Printf.sprintf "%s writes to stdout from library code" (String.concat "." p))
       | _ -> ()
   in
   let iter =
