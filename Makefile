@@ -1,6 +1,6 @@
 # Convenience targets; everything is driven by dune underneath.
 
-.PHONY: all build lint test bench trace clean
+.PHONY: all build lint test bench trace perf clean
 
 all: build
 
@@ -29,6 +29,23 @@ trace: build
 	    --metrics _traces/$$fig.metrics.jsonl \
 	    --no-results; \
 	done
+
+# Fast-path regression gate (DESIGN.md §9).  Exercises the real-CPU
+# crypto suite twice (bechamel numbers vary with host load and are never
+# compared), then re-runs every simulated-time figure into a temp file
+# and fails if any deterministic row differs from the committed
+# BENCH_results.json at git HEAD — i.e. if an "optimization" changed
+# wire bytes or modeled costs.
+perf: build
+	dune exec --no-build bench/main.exe -- crypto --no-results
+	dune exec --no-build bench/main.exe -- crypto --no-results
+	rm -f _perf_results.json
+	dune exec --no-build bench/main.exe -- fig5 fig6 fig7 fig8 fig9 ablations --results _perf_results.json
+	git show HEAD:BENCH_results.json | grep -v '"figure":"crypto"' > _perf_head.json
+	grep -v '"figure":"crypto"' _perf_results.json > _perf_now.json
+	diff -u _perf_head.json _perf_now.json
+	rm -f _perf_results.json _perf_head.json _perf_now.json
+	@echo "perf: simulated-time figures unchanged vs HEAD"
 
 clean:
 	dune clean

@@ -394,36 +394,61 @@ let crypto () =
   let rng = Sfs_crypto.Prng.create [ "bench-crypto" ] in
   let key512 = Sfs_crypto.Rabin.generate ~bits:512 rng in
   let key1024 = Sfs_crypto.Rabin.generate ~bits:1024 rng in
+  let block64 = String.make 64 'b' in
   let block8k = String.make 8192 'b' in
+  let mac_key = String.make 32 'm' in
   let signature = Sfs_crypto.Rabin.sign key1024 "benchmark message" in
   let arc4 = Sfs_crypto.Arc4.create (String.make 20 'k') in
-  let channel_a =
+  let seal_chan =
     Sfs_proto.Channel.create ~send_key:(String.make 20 'x') ~recv_key:(String.make 20 'y') ()
   in
-  let channel_b =
-    Sfs_proto.Channel.create ~send_key:(String.make 20 'y') ~recv_key:(String.make 20 'x') ()
+  (* [open-8k] needs its own lock-step pair: each iteration seals on one
+     end and opens on the other, so the measured cost is seal + open. *)
+  let pair_a =
+    Sfs_proto.Channel.create ~send_key:(String.make 20 'p') ~recv_key:(String.make 20 'q') ()
   in
-  ignore channel_b;
+  let pair_b =
+    Sfs_proto.Channel.create ~send_key:(String.make 20 'q') ~recv_key:(String.make 20 'p') ()
+  in
+  (* The 64-byte cases expose per-message fixed costs (key schedules,
+     staging allocations) the 8 KB cases amortize away. *)
   let tests =
     [
-      Test.make ~name:"sha1-8k" (Staged.stage (fun () -> Sfs_crypto.Sha1.digest block8k));
-      Test.make ~name:"hmac-sha1-8k"
-        (Staged.stage (fun () -> Sfs_crypto.Mac.of_message ~key:(String.make 32 'm') block8k));
-      Test.make ~name:"arc4-8k" (Staged.stage (fun () -> Sfs_crypto.Arc4.encrypt arc4 block8k));
-      Test.make ~name:"channel-seal-8k" (Staged.stage (fun () -> Sfs_proto.Channel.seal channel_a block8k));
-      Test.make ~name:"rabin-1024-verify"
-        (Staged.stage (fun () -> Sfs_crypto.Rabin.verify key1024.Sfs_crypto.Rabin.pub "benchmark message" signature));
-      Test.make ~name:"rabin-1024-sign"
-        (Staged.stage (fun () -> Sfs_crypto.Rabin.sign key1024 "benchmark message"));
-      Test.make ~name:"rabin-512-decrypt"
-        (let c = Sfs_crypto.Rabin.encrypt key512.Sfs_crypto.Rabin.pub rng "msg" in
-         Staged.stage (fun () -> Sfs_crypto.Rabin.decrypt key512 c));
-      Test.make ~name:"eksblowfish-cost-6"
-        (Staged.stage (fun () -> Sfs_crypto.Eksblowfish.hash ~cost:6 ~salt:(String.make 16 's') "pw"));
-      Test.make ~name:"srp-client-full"
-        (Staged.stage (fun () ->
-             let grp = Sfs_crypto.Srp.default_group in
-             Sfs_crypto.Srp.client_start grp rng ~user:"u" ~password:"p"));
+      ("sha1-64", Test.make ~name:"sha1-64" (Staged.stage (fun () -> Sfs_crypto.Sha1.digest block64)));
+      ("sha1-8k", Test.make ~name:"sha1-8k" (Staged.stage (fun () -> Sfs_crypto.Sha1.digest block8k)));
+      ( "hmac-64",
+        Test.make ~name:"hmac-64"
+          (Staged.stage (fun () -> Sfs_crypto.Mac.of_message ~key:mac_key block64)) );
+      ( "hmac-sha1-8k",
+        Test.make ~name:"hmac-sha1-8k"
+          (Staged.stage (fun () -> Sfs_crypto.Mac.of_message ~key:mac_key block8k)) );
+      ( "arc4-64",
+        Test.make ~name:"arc4-64" (Staged.stage (fun () -> Sfs_crypto.Arc4.encrypt arc4 block64)) );
+      ( "arc4-8k",
+        Test.make ~name:"arc4-8k" (Staged.stage (fun () -> Sfs_crypto.Arc4.encrypt arc4 block8k)) );
+      ( "seal-8k",
+        Test.make ~name:"seal-8k" (Staged.stage (fun () -> Sfs_proto.Channel.seal seal_chan block8k)) );
+      ( "open-8k",
+        Test.make ~name:"open-8k"
+          (Staged.stage (fun () -> Sfs_proto.Channel.open_ pair_b (Sfs_proto.Channel.seal pair_a block8k))) );
+      ( "rabin-1024-verify",
+        Test.make ~name:"rabin-1024-verify"
+          (Staged.stage (fun () -> Sfs_crypto.Rabin.verify key1024.Sfs_crypto.Rabin.pub "benchmark message" signature)) );
+      ( "rabin-1024-sign",
+        Test.make ~name:"rabin-1024-sign"
+          (Staged.stage (fun () -> Sfs_crypto.Rabin.sign key1024 "benchmark message")) );
+      ( "rabin-512-decrypt",
+        Test.make ~name:"rabin-512-decrypt"
+          (let c = Sfs_crypto.Rabin.encrypt key512.Sfs_crypto.Rabin.pub rng "msg" in
+           Staged.stage (fun () -> Sfs_crypto.Rabin.decrypt key512 c)) );
+      ( "eksblowfish-cost-6",
+        Test.make ~name:"eksblowfish-cost-6"
+          (Staged.stage (fun () -> Sfs_crypto.Eksblowfish.hash ~cost:6 ~salt:(String.make 16 's') "pw")) );
+      ( "srp-client-full",
+        Test.make ~name:"srp-client-full"
+          (Staged.stage (fun () ->
+               let grp = Sfs_crypto.Srp.default_group in
+               Sfs_crypto.Srp.client_start grp rng ~user:"u" ~password:"p")) );
     ]
   in
   let benchmark test =
@@ -433,16 +458,24 @@ let crypto () =
     Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) instance
       results
   in
-  List.iter
-    (fun test ->
-      let results = benchmark test in
-      Hashtbl.iter
-        (fun name ols ->
-          match Bechamel.Analyze.OLS.estimates ols with
-          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/op\n" name est
-          | _ -> Printf.printf "  %-28s (no estimate)\n" name)
-        results)
-    tests;
+  let estimate test =
+    let results = benchmark test in
+    let est = ref nan in
+    Hashtbl.iter
+      (fun name ols ->
+        match Bechamel.Analyze.OLS.estimates ols with
+        | Some [ e ] ->
+            Printf.printf "  %-28s %12.1f ns/op\n" name e;
+            est := e
+        | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+      results;
+    !est
+  in
+  let rows = List.map (fun (name, test) -> (name, [ estimate test ])) tests in
+  (* Real-CPU figures are inherently noisy: the "crypto" line in
+     BENCH_results.json is informational, and the determinism check
+     (make perf) excludes it from the byte-identical comparison. *)
+  record { fo_name = "crypto"; fo_headers = [ "ns_per_op" ]; fo_rows = rows; fo_regs = [] };
   print_endline
     "\n(Section 3.1.3's claims to check: Rabin verification is much cheaper than\n\
      signing; ARC4 runs at stream-cipher speed; eksblowfish cost 6 is within an\n\

@@ -12,11 +12,34 @@ val create : string -> t
     ARC4. @raise Invalid_argument on an empty key. *)
 
 val next_byte : t -> int
+(** Reference single-byte step; the block operations below are
+    property-tested against it. *)
+
+val skip : t -> int -> unit
+(** [skip t n] advances the stream [n] bytes, producing nothing — how a
+    no-encrypt channel half stays in lock-step without allocating a
+    throwaway keystream. *)
+
 val keystream : t -> int -> string
 (** [keystream t n] advances the stream, returning [n] bytes. *)
 
+val keystream_into : t -> Bytes.t -> off:int -> len:int -> unit
+(** Writes [len] keystream bytes into the buffer at [off].
+    @raise Invalid_argument when the range is out of bounds. *)
+
 val encrypt : t -> string -> string
 (** Xors the input against the stream, advancing it. *)
+
+val encrypt_into : t -> Bytes.t -> off:int -> len:int -> unit
+(** Xors [len] bytes at [off] in place against the stream — the
+    single-pass whole-frame encryption of the channel fast path.
+    @raise Invalid_argument when the range is out of bounds. *)
+
+val xor_into : t -> src:string -> src_off:int -> dst:Bytes.t -> dst_off:int -> len:int -> unit
+(** Xors [len] bytes of [src] at [src_off] against the stream into
+    [dst] at [dst_off]: decryption straight off the wire into a caller
+    buffer. @raise Invalid_argument when either range is out of
+    bounds. *)
 
 val decrypt : t -> string -> string
 (** Identical to {!encrypt}; named for call-site clarity. *)

@@ -4,23 +4,81 @@
    message under a 32-byte key pulled from the ARC4 stream.  We use
    HMAC-SHA-1 (Bellare-Canetti-Krawczyk) as the SHA-1-based MAC; the
    paper notes the exact MAC construction is an implementation artifact
-   that "could be swapped out ... without affecting the main claims". *)
+   that "could be swapped out ... without affecting the main claims".
+
+   A [schedule] caches the per-key work: the inner and outer SHA-1
+   contexts are compressed over ipad/opad exactly once, then cloned per
+   message — so a message MAC costs two context copies and the message
+   blocks, not two key-block recompressions plus three key-sized
+   allocations. *)
 
 let block_size = 64
-
-let hmac ~(key : string) (message : string) : string =
-  let key = if String.length key > block_size then Sha1.digest key else key in
-  let key = key ^ String.make (block_size - String.length key) '\000' in
-  let ipad = String.map (fun c -> Char.chr (Char.code c lxor 0x36)) key in
-  let opad = String.map (fun c -> Char.chr (Char.code c lxor 0x5c)) key in
-  Sha1.digest_list [ opad; Sha1.digest_list [ ipad; message ] ]
-
 let mac_size = Sha1.digest_size
+
+type schedule = { inner : Sha1.ctx; outer : Sha1.ctx }
+
+let schedule ~(key : string) : schedule =
+  let key = if String.length key > block_size then Sha1.digest key else key in
+  let klen = String.length key in
+  (* One pad block, built in place: key xor ipad, then flipped to
+     key xor opad (0x36 lxor 0x5c = 0x6a). *)
+  let pad = Bytes.make block_size '\x36' in
+  for i = 0 to klen - 1 do
+    Bytes.set pad i (Char.chr (Char.code (String.unsafe_get key i) lxor 0x36))
+  done;
+  let inner = Sha1.init () in
+  Sha1.feed_bytes inner pad ~off:0 ~len:block_size;
+  for i = 0 to block_size - 1 do
+    Bytes.set pad i (Char.chr (Char.code (Bytes.unsafe_get pad i) lxor 0x6a))
+  done;
+  let outer = Sha1.init () in
+  Sha1.feed_bytes outer pad ~off:0 ~len:block_size;
+  { inner; outer }
+
+(* Finish an inner context through the outer pass, writing the tag at
+   [dst_off]. *)
+let finish (s : schedule) (inner : Sha1.ctx) (dst : Bytes.t) ~(dst_off : int) : unit =
+  let scratch = Bytes.create mac_size in
+  Sha1.digest_into inner scratch ~off:0;
+  let outer = Sha1.copy s.outer in
+  Sha1.feed_bytes outer scratch ~off:0 ~len:mac_size;
+  Sha1.digest_into outer dst ~off:dst_off
+
+let hmac_sched (s : schedule) (message : string) : string =
+  let c = Sha1.copy s.inner in
+  Sha1.update c message;
+  let out = Bytes.create mac_size in
+  finish s c out ~dst_off:0;
+  Bytes.unsafe_to_string out
+
+let hmac ~(key : string) (message : string) : string = hmac_sched (schedule ~key) message
+
+(* MAC over [len] buffer bytes at [off], the tag written in place at
+   [dst_off] — the single-buffer channel path: for a frame whose first
+   4 + n bytes are the big-endian length and the plaintext, this is
+   exactly [of_message] with no copies. *)
+let mac_into (s : schedule) (buf : Bytes.t) ~(off : int) ~(len : int) ~(dst : Bytes.t)
+    ~(dst_off : int) : unit =
+  if dst_off < 0 || dst_off + mac_size > Bytes.length dst then invalid_arg "Mac.mac_into";
+  let c = Sha1.copy s.inner in
+  Sha1.feed_bytes c buf ~off ~len;
+  finish s c dst ~dst_off
 
 (* The SFS traffic MAC covers the message length then the bytes, so a
    truncation cannot slide one message's tail into the next. *)
+let of_message_sched (s : schedule) (message : string) : string =
+  let c = Sha1.copy s.inner in
+  Sha1.update c (Sfs_util.Bytesutil.be32_of_int (String.length message));
+  Sha1.update c message;
+  let out = Bytes.create mac_size in
+  finish s c out ~dst_off:0;
+  Bytes.unsafe_to_string out
+
 let of_message ~(key : string) (message : string) : string =
-  hmac ~key (Sfs_util.Bytesutil.be32_of_int (String.length message) ^ message)
+  of_message_sched (schedule ~key) message
+
+let verify_sched (s : schedule) ~(tag : string) (message : string) : bool =
+  Sfs_util.Bytesutil.ct_equal tag (of_message_sched s message)
 
 let verify ~(key : string) ~(tag : string) (message : string) : bool =
-  Sfs_util.Bytesutil.ct_equal tag (of_message ~key message)
+  verify_sched (schedule ~key) ~tag message

@@ -2,12 +2,34 @@
 
 val mac_size : int
 
+type schedule
+(** Precomputed per-key HMAC state (the ipad/opad blocks compressed
+    once).  The channel re-keys per message, so caching the schedule
+    turns two key-block compressions plus three key-sized allocations
+    per MAC into two context clones. *)
+
+val schedule : key:string -> schedule
+
 val hmac : key:string -> string -> string
 (** Plain HMAC-SHA-1, also used by SRP key confirmation. *)
+
+val hmac_sched : schedule -> string -> string
 
 val of_message : key:string -> string -> string
 (** MAC over the 4-byte big-endian length followed by the message, per
     paper section 3.1.3. *)
 
+val of_message_sched : schedule -> string -> string
+
+val mac_into : schedule -> Bytes.t -> off:int -> len:int -> dst:Bytes.t -> dst_off:int -> unit
+(** [mac_into s buf ~off ~len ~dst ~dst_off] MACs [len] bytes of [buf]
+    at [off] and writes the 20-byte tag into [dst] at [dst_off], with no
+    intermediate strings.  The length word is {e not} prepended: the
+    channel passes a frame whose first bytes already are the big-endian
+    length, making this equivalent to {!of_message} on the plaintext.
+    @raise Invalid_argument when the tag range is out of bounds. *)
+
 val verify : key:string -> tag:string -> string -> bool
 (** Constant-time comparison against a freshly computed tag. *)
+
+val verify_sched : schedule -> tag:string -> string -> bool

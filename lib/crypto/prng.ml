@@ -99,7 +99,7 @@ let of_seed (seed : string) : t = create [ "sfs-prng-of-seed"; seed ]
 let global : t Lazy.t =
   lazy
     (let self = Random.State.make_self_init () in
-     let noise = String.init 64 (fun _ -> Char.chr (Random.State.int self 256)) in
+     let noise = String.init 64 (fun _ -> Char.chr (Random.State.int self 256)) in (* sfslint: allow SL009 — one-time OS-entropy seeding, not the wire path *)
      (* sfslint: allow SL003 — OS-entropy seeding for demo binaries only; simulations use of_seed *)
      create [ noise; string_of_float (Sys.time ()) ])
 

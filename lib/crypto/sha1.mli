@@ -5,8 +5,24 @@ type ctx
 
 val init : unit -> ctx
 val update : ctx -> string -> unit
+
+val feed_bytes : ctx -> Bytes.t -> off:int -> len:int -> unit
+(** Hashes [len] bytes at [off] straight from the buffer — the
+    zero-staging-copy path of the channel fast path.  The bytes are
+    only read. @raise Invalid_argument when the range is out of
+    bounds. *)
+
+val copy : ctx -> ctx
+(** A clone that advances independently; the basis of precomputed HMAC
+    key schedules. *)
+
 val final : ctx -> string
 (** 20-byte digest. The context must not be reused after [final]. *)
+
+val digest_into : ctx -> Bytes.t -> off:int -> unit
+(** Writes the 20-byte digest at [off] with no intermediate string.
+    Same reuse rule as {!final}. @raise Invalid_argument when the
+    range is out of bounds. *)
 
 val digest : string -> string
 val digest_list : string list -> string

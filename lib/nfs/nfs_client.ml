@@ -15,7 +15,9 @@ module Sunrpc = Sfs_xdr.Sunrpc
 type transport = string -> string
 (** Sends one marshaled RPC call, returns the marshaled reply. *)
 
-type t = { send : transport; mutable xid : int; machine : string }
+(* [enc] is the connection's reusable RPC encoder: one buffer serves
+   every call this client makes. *)
+type t = { send : transport; mutable xid : int; machine : string; enc : Xdr.enc }
 
 let rpc_auth_of_cred (machine : string) (c : Simos.cred) : Sunrpc.auth_flavor =
   if Simos.is_anonymous c then Sunrpc.Auth_none
@@ -23,7 +25,8 @@ let rpc_auth_of_cred (machine : string) (c : Simos.cred) : Sunrpc.auth_flavor =
     Sunrpc.Auth_unix
       { stamp = 0; machine; uid = c.Simos.cred_uid; gid = c.Simos.cred_gid; gids = c.Simos.cred_groups }
 
-let create ~(machine : string) (send : transport) : t = { send; xid = 1; machine }
+let create ~(machine : string) (send : transport) : t =
+  { send; xid = 1; machine; enc = Xdr.make_enc () }
 
 let of_conn ~(machine : string) (conn : Simnet.conn) : t =
   create ~machine (fun bytes -> Simnet.call conn bytes)
@@ -36,7 +39,7 @@ let call_raw (t : t) ~(cred : Simos.cred) ~(prog : int) ~(vers : int) ~(proc : i
   let xid = t.xid in
   t.xid <- t.xid + 1;
   let msg =
-    Sunrpc.msg_to_string
+    Sunrpc.msg_to_string ~enc:t.enc
       (Sunrpc.Call { Sunrpc.xid; prog; vers; proc; cred = rpc_auth_of_cred t.machine cred; args })
   in
   match Sunrpc.msg_of_string (t.send msg) with
@@ -141,8 +144,10 @@ let generic_ops (call : raw_call) ~(root : fh) : Fs_intf.ops =
    (TCP)'s poor showing on write-heavy workloads. *)
 let conn_ops ?(stall = fun (_ : int) -> ()) ~(machine : string) (conn : Simnet.conn) ~(root : fh) :
     Fs_intf.ops =
-  let sync = { send = (fun b -> Simnet.call conn b); xid = 1; machine } in
-  let async_t = { send = (fun b -> Simnet.call_async conn b); xid = 100_000_000; machine } in
+  let sync = create ~machine (fun b -> Simnet.call conn b) in
+  let async_t =
+    { (create ~machine (fun b -> Simnet.call_async conn b)) with xid = 100_000_000 }
+  in
   generic_ops
     (fun ~cred ~proc ~async args ->
       stall (String.length args);

@@ -23,10 +23,11 @@ type t = {
   fh_prefix : string; (* distinguishes wire handles from backend ones *)
   mutable calls : int;
   obs : Obs.registry option;
+  enc : Xdr.enc; (* reusable reply encoder *)
 }
 
 let create ?(fh_prefix = "nfs3:") ?obs (backend : Fs_intf.ops) : t =
-  { backend; fh_prefix; calls = 0; obs }
+  { backend; fh_prefix; calls = 0; obs; enc = Xdr.make_enc () }
 
 (* Wire handles just prefix the backend handle: deliberately guessable,
    like the weak handles the paper warns about (section 3.3). *)
@@ -166,7 +167,7 @@ let handle_message (t : t) (bytes : string) : string =
   match Sunrpc.msg_of_string bytes with
   | Result.Error _ | Ok (Sunrpc.Reply _) ->
       (* Not a parsable call: RPC garbage. *)
-      Sunrpc.msg_to_string
+      Sunrpc.msg_to_string ~enc:t.enc
         (Sunrpc.Reply { Sunrpc.reply_xid = 0; body = Sunrpc.Garbage_args })
   | Ok (Sunrpc.Call c) ->
       let body =
@@ -185,7 +186,7 @@ let handle_message (t : t) (bytes : string) : string =
           | None ->
               if dispatchable c.Sunrpc.proc then Sunrpc.Garbage_args else Sunrpc.Proc_unavail
       in
-      Sunrpc.msg_to_string (Sunrpc.Reply { Sunrpc.reply_xid = c.Sunrpc.xid; body })
+      Sunrpc.msg_to_string ~enc:t.enc (Sunrpc.Reply { Sunrpc.reply_xid = c.Sunrpc.xid; body })
 
 (* Expose as a network service. *)
 let service (t : t) : Simnet.service = fun ~peer:_ -> fun bytes -> handle_message t bytes

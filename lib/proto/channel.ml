@@ -14,7 +14,14 @@
    modeled stand-in for the paper's measured software-encryption cost;
    the receiver's work overlaps the sender's next message), unless the
    channel was created with [encrypt:false] (the "SFS w/o encryption"
-   ablation) or the caller suppresses billing for pipelined traffic. *)
+   ablation) or the caller suppresses billing for pipelined traffic.
+
+   Fast path: each direction owns one grow-on-demand frame buffer.
+   [seal] writes length word, plaintext and MAC into it in place, then
+   makes a single ARC4 pass over the whole frame; [open_] decrypts the
+   wire straight into the same buffer and verifies the tag in place.
+   The only per-message allocations are the returned string, the MAC
+   re-key bytes and the HMAC schedule clones. *)
 
 module Arc4 = Sfs_crypto.Arc4
 module Mac = Sfs_crypto.Mac
@@ -26,7 +33,7 @@ exception Integrity_failure
 (** MAC verification failed: the wire was tampered with (or messages
     were dropped/replayed, desynchronizing the streams). *)
 
-type half = { stream : Arc4.t }
+type half = { stream : Arc4.t; mutable buf : Bytes.t }
 
 type stats = {
   sent : int;
@@ -67,10 +74,10 @@ let mac_key_bytes = 32
 
 let create ?(encrypt = true) ?clock ?(costs = Costmodel.default) ?obs ?(label = "chan")
     ~(send_key : string) ~(recv_key : string) () : t =
-  let k s = "channel." ^ label ^ "." ^ s in
+  let k s = "channel." ^ label ^ "." ^ s in (* sfslint: allow SL009 — one-time counter names at create *)
   {
-    send_half = { stream = Arc4.create send_key };
-    recv_half = { stream = Arc4.create recv_key };
+    send_half = { stream = Arc4.create send_key; buf = Bytes.create 256 };
+    recv_half = { stream = Arc4.create recv_key; buf = Bytes.create 256 };
     encrypt;
     clock;
     costs;
@@ -97,8 +104,17 @@ let charge (t : t) (bytes : int) : unit =
   | Some clock when t.encrypt -> Simclock.advance clock (Costmodel.crypto_us t.costs bytes)
   | _ -> ()
 
-let frame (plaintext : string) : string =
-  Sfs_util.Bytesutil.be32_of_int (String.length plaintext) ^ plaintext
+(* The per-direction frame buffer, grown geometrically and reused for
+   every message on that half. *)
+let frame_buf (h : half) (n : int) : Bytes.t =
+  if Bytes.length h.buf < n then begin
+    let cap = ref (Bytes.length h.buf) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    h.buf <- Bytes.create !cap
+  end;
+  h.buf
 
 (* Even with encryption disabled the channel keeps its framing and MAC
    discipline (the ablation removes only the ARC4 pass), so "SFS w/o
@@ -106,22 +122,30 @@ let frame (plaintext : string) : string =
    no-encryption dialect would still MAC traffic. *)
 let seal ?(bill = true) (t : t) (plaintext : string) : string =
   Obs.span t.obs ~cat:"channel" "seal" (fun () ->
+      let n = String.length plaintext in
       t.sent <- t.sent + 1;
-      t.bytes_out <- t.bytes_out + String.length plaintext;
+      t.bytes_out <- t.bytes_out + n;
       Obs.incr t.obs t.keys.k_sent;
-      Obs.add t.obs t.keys.k_bytes_out (String.length plaintext);
+      Obs.add t.obs t.keys.k_bytes_out n;
       if t.encrypt then
         Obs.add t.obs t.keys.k_crypto_us_out
-          (int_of_float (Costmodel.crypto_us t.costs (String.length plaintext)));
-      if bill then charge t (String.length plaintext);
+          (int_of_float (Costmodel.crypto_us t.costs n));
+      if bill then charge t n;
       let mac_key = Arc4.keystream t.send_half.stream mac_key_bytes in
-      let tag = Mac.of_message ~key:mac_key plaintext in
-      let body = frame plaintext ^ tag in
-      if t.encrypt then Arc4.encrypt t.send_half.stream body
+      let sched = Mac.schedule ~key:mac_key in
+      (* Frame assembled in place: be32 length ∥ plaintext ∥ MAC, the
+         tag written directly after the bytes it covers, then one
+         cipher pass over the whole frame. *)
+      let frame_len = 4 + n + Mac.mac_size in
+      let buf = frame_buf t.send_half frame_len in
+      Sfs_util.Bytesutil.put_be32 buf ~off:0 n;
+      Bytes.blit_string plaintext 0 buf 4 n;
+      Mac.mac_into sched buf ~off:0 ~len:(4 + n) ~dst:buf ~dst_off:(4 + n);
+      if t.encrypt then Arc4.encrypt_into t.send_half.stream buf ~off:0 ~len:frame_len
       else
         (* Keep the stream positions in lock-step with the encrypted mode. *)
-        let _ = Arc4.keystream t.send_half.stream (String.length body) in
-        body)
+        Arc4.skip t.send_half.stream frame_len;
+      Bytes.sub_string buf 0 frame_len)
 
 let integrity_failure (t : t) : 'a =
   t.mac_failures <- t.mac_failures + 1;
@@ -130,28 +154,38 @@ let integrity_failure (t : t) : 'a =
 
 let open_ (t : t) (wire : string) : string =
   Obs.span t.obs ~cat:"channel" "open" (fun () ->
+      let wire_len = String.length wire in
       t.received <- t.received + 1;
       Obs.incr t.obs t.keys.k_received;
+      if wire_len < 4 + Mac.mac_size then integrity_failure t;
+      (* Bill the observability counter on plaintext length, matching
+         [seal]'s crypto_us_out (the framing overhead is not payload). *)
       if t.encrypt then
         Obs.add t.obs t.keys.k_crypto_us_in
-          (int_of_float (Costmodel.crypto_us t.costs (String.length wire)));
-      if String.length wire < 4 + Mac.mac_size then integrity_failure t;
+          (int_of_float (Costmodel.crypto_us t.costs (wire_len - 4 - Mac.mac_size)));
       let mac_key = Arc4.keystream t.recv_half.stream mac_key_bytes in
-      let body =
-        if t.encrypt then Arc4.decrypt t.recv_half.stream wire
-        else begin
-          let _ = Arc4.keystream t.recv_half.stream (String.length wire) in
-          wire
-        end
-      in
-      let len = Sfs_util.Bytesutil.int_of_be32 body ~off:0 in
-      if len < 0 || len <> String.length body - 4 - Mac.mac_size then integrity_failure t;
-      let plaintext = String.sub body 4 len in
-      let tag = String.sub body (4 + len) Mac.mac_size in
-      if not (Mac.verify ~key:mac_key ~tag plaintext) then integrity_failure t;
+      let sched = Mac.schedule ~key:mac_key in
+      let buf = frame_buf t.recv_half wire_len in
+      if t.encrypt then
+        Arc4.xor_into t.recv_half.stream ~src:wire ~src_off:0 ~dst:buf ~dst_off:0
+          ~len:wire_len
+      else begin
+        Bytes.blit_string wire 0 buf 0 wire_len;
+        Arc4.skip t.recv_half.stream wire_len
+      end;
+      let len = Sfs_util.Bytesutil.get_be32 buf ~off:0 in
+      if len < 0 || len <> wire_len - 4 - Mac.mac_size then integrity_failure t;
+      let tag = Bytes.create Mac.mac_size in
+      Mac.mac_into sched buf ~off:0 ~len:(4 + len) ~dst:tag ~dst_off:0;
+      (* [tag] never escapes nor mutates after this point. *)
+      if
+        not
+          (Sfs_util.Bytesutil.ct_equal_sub (Bytes.unsafe_to_string tag) buf
+             ~off:(4 + len))
+      then integrity_failure t;
       t.bytes_in <- t.bytes_in + len;
       Obs.add t.obs t.keys.k_bytes_in len;
-      plaintext)
+      Bytes.sub_string buf 4 len)
 
 let stats (t : t) : stats =
   {

@@ -1,4 +1,8 @@
-(* Small byte-string helpers shared across SFS libraries. *)
+(* Small byte-string helpers shared across SFS libraries.
+
+   The [put_*]/[get_*] primitives write integers directly into caller
+   buffers; they are the allocation-free substrate of the wire fast
+   path (XDR encoding, channel framing, SHA-1 finalization). *)
 
 let xor (a : string) (b : string) : string =
   let n = min (String.length a) (String.length b) in
@@ -13,16 +17,48 @@ let ct_equal (a : string) (b : string) : bool =
   String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
   !acc = 0
 
+(* Constant-time comparison of [a] against [String.length a] bytes of
+   [b] at [off], without extracting a substring. *)
+let ct_equal_sub (a : string) (b : Bytes.t) ~(off : int) : bool =
+  let n = String.length a in
+  off >= 0
+  && off + n <= Bytes.length b
+  &&
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc lor (Char.code (String.unsafe_get a i) lxor Char.code (Bytes.unsafe_get b (off + i)))
+  done;
+  !acc = 0
+
+let put_be32 (b : Bytes.t) ~(off : int) (v : int) : unit =
+  Bytes.set b off (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (v land 0xff))
+
+let get_be32 (b : Bytes.t) ~(off : int) : int =
+  let c i = Char.code (Bytes.get b (off + i)) in
+  (c 0 lsl 24) lor (c 1 lsl 16) lor (c 2 lsl 8) lor c 3
+
+let put_be64 (b : Bytes.t) ~(off : int) (v : int64) : unit =
+  for i = 0 to 7 do
+    Bytes.set b (off + i)
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * (7 - i))) land 0xff))
+  done
+
 let be32_of_int (v : int) : string =
-  String.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xff))
+  let b = Bytes.create 4 in
+  put_be32 b ~off:0 v;
+  Bytes.unsafe_to_string b
 
 let int_of_be32 (s : string) ~(off : int) : int =
   let b i = Char.code s.[off + i] in
   (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
 
 let be64_of_int64 (v : int64) : string =
-  String.init 8 (fun i ->
-      Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * (7 - i))) land 0xff))
+  let b = Bytes.create 8 in
+  put_be64 b ~off:0 v;
+  Bytes.unsafe_to_string b
 
 let int64_of_be64 (s : string) ~(off : int) : int64 =
   let b i = Int64.of_int (Char.code s.[off + i]) in

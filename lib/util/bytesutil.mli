@@ -6,6 +6,19 @@ val xor : string -> string -> string
 val ct_equal : string -> string -> bool
 (** Constant-time equality, for MAC and digest comparison. *)
 
+val ct_equal_sub : string -> Bytes.t -> off:int -> bool
+(** [ct_equal_sub a b ~off] compares [a] in constant time against the
+    [String.length a] bytes of [b] starting at [off], without copying.
+    False when the range falls outside [b]. *)
+
+val put_be32 : Bytes.t -> off:int -> int -> unit
+(** Writes the low 32 bits big-endian at [off]. *)
+
+val get_be32 : Bytes.t -> off:int -> int
+(** Reads a big-endian 32-bit unsigned value at [off]. *)
+
+val put_be64 : Bytes.t -> off:int -> int64 -> unit
+
 val be32_of_int : int -> string
 (** Big-endian 4-byte encoding of the low 32 bits of an int. *)
 

@@ -161,7 +161,15 @@ let dec_msg (d : Xdr.dec) : msg =
       | s -> Xdr.error "bad reply_stat %d" s)
   | dir -> Xdr.error "bad msg direction %d" dir
 
-let msg_to_string (m : msg) : string = Xdr.encode enc_msg m
+(* [?enc] lets a connection reuse one encoder across calls (reset +
+   encode); the default allocates as before. *)
+let msg_to_string ?enc (m : msg) : string =
+  match enc with
+  | None -> Xdr.encode enc_msg m
+  | Some e ->
+      Xdr.reset e;
+      enc_msg e m;
+      Xdr.to_string e
 
 let msg_of_string (s : string) : (msg, string) result =
   Xdr.run s (fun d ->
@@ -178,9 +186,12 @@ let add_record (buf : Buffer.t) (record : string) : unit =
   Buffer.add_string buf record
 
 let record_to_string (record : string) : string =
-  let b = Buffer.create (String.length record + 4) in
-  add_record b record;
-  Buffer.contents b
+  let n = String.length record in
+  if n > 0x7FFFFFFF then invalid_arg "Sunrpc.record_to_string: too large";
+  let b = Bytes.create (n + 4) in
+  Sfs_util.Bytesutil.put_be32 b ~off:0 (n lor 0x80000000);
+  Bytes.blit_string record 0 b 4 n;
+  Bytes.unsafe_to_string b
 
 (* Incremental record reassembly, for the stream transports. *)
 type reader = { mutable pending : string; mutable records : string list }

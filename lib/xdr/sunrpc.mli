@@ -39,7 +39,9 @@ val dec_auth : Xdr.dec -> auth_flavor
 val enc_msg : Xdr.enc -> msg -> unit
 val dec_msg : Xdr.dec -> msg
 
-val msg_to_string : msg -> string
+val msg_to_string : ?enc:Xdr.enc -> msg -> string
+(** [?enc] reuses the given encoder (it is reset first) instead of
+    allocating one per call. *)
 
 val msg_of_string : string -> (msg, string) result
 (** Total: malformed envelopes yield [Error], never an exception. *)

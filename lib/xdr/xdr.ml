@@ -10,41 +10,77 @@ exception Error of string
 
 let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
-(* --- Encoding --- *)
+(* --- Encoding ---
 
-type enc = Buffer.t
+   The encoder is a growable byte buffer written in place: integers go
+   straight in big-endian via Bytesutil.put_*, opaques are blitted and
+   their XDR padding zero-filled, with no intermediate 4-byte strings
+   or pad allocations.  [reset] lets RPC layers keep one encoder per
+   connection instead of allocating one per call. *)
 
-let make_enc () : enc = Buffer.create 256
+type enc = { mutable buf : Bytes.t; mutable len : int }
 
-let to_string (e : enc) : string = Buffer.contents e
+let make_enc () : enc = { buf = Bytes.create 256; len = 0 }
+
+let reset (e : enc) : unit = e.len <- 0
+
+let to_string (e : enc) : string = Bytes.sub_string e.buf 0 e.len
+
+(* Room for [n] more bytes, growing geometrically.  Bytes.create leaves
+   contents uninitialized; writers below fill every byte they claim. *)
+let reserve (e : enc) (n : int) : int =
+  let need = e.len + n in
+  if need > Bytes.length e.buf then begin
+    let cap = ref (Bytes.length e.buf * 2) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let buf = Bytes.create !cap in
+    Bytes.blit e.buf 0 buf 0 e.len;
+    e.buf <- buf
+  end;
+  let off = e.len in
+  e.len <- need;
+  off
 
 let pad4 (n : int) : int = (4 - (n land 3)) land 3
 
 (* Appends pre-marshaled bytes verbatim (nested structures, RPC args). *)
-let enc_raw (e : enc) (s : string) : unit = Buffer.add_string e s
+let enc_raw (e : enc) (s : string) : unit =
+  let off = reserve e (String.length s) in
+  Bytes.blit_string s 0 e.buf off (String.length s)
 
 let enc_uint32 (e : enc) (v : int) : unit =
   if v < 0 || v > 0xFFFFFFFF then error "enc_uint32: out of range: %d" v;
-  Buffer.add_string e (Sfs_util.Bytesutil.be32_of_int v)
+  let off = reserve e 4 in
+  Sfs_util.Bytesutil.put_be32 e.buf ~off v
 
 let enc_int32 (e : enc) (v : int) : unit =
   if v < -0x80000000 || v > 0x7FFFFFFF then error "enc_int32: out of range: %d" v;
-  Buffer.add_string e (Sfs_util.Bytesutil.be32_of_int (v land 0xFFFFFFFF))
+  let off = reserve e 4 in
+  Sfs_util.Bytesutil.put_be32 e.buf ~off (v land 0xFFFFFFFF)
 
 let enc_uint64 (e : enc) (v : int64) : unit =
-  Buffer.add_string e (Sfs_util.Bytesutil.be64_of_int64 v)
+  let off = reserve e 8 in
+  Sfs_util.Bytesutil.put_be64 e.buf ~off v
 
 let enc_bool (e : enc) (b : bool) : unit = enc_uint32 e (if b then 1 else 0)
 
+(* Blit the opaque bytes and zero their padding in one reservation. *)
+let enc_padded (e : enc) (s : string) : unit =
+  let n = String.length s in
+  let pad = pad4 n in
+  let off = reserve e (n + pad) in
+  Bytes.blit_string s 0 e.buf off n;
+  Bytes.fill e.buf (off + n) pad '\000'
+
 let enc_fixed_opaque (e : enc) ~(size : int) (s : string) : unit =
   if String.length s <> size then error "enc_fixed_opaque: expected %d bytes, got %d" size (String.length s);
-  Buffer.add_string e s;
-  Buffer.add_string e (String.make (pad4 size) '\000')
+  enc_padded e s
 
 let enc_opaque (e : enc) (s : string) : unit =
   enc_uint32 e (String.length s);
-  Buffer.add_string e s;
-  Buffer.add_string e (String.make (pad4 (String.length s)) '\000')
+  enc_padded e s
 
 let enc_string = enc_opaque
 

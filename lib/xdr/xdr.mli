@@ -14,6 +14,10 @@ type enc
 val make_enc : unit -> enc
 val to_string : enc -> string
 
+val reset : enc -> unit
+(** Empties the encoder, keeping its buffer — one encoder can serve a
+    whole connection without per-call allocation. *)
+
 val enc_raw : enc -> string -> unit
 (** Appends pre-marshaled bytes verbatim. *)
 

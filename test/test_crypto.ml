@@ -314,6 +314,23 @@ let test_srp_verifier_no_password_equivalent () =
 
 (* --- Properties --- *)
 
+(* Byte-at-a-time ARC4 output via the documented reference step; the
+   block entry points ([skip], [keystream_into], [encrypt_into],
+   [xor_into]) must agree with it over any interleaving. *)
+let arc4_ref_bytes (t : Arc4.t) (n : int) : string =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set b i (Char.chr (Arc4.next_byte t))
+  done;
+  Bytes.to_string b
+
+let arc4_ref_xor (t : Arc4.t) (msg : string) : string =
+  let b = Bytes.create (String.length msg) in
+  for i = 0 to String.length msg - 1 do
+    Bytes.set b i (Char.chr (Char.code msg.[i] lxor Arc4.next_byte t))
+  done;
+  Bytes.to_string b
+
 let props =
   let open QCheck in
   let sk = Lazy.force test_key in
@@ -342,6 +359,74 @@ let props =
       (fun (k1, k2, msg) -> k1 = k2 || Mac.hmac ~key:k1 msg <> Mac.hmac ~key:k2 msg);
     Test.make ~count:50 ~name:"prng random_below bound" (int_range 1 1_000_000) (fun bound ->
         Prng.random_int test_rng bound < bound);
+    (* The channel's fast path is exactly these block ops, so they must
+       track the one-byte reference over any interleaving: the same
+       stream position must yield the same bytes whether consumed by
+       skip, keystream, in-place xor, or string-to-buffer xor. *)
+    Test.make ~count:100 ~name:"arc4 block ops = byte-at-a-time reference"
+      (pair
+         (string_gen_of_size (Gen.int_range 1 40) Gen.char)
+         (list_of_size (Gen.int_range 1 12) (pair (int_range 0 3) (int_range 0 120))))
+      (fun (key, ops) ->
+        assume (key <> "");
+        let fast = Arc4.create key and slow = Arc4.create key in
+        List.for_all
+          (fun (op, n) ->
+            let msg = String.init n (fun i -> Char.chr ((i * 7 + n) land 0xff)) in
+            match op with
+            | 0 -> Arc4.encrypt fast msg = arc4_ref_xor slow msg
+            | 1 -> Arc4.keystream fast n = arc4_ref_bytes slow n
+            | 2 ->
+                Arc4.skip fast n;
+                ignore (arc4_ref_bytes slow n);
+                true
+            | _ ->
+                let dst = Bytes.make (n + 3) '\xee' in
+                Arc4.xor_into fast ~src:msg ~src_off:0 ~dst ~dst_off:3 ~len:n;
+                Bytes.sub_string dst 3 n = arc4_ref_xor slow msg)
+          ops);
+    (* Cached HMAC schedules are pure precomputation: same tags as the
+       one-shot path for any key length (including > block size, which
+       takes the digest-the-key branch) and any message mix. *)
+    Test.make ~count:100 ~name:"cached hmac schedule = one-shot hmac"
+      (pair
+         (string_gen_of_size (Gen.int_range 0 100) Gen.char)
+         (small_list (string_gen_of_size (Gen.int_range 0 200) Gen.char)))
+      (fun (key, msgs) ->
+        let s = Mac.schedule ~key in
+        List.for_all
+          (fun m ->
+            Mac.hmac_sched s m = Mac.hmac ~key m
+            && Mac.of_message_sched s m = Mac.of_message ~key m
+            && Mac.verify_sched s ~tag:(Mac.of_message ~key m) m)
+          msgs);
+    (* mac_into over a frame already carrying its length word equals
+       of_message over the bare plaintext — the channel depends on it. *)
+    Test.make ~count:100 ~name:"mac_into on framed bytes = of_message"
+      (pair
+         (string_gen_of_size (Gen.int_range 0 64) Gen.char)
+         (string_gen_of_size (Gen.int_range 0 300) Gen.char))
+      (fun (key, msg) ->
+        let n = String.length msg in
+        let frame = Bytes.create (4 + n + Mac.mac_size) in
+        Sfs_util.Bytesutil.put_be32 frame ~off:0 n;
+        Bytes.blit_string msg 0 frame 4 n;
+        let s = Mac.schedule ~key in
+        Mac.mac_into s frame ~off:0 ~len:(4 + n) ~dst:frame ~dst_off:(4 + n);
+        Bytes.sub_string frame (4 + n) Mac.mac_size = Mac.of_message ~key msg);
+    (* feed_bytes/digest_into (the no-copy entry points) must agree with
+       the string one-shot at every split, offset and destination. *)
+    Test.make ~count:200 ~name:"sha1 feed_bytes/digest_into = digest"
+      (pair (string_gen_of_size (Gen.int_range 0 300) Gen.char) (int_range 0 300))
+      (fun (msg, split) ->
+        let split = min split (String.length msg) in
+        let c = Sha1.init () in
+        let b = Bytes.of_string msg in
+        Sha1.feed_bytes c b ~off:0 ~len:split;
+        Sha1.feed_bytes c b ~off:split ~len:(String.length msg - split);
+        let out = Bytes.make (Sha1.digest_size + 3) '\xaa' in
+        Sha1.digest_into c out ~off:3;
+        Bytes.sub_string out 3 Sha1.digest_size = Sha1.digest msg);
   ]
 
 let test_srp_group_generation () =

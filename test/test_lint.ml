@@ -160,6 +160,30 @@ let test_sl008 () =
   silent "pragma" ~path:"lib/workload/driver.ml" ~code:"SL008"
     "(* sfslint: allow SL008 — progress line for interactive debugging *)\nlet f () = print_newline ()"
 
+let test_sl009 () =
+  fires "String.map on wire path" ~path:"lib/crypto/arc4.ml" ~code:"SL009"
+    {|let f s = String.map (fun c -> Char.chr (Char.code c lxor 1)) s|};
+  fires "String.init keystream" ~path:"lib/crypto/prng.ml" ~code:"SL009"
+    {|let f n g = String.init n (fun _ -> Char.chr (g ()))|};
+  fires "String.mapi" ~path:"lib/proto/channel.ml" ~code:"SL009"
+    {|let f s = String.mapi (fun _ c -> c) s|};
+  (* Concatenation and String.sub are flagged only in the four hot
+     files, where per-message copies cost a figure. *)
+  fires "concat in hot file" ~path:"lib/proto/channel.ml" ~code:"SL009"
+    {|let f a b = a ^ b|};
+  fires "String.sub in hot file" ~path:"lib/crypto/mac.ml" ~code:"SL009"
+    {|let f s = String.sub s 0 20|};
+  silent "concat off the hot path" ~path:"lib/proto/hostid.ml" ~code:"SL009"
+    {|let f a b = a ^ b|};
+  silent "String.sub off the hot path" ~path:"lib/crypto/srp.ml" ~code:"SL009"
+    {|let f s = String.sub s 0 20|};
+  silent "outside crypto/proto" ~path:"lib/xdr/xdr.ml" ~code:"SL009"
+    {|let f s = String.map (fun c -> c) s|};
+  silent "block-wise Bytes building" ~path:"lib/crypto/arc4.ml" ~code:"SL009"
+    {|let f n = Bytes.unsafe_to_string (Bytes.create n)|};
+  silent "pragma" ~path:"lib/proto/channel.ml" ~code:"SL009"
+    "(* sfslint: allow SL009 — one-time counter names at create *)\nlet f a b = a ^ b"
+
 let test_sl000_pragma_hygiene () =
   fires "no codes" ~path:"lib/core/vfs.ml" ~code:"SL000"
     "(* sfslint: allow *)\nlet x = 1";
@@ -213,6 +237,7 @@ let suite =
       Alcotest.test_case "SL006 unsafe casts" `Quick test_sl006;
       Alcotest.test_case "SL007 interface files" `Quick test_sl007;
       Alcotest.test_case "SL008 stdout silence" `Quick test_sl008;
+      Alcotest.test_case "SL009 wire-path string building" `Quick test_sl009;
       Alcotest.test_case "SL000 pragma hygiene" `Quick test_sl000_pragma_hygiene;
       Alcotest.test_case "enable/disable filtering" `Quick test_enable_disable;
       Alcotest.test_case "engine robustness" `Quick test_engine_robustness;

@@ -200,6 +200,21 @@ let test_seq_window () =
   Testkit.check_bool "far past rejected" false (Authproto.window_accept w 10);
   Testkit.check_bool "negative" false (Authproto.window_accept w (-1))
 
+(* The single-buffer seal/open_ fast path must round-trip any traffic
+   pattern: message sizes from empty through several buffer-growth
+   doublings, in both directions, with and without encryption. *)
+let channel_roundtrip_prop =
+  QCheck.Test.make ~count:50 ~name:"seal/open_ roundtrip across sizes"
+    QCheck.(pair bool (list_of_size (QCheck.Gen.int_range 1 8) (int_range 0 10_000)))
+    (fun (encrypt, sizes) ->
+      let client, server = make_channel_pair ~encrypt () in
+      List.for_all
+        (fun n ->
+          let msg = String.init n (fun i -> Char.chr ((i * 31 + n) land 0xff)) in
+          Channel.open_ server (Channel.seal client msg) = msg
+          && Channel.open_ client (Channel.seal server msg) = msg)
+        (0 :: sizes))
+
 let seq_window_prop =
   QCheck.Test.make ~count:200 ~name:"window accepts each seqno at most once"
     QCheck.(list_of_size (QCheck.Gen.int_range 1 100) (int_range 0 200))
@@ -340,4 +355,4 @@ let suite =
       Alcotest.test_case "readonly objects" `Quick test_readonly_objects;
       Alcotest.test_case "readonly fsinfo signature" `Quick test_readonly_fsinfo_signature;
     ]
-    @ Testkit.to_alcotest [ seq_window_prop ] )
+    @ Testkit.to_alcotest [ channel_roundtrip_prop; seq_window_prop ] )

@@ -156,9 +156,87 @@ let msg_gen =
   in
   oneof [ call; reply ]
 
+(* A Buffer-based reference encoder (the pre-fast-path implementation):
+   the in-place Bytes encoder must produce byte-identical output for
+   any mix of items, or every figure in the eval would shift. *)
+type xdr_item =
+  | X_u32 of int
+  | X_i32 of int
+  | X_u64 of int64
+  | X_bool of bool
+  | X_opaque of string
+  | X_string of string
+  | X_fixed of string
+
+let ref_encode (items : xdr_item list) : string =
+  let b = Buffer.create 64 in
+  let u32 v =
+    Buffer.add_char b (Char.chr ((v lsr 24) land 0xff));
+    Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+    Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char b (Char.chr (v land 0xff))
+  in
+  let pad n = for _ = 1 to (4 - (n land 3)) land 3 do Buffer.add_char b '\000' done in
+  List.iter
+    (fun item ->
+      match item with
+      | X_u32 v -> u32 v
+      | X_i32 v -> u32 (v land 0xFFFFFFFF)
+      | X_u64 v ->
+          u32 (Int64.to_int (Int64.shift_right_logical v 32));
+          u32 (Int64.to_int (Int64.logand v 0xFFFFFFFFL))
+      | X_bool v -> u32 (if v then 1 else 0)
+      | X_opaque s | X_string s ->
+          u32 (String.length s);
+          Buffer.add_string b s;
+          pad (String.length s)
+      | X_fixed s ->
+          Buffer.add_string b s;
+          pad (String.length s))
+    items;
+  Buffer.contents b
+
+let enc_item (e : Xdr.enc) (item : xdr_item) : unit =
+  match item with
+  | X_u32 v -> Xdr.enc_uint32 e v
+  | X_i32 v -> Xdr.enc_int32 e v
+  | X_u64 v -> Xdr.enc_uint64 e v
+  | X_bool v -> Xdr.enc_bool e v
+  | X_opaque s -> Xdr.enc_opaque e s
+  | X_string s -> Xdr.enc_string e s
+  | X_fixed s -> Xdr.enc_fixed_opaque e ~size:(String.length s) s
+
+let item_gen =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun v -> X_u32 v) (int_range 0 0xFFFFFFFF);
+      map (fun v -> X_i32 v) (int_range (-0x80000000) 0x7FFFFFFF);
+      map (fun v -> X_u64 (Int64.of_int v)) int;
+      map (fun v -> X_bool v) bool;
+      map (fun s -> X_opaque s) (string_size ~gen:char (int_range 0 40));
+      map (fun s -> X_string s) (string_size ~gen:char (int_range 0 40));
+      map (fun s -> X_fixed s) (string_size ~gen:char (int_range 0 40));
+    ]
+
 let props =
   let open QCheck in
   [
+    Test.make ~count:500 ~name:"bytes encoder = buffer reference encoder"
+      (make Gen.(list_size (int_range 0 30) item_gen))
+      (fun items -> Xdr.encode (fun e () -> List.iter (enc_item e) items) () = ref_encode items);
+    (* One encoder reused across calls (the Sun RPC connection pattern)
+       must behave exactly like a fresh encoder per call. *)
+    Test.make ~count:200 ~name:"encoder reuse via reset = fresh encoder"
+      (make Gen.(pair (list_size (int_range 0 20) item_gen) (list_size (int_range 0 20) item_gen)))
+      (fun (a, b) ->
+        let e = Xdr.make_enc () in
+        let with_reuse items =
+          Xdr.reset e;
+          List.iter (enc_item e) items;
+          Xdr.to_string e
+        in
+        with_reuse a = ref_encode a && with_reuse b = ref_encode b);
     Test.make ~count:300 ~name:"opaque roundtrip" (string_gen Gen.char) (fun s ->
         Xdr.run (Xdr.encode Xdr.enc_opaque s) (fun d -> Xdr.dec_opaque d) = Ok s);
     Test.make ~count:300 ~name:"uint64 roundtrip" (map Int64.of_int int) (fun v ->

@@ -82,6 +82,12 @@ let rules : rule_info list =
       ri_hint =
         "libraries must stay silent; record through Sfs_obs.Obs or return strings for Sfs_workload.Report to render";
     };
+    {
+      ri_code = "SL009";
+      ri_title = "per-byte string building on the wire fast path";
+      ri_hint =
+        "work block-wise on Bytes (Arc4.*_into, Mac.mac_into, Bytesutil.put_*) instead of per-byte String combinators or concatenation";
+    };
   ]
 
 let all_codes = List.map (fun r -> r.ri_code) rules
@@ -108,6 +114,18 @@ let sl001_applies path =
   || starts_with ~prefix:"lib/core/" path
 
 let sl002_applies path = in_lib path && path <> "lib/crypto/prng.ml"
+
+(* SL009: per-byte string building is banned on the wire path.  The
+   String combinators are flagged across the crypto and protocol
+   trees; copy-heavy [String.sub] and [(^)] only in the files that sit
+   on the per-message fast path, where cold-path uses (key schedules,
+   label building) are expected to carry a pragma. *)
+let sl009_applies path =
+  starts_with ~prefix:"lib/crypto/" path || starts_with ~prefix:"lib/proto/" path
+
+let sl009_hot path =
+  List.mem path
+    [ "lib/crypto/arc4.ml"; "lib/crypto/sha1.ml"; "lib/crypto/mac.ml"; "lib/proto/channel.ml" ]
 let sl003_applies path = in_lib path && path <> "lib/net/simclock.ml"
 let sl004_applies path = starts_with ~prefix:"lib/xdr/" path || starts_with ~prefix:"lib/proto/" path
 
@@ -399,6 +417,18 @@ let check_ast ~(path : string) ~(enabled : string list) (ast : structure) : diag
              (Printf.sprintf "%s in decoder '%s' lets a malicious peer crash the server"
                 (String.concat "." p)
                 (match !binding_stack with b :: _ -> b | [] -> "?"))
+       | _ -> ());
+    (if sl009_applies path then
+       match p with
+       | [ "String"; "map" ] | [ "String"; "mapi" ] | [ "String"; "init" ] ->
+           add ~loc "SL009"
+             (Printf.sprintf "%s allocates and calls a closure per byte on the wire path"
+                (String.concat "." p))
+       | [ "^" ] when sl009_hot path ->
+           add ~loc "SL009" "(^) concatenation copies both operands on the per-message fast path"
+       | [ "String"; "sub" ] when sl009_hot path ->
+           add ~loc "SL009"
+             "String.sub copies on the per-message fast path; index into the frame buffer instead"
        | _ -> ());
     (if in_lib path then
        match p with
