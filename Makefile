@@ -1,6 +1,6 @@
 # Convenience targets; everything is driven by dune underneath.
 
-.PHONY: all build lint test bench trace perf clean
+.PHONY: all build lint test bench trace perf ci clean
 
 all: build
 
@@ -40,12 +40,19 @@ perf: build
 	dune exec --no-build bench/main.exe -- crypto --no-results
 	dune exec --no-build bench/main.exe -- crypto --no-results
 	rm -f _perf_results.json
-	dune exec --no-build bench/main.exe -- fig5 fig6 fig7 fig8 fig9 ablations --results _perf_results.json
+	dune exec --no-build bench/main.exe -- fig5 fig6 fig7 fig8 fig9 ablations faults --results _perf_results.json
 	git show HEAD:BENCH_results.json | grep -v '"figure":"crypto"' > _perf_head.json
 	grep -v '"figure":"crypto"' _perf_results.json > _perf_now.json
 	diff -u _perf_head.json _perf_now.json
 	rm -f _perf_results.json _perf_head.json _perf_now.json
 	@echo "perf: simulated-time figures unchanged vs HEAD"
+
+# Everything the CI workflow runs, in the same order: build, the full
+# tier-1 test suite (which includes the @lint gate), the perf
+# determinism gate, and a standalone lint pass that refreshes
+# lint-report.json for the CI artifact upload.
+ci: build test perf lint
+	@echo "ci: all gates passed"
 
 clean:
 	dune clean

@@ -3,7 +3,7 @@
    (bechamel) micro-benchmarks of the crypto substrate.
 
    Usage:
-     main.exe [fig5] [fig6] [fig7] [fig8] [fig9] [ablations] [crypto]
+     main.exe [fig5] [fig6] [fig7] [fig8] [fig9] [ablations] [faults] [crypto]
               [--trace FILE] [--metrics FILE] [--json]
               [--results FILE] [--no-results]
 
@@ -385,6 +385,147 @@ let ablations () =
      so cryptographic cost is proportional to file system size and change rate,\n\
      not client count — section 2.4.)"
 
+(* --- Fault injection: the stacks on a lossy network (DESIGN.md s10) --- *)
+
+let fault_read_mb = 2
+let fault_chunk = 8192
+
+let faults () =
+  hr ();
+  print_endline "Fault injection: recovery behavior under deterministic network faults";
+  print_endline "(seeded plans; same seed gives a byte-identical fault/recovery ledger)\n";
+  let module Memfs = Sfs_nfs.Memfs in
+  let module Diskmodel = Sfs_nfs.Diskmodel in
+  let module Simos = Sfs_os.Simos in
+  let module Simclock = Sfs_net.Simclock in
+  let module Vfs = Sfs_core.Vfs in
+  let module Fault = Sfs_fault.Fault in
+  (* Seed a file directly in the server file system and pre-warm the
+     server disk cache, as the Figure 5 throughput benchmark does. *)
+  let seed (w : Stacks.world) (name : string) (mb : int) : int =
+    let bytes = mb * 1024 * 1024 in
+    let root_cred = Simos.cred_of_user Simos.root_user in
+    let fail e = failwith (Sfs_nfs.Nfs_types.status_to_string e) in
+    let fid, _ =
+      match Memfs.create_file w.Stacks.server_fs root_cred ~dir:Memfs.root_id name ~mode:0o666 with
+      | Ok v -> v
+      | Error e -> fail e
+    in
+    (match
+       Memfs.setattr w.Stacks.server_fs root_cred fid
+         { Sfs_nfs.Nfs_types.sattr_empty with Sfs_nfs.Nfs_types.set_size = Some bytes }
+     with
+    | Ok _ -> ()
+    | Error e -> fail e);
+    for b = 0 to (bytes / Diskmodel.block_size) - 1 do
+      Diskmodel.write w.Stacks.server_disk ~fileid:fid ~off:(b * Diskmodel.block_size)
+        ~bytes:Diskmodel.block_size ~stable:false
+    done;
+    bytes
+  in
+  let read_seq (w : Stacks.world) (path : string) (bytes : int) : float =
+    let ops, fh =
+      match Vfs.resolve w.Stacks.vfs w.Stacks.cred path with
+      | Ok v -> v
+      | Error e -> failwith (Vfs.verror_to_string e)
+    in
+    Stacks.timed w (fun () ->
+        let off = ref 0 in
+        while !off < bytes do
+          (match ops.Sfs_nfs.Fs_intf.fs_read w.Stacks.cred fh ~off:!off ~count:fault_chunk with
+          | Ok _ -> ()
+          | Error e -> failwith (Sfs_nfs.Nfs_types.status_to_string e));
+          off := !off + fault_chunk
+        done)
+  in
+  (* NFS 3 (UDP) sequential 8 KB reads: a clean network vs 1% drop.
+     The gap is pure retransmission cost — timeouts, backoff, and the
+     duplicate request cache absorbing re-executions. *)
+  let nfs_row (spec : Fault.spec) (name : string) =
+    let params = { Diskmodel.default_params with Diskmodel.cache_blocks = 4096 } in
+    let w = Stacks.make ~server_disk_params:params Stacks.Nfs_udp in
+    let bytes = seed w "fault-2mb" fault_read_mb in
+    Stacks.flush_caches w;
+    Stacks.arm_faults w spec;
+    let s = read_seq w "/mnt/fault-2mb" bytes in
+    (s, (Printf.sprintf "faults/%s" name, w.Stacks.obs))
+  in
+  let clean_s, r1 = nfs_row (Fault.none ~seed:"bench-clean") "nfs-read-8k-clean" in
+  let drop_s, r2 = nfs_row (Fault.make ~seed:"bench-drop1" ~drop_pm:100 ()) "nfs-read-8k-drop1" in
+  (* SFS runs the full MAB under 1% drop plus a heavy-tailed delay: any
+     loss poisons the ARC4 streams, so recovery means reconnection and
+     re-authentication, not just retransmission. *)
+  let mab_s, r3 =
+    let spec =
+      Fault.make ~seed:"bench-mab" ~drop_pm:100 ~delay_pm:500 ~delay_mean_us:2_000
+        ~delay_p99_us:50_000 ()
+    in
+    let w = Stacks.make ~fault:spec Stacks.Sfs in
+    (Mab.total (Mab.run w), ("faults/sfs-mab-drop1-delay50", w.Stacks.obs))
+  in
+  (* Time to establish a mount through a 300 ms network partition: the
+     client keeps redialing on a 50 ms cadence until the partition
+     heals and key negotiation completes. *)
+  let heal_s, r4 =
+    let w = Stacks.make Stacks.Sfs in
+    let client = Option.get w.Stacks.sfs_client in
+    let server = Option.get w.Stacks.sfs_server in
+    let path = Sfs_core.Server.self_path server in
+    (match Sfs_core.Client.find_mount client path with
+    | Some m -> Sfs_core.Client.unmount client m
+    | None -> ());
+    let now = Simclock.now_us w.Stacks.clock in
+    let spec =
+      Fault.make ~seed:"bench-partition"
+        ~partitions:
+          [
+            {
+              Fault.pa = Stacks.client_host;
+              pb = Stacks.server_location;
+              p_from_us = now;
+              p_until_us = now +. 300_000.0;
+            };
+          ]
+        ()
+    in
+    Stacks.arm_faults w spec;
+    let s =
+      Stacks.timed w (fun () ->
+          let rec go () =
+            match Sfs_core.Client.mount client path with
+            | Ok _ -> ()
+            | Error _ ->
+                Simclock.advance w.Stacks.clock 50_000.0;
+                go ()
+          in
+          go ())
+    in
+    (s, ("faults/negotiate-partition-heal", w.Stacks.obs))
+  in
+  let f3 v = Printf.sprintf "%.3f" v in
+  print_endline
+    (Report.table ~title:"Recovery under injected faults (simulated seconds)"
+       ~headers:[ "Scenario"; "Seconds" ]
+       [
+         [ "nfs-read-8k-clean   (NFS/UDP, 2 MB in 8 KB reads)"; f3 clean_s ];
+         [ "nfs-read-8k-drop1   (same, 1% message drop)"; f3 drop_s ];
+         [ "sfs-mab-drop1-delay50 (SFS MAB, 1% drop + 50ms p99 delay)"; f3 mab_s ];
+         [ "negotiate-partition-heal (mount through 300ms partition)"; f3 heal_s ];
+       ]);
+  record
+    {
+      fo_name = "faults";
+      fo_headers = [ "seconds" ];
+      fo_rows =
+        [
+          ("nfs-read-8k-clean", [ clean_s ]);
+          ("nfs-read-8k-drop1", [ drop_s ]);
+          ("sfs-mab-drop1-delay50", [ mab_s ]);
+          ("negotiate-partition-heal", [ heal_s ]);
+        ];
+      fo_regs = [ r1; r2; r3; r4 ];
+    }
+
 (* --- Real-time crypto micro-benchmarks (bechamel) --- *)
 
 let crypto () =
@@ -570,6 +711,7 @@ let () =
   if want "fig8" then fig8 ();
   if want "fig9" then fig9 ();
   if want "ablations" then ablations ();
+  if want "faults" then faults ();
   if want "crypto" then crypto ();
   (match !trace_file with
   | Some path ->

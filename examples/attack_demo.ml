@@ -168,8 +168,8 @@ let () =
   (match Vfs.read_file vvfs alice_cred secret_path with
   | Ok data -> outcome "BROKEN: accepted tampered data %S" data
   | Error e -> outcome "rejected, connection dead: %s" (Vfs.verror_to_string e)
-  | exception Sfs_proto.Channel.Integrity_failure ->
-      outcome "MAC failure: tampering detected, connection torn down");
+  | exception Sfs_nfs.Nfs_client.Rpc_failure reason ->
+      outcome "MAC failure: tampering detected (%s), connection torn down" reason);
   armed := false;
   Simnet.set_default_tap net None;
 

@@ -370,8 +370,8 @@ let seal_with (key : string) (plaintext : string) : string =
 let open_with (key : string) (wire : string) : string option =
   let ch = Sfs_proto.Channel.create ~send_key:key ~recv_key:key () in
   match Sfs_proto.Channel.open_ ch wire with
-  | plaintext -> Some plaintext
-  | exception Sfs_proto.Channel.Integrity_failure -> None
+  | Ok plaintext -> Some plaintext
+  | Error (`Mac_mismatch | `Replay) -> None
 
 (* Per-connection SRP server state machine. *)
 type srp_session_state =

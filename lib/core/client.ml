@@ -44,17 +44,24 @@ let mount_error_to_string = function
   | Revoked None -> "server sent an invalid revocation certificate"
   | Negotiation_failed e -> "key negotiation failed: " ^ e
 
+(* Channel, connection and session identity are mutable: when the
+   secure channel desyncs (MAC failure, server restart, dead TCP
+   connection) the client tears the transport down and renegotiates in
+   place, keeping the mount — and every [Fs_intf.ops] closure handed
+   out — valid across the swap. *)
 type mount = {
   m_path : Pathname.t;
   m_server_pub : Rabin.pub;
-  m_session_id : string;
-  m_channel : Channel.t;
-  m_conn : Simnet.conn;
+  mutable m_session_id : string;
+  mutable m_channel : Channel.t;
+  mutable m_conn : Simnet.conn;
   m_invalidations : fh list ref;
-  m_cache : Cachefs.t;
-  m_ops : Fs_intf.ops; (* cache-wrapped, what users consume *)
-  m_authnos : (int, int) Hashtbl.t; (* uid -> authno *)
+  mutable m_cache : Cachefs.t option; (* None only during mount setup *)
+  mutable m_ops : Fs_intf.ops option; (* cache-wrapped, what users consume *)
+  m_authnos : (int, int) Hashtbl.t; (* uid -> authno; reset on reconnect *)
+  m_agents : (int, Agent.t) Hashtbl.t; (* uid -> agent, for re-authentication *)
   mutable m_seqno : int;
+  mutable m_xid : int; (* next Fs_call xid; NOT reset on reconnect *)
   m_readonly : bool;
 }
 
@@ -71,12 +78,18 @@ type t = {
   mounts : (string, mount) Hashtbl.t; (* by Pathname.to_name *)
   mutable encrypt : bool; (* ablation switch: "SFS w/o encryption" *)
   mutable cache_policy : Cachefs.policy;
+  rpc_attempts : int; (* per-RPC budget incl. the first transmission *)
   obs : Obs.registry option;
 }
 
+(* Capped exponential backoff between RPC recovery attempts: the wait
+   before attempt [i+1] is min(base * 2^i, max). *)
+let rpc_backoff_base_us = 50_000.0
+let rpc_backoff_max_us = 1_600_000.0
+
 let create ?(temp_key_bits = 512) ?(temp_key_lifetime_s = 3600.0) ?(encrypt = true)
-    ?(cache_policy = Cachefs.sfs_policy) ?obs (net : Simnet.t) ~(from_host : string)
-    ~(rng : Prng.t) () : t =
+    ?(cache_policy = Cachefs.sfs_policy) ?(rpc_attempts = 8) ?obs (net : Simnet.t)
+    ~(from_host : string) ~(rng : Prng.t) () : t =
   {
     net;
     clock = Simnet.clock net;
@@ -90,6 +103,7 @@ let create ?(temp_key_bits = 512) ?(temp_key_lifetime_s = 3600.0) ?(encrypt = tr
     mounts = Hashtbl.create 8;
     encrypt;
     cache_policy;
+    rpc_attempts = max 1 rpc_attempts;
     obs;
   }
 
@@ -115,9 +129,147 @@ let channel_exchange ~(channel : Channel.t) ~(conn : Simnet.conn) (req : Sfsrw.r
     (Sfsrw.response, string) result =
   let wire = Channel.seal channel (Sfsrw.request_to_string req) in
   let reply = Simnet.call conn wire in
-  Sfsrw.response_of_string (Channel.open_ channel reply)
+  match Channel.open_ channel reply with
+  | Ok plain -> Sfsrw.response_of_string plain
+  | Error `Mac_mismatch -> Result.Error "mac mismatch"
+  | Error `Replay -> Result.Error "channel desync"
 
 (* --- Mounting --- *)
+
+(* Dial the server and run key negotiation; the building block of both
+   the initial mount and every reconnection. *)
+let dial (t : t) (path : Pathname.t) :
+    (Simnet.conn * Channel.t * string * Rabin.pub, mount_error) result =
+  let location = Pathname.location path in
+  match
+    Simnet.connect t.net ~from_host:t.from_host ~addr:location ~port:Server.sfs_port
+      ~proto:Costmodel.Tcp
+  with
+  | exception Simnet.No_route _ -> Error (Host_unreachable location)
+  | exception Simnet.Timeout -> Error (Host_unreachable location)
+  | conn -> (
+      let extensions = if t.encrypt then [] else [ "no-encrypt" ] in
+      match
+        Keyneg.client_negotiate ~extensions ~rng:t.rng ~temp_key:(temp_key t) ~location
+          ~hostid:(Pathname.hostid path) ~service:Keyneg.Fs (fun msg -> Simnet.call conn msg)
+      with
+      | exception Keyneg.Host_revoked certificate ->
+          Error (Revoked (Revocation.cert_for path certificate))
+      | exception Keyneg.Negotiation_failed e -> Error (Negotiation_failed e)
+      | exception Simnet.Timeout -> Error (Host_unreachable location)
+      | { Keyneg.keys; server_pub } ->
+          let channel =
+            Channel.create ~encrypt:t.encrypt ~clock:t.clock ~costs:t.costs ?obs:t.obs
+              ~label:"client" ~send_key:keys.Keyneg.kcs ~recv_key:keys.Keyneg.ksc ()
+          in
+          Ok (conn, channel, keys.Keyneg.session_id, server_pub))
+
+(* --- User authentication (Figure 4, client and agent side) --- *)
+
+let authenticate ?local_uid (t : t) (m : mount) (agent : Agent.t) : int =
+  (* [local_uid] is the local credential the agent is answering for —
+     normally the agent's own user, but ssu maps a super-user shell to
+     an ordinary user's agent (paper footnote 2). *)
+  let uid = Option.value local_uid ~default:(Agent.user agent).Simos.uid in
+  if not m.m_readonly then Hashtbl.replace m.m_agents uid agent;
+  match Hashtbl.find_opt m.m_authnos uid with
+  | Some authno -> authno
+  | None ->
+      if m.m_readonly then begin
+        Hashtbl.replace m.m_authnos uid Sfsrw.authno_anonymous;
+        Sfsrw.authno_anonymous
+      end
+      else begin
+        Obs.incr t.obs "client.auth_attempts";
+        Obs.span t.obs ~cat:"client" "authenticate" (fun () ->
+            let info =
+              {
+                Authproto.service = "FS";
+                location = Pathname.location m.m_path;
+                hostid = Pathname.hostid m.m_path;
+                session_id = m.m_session_id;
+              }
+            in
+            let base = m.m_seqno in
+            let msgs = Agent.sign_requests agent info ~seqno_of:(fun i -> base + i) in
+            m.m_seqno <- base + List.length msgs;
+            (* Only an explicit denial means "no": anything else — a
+               timeout, a MAC failure, a garbled reply — is a transport
+               fault on a now-poisoned channel, and silently degrading
+               to anonymous access would be wrong (the server would
+               apply the anonymous credential to every later call).
+               Propagate as Timeout; reconnection retries the whole
+               authentication over a fresh session. *)
+            let try_one i msg =
+              match
+                channel_exchange ~channel:m.m_channel ~conn:m.m_conn
+                  (Sfsrw.Auth_req { seqno = base + i; authmsg = Authproto.authmsg_to_string msg })
+              with
+              | Ok (Sfsrw.Auth_granted { authno; seqno }) when seqno = base + i -> Some authno
+              | Ok (Sfsrw.Auth_denied _) -> None
+              | Ok (Sfsrw.Auth_granted _ | Sfsrw.Fs_reply _ | Sfsrw.Proto_error _)
+              | Result.Error _ ->
+                  raise Simnet.Timeout
+            in
+            let authno =
+              List.fold_left
+                (fun acc (i, msg) -> match acc with Some _ -> acc | None -> try_one i msg)
+                None
+                (List.mapi (fun i msg -> (i, msg)) msgs)
+            in
+            if authno <> None then Obs.incr t.obs "client.auth_granted";
+            let authno = Option.value authno ~default:Sfsrw.authno_anonymous in
+            Hashtbl.replace m.m_authnos uid authno;
+            authno)
+      end
+
+(* --- Recovery --- *)
+
+(* Tear the mount's transport down and renegotiate in place: fresh
+   connection, fresh channel, fresh session id.  Volatile server state
+   (leases, authnos) died with the old session, so the attribute cache
+   is flushed and every known agent re-authenticates against the new
+   session id. *)
+let reconnect (t : t) (m : mount) : (unit, mount_error) result =
+  Simnet.close m.m_conn;
+  match dial t m.m_path with
+  | Error err -> Error err
+  | Ok (conn, channel, session_id, _server_pub) ->
+      m.m_conn <- conn;
+      m.m_channel <- channel;
+      m.m_session_id <- session_id;
+      m.m_seqno <- 1;
+      Hashtbl.reset m.m_authnos;
+      m.m_invalidations := [];
+      (match m.m_cache with
+      | Some cache ->
+          Cachefs.invalidate_all cache;
+          Obs.incr t.obs "recover.cache_flush"
+      | None -> ());
+      Obs.incr t.obs "recover.reconnect";
+      (* Deterministic order: snapshot and sort by uid (re-running
+         authentication mutates m_authnos under our feet otherwise). *)
+      let agents =
+        Hashtbl.fold (fun uid a acc -> (uid, a) :: acc) m.m_agents []
+        |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+      in
+      (* A transport fault mid-authentication means the fresh channel
+         is already dead: close it and report the reconnect as failed
+         so the caller backs off and dials again.  The close matters —
+         leaving a live channel behind with m_authnos empty would let
+         the next attempt run silently downgraded to anonymous
+         access. *)
+      match
+        List.iter
+          (fun (uid, agent) ->
+            Obs.incr t.obs "recover.reauth";
+            ignore (authenticate ~local_uid:uid t m agent))
+          agents
+      with
+      | () -> Ok ()
+      | exception Simnet.Timeout ->
+          Simnet.close m.m_conn;
+          Error (Host_unreachable (Pathname.location m.m_path))
 
 let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
   match find_mount t path with
@@ -130,69 +282,116 @@ let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
         ~args:[ ("path", Pathname.to_string path) ]
         t.obs ~cat:"client" "automount"
         (fun () ->
-      let location = Pathname.location path in
-      match
-        Simnet.connect t.net ~from_host:t.from_host ~addr:location ~port:Server.sfs_port
-          ~proto:Costmodel.Tcp
-      with
-      | exception Simnet.No_route _ -> Error (Host_unreachable location)
-      | conn -> (
-          let extensions = if t.encrypt then [] else [ "no-encrypt" ] in
-          match
-            Keyneg.client_negotiate ~extensions ~rng:t.rng ~temp_key:(temp_key t) ~location
-              ~hostid:(Pathname.hostid path) ~service:Keyneg.Fs (fun msg -> Simnet.call conn msg)
-          with
-          | exception Keyneg.Host_revoked certificate ->
-              Error (Revoked (Revocation.cert_for path certificate))
-          | exception Keyneg.Negotiation_failed e -> Error (Negotiation_failed e)
-          | exception Simnet.Timeout -> Error (Host_unreachable location)
-          | { Keyneg.keys; server_pub } -> (
-              let channel =
-                Channel.create ~encrypt:t.encrypt ~clock:t.clock ~costs:t.costs ?obs:t.obs
-                  ~label:"client" ~send_key:keys.Keyneg.kcs ~recv_key:keys.Keyneg.ksc ()
+          match dial t path with
+          | Error e -> Error e
+          | Ok (conn, channel, session_id, server_pub) -> (
+              let m =
+                {
+                  m_path = path;
+                  m_server_pub = server_pub;
+                  m_session_id = session_id;
+                  m_channel = channel;
+                  m_conn = conn;
+                  m_invalidations = ref [];
+                  m_cache = None;
+                  m_ops = None;
+                  m_authnos = Hashtbl.create 4;
+                  m_agents = Hashtbl.create 4;
+                  m_seqno = 1;
+                  m_xid = 1;
+                  m_readonly = false;
+                }
               in
-              let invalidations = ref [] in
-              let authnos = Hashtbl.create 4 in
               (* The secure-channel transport for the read-write
                  protocol; every relayed RPC also pays the client
-                 daemon's user-level crossing. *)
+                 daemon's user-level crossing.  Reads the mount's
+                 channel and connection afresh on every attempt, so a
+                 mid-call reconnection is transparent to callers. *)
               let raw_call : Nfs_client.raw_call =
                fun ~cred ~proc ~async args ->
-                let authno =
-                  match Hashtbl.find_opt authnos cred.Simos.cred_uid with
-                  | Some a -> a
-                  | None -> Sfsrw.authno_anonymous
+                (* One xid per logical call, held across every retry of
+                   it — including re-issues after a reconnection — so
+                   the server's duplicate request cache can recognise a
+                   retransmission whose first execution succeeded but
+                   whose reply was lost. *)
+                let xid = m.m_xid in
+                m.m_xid <- m.m_xid + 1;
+                let rec go (i : int) : string =
+                  let channel = m.m_channel and conn = m.m_conn in
+                  let authno =
+                    match Hashtbl.find_opt m.m_authnos cred.Simos.cred_uid with
+                    | Some a -> a
+                    | None -> Sfsrw.authno_anonymous
+                  in
+                  let req = Sfsrw.request_to_string (Sfsrw.Fs_call { xid; authno; proc; args }) in
+                  (* Any transport or channel failure poisons the ARC4
+                     streams; retransmission on the same channel is
+                     useless.  Back off, reconnect, re-issue. *)
+                  let recover (why : string) : string =
+                    if i + 1 >= t.rpc_attempts then begin
+                      Obs.incr t.obs "recover.rpc_giveup";
+                      raise (Nfs_client.Rpc_failure why)
+                    end
+                    else begin
+                      Obs.incr t.obs "recover.rpc_retry";
+                      Simclock.advance t.clock
+                        (Float.min
+                           (rpc_backoff_base_us *. float_of_int (1 lsl min i 16))
+                           rpc_backoff_max_us);
+                      (match reconnect t m with
+                      | Ok () -> ()
+                      | Error (Revoked _ as e) ->
+                          Obs.incr t.obs "recover.rpc_giveup";
+                          raise (Nfs_client.Rpc_failure (mount_error_to_string e))
+                      | Error _ -> (* still down; next attempt backs off again *) ());
+                      go (i + 1)
+                    end
+                  in
+                  let exchange () =
+                    if async then begin
+                      (* Write-behind: the pipeline hides most of the
+                         user-level crossings and overlaps encryption
+                         with the wire; charge the residual fractions. *)
+                      Simclock.advance t.clock
+                        (t.costs.Costmodel.async_userlevel_factor
+                        *. (2.0 *. t.costs.Costmodel.userlevel_us_per_side));
+                      let wire = Channel.seal ~bill:false channel req in
+                      Simclock.advance t.clock
+                        (t.costs.Costmodel.async_crypto_factor
+                        *. Channel.crypto_cost_us channel (String.length req));
+                      Simnet.call_async conn wire
+                    end
+                    else begin
+                      Simclock.advance t.clock t.costs.Costmodel.userlevel_us_per_side;
+                      Simnet.call conn (Channel.seal channel req)
+                    end
+                  in
+                  match exchange () with
+                  | exception Simnet.Timeout -> recover "timeout"
+                  | reply -> (
+                      match Channel.open_ channel reply with
+                      | Error `Mac_mismatch ->
+                          Obs.incr t.obs "recover.mac_mismatch";
+                          recover "mac mismatch"
+                      | Error `Replay ->
+                          Obs.incr t.obs "recover.replay";
+                          recover "channel desync"
+                      | Ok plain -> (
+                          match Sfsrw.response_of_string plain with
+                          | Ok (Sfsrw.Fs_reply { results; invalidations = inv }) ->
+                              m.m_invalidations := !(m.m_invalidations) @ inv;
+                              results
+                          | Ok (Sfsrw.Proto_error e) -> raise (Nfs_client.Rpc_failure e)
+                          | Ok (Sfsrw.Auth_granted _ | Sfsrw.Auth_denied _) ->
+                              raise (Nfs_client.Rpc_failure "unexpected auth response")
+                          | Result.Error e -> recover ("garbled response: " ^ e)))
                 in
-                let req = Sfsrw.request_to_string (Sfsrw.Fs_call { authno; proc; args }) in
-                let reply =
-                  if async then begin
-                    (* Write-behind: the pipeline hides most of the
-                       user-level crossings and overlaps encryption
-                       with the wire; charge the residual fractions. *)
-                    Simclock.advance t.clock
-                      (t.costs.Costmodel.async_userlevel_factor
-                      *. (2.0 *. t.costs.Costmodel.userlevel_us_per_side));
-                    let wire = Channel.seal ~bill:false channel req in
-                    Simclock.advance t.clock
-                      (t.costs.Costmodel.async_crypto_factor
-                      *. Channel.crypto_cost_us channel (String.length req));
-                    Simnet.call_async conn wire
-                  end
-                  else begin
-                    Simclock.advance t.clock t.costs.Costmodel.userlevel_us_per_side;
-                    Simnet.call conn (Channel.seal channel req)
-                  end
-                in
-                match Sfsrw.response_of_string (Channel.open_ channel reply) with
-                | Ok (Sfsrw.Fs_reply { results; invalidations = inv }) ->
-                    invalidations := !invalidations @ inv;
-                    results
-                | Ok (Sfsrw.Proto_error e) -> raise (Nfs_client.Rpc_failure e)
-                | Ok (Sfsrw.Auth_granted _ | Sfsrw.Auth_denied _) ->
-                    raise (Nfs_client.Rpc_failure "unexpected auth response")
-                | Result.Error e -> raise (Nfs_client.Rpc_failure e)
+                go 0
               in
-              (* Fetch the encrypted root handle in-band. *)
+              (* Fetch the encrypted root handle in-band.  Handles are
+                 stable across server restarts (Fhcrypt keys derive
+                 from the server's key), so the root outlives any
+                 reconnection. *)
               match
                 Xdr.run
                   (raw_call ~cred:Simos.anonymous_cred ~proc:Sfsrw.proc_getroot ~async:false "")
@@ -205,28 +404,15 @@ let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
                   let cache =
                     Cachefs.create
                       ~take_invalidations:(fun () ->
-                        let inv = !invalidations in
-                        invalidations := [];
+                        let inv = !(m.m_invalidations) in
+                        m.m_invalidations := [];
                         inv)
                       ?obs:t.obs ~clock:t.clock ~policy:t.cache_policy inner_ops
                   in
-                  let m =
-                    {
-                      m_path = path;
-                      m_server_pub = server_pub;
-                      m_session_id = keys.Keyneg.session_id;
-                      m_channel = channel;
-                      m_conn = conn;
-                      m_invalidations = invalidations;
-                      m_cache = cache;
-                      m_ops = Cachefs.ops cache;
-                      m_authnos = authnos;
-                      m_seqno = 1;
-                      m_readonly = false;
-                    }
-                  in
+                  m.m_cache <- Some cache;
+                  m.m_ops <- Some (Cachefs.ops cache);
                   Hashtbl.replace t.mounts (Pathname.to_name path) m;
-                  Ok m)))
+                  Ok m))
 
 (* Mount the read-only dialect of a pathname (used for certification
    authorities).  No secure channel: integrity comes from the signed
@@ -283,69 +469,27 @@ let mount_readonly (t : t) (path : Pathname.t) : (mount, mount_error) result =
                             ~recv_key:(String.make 20 '0') ();
                         m_conn = conn;
                         m_invalidations = ref [];
-                        m_cache = cache;
-                        m_ops = Cachefs.ops cache;
+                        m_cache = Some cache;
+                        m_ops = Some (Cachefs.ops cache);
                         m_authnos = Hashtbl.create 1;
+                        m_agents = Hashtbl.create 1;
                         m_seqno = 1;
+                        m_xid = 1;
                         m_readonly = true;
                       }
                     in
                     Hashtbl.replace t.mounts name m;
                     Ok m)))
 
-(* --- User authentication (Figure 4, client and agent side) --- *)
+let ops (m : mount) : Fs_intf.ops =
+  match m.m_ops with Some o -> o | None -> invalid_arg "Client.ops: mount not initialized"
 
-let authenticate ?local_uid (t : t) (m : mount) (agent : Agent.t) : int =
-  (* [local_uid] is the local credential the agent is answering for —
-     normally the agent's own user, but ssu maps a super-user shell to
-     an ordinary user's agent (paper footnote 2). *)
-  let uid = Option.value local_uid ~default:(Agent.user agent).Simos.uid in
-  match Hashtbl.find_opt m.m_authnos uid with
-  | Some authno -> authno
-  | None ->
-      if m.m_readonly then begin
-        Hashtbl.replace m.m_authnos uid Sfsrw.authno_anonymous;
-        Sfsrw.authno_anonymous
-      end
-      else begin
-        Obs.incr t.obs "client.auth_attempts";
-        Obs.span t.obs ~cat:"client" "authenticate" (fun () ->
-            let info =
-              {
-                Authproto.service = "FS";
-                location = Pathname.location m.m_path;
-                hostid = Pathname.hostid m.m_path;
-                session_id = m.m_session_id;
-              }
-            in
-            let base = m.m_seqno in
-            let msgs = Agent.sign_requests agent info ~seqno_of:(fun i -> base + i) in
-            m.m_seqno <- base + List.length msgs;
-            let try_one i msg =
-              match
-                channel_exchange ~channel:m.m_channel ~conn:m.m_conn
-                  (Sfsrw.Auth_req { seqno = base + i; authmsg = Authproto.authmsg_to_string msg })
-              with
-              | Ok (Sfsrw.Auth_granted { authno; seqno }) when seqno = base + i -> Some authno
-              | _ -> None
-            in
-            let authno =
-              List.fold_left
-                (fun acc (i, msg) -> match acc with Some _ -> acc | None -> try_one i msg)
-                None
-                (List.mapi (fun i msg -> (i, msg)) msgs)
-            in
-            if authno <> None then Obs.incr t.obs "client.auth_granted";
-            let authno = Option.value authno ~default:Sfsrw.authno_anonymous in
-            Hashtbl.replace m.m_authnos uid authno;
-            authno)
-      end
-
-let ops (m : mount) : Fs_intf.ops = m.m_ops
 let path (m : mount) : Pathname.t = m.m_path
 let server_pub (m : mount) : Rabin.pub = m.m_server_pub
 let is_readonly (m : mount) : bool = m.m_readonly
-let cache (m : mount) : Cachefs.t = m.m_cache
+
+let cache (m : mount) : Cachefs.t =
+  match m.m_cache with Some c -> c | None -> invalid_arg "Client.cache: mount not initialized"
 
 let unmount (t : t) (m : mount) : unit =
   Simnet.close m.m_conn;
@@ -359,5 +503,7 @@ let set_encrypt (t : t) (enabled : bool) : unit = t.encrypt <- enabled
 let inject_raw (m : mount) (bytes : string) : (string, string) result =
   match Simnet.inject m.m_conn bytes with
   | reply -> Ok reply
-  | exception Channel.Integrity_failure -> Error "integrity failure (stream desync)"
-  | exception Simnet.Timeout -> Error "connection dead"
+  | exception Simnet.Timeout ->
+      (* The server's channel rejected the bytes and killed the
+         connection — exactly what an attacker's replay should see. *)
+      Error "rejected: channel integrity failure, connection dead"

@@ -28,6 +28,7 @@ val create :
   ?temp_key_lifetime_s:float ->
   ?encrypt:bool ->
   ?cache_policy:Cachefs.policy ->
+  ?rpc_attempts:int ->
   ?obs:Sfs_obs.Obs.registry ->
   Simnet.t ->
   from_host:string ->
@@ -37,9 +38,12 @@ val create :
 (** [~encrypt:false] negotiates the "SFS w/o encryption" dialect;
     [cache_policy] defaults to lease-based SFS caching.  The short-lived
     key regenerates after [temp_key_lifetime_s] (default one hour) for
-    forward secrecy.  When [obs] is given, automount and authentication
-    spans are recorded, and the mount's channel and cache are
-    instrumented too ([channel.client.*], [cache.*]). *)
+    forward secrecy.  [rpc_attempts] (default 8) bounds the per-RPC
+    recovery budget: a timeout or channel failure backs off (capped
+    exponential), reconnects and re-issues, because any loss poisons
+    the ARC4 streams.  When [obs] is given, automount and
+    authentication spans are recorded, and the mount's channel and
+    cache are instrumented too ([channel.client.*], [cache.*]). *)
 
 val mount : t -> Pathname.t -> (mount, mount_error) result
 (** Dial the Location, negotiate keys, verify the HostID, fetch the
@@ -56,8 +60,19 @@ val authenticate : ?local_uid:int -> t -> mount -> Agent.t -> int
 (** Run the Figure 4 protocol for the agent's user, trying each of its
     signers; remembers the resulting authentication number under
     [local_uid] (default: the agent's own uid; ssu passes the
-    super-user's).  Anonymous on failure, as the paper's client does
-    when the agent declines. *)
+    super-user's).  Anonymous when the server {e denies} every signer,
+    as the paper's client does when the agent declines; a transport
+    fault mid-exchange instead raises [Simnet.Timeout] — the channel is
+    poisoned and must be renegotiated, not silently downgraded to
+    anonymous.  The agent is also remembered so that {!reconnect} can
+    re-run authentication against a fresh session. *)
+
+val reconnect : t -> mount -> (unit, mount_error) result
+(** Tear the mount's transport down and renegotiate in place: fresh
+    connection, channel and session id; attribute cache flushed
+    ([recover.cache_flush]); every remembered agent re-authenticated
+    ([recover.reauth]).  Called automatically by the RPC recovery path
+    ([recover.reconnect]); exposed for tests. *)
 
 (** {2 Mount accessors} *)
 

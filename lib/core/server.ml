@@ -52,8 +52,19 @@ type t = {
   mutable revocation : Revocation.t option; (* served on connect when set *)
   mutable connections : int;
   mutable fs_calls : int;
+  (* Duplicate request cache for the read-write protocol, keyed by
+     (client host, xid) so it survives session teardown: a client that
+     reconnects after a lost reply re-issues the same xid, and the
+     stored reply is replayed instead of re-executing a non-idempotent
+     procedure.  (In real SFS the loopback NFS server's cache plays
+     this role; here the relay serves the backend directly.)  Bounded,
+     FIFO eviction, volatile across crash_recover. *)
+  drc : (string * int, int * string * Sfsrw.response) Hashtbl.t;
+  drc_order : (string * int) Queue.t;
   obs : Obs.registry option;
 }
+
+let drc_size = 512
 
 let ( let* ) = Result.bind
 
@@ -190,12 +201,50 @@ let secure_ops (t : t) ~(conn : int) : Fs_intf.ops =
 type fs_session = {
   channel : Channel.t;
   conn_id : int;
+  peer : string; (* client host; keys the duplicate request cache *)
   dispatcher : Nfs_server.t;
   authnos : (int, string * Simos.cred) Hashtbl.t; (* authno -> user, cred *)
   window : Authproto.seq_window;
   mutable next_authno : int;
   session_id : string;
 }
+
+let execute_fs_call (t : t) (s : fs_session) ~(authno : int) ~(proc : int) (args : string) :
+    Sfsrw.response =
+  t.fs_calls <- t.fs_calls + 1;
+  (* The paper's user-level server implementation cost.  Unstable
+     writes ride the write-behind pipeline, whose residual cost the
+     client already charged for both ends. *)
+  let unstable_write =
+    proc = Sfs_nfs.Nfs_proto.proc_write
+    &&
+    match Xdr.run args Sfs_nfs.Nfs_proto.dec_write_args with
+    | Ok (_, _, stable, _) -> not stable
+    | Result.Error _ -> false
+  in
+  if not unstable_write then Simclock.advance t.clock t.costs.Costmodel.userlevel_us_per_side;
+  let cred =
+    if authno = Sfsrw.authno_anonymous then Simos.anonymous_cred
+    else match Hashtbl.find_opt s.authnos authno with Some (_, c) -> c | None -> Simos.anonymous_cred
+  in
+  if Simos.is_anonymous cred && not t.allow_anonymous && proc <> Sfsrw.proc_getroot then
+    (* "Depending on the server's configuration, this may permit
+       access to certain parts of the file system" — here, none. *)
+    Sfsrw.Fs_reply
+      {
+        results = Xdr.encode Sfs_nfs.Nfs_types.enc_status Sfs_nfs.Nfs_types.NFS3ERR_ACCES;
+        invalidations = Lease.take t.leases s.conn_id;
+      }
+  else if proc = Sfsrw.proc_getroot then
+    Sfsrw.Fs_reply
+      {
+        results = Xdr.encode enc_fh (Fhcrypt.encrypt t.fhc t.backend.Fs_intf.fs_root);
+        invalidations = [];
+      }
+  else
+    match Nfs_server.dispatch s.dispatcher cred proc args with
+    | Some results -> Sfsrw.Fs_reply { results; invalidations = Lease.take t.leases s.conn_id }
+    | None -> Sfsrw.Proto_error "bad procedure or arguments"
 
 let handle_fs_request (t : t) (s : fs_session) (req : Sfsrw.request) : Sfsrw.response =
   match req with
@@ -223,44 +272,26 @@ let handle_fs_request (t : t) (s : fs_session) (req : Sfsrw.request) : Sfsrw.res
             s.next_authno <- authno + 1;
             Hashtbl.replace s.authnos authno (user, cred);
             Sfsrw.Auth_granted { authno; seqno })
-  | Sfsrw.Fs_call { authno; proc; args } -> (
-      t.fs_calls <- t.fs_calls + 1;
-      (* The paper's user-level server implementation cost.  Unstable
-         writes ride the write-behind pipeline, whose residual cost the
-         client already charged for both ends. *)
-      let unstable_write =
-        proc = Sfs_nfs.Nfs_proto.proc_write
-        &&
-        match Xdr.run args Sfs_nfs.Nfs_proto.dec_write_args with
-        | Ok (_, _, stable, _) -> not stable
-        | Result.Error _ -> false
-      in
-      if not unstable_write then
-        Simclock.advance t.clock t.costs.Costmodel.userlevel_us_per_side;
-      let cred =
-        if authno = Sfsrw.authno_anonymous then Simos.anonymous_cred
-        else match Hashtbl.find_opt s.authnos authno with Some (_, c) -> c | None -> Simos.anonymous_cred
-      in
-      if Simos.is_anonymous cred && not t.allow_anonymous && proc <> Sfsrw.proc_getroot then
-        (* "Depending on the server's configuration, this may permit
-           access to certain parts of the file system" — here, none. *)
-        Sfsrw.Fs_reply
-          {
-            results = Xdr.encode Sfs_nfs.Nfs_types.enc_status Sfs_nfs.Nfs_types.NFS3ERR_ACCES;
-            invalidations = Lease.take t.leases s.conn_id;
-          }
-      else if proc = Sfsrw.proc_getroot then
-        Sfsrw.Fs_reply
-          {
-            results = Xdr.encode enc_fh (Fhcrypt.encrypt t.fhc t.backend.Fs_intf.fs_root);
-            invalidations = [];
-          }
-      else
-        match Nfs_server.dispatch s.dispatcher cred proc args with
-        | Some results -> Sfsrw.Fs_reply { results; invalidations = Lease.take t.leases s.conn_id }
-        | None -> Sfsrw.Proto_error "bad procedure or arguments")
+  | Sfsrw.Fs_call { xid; authno; proc; args } -> (
+      (* A hit requires the same procedure and byte-identical arguments
+         — only a true retransmission replays (the authno may legally
+         differ: re-authentication after a reconnect renumbers it). *)
+      let key = (s.peer, xid) in
+      match Hashtbl.find_opt t.drc key with
+      | Some (p0, a0, reply) when p0 = proc && String.equal a0 args -> (* sfslint: allow SL001 — duplicate-request-cache argument compare, nothing secret *)
+          Obs.incr t.obs "recover.retransmit_hit";
+          reply
+      | previous ->
+          let reply = execute_fs_call t s ~authno ~proc args in
+          Hashtbl.replace t.drc key (proc, args, reply);
+          if previous = None then begin
+            Queue.push key t.drc_order;
+            if Queue.length t.drc_order > drc_size then
+              Hashtbl.remove t.drc (Queue.pop t.drc_order)
+          end;
+          reply)
 
-let fs_connection ?(encrypt = true) (t : t) : string -> string =
+let fs_connection ?(encrypt = true) ~(peer : string) (t : t) : string -> string =
   (* Connection state machine: connect -> keyneg -> channel traffic.
      The "no-encrypt" dialect extension (the paper's measurement
      configuration "SFS w/o encryption") drops the ARC4 pass but keeps
@@ -285,6 +316,7 @@ let fs_connection ?(encrypt = true) (t : t) : string -> string =
                 {
                   channel;
                   conn_id;
+                  peer;
                   dispatcher;
                   authnos = Hashtbl.create 8;
                   window = Authproto.make_window ();
@@ -292,22 +324,32 @@ let fs_connection ?(encrypt = true) (t : t) : string -> string =
                   session_id = keys.Keyneg.session_id;
                 };
             response)
-    | `Established s ->
-        (* Integrity failures tear the connection down (stream cipher
-           state is unrecoverable); the exception propagates as a
-           failed exchange. *)
-        let plaintext = Channel.open_ s.channel bytes in
-        let response =
-          match Sfsrw.request_of_string plaintext with
-          | Ok req -> handle_fs_request t s req
-          | Result.Error e -> Sfsrw.Proto_error e
-        in
-        Channel.seal s.channel (Sfsrw.response_to_string response)
+    | `Established s -> (
+        (* Integrity failures tear the connection down: stream cipher
+           state is unrecoverable, so the session goes dead, its leases
+           are dropped, and the exchange fails like a vanished peer —
+           the client's recovery path reconnects and renegotiates. *)
+        match Channel.open_ s.channel bytes with
+        | Error e ->
+            Obs.incr t.obs
+              (match e with
+              | `Mac_mismatch -> "recover.server_mac_mismatch"
+              | `Replay -> "recover.server_replay");
+            Lease.drop_conn t.leases s.conn_id;
+            state := `Dead;
+            raise Simnet.Timeout
+        | Ok plaintext ->
+            let response =
+              match Sfsrw.request_of_string plaintext with
+              | Ok req -> handle_fs_request t s req
+              | Result.Error e -> Sfsrw.Proto_error e
+            in
+            Channel.seal s.channel (Sfsrw.response_to_string response))
+    | `Dead -> raise Simnet.Timeout
 
 (* --- The connection dispatcher (sfssd proper) --- *)
 
 let connection (t : t) ~(peer : string) : string -> string =
-  ignore peer;
   t.connections <- t.connections + 1;
   Obs.incr t.obs "server.connections";
   let sub = ref None in
@@ -331,7 +373,7 @@ let connection (t : t) ~(peer : string) : string -> string =
                   (match req.Keyneg.service with
                   | Keyneg.Fs ->
                       let encrypt = not (List.mem "no-encrypt" req.Keyneg.extensions) in
-                      sub := Some (fs_connection ~encrypt t)
+                      sub := Some (fs_connection ~encrypt ~peer t)
                   | Keyneg.Auth ->
                       sub :=
                         Some
@@ -371,11 +413,25 @@ let create ?(lease_s = 60) ?(allow_anonymous = true) ?obs (net : Simnet.t) ~(hos
       revocation = None;
       connections = 0;
       fs_calls = 0;
+      drc = Hashtbl.create 64;
+      drc_order = Queue.create ();
       obs;
     }
   in
   Simnet.listen net host ~port:sfs_port (fun ~peer -> connection t ~peer);
   t
+
+(* A simulated crash/restart: every piece of volatile per-connection
+   state — lease holders, callback queues, channel sessions — is gone.
+   Sessions die on their own (the restarted process does not know their
+   cipher streams, so their next frame fails and the client
+   reconnects); the lease registry must be reset explicitly.  The fault
+   injector's restart hook calls this (see Stacks.arm_faults). *)
+let crash_recover (t : t) : unit =
+  Lease.reset t.leases;
+  Hashtbl.reset t.drc;
+  Queue.clear t.drc_order;
+  Obs.incr t.obs "recover.server_restart"
 
 let self_path (t : t) : Pathname.t = t.path
 let public_key (t : t) : Rabin.pub = t.key.Rabin.pub

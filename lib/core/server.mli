@@ -36,6 +36,12 @@ val create :
     and NFS dispatcher are instrumented, plus a [server.connections]
     counter. *)
 
+val crash_recover : t -> unit
+(** Simulated crash/restart: volatile state (leases, queued
+    invalidation callbacks) is forgotten, as a real server reboot
+    would forget it.  Wired as an [on_restart] hook of the fault
+    injector; bumps [recover.server_restart]. *)
+
 val self_path : t -> Pathname.t
 (** The server's self-certifying pathname — everything a client needs. *)
 

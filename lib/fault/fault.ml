@@ -1,0 +1,190 @@
+(* Deterministic fault plans for the simulated network.
+
+   The paper's threat model lets an attacker "delay, insert, modify or
+   delete" traffic (section 2.1.2); the evaluation's availability story
+   rests on the layers above coping.  This module turns that adversary
+   into a repeatable experiment: a [spec] (seeded probabilities plus
+   scheduled partitions and crashes) compiles into a [Simnet.injector]
+   whose every verdict is drawn from [Prng.of_seed], so two runs of the
+   same seed inject byte-identical fault sequences — the
+   FoundationDB-style simulation-testing discipline.
+
+   Determinism rules the implementation:
+   - exactly one PRNG draw per message verdict (plus one more for a
+     corrupt index or delay sample), so verdict streams never shear
+     across code paths;
+   - partition checks precede the draw and consume no randomness, so
+     adding a partition window does not perturb verdicts elsewhere;
+   - the delay distribution is integer-only (no libm), so sampled
+     delays are bit-identical across platforms;
+   - crash/restart state is derived from the schedule and the simulated
+     clock, never from call order.
+
+   Every injected fault increments a [fault.*] counter; the recovery
+   code paths in the victims increment [recover.*] counters.  Together
+   they form the run's fault/recovery ledger (see {!ledger}). *)
+
+module Prng = Sfs_crypto.Prng
+module Simnet = Sfs_net.Simnet
+module Obs = Sfs_obs.Obs
+
+type partition = { pa : string; pb : string; p_from_us : float; p_until_us : float }
+type crash = { c_host : string; c_down_us : float; c_up_us : float }
+
+type spec = {
+  seed : string;
+  drop_pm : int;
+  dup_pm : int;
+  reorder_pm : int;
+  corrupt_pm : int;
+  delay_pm : int;
+  delay_mean_us : int;
+  delay_p99_us : int;
+  partitions : partition list;
+  crashes : crash list;
+}
+
+let make ?(drop_pm = 0) ?(dup_pm = 0) ?(reorder_pm = 0) ?(corrupt_pm = 0) ?(delay_pm = 0)
+    ?(delay_mean_us = 2_000) ?(delay_p99_us = 50_000) ?(partitions = []) ?(crashes = [])
+    ~(seed : string) () : spec =
+  let check name v = if v < 0 || v > 10_000 then invalid_arg ("Fault.make: bad rate " ^ name) in
+  check "drop_pm" drop_pm;
+  check "dup_pm" dup_pm;
+  check "reorder_pm" reorder_pm;
+  check "corrupt_pm" corrupt_pm;
+  check "delay_pm" delay_pm;
+  if drop_pm + dup_pm + reorder_pm + corrupt_pm + delay_pm > 10_000 then
+    invalid_arg "Fault.make: rates sum past 10000 per-myriad";
+  if delay_mean_us < 0 || delay_p99_us < 0 then invalid_arg "Fault.make: negative delay";
+  List.iter
+    (fun c -> if c.c_up_us < c.c_down_us then invalid_arg "Fault.make: crash up before down")
+    crashes;
+  {
+    seed;
+    drop_pm;
+    dup_pm;
+    reorder_pm;
+    corrupt_pm;
+    delay_pm;
+    delay_mean_us;
+    delay_p99_us;
+    partitions;
+    crashes;
+  }
+
+let none ~(seed : string) : spec = make ~seed ()
+
+let injector ?obs ?(on_restart : (string * (unit -> unit)) list = [])
+    ~(now_us : unit -> float) (spec : spec) : Simnet.injector =
+  let prng = Prng.of_seed ("fault-plan:" ^ spec.seed) in
+  (* Host epochs already reported, so restart hooks fire exactly once
+     per completed restart (on the first delivery or dial that observes
+     the new epoch — lazily, hence deterministically). *)
+  let reported : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let host_down host now =
+    List.exists (fun c -> c.c_host = host && now >= c.c_down_us && now < c.c_up_us) spec.crashes
+  in
+  let host_epoch host now =
+    List.fold_left (fun n c -> if c.c_host = host && now >= c.c_up_us then n + 1 else n) 0
+      spec.crashes
+  in
+  let observe_epoch host epoch =
+    let last = match Hashtbl.find_opt reported host with Some n -> n | None -> 0 in
+    if epoch > last then begin
+      Hashtbl.replace reported host epoch;
+      Obs.add obs "fault.restarts" (epoch - last);
+      List.iter (fun (h, hook) -> if h = host then hook ()) on_restart
+    end
+  in
+  let partitioned a b now =
+    List.exists
+      (fun p ->
+        ((p.pa = a && p.pb = b) || (p.pa = b && p.pb = a))
+        && now >= p.p_from_us && now < p.p_until_us)
+      spec.partitions
+  in
+  let t_drop = spec.drop_pm in
+  let t_dup = t_drop + spec.dup_pm in
+  let t_reorder = t_dup + spec.reorder_pm in
+  let t_corrupt = t_reorder + spec.corrupt_pm in
+  let t_delay = t_corrupt + spec.delay_pm in
+  (* Integer-only distribution: uniform in [mean/2, 3*mean/2), with a
+     1-in-100 tail pinned at the p99 target.  No floating transcendentals
+     (libm results differ across platforms, which would break the
+     byte-identical ledger guarantee). *)
+  let sample_delay () =
+    if Prng.random_int prng 100 = 0 then float_of_int spec.delay_p99_us
+    else float_of_int ((spec.delay_mean_us / 2) + Prng.random_int prng (max 1 spec.delay_mean_us))
+  in
+  let inj_message ~dir ~src ~dst ~size =
+    let now = now_us () in
+    if partitioned src dst now then begin
+      Obs.incr obs "fault.partition_drop";
+      Simnet.Fault_drop
+    end
+    else begin
+      (* One draw decides the verdict class, whatever the direction, so
+         the verdict stream depends only on message order. *)
+      let d = Prng.random_int prng 10_000 in
+      if d < t_drop then begin
+        Obs.incr obs "fault.drop";
+        Simnet.Fault_drop
+      end
+      else if d < t_dup then
+        if dir = Simnet.To_server then begin
+          Obs.incr obs "fault.duplicate";
+          Simnet.Fault_duplicate
+        end
+        else (* a duplicated reply is indistinguishable from one *)
+          Simnet.Fault_pass
+      else if d < t_reorder then
+        if dir = Simnet.To_server then begin
+          Obs.incr obs "fault.reorder";
+          Simnet.Fault_hold
+        end
+        else begin
+          (* A reply reordered past the caller's timeout is a loss. *)
+          Obs.incr obs "fault.drop";
+          Simnet.Fault_drop
+        end
+      else if d < t_corrupt then begin
+        Obs.incr obs "fault.corrupt";
+        Simnet.Fault_corrupt (Prng.random_int prng (max 1 size))
+      end
+      else if d < t_delay then begin
+        Obs.incr obs "fault.delay";
+        Simnet.Fault_delay (sample_delay ())
+      end
+      else Simnet.Fault_pass
+    end
+  in
+  let inj_host_down host =
+    let now = now_us () in
+    observe_epoch host (host_epoch host now);
+    let down = host_down host now in
+    if down then Obs.incr obs "fault.refused";
+    down
+  in
+  let inj_host_epoch host =
+    let now = now_us () in
+    let e = host_epoch host now in
+    observe_epoch host e;
+    e
+  in
+  { Simnet.inj_message; inj_host_down; inj_host_epoch }
+
+(* The run's fault/recovery ledger: every [fault.*] and [recover.*]
+   counter, one "name value" line each, sorted by name (snapshot
+   order).  Byte-identical across same-seed runs. *)
+let ledger (reg : Obs.registry) : string =
+  let has_prefix p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  let snap = Obs.snapshot reg in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, v) ->
+      if has_prefix "fault." name || has_prefix "recover." name then
+        Buffer.add_string buf (Printf.sprintf "%s %d\n" name v))
+    snap.Obs.snap_counters;
+  Buffer.contents buf

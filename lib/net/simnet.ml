@@ -37,6 +37,26 @@ let passive_tap () : tap = { on_message = (fun _ _ -> Pass); observed = [] }
    sequence windows).  [peer] names the connecting host. *)
 type service = peer:string -> (string -> string)
 
+(* Deterministic fault injection.  Simnet consults an (optional)
+   injector on every delivery; the injector decides the message's fate
+   but stays ignorant of transport mechanics, and Simnet stays ignorant
+   of how verdicts are drawn (lib/fault compiles seeded plans into this
+   interface — the FoundationDB-style split between the network and the
+   nemesis). *)
+type fault_action =
+  | Fault_pass
+  | Fault_drop  (* lose the message; the caller times out *)
+  | Fault_delay of float  (* deliver after this many extra microseconds *)
+  | Fault_corrupt of int  (* XOR one byte (index mod length) with 0x5a *)
+  | Fault_duplicate  (* deliver, then deliver again (retransmission) *)
+  | Fault_hold  (* park; delivered before the connection's next send (reorder) *)
+
+type injector = {
+  inj_message : dir:direction -> src:string -> dst:string -> size:int -> fault_action;
+  inj_host_down : string -> bool;  (* inside a crash window right now? *)
+  inj_host_epoch : string -> int;  (* completed restarts for this host *)
+}
+
 type host = { host_name : string; mutable aliases : string list; services : (int, service) Hashtbl.t }
 
 type t = {
@@ -44,11 +64,14 @@ type t = {
   costs : Costmodel.t;
   hosts : (string, host) Hashtbl.t; (* by name and alias *)
   mutable default_tap : tap option; (* applied to new connections *)
+  mutable injector : injector option; (* environment faults, armed per run *)
   obs : Obs.registry option;
 }
 
 let create ?(costs = Costmodel.default) ?obs (clock : Simclock.t) : t =
-  { clock; costs; hosts = Hashtbl.create 16; default_tap = None; obs }
+  { clock; costs; hosts = Hashtbl.create 16; default_tap = None; injector = None; obs }
+
+let set_injector (t : t) (inj : injector option) : unit = t.injector <- inj
 
 let clock (t : t) = t.clock
 let costs (t : t) = t.costs
@@ -83,7 +106,12 @@ type conn = {
   net : t;
   proto : Costmodel.transport_proto;
   peer : string; (* server host name as dialed *)
-  handler : string -> string;
+  from_host : string;
+  port : int;
+  mutable handler : string -> string;
+  mutable epoch : int; (* peer restarts observed when (re)bound *)
+  mutable dead : bool; (* stream peer restarted: connection state is gone *)
+  held : string Queue.t; (* reorder-parked requests, delivered before the next send *)
   mutable tap : tap option;
   mutable closed : bool;
   mutable rpc_count : int;
@@ -99,6 +127,11 @@ type conn = {
 }
 
 let connect (t : t) ~(from_host : string) ~(addr : string) ~(port : int) ~(proto : Costmodel.transport_proto) : conn =
+  (* A host inside a crash window refuses connections: the dial times
+     out rather than failing with No_route (the name still resolves). *)
+  (match t.injector with
+  | Some inj when inj.inj_host_down addr -> raise Timeout
+  | _ -> ());
   match Hashtbl.find_opt t.hosts addr with
   | None -> raise (No_route addr)
   | Some h -> (
@@ -110,7 +143,12 @@ let connect (t : t) ~(from_host : string) ~(addr : string) ~(port : int) ~(proto
             net = t;
             proto;
             peer = addr;
+            from_host;
+            port;
             handler = service ~peer:from_host;
+            epoch = (match t.injector with Some inj -> inj.inj_host_epoch addr | None -> 0);
+            dead = false;
+            held = Queue.create ();
             tap = t.default_tap;
             closed = false;
             rpc_count = 0;
@@ -138,11 +176,102 @@ let apply_tap (c : conn) (dir : direction) (msg : string) : string =
       | Replace m -> m
       | Drop -> raise Timeout)
 
+(* --- Fault application (no-ops unless an injector is armed) --- *)
+
+let corrupt_byte (msg : string) (idx : int) : string =
+  if msg = "" then msg
+  else begin
+    let b = Bytes.of_string msg in
+    let i = idx mod Bytes.length b in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5a));
+    Bytes.unsafe_to_string b
+  end
+
+(* Check the peer is alive and, after a restart, re-resolve the
+   connection: datagram transports rebind transparently to the restarted
+   process (whose per-connection state — e.g. the duplicate request
+   cache — starts empty); stream transports are dead for good and the
+   caller must reconnect. *)
+let check_liveness (c : conn) : unit =
+  match c.net.injector with
+  | None -> ()
+  | Some inj ->
+      if inj.inj_host_down c.peer then raise Timeout;
+      let epoch = inj.inj_host_epoch c.peer in
+      if epoch <> c.epoch then begin
+        c.epoch <- epoch;
+        match c.proto with
+        | Costmodel.Udp -> (
+            match Hashtbl.find_opt c.net.hosts c.peer with
+            | Some h -> (
+                match Hashtbl.find_opt h.services c.port with
+                | Some service -> c.handler <- service ~peer:c.from_host
+                | None -> c.dead <- true)
+            | None -> c.dead <- true)
+        | Costmodel.Tcp -> c.dead <- true
+      end;
+      if c.dead then raise Timeout
+
+(* Deliver reorder-parked requests (in arrival order) before the next
+   send on this connection.  Their replies were never awaited; a handler
+   that times out on them (e.g. a torn-down secure-channel session)
+   affects only later exchanges. *)
+let flush_held (c : conn) : unit =
+  while not (Queue.is_empty c.held) do
+    let msg = Queue.pop c.held in
+    match c.handler msg with (_ : string) -> () | exception Timeout -> ()
+  done
+
+(* Run the request through the injector's verdict and the handler,
+   producing the raw reply. *)
+let deliver (c : conn) (request : string) : string =
+  match c.net.injector with
+  | None -> c.handler request
+  | Some inj -> (
+      flush_held c;
+      match
+        inj.inj_message ~dir:To_server ~src:c.from_host ~dst:c.peer ~size:(String.length request)
+      with
+      | Fault_pass -> c.handler request
+      | Fault_drop -> raise Timeout
+      | Fault_hold ->
+          Queue.push request c.held;
+          raise Timeout
+      | Fault_delay us ->
+          Simclock.advance c.net.clock us;
+          c.handler request
+      | Fault_corrupt idx -> c.handler (corrupt_byte request idx)
+      | Fault_duplicate ->
+          let reply = c.handler request in
+          (* The retransmitted copy arrives right behind the original;
+             its reply is redundant and goes unobserved. *)
+          (match c.handler request with (_ : string) -> () | exception Timeout -> ());
+          reply)
+
+(* The reply's own trip through the injector.  Duplicate and hold make
+   no sense for a reply the caller is synchronously awaiting: a held or
+   duplicated reply is indistinguishable from a delivered one here, so
+   only drop/delay/corrupt apply. *)
+let deliver_reply (c : conn) (reply : string) : string =
+  match c.net.injector with
+  | None -> reply
+  | Some inj -> (
+      match
+        inj.inj_message ~dir:To_client ~src:c.peer ~dst:c.from_host ~size:(String.length reply)
+      with
+      | Fault_pass | Fault_duplicate | Fault_hold -> reply
+      | Fault_drop -> raise Timeout
+      | Fault_delay us ->
+          Simclock.advance c.net.clock us;
+          reply
+      | Fault_corrupt idx -> corrupt_byte reply idx)
+
 (* One synchronous request/reply exchange: charges the fixed per-RPC
    cost plus transfer time for both messages, runs the taps, runs the
    server handler (which charges its own processing costs). *)
 let call (c : conn) (request : string) : string =
   if c.closed then raise Timeout;
+  check_liveness c;
   let t = c.net in
   Obs.span ~args:c.span_args t.obs ~cat:"net" "rpc" (fun () ->
       let start_us = Simclock.now_us t.clock in
@@ -153,8 +282,9 @@ let call (c : conn) (request : string) : string =
       Simclock.advance t.clock (Costmodel.rpc_fixed_us t.costs c.proto);
       Simclock.advance t.clock (Costmodel.transfer_us t.costs c.proto (String.length request));
       let request = apply_tap c To_server request in
-      let reply = c.handler request in
+      let reply = deliver c request in
       let reply = apply_tap c To_client reply in
+      let reply = deliver_reply c reply in
       c.bytes_received <- c.bytes_received + String.length reply;
       Obs.add t.obs c.k_bytes_in (String.length reply);
       Simclock.advance t.clock (Costmodel.transfer_us t.costs c.proto (String.length reply));
@@ -167,6 +297,7 @@ let call (c : conn) (request : string) : string =
    traffic. *)
 let call_async (c : conn) (request : string) : string =
   if c.closed then raise Timeout;
+  check_liveness c;
   let t = c.net in
   Obs.span ~args:c.span_args t.obs ~cat:"net" "rpc_async" (fun () ->
       let start_us = Simclock.now_us t.clock in
@@ -177,8 +308,9 @@ let call_async (c : conn) (request : string) : string =
       Simclock.advance t.clock t.costs.Costmodel.async_floor_us;
       Simclock.advance t.clock (Costmodel.transfer_us t.costs c.proto (String.length request));
       let request = apply_tap c To_server request in
-      let reply = c.handler request in
+      let reply = deliver c request in
       let reply = apply_tap c To_client reply in
+      let reply = deliver_reply c reply in
       c.bytes_received <- c.bytes_received + String.length reply;
       Obs.add t.obs c.k_bytes_in (String.length reply);
       Obs.observe t.obs c.k_rpc_us (int_of_float (Simclock.now_us t.clock -. start_us));

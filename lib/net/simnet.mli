@@ -25,8 +25,37 @@ type service = peer:string -> (string -> string)
 (** A connection factory: invoked once per accepted connection, returns
     the per-connection request handler. *)
 
+(** {2 Deterministic fault injection}
+
+    An {!injector} is consulted on every delivery when armed (see
+    {!set_injector}).  [Sfs_fault.Fault] compiles seeded fault plans
+    into this interface; Simnet applies verdicts without knowing how
+    they were drawn, so same-seed runs replay byte-identically. *)
+
+type fault_action =
+  | Fault_pass
+  | Fault_drop  (** lose the message; the caller times out *)
+  | Fault_delay of float  (** extra microseconds before delivery *)
+  | Fault_corrupt of int  (** XOR byte (index mod length) with 0x5a *)
+  | Fault_duplicate  (** deliver, then deliver a retransmitted copy *)
+  | Fault_hold  (** park; delivered before the connection's next send *)
+
+type injector = {
+  inj_message : dir:direction -> src:string -> dst:string -> size:int -> fault_action;
+  inj_host_down : string -> bool;  (** inside a crash window right now? *)
+  inj_host_epoch : string -> int;  (** completed restarts for this host *)
+}
+
 type host
 type t
+
+val set_injector : t -> injector option -> unit
+(** Arm (or disarm) environment faults.  Affects existing connections
+    too: verdicts are read per delivery.  After a host's epoch advances
+    (a crash/restart), UDP connections rebind transparently to the
+    restarted service (fresh per-connection state) while TCP
+    connections become permanently dead and raise {!Timeout} — callers
+    must reconnect. *)
 
 val create : ?costs:Costmodel.t -> ?obs:Sfs_obs.Obs.registry -> Simclock.t -> t
 (** When [obs] is given, every connection records per-peer RPC, byte
@@ -48,11 +77,15 @@ type conn
 
 val connect :
   t -> from_host:string -> addr:string -> port:int -> proto:Costmodel.transport_proto -> conn
-(** @raise No_route when the address or port is not served. *)
+(** @raise No_route when the address or port is not served.
+    @raise Timeout when an armed injector has the host inside a crash
+    window. *)
 
 val call : conn -> string -> string
-(** One request/reply exchange.  Charges wire time, runs taps.
-    @raise Timeout when the adversary drops either message. *)
+(** One request/reply exchange.  Charges wire time, runs taps, then
+    applies the armed injector's verdict (if any) to both directions.
+    @raise Timeout when the adversary or the fault plan loses either
+    message, or the peer is down/restarted (TCP). *)
 
 val call_async : conn -> string -> string
 (** Pipelined exchange (write-behind traffic): charges wire transfer of

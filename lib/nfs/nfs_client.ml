@@ -11,13 +11,37 @@ module Simos = Sfs_os.Simos
 module Simnet = Sfs_net.Simnet
 module Xdr = Sfs_xdr.Xdr
 module Sunrpc = Sfs_xdr.Sunrpc
+module Obs = Sfs_obs.Obs
 
 type transport = string -> string
 (** Sends one marshaled RPC call, returns the marshaled reply. *)
 
+(* Per-call timeout handling: a lost request or reply surfaces as
+   [Simnet.Timeout]; the kernel NFS client's answer is to retransmit
+   the *same* xid after a capped exponential backoff, relying on the
+   server's duplicate request cache to keep retried non-idempotent
+   procedures harmless. *)
+type retry = {
+  r_attempts : int; (* total attempts, including the first *)
+  r_base_us : float; (* first backoff *)
+  r_max_us : float; (* backoff cap *)
+  r_charge : float -> unit; (* bill the wait to the simulated clock *)
+  r_obs : Obs.registry option;
+}
+
+let retry_policy ?(attempts = 8) ?(base_us = 20_000.) ?(max_us = 800_000.) ?obs
+    ~(charge : float -> unit) () : retry =
+  { r_attempts = max 1 attempts; r_base_us = base_us; r_max_us = max_us; r_charge = charge; r_obs = obs }
+
 (* [enc] is the connection's reusable RPC encoder: one buffer serves
    every call this client makes. *)
-type t = { send : transport; mutable xid : int; machine : string; enc : Xdr.enc }
+type t = {
+  send : transport;
+  mutable xid : int;
+  machine : string;
+  enc : Xdr.enc;
+  retry : retry option;
+}
 
 let rpc_auth_of_cred (machine : string) (c : Simos.cred) : Sunrpc.auth_flavor =
   if Simos.is_anonymous c then Sunrpc.Auth_none
@@ -25,15 +49,21 @@ let rpc_auth_of_cred (machine : string) (c : Simos.cred) : Sunrpc.auth_flavor =
     Sunrpc.Auth_unix
       { stamp = 0; machine; uid = c.Simos.cred_uid; gid = c.Simos.cred_gid; gids = c.Simos.cred_groups }
 
-let create ~(machine : string) (send : transport) : t =
-  { send; xid = 1; machine; enc = Xdr.make_enc () }
+let create ?retry ~(machine : string) (send : transport) : t =
+  { send; xid = 1; machine; enc = Xdr.make_enc (); retry }
 
-let of_conn ~(machine : string) (conn : Simnet.conn) : t =
-  create ~machine (fun bytes -> Simnet.call conn bytes)
+let of_conn ?retry ~(machine : string) (conn : Simnet.conn) : t =
+  create ?retry ~machine (fun bytes -> Simnet.call conn bytes)
 
 exception Rpc_failure of string
 
-(* One call: marshal, send, unmarshal, check xid. *)
+let backoff_us (r : retry) (i : int) : float =
+  Float.min (r.r_base_us *. float_of_int (1 lsl min i 16)) r.r_max_us
+
+(* One call: marshal, send, unmarshal, check xid.  With a retry policy,
+   timeouts and garbled replies retransmit the same xid (the server's
+   duplicate request cache absorbs re-executions); RPC-level rejections
+   are hard errors and never retried. *)
 let call_raw (t : t) ~(cred : Simos.cred) ~(prog : int) ~(vers : int) ~(proc : int) (args : string) :
     string =
   let xid = t.xid in
@@ -42,19 +72,41 @@ let call_raw (t : t) ~(cred : Simos.cred) ~(prog : int) ~(vers : int) ~(proc : i
     Sunrpc.msg_to_string ~enc:t.enc
       (Sunrpc.Call { Sunrpc.xid; prog; vers; proc; cred = rpc_auth_of_cred t.machine cred; args })
   in
-  match Sunrpc.msg_of_string (t.send msg) with
-  | Ok (Sunrpc.Reply r) when r.Sunrpc.reply_xid = xid || r.Sunrpc.reply_xid = 0 -> (
-      match r.Sunrpc.body with
-      | Sunrpc.Success results -> results
-      | Sunrpc.Prog_unavail -> raise (Rpc_failure "program unavailable")
-      | Sunrpc.Prog_mismatch _ -> raise (Rpc_failure "program version mismatch")
-      | Sunrpc.Proc_unavail -> raise (Rpc_failure "procedure unavailable")
-      | Sunrpc.Garbage_args -> raise (Rpc_failure "garbage args")
-      | Sunrpc.System_err -> raise (Rpc_failure "system error")
-      | Sunrpc.Rejected _ -> raise (Rpc_failure "call rejected"))
-  | Ok (Sunrpc.Reply _) -> raise (Rpc_failure "xid mismatch")
-  | Ok (Sunrpc.Call _) -> raise (Rpc_failure "unexpected call")
-  | Result.Error e -> raise (Rpc_failure ("unparsable reply: " ^ e))
+  let attempts = match t.retry with None -> 1 | Some r -> r.r_attempts in
+  let rec attempt (i : int) : string =
+    (* A transient failure: back off and retransmit, or give up. *)
+    let retry_or (why : string) : string =
+      match t.retry with
+      | Some r when i + 1 < attempts ->
+          Obs.incr r.r_obs "recover.rpc_retry";
+          r.r_charge (backoff_us r i);
+          attempt (i + 1)
+      | Some r ->
+          Obs.incr r.r_obs "recover.rpc_giveup";
+          raise (Rpc_failure why)
+      | None -> raise (Rpc_failure why)
+    in
+    match t.send msg with
+    | exception Simnet.Timeout -> retry_or "timeout"
+    | reply -> (
+        match Sunrpc.msg_of_string reply with
+        | Ok (Sunrpc.Reply r) when r.Sunrpc.reply_xid = xid || r.Sunrpc.reply_xid = 0 -> (
+            match r.Sunrpc.body with
+            | Sunrpc.Success results -> results
+            | Sunrpc.Garbage_args ->
+                (* Our request arrived corrupted; the bytes on the wire
+                   were damaged, not the program — retransmit. *)
+                retry_or "garbage args"
+            | Sunrpc.Prog_unavail -> raise (Rpc_failure "program unavailable")
+            | Sunrpc.Prog_mismatch _ -> raise (Rpc_failure "program version mismatch")
+            | Sunrpc.Proc_unavail -> raise (Rpc_failure "procedure unavailable")
+            | Sunrpc.System_err -> raise (Rpc_failure "system error")
+            | Sunrpc.Rejected _ -> raise (Rpc_failure "call rejected"))
+        | Ok (Sunrpc.Reply _) -> retry_or "xid mismatch"
+        | Ok (Sunrpc.Call _) -> raise (Rpc_failure "unexpected call")
+        | Result.Error e -> retry_or ("unparsable reply: " ^ e))
+  in
+  attempt 0
 
 (* NFS procedures marshaled over any raw call function; shared with the
    SFS client, whose transport is the secure channel instead of Sun
@@ -142,11 +194,11 @@ let generic_ops (call : raw_call) ~(root : fh) : Fs_intf.ops =
    NFS-over-TCP (paper section 4.1): requests spanning multiple TCP
    segments hit delayed-ACK/Nagle stalls — the pathology behind NFS 3
    (TCP)'s poor showing on write-heavy workloads. *)
-let conn_ops ?(stall = fun (_ : int) -> ()) ~(machine : string) (conn : Simnet.conn) ~(root : fh) :
-    Fs_intf.ops =
-  let sync = create ~machine (fun b -> Simnet.call conn b) in
+let conn_ops ?(stall = fun (_ : int) -> ()) ?retry ~(machine : string) (conn : Simnet.conn)
+    ~(root : fh) : Fs_intf.ops =
+  let sync = create ?retry ~machine (fun b -> Simnet.call conn b) in
   let async_t =
-    { (create ~machine (fun b -> Simnet.call_async conn b)) with xid = 100_000_000 }
+    { (create ?retry ~machine (fun b -> Simnet.call_async conn b)) with xid = 100_000_000 }
   in
   generic_ops
     (fun ~cred ~proc ~async args ->
@@ -163,10 +215,10 @@ let ops (t : t) ~(root : fh) : Fs_intf.ops =
 
 (* Convenience: dial an NFS server over the simulated network and mount
    its export. *)
-let mount (net : Simnet.t) ~(from_host : string) ~(addr : string) ~(proto : Sfs_net.Costmodel.transport_proto)
-    ~(cred : Simos.cred) : Fs_intf.ops =
+let mount ?retry (net : Simnet.t) ~(from_host : string) ~(addr : string)
+    ~(proto : Sfs_net.Costmodel.transport_proto) ~(cred : Simos.cred) : Fs_intf.ops =
   let conn = Simnet.connect net ~from_host ~addr ~port:2049 ~proto in
-  let t = of_conn ~machine:from_host conn in
+  let t = of_conn ?retry ~machine:from_host conn in
   let root = mount_root t ~cred in
   let costs = Simnet.costs net in
   let stall =
@@ -177,4 +229,4 @@ let mount (net : Simnet.t) ~(from_host : string) ~(addr : string) ~(proto : Sfs_
           if bytes > costs.Sfs_net.Costmodel.mss_bytes then
             Sfs_net.Simclock.advance (Simnet.clock net) costs.Sfs_net.Costmodel.nfs_tcp_stall_us
   in
-  conn_ops ~stall ~machine:from_host conn ~root
+  conn_ops ~stall ?retry ~machine:from_host conn ~root

@@ -11,10 +11,31 @@ exception Rpc_failure of string
 type transport = string -> string
 (** Sends one marshaled RPC call, returns the marshaled reply. *)
 
+type retry
+(** Per-call timeout discipline: a [Simnet.Timeout] (or a garbled
+    reply) retransmits the {e same} xid after a capped exponential
+    backoff, so the server's duplicate request cache keeps retried
+    non-idempotent procedures harmless.  RPC-level rejections are
+    permanent and never retried.  Retries bump [recover.rpc_retry];
+    exhausting the budget bumps [recover.rpc_giveup] and raises
+    {!Rpc_failure}. *)
+
+val retry_policy :
+  ?attempts:int ->
+  ?base_us:float ->
+  ?max_us:float ->
+  ?obs:Sfs_obs.Obs.registry ->
+  charge:(float -> unit) ->
+  unit ->
+  retry
+(** [attempts] (default 8) counts the first transmission; backoff for
+    attempt [i] is [min (base_us * 2^i) max_us] (defaults 20ms base,
+    800ms cap), billed to the simulated clock via [charge]. *)
+
 type t
 
-val create : machine:string -> transport -> t
-val of_conn : machine:string -> Simnet.conn -> t
+val create : ?retry:retry -> machine:string -> transport -> t
+val of_conn : ?retry:retry -> machine:string -> Simnet.conn -> t
 
 type raw_call = cred:Simos.cred -> proc:int -> async:bool -> string -> string
 (** A procedure-level transport.  [async] marks write-behind traffic
@@ -29,12 +50,14 @@ val mount_root : t -> cred:Simos.cred -> fh
 
 val ops : t -> root:fh -> Fs_intf.ops
 
-val conn_ops : ?stall:(int -> unit) -> machine:string -> Simnet.conn -> root:fh -> Fs_intf.ops
+val conn_ops :
+  ?stall:(int -> unit) -> ?retry:retry -> machine:string -> Simnet.conn -> root:fh -> Fs_intf.ops
 (** Ops over a network connection, routing async traffic through the
     pipelined path.  [stall] is invoked with each request size — the
     hook that models FreeBSD's suboptimal NFS-over-TCP (section 4.1). *)
 
 val mount :
+  ?retry:retry ->
   Simnet.t ->
   from_host:string ->
   addr:string ->

@@ -188,7 +188,40 @@ let handle_message (t : t) (bytes : string) : string =
       in
       Sunrpc.msg_to_string ~enc:t.enc (Sunrpc.Reply { Sunrpc.reply_xid = c.Sunrpc.xid; body })
 
-(* Expose as a network service. *)
-let service (t : t) : Simnet.service = fun ~peer:_ -> fun bytes -> handle_message t bytes
+(* Expose as a network service, with a per-connection duplicate request
+   cache (bounded, FIFO eviction).  A retransmitted xid replays the
+   stored reply instead of re-executing the procedure — the standard
+   NFS defense that makes the client's retry-on-timeout discipline safe
+   for non-idempotent procedures (CREATE, REMOVE, RENAME...). *)
+let dup_cache_size = 128
+
+let service (t : t) : Simnet.service =
+ fun ~peer:_ ->
+  (* xid -> (request bytes, reply).  A hit requires the stored request
+     to match byte-for-byte: only a true retransmission replays, never
+     a distinct call that happens to reuse an xid (clients sharing a
+     connection each number from their own xid space). *)
+  let cache : (int, string * string) Hashtbl.t = Hashtbl.create 64 in
+  let order : int Queue.t = Queue.create () in
+  fun bytes ->
+    match Sunrpc.msg_of_string bytes with
+    | Ok (Sunrpc.Call c) -> (
+        let xid = c.Sunrpc.xid in
+        match Hashtbl.find_opt cache xid with
+        | Some (req, reply) when String.equal req bytes ->
+            Obs.incr t.obs "recover.retransmit_hit";
+            reply
+        | previous ->
+            let reply = handle_message t bytes in
+            Hashtbl.replace cache xid (bytes, reply);
+            if previous = None then begin
+              Queue.push xid order;
+              if Queue.length order > dup_cache_size then
+                Hashtbl.remove cache (Queue.pop order)
+            end;
+            reply)
+    | Result.Error _ | Ok (Sunrpc.Reply _) ->
+        (* Garbage never enters the cache; handle_message answers it. *)
+        handle_message t bytes
 
 let calls (t : t) : int = t.calls

@@ -107,8 +107,9 @@ let observe (r : registry option) (name : string) (v : int) : unit =
 (* -- spans ----------------------------------------------------------- *)
 
 (* A span is recorded on completion, whether the body returns or raises:
-   [Channel.open_] raising [Integrity_failure] must still leave a
-   well-formed trace.  Depth is tracked so exporters can check nesting. *)
+   a body that fails (e.g. a channel open rejecting a bad MAC, or an
+   RPC raising [Simnet.Timeout]) must still leave a well-formed trace.
+   Depth is tracked so exporters can check nesting. *)
 let span ?(args = []) (r : registry option) ~(cat : string) (name : string) (f : unit -> 'a) : 'a =
   match r with
   | None -> f ()

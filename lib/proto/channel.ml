@@ -29,9 +29,13 @@ module Simclock = Sfs_net.Simclock
 module Costmodel = Sfs_net.Costmodel
 module Obs = Sfs_obs.Obs
 
-exception Integrity_failure
-(** MAC verification failed: the wire was tampered with (or messages
-    were dropped/replayed, desynchronizing the streams). *)
+type open_error = [ `Mac_mismatch | `Replay ]
+(* [`Mac_mismatch]: a well-framed message whose tag failed — tampering
+   (or a desync that happened to preserve the length word).
+   [`Replay]: the frame shape itself is wrong after decryption — the
+   signature of dropped, replayed or reordered ciphertext shearing the
+   stream positions.  Either way the channel is dead; the distinction
+   feeds the recovery layer's counters. *)
 
 type half = { stream : Arc4.t; mutable buf : Bytes.t }
 
@@ -51,6 +55,7 @@ type keys = {
   k_bytes_out : string;
   k_bytes_in : string;
   k_mac_failures : string;
+  k_replays : string;
   k_crypto_us_out : string;
   k_crypto_us_in : string;
 }
@@ -89,6 +94,7 @@ let create ?(encrypt = true) ?clock ?(costs = Costmodel.default) ?obs ?(label = 
         k_bytes_out = k "bytes_out";
         k_bytes_in = k "bytes_in";
         k_mac_failures = k "mac_failures";
+        k_replays = k "replays";
         k_crypto_us_out = k "crypto_us_out";
         k_crypto_us_in = k "crypto_us_in";
       };
@@ -147,45 +153,56 @@ let seal ?(bill = true) (t : t) (plaintext : string) : string =
         Arc4.skip t.send_half.stream frame_len;
       Bytes.sub_string buf 0 frame_len)
 
-let integrity_failure (t : t) : 'a =
+let reject (t : t) (e : open_error) : (string, open_error) result =
   t.mac_failures <- t.mac_failures + 1;
   Obs.incr t.obs t.keys.k_mac_failures;
-  raise Integrity_failure
+  (match e with `Replay -> Obs.incr t.obs t.keys.k_replays | `Mac_mismatch -> ());
+  Error e
 
-let open_ (t : t) (wire : string) : string =
+let open_ (t : t) (wire : string) : (string, open_error) result =
   Obs.span t.obs ~cat:"channel" "open" (fun () ->
       let wire_len = String.length wire in
       t.received <- t.received + 1;
       Obs.incr t.obs t.keys.k_received;
-      if wire_len < 4 + Mac.mac_size then integrity_failure t;
-      (* Bill the observability counter on plaintext length, matching
-         [seal]'s crypto_us_out (the framing overhead is not payload). *)
-      if t.encrypt then
-        Obs.add t.obs t.keys.k_crypto_us_in
-          (int_of_float (Costmodel.crypto_us t.costs (wire_len - 4 - Mac.mac_size)));
-      let mac_key = Arc4.keystream t.recv_half.stream mac_key_bytes in
-      let sched = Mac.schedule ~key:mac_key in
-      let buf = frame_buf t.recv_half wire_len in
-      if t.encrypt then
-        Arc4.xor_into t.recv_half.stream ~src:wire ~src_off:0 ~dst:buf ~dst_off:0
-          ~len:wire_len
+      if wire_len < 4 + Mac.mac_size then reject t `Replay
       else begin
-        Bytes.blit_string wire 0 buf 0 wire_len;
-        Arc4.skip t.recv_half.stream wire_len
-      end;
-      let len = Sfs_util.Bytesutil.get_be32 buf ~off:0 in
-      if len < 0 || len <> wire_len - 4 - Mac.mac_size then integrity_failure t;
-      let tag = Bytes.create Mac.mac_size in
-      Mac.mac_into sched buf ~off:0 ~len:(4 + len) ~dst:tag ~dst_off:0;
-      (* [tag] never escapes nor mutates after this point. *)
-      if
-        not
-          (Sfs_util.Bytesutil.ct_equal_sub (Bytes.unsafe_to_string tag) buf
-             ~off:(4 + len))
-      then integrity_failure t;
-      t.bytes_in <- t.bytes_in + len;
-      Obs.add t.obs t.keys.k_bytes_in len;
-      Bytes.sub_string buf 4 len)
+        (* Bill the observability counter on plaintext length, matching
+           [seal]'s crypto_us_out (the framing overhead is not payload). *)
+        if t.encrypt then
+          Obs.add t.obs t.keys.k_crypto_us_in
+            (int_of_float (Costmodel.crypto_us t.costs (wire_len - 4 - Mac.mac_size)));
+        let mac_key = Arc4.keystream t.recv_half.stream mac_key_bytes in
+        let sched = Mac.schedule ~key:mac_key in
+        let buf = frame_buf t.recv_half wire_len in
+        if t.encrypt then
+          Arc4.xor_into t.recv_half.stream ~src:wire ~src_off:0 ~dst:buf ~dst_off:0
+            ~len:wire_len
+        else begin
+          Bytes.blit_string wire 0 buf 0 wire_len;
+          Arc4.skip t.recv_half.stream wire_len
+        end;
+        let len = Sfs_util.Bytesutil.get_be32 buf ~off:0 in
+        if len < 0 || len <> wire_len - 4 - Mac.mac_size then
+          (* A garbled length word is the stream-desync signature:
+             dropped/replayed/reordered ciphertext shifted the cipher
+             positions and nothing decrypts sensibly any more. *)
+          reject t `Replay
+        else begin
+          let tag = Bytes.create Mac.mac_size in
+          Mac.mac_into sched buf ~off:0 ~len:(4 + len) ~dst:tag ~dst_off:0;
+          (* [tag] never escapes nor mutates after this point. *)
+          if
+            not
+              (Sfs_util.Bytesutil.ct_equal_sub (Bytes.unsafe_to_string tag) buf
+                 ~off:(4 + len))
+          then reject t `Mac_mismatch
+          else begin
+            t.bytes_in <- t.bytes_in + len;
+            Obs.add t.obs t.keys.k_bytes_in len;
+            Ok (Bytes.sub_string buf 4 len)
+          end
+        end
+      end)
 
 let stats (t : t) : stats =
   {

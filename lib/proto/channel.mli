@@ -4,11 +4,13 @@
 
     Drop, replay or reorder desynchronizes the streams and fails the
     MAC, so the channel provides secrecy, integrity, freshness and
-    replay protection together.  After an {!Integrity_failure} the
-    channel is unusable: tear the connection down, as SFS does. *)
+    replay protection together.  After an {!open_} error the channel is
+    unusable: tear the connection down and renegotiate, as SFS does. *)
 
-exception Integrity_failure
-(** MAC verification failed: tampering, replay, or reordering. *)
+type open_error =
+  [ `Mac_mismatch  (** well-framed message, bad tag: tampering *)
+  | `Replay  (** frame shape wrong after decrypt: the stream-desync
+                 signature of dropped/replayed/reordered ciphertext *) ]
 
 type t
 
@@ -42,9 +44,12 @@ val seal : ?bill:bool -> t -> string -> string
 (** Protect one outgoing message.  [~bill:false] suppresses the time
     charge (pipelined write-behind traffic bills a fraction instead). *)
 
-val open_ : t -> string -> string
-(** Open one incoming message. @raise Integrity_failure on any
-    mismatch; the channel is then poisoned. *)
+val open_ : t -> string -> (string, open_error) result
+(** Open one incoming message.  Any [Error] poisons the channel (the
+    receive stream position is unrecoverable): the caller must tear the
+    connection down and signal reconnection.  Both error cases bump the
+    [channel.<label>.mac_failures] counter; [`Replay] additionally
+    bumps [channel.<label>.replays]. *)
 
 val stats : t -> stats
 (** Message counts, tamper detections and plaintext byte totals. *)

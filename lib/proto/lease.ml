@@ -91,3 +91,12 @@ let take (t : t) (conn : int) : string list =
       out
 
 let invalidations_sent (t : t) : int = t.invalidations_sent
+
+(* Server restart: lease state is volatile and does not survive.  Every
+   holder and every queued callback is forgotten; clients discover this
+   through their own reconnection (their cached attributes are flushed
+   on reconnect, so nothing stale outlives the lost leases). *)
+let reset (t : t) : unit =
+  Hashtbl.reset t.holders;
+  Hashtbl.reset t.pending;
+  Obs.incr t.obs "recover.lease_reset"

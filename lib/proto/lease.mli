@@ -30,3 +30,7 @@ val take : t -> int -> string list
 (** Drain the callback queue for a connection. *)
 
 val invalidations_sent : t -> int
+
+val reset : t -> unit
+(** Server crash/restart: forget every holder and queued callback
+    (lease state is volatile).  Bumps [recover.lease_reset]. *)

@@ -16,7 +16,7 @@ open Sfs_nfs.Nfs_types
 module Xdr = Sfs_xdr.Xdr
 
 type request =
-  | Fs_call of { authno : int; proc : int; args : string }
+  | Fs_call of { xid : int; authno : int; proc : int; args : string }
   | Auth_req of { seqno : int; authmsg : string }
 
 type response =
@@ -27,8 +27,9 @@ type response =
 
 let enc_request e (r : request) =
   match r with
-  | Fs_call { authno; proc; args } ->
+  | Fs_call { xid; authno; proc; args } ->
       Xdr.enc_uint32 e 0;
+      Xdr.enc_uint32 e xid;
       Xdr.enc_uint32 e authno;
       Xdr.enc_uint32 e proc;
       Xdr.enc_opaque e args
@@ -40,10 +41,11 @@ let enc_request e (r : request) =
 let dec_request d : request =
   match Xdr.dec_uint32 d with
   | 0 ->
+      let xid = Xdr.dec_uint32 d in
       let authno = Xdr.dec_uint32 d in
       let proc = Xdr.dec_uint32 d in
       let args = Xdr.dec_opaque d ~max:0x200000 in
-      Fs_call { authno; proc; args }
+      Fs_call { xid; authno; proc; args }
   | 1 ->
       let seqno = Xdr.dec_uint32 d in
       let authmsg = Xdr.dec_opaque d ~max:8192 in

@@ -7,8 +7,12 @@
 open Sfs_nfs.Nfs_types
 
 type request =
-  | Fs_call of { authno : int; proc : int; args : string }
+  | Fs_call of { xid : int; authno : int; proc : int; args : string }
   | Auth_req of { seqno : int; authmsg : string }
+(** [xid] identifies one logical call across retransmissions: a client
+    that reconnects and re-issues a request keeps the same xid, and the
+    server's duplicate request cache replays the stored reply instead
+    of re-executing a non-idempotent procedure. *)
 
 type response =
   | Fs_reply of { results : string; invalidations : fh list }

@@ -28,6 +28,7 @@ module Prng = Sfs_crypto.Prng
 module Rabin = Sfs_crypto.Rabin
 module Core = Sfs_core
 module Obs = Sfs_obs.Obs
+module Fault = Sfs_fault.Fault
 
 type stack = Local | Nfs_udp | Nfs_tcp | Sfs | Sfs_noenc | Sfs_nocache
 
@@ -61,9 +62,25 @@ type world = {
 let server_location = "server.lcs.mit.edu"
 let client_host = "client.lcs.mit.edu"
 
+(* Compile a fault plan against this world's clock and obs registry and
+   install it on the network.  The SFS server's volatile state (leases,
+   callback queues) dies with each crash window via the restart hook. *)
+let arm_faults (w : world) (spec : Fault.spec) : unit =
+  let on_restart =
+    match w.sfs_server with
+    | Some srv -> [ (server_location, fun () -> Core.Server.crash_recover srv) ]
+    | None -> []
+  in
+  let inj =
+    Fault.injector ~obs:w.obs ~on_restart ~now_us:(fun () -> Simclock.now_us w.clock) spec
+  in
+  Simnet.set_injector w.net (Some inj)
+
+let disarm_faults (w : world) : unit = Simnet.set_injector w.net None
+
 (* A fixed small key size keeps world construction fast; the crypto
    micro-benchmarks measure the full-size primitives separately. *)
-let make ?(key_bits = 512) ?(server_disk_params = Diskmodel.default_params)
+let make ?fault ?(key_bits = 512) ?(server_disk_params = Diskmodel.default_params)
     ?(costs = Costmodel.default) (stack : stack) : world =
   let clock = Simclock.create () in
   (* One registry per world: the deterministic observability spine.
@@ -89,7 +106,8 @@ let make ?(key_bits = 512) ?(server_disk_params = Diskmodel.default_params)
   let client_fs = Memfs.create ~fsid:1 ~now () in
   let client_disk = Diskmodel.create ~params:server_disk_params clock in
   let client_root = Memfs_ops.make ~fs:client_fs ~disk:client_disk in
-  match stack with
+  let w =
+    match stack with
   | Local ->
       (* Workload runs on the server machine's own disk. *)
       let vfs = Core.Vfs.make ~clock ~root_fs:backend () in
@@ -113,8 +131,13 @@ let make ?(key_bits = 512) ?(server_disk_params = Diskmodel.default_params)
       let server = Nfs_server.create ~obs backend in
       Simnet.listen net server_host ~port:2049 (Nfs_server.service server);
       let proto = if stack = Nfs_udp then Costmodel.Udp else Costmodel.Tcp in
+      (* Kernel-NFS retry discipline: same-xid retransmits with capped
+         exponential backoff, billed to the simulated clock.  A no-op
+         on a fault-free network. *)
+      let retry = Nfs_client.retry_policy ~obs ~charge:(Simclock.advance clock) () in
       let ops =
-        Nfs_client.mount net ~from_host:client_host ~addr:server_location ~proto ~cred:root_cred
+        Nfs_client.mount ~retry net ~from_host:client_host ~addr:server_location ~proto
+          ~cred:root_cred
       in
       let cache = Cachefs.create ~obs ~clock ~policy:Cachefs.nfs_policy ops in
       let vfs = Core.Vfs.make ~clock ~root_fs:client_root () in
@@ -184,6 +207,12 @@ let make ?(key_bits = 512) ?(server_disk_params = Diskmodel.default_params)
         agent = Some agent;
         obs;
       }
+  in
+  (* Faults arm only after the world is built and primed: construction
+     (key exchange, mount, authentication) runs clean, as the paper's
+     testbed was already mounted before each run. *)
+  (match fault with Some spec -> arm_faults w spec | None -> ());
+  w
 
 (* Drop client caches and flush the server disk: simulates the
    unmount/remount benchmark hygiene between phases. *)

@@ -40,10 +40,25 @@ type world = {
 val server_location : string
 val client_host : string
 
-val make : ?key_bits:int -> ?server_disk_params:Diskmodel.params -> ?costs:Costmodel.t -> stack -> world
+val make :
+  ?fault:Sfs_fault.Fault.spec ->
+  ?key_bits:int ->
+  ?server_disk_params:Diskmodel.params ->
+  ?costs:Costmodel.t ->
+  stack ->
+  world
 (** Build a ready world: server with a world-writable /bench, client
     machine, and (for SFS stacks) keys, authserv, agent and a primed
-    authenticated mount. *)
+    authenticated mount.  [fault] arms a fault plan on the network
+    {e after} construction and priming (construction always runs
+    clean). *)
+
+val arm_faults : world -> Sfs_fault.Fault.spec -> unit
+(** Compile the plan against this world's clock and obs registry and
+    install it.  For SFS stacks, the server's volatile state dies with
+    each crash window.  Replaces any previously armed plan. *)
+
+val disarm_faults : world -> unit
 
 val flush_caches : world -> unit
 (** Client caches dropped, server disk flushed: benchmark hygiene. *)

@@ -1,0 +1,213 @@
+(* The fault-injection harness (lib/fault + Simnet injector hooks).
+
+   Three pillars:
+   - determinism: same seed, same workload => byte-identical
+     fault/recovery ledger;
+   - victim recovery: retransmit caches absorb duplicates, clients
+     reconnect across server crash windows;
+   - the oracle property: under any generated fault plan, the file
+     system state that survives equals a fault-free run of the same
+     operations — faults may cost time, never correctness. *)
+
+module Fault = Sfs_fault.Fault
+module Stacks = Sfs_workload.Stacks
+module Simclock = Sfs_net.Simclock
+module Memfs = Sfs_nfs.Memfs
+module Obs = Sfs_obs.Obs
+module Vfs = Sfs_core.Vfs
+
+(* --- A tiny deterministic workload, driven through the VFS --- *)
+
+type op =
+  | Mkdir of string
+  | Write of string * string (* rel path, contents *)
+  | Read of string
+  | Remove of string
+  | Rename of string * string
+  | Readdir of string
+
+(* Faults surface as errors ([Error _] results, RPC give-ups, raw
+   timeouts); the workload shrugs and moves on — what matters is that
+   the surviving state matches the oracle, not that every op wins. *)
+let apply (w : Stacks.world) (op : op) : unit =
+  let vfs = w.Stacks.vfs and cred = w.Stacks.cred in
+  let p rel = w.Stacks.workdir ^ "/" ^ rel in
+  let tolerate f =
+    try f () with Sfs_nfs.Nfs_client.Rpc_failure _ | Sfs_net.Simnet.Timeout -> ()
+  in
+  tolerate (fun () ->
+      match op with
+      | Mkdir d -> ignore (Vfs.mkdir vfs cred (p d))
+      | Write (f, data) -> ignore (Vfs.write_file vfs cred (p f) data)
+      | Read f -> ignore (Vfs.read_file vfs cred (p f))
+      | Remove f -> ignore (Vfs.unlink vfs cred (p f))
+      | Rename (a, b) -> ignore (Vfs.rename vfs cred ~src:(p a) ~dst:(p b))
+      | Readdir d -> ignore (Vfs.readdir vfs cred (p d)))
+
+let run_ops (w : Stacks.world) (ops : op list) : unit = List.iter (apply w) ops
+
+(* Deterministic op sequence from an integer seed: mkdirs first so
+   later ops have somewhere to land, then a shuffle of mutations and
+   reads over a small fixed namespace (d0-d2 / f0-f5). *)
+let ops_of_seed (seed : int) : op list =
+  let r = Testkit.make_rand (seed + 1) in
+  let dir () = Printf.sprintf "d%d" (r () mod 3) in
+  let file () =
+    let d = r () mod 4 in
+    let f = Printf.sprintf "f%d" (r () mod 6) in
+    if d = 3 then f else Printf.sprintf "d%d/%s" d f
+  in
+  let n = 12 + (r () mod 13) in
+  [ Mkdir "d0"; Mkdir "d1"; Mkdir "d2" ]
+  @ List.init n (fun _ ->
+        match r () mod 8 with
+        | 0 -> Mkdir (dir ())
+        | 1 | 2 | 3 -> Write (file (), Testkit.rand_string r (8 * (r () land 63)))
+        | 4 -> Read (file ())
+        | 5 -> Remove (file ())
+        | 6 -> Rename (file (), file ())
+        | _ -> Readdir (dir ()))
+
+(* Structural signature of the server's backing store: every node's
+   path, kind, and content digest, sorted.  Two runs agree iff their
+   surviving trees are identical. *)
+let signature (fs : Memfs.t) : string =
+  Memfs.fold fs
+    (fun acc ~path id ->
+      let name = String.concat "/" path in
+      let line =
+        match Memfs.inode_kind fs id with
+        | Some (Memfs.Reg { data; len }) ->
+            Printf.sprintf "F %s %d %s" name len (Digest.to_hex (Digest.subbytes data 0 len))
+        | Some (Memfs.Dir _) -> "D " ^ name
+        | Some (Memfs.Symlink t) -> Printf.sprintf "L %s %s" name t
+        | None -> "? " ^ name
+      in
+      line :: acc)
+    []
+  |> List.sort compare |> String.concat "\n"
+
+(* --- The empty plan is a no-op --- *)
+
+let test_empty_plan () =
+  let ops = ops_of_seed 42 in
+  let bare = Stacks.make Stacks.Nfs_udp in
+  run_ops bare ops;
+  let armed = Stacks.make ~fault:(Fault.none ~seed:"noop") Stacks.Nfs_udp in
+  run_ops armed ops;
+  Testkit.check_string "identical trees" (signature bare.Stacks.server_fs)
+    (signature armed.Stacks.server_fs);
+  Alcotest.(check (float 0.0001))
+    "identical simulated time"
+    (Simclock.now_us bare.Stacks.clock)
+    (Simclock.now_us armed.Stacks.clock);
+  Testkit.check_string "empty ledger" "" (Fault.ledger armed.Stacks.obs)
+
+(* --- Same seed, byte-identical ledger --- *)
+
+let lossy_spec () =
+  Fault.make ~seed:"ledger-det" ~drop_pm:150 ~dup_pm:100 ~delay_pm:400 ~delay_mean_us:2_000
+    ~delay_p99_us:20_000 ()
+
+let test_ledger_determinism () =
+  let run () =
+    let w = Stacks.make ~fault:(lossy_spec ()) Stacks.Sfs in
+    run_ops w (ops_of_seed 7);
+    (Fault.ledger w.Stacks.obs, signature w.Stacks.server_fs)
+  in
+  let l1, s1 = run () in
+  let l2, s2 = run () in
+  Testkit.check_bool "faults actually injected" true (l1 <> "");
+  Testkit.check_string "byte-identical ledgers" l1 l2;
+  Testkit.check_string "byte-identical trees" s1 s2
+
+(* --- Duplicates are absorbed by the retransmit cache --- *)
+
+let test_retransmit_cache () =
+  let w =
+    Stacks.make ~fault:(Fault.make ~seed:"dup-heavy" ~dup_pm:2_000 ()) Stacks.Nfs_udp
+  in
+  run_ops w (ops_of_seed 11);
+  Testkit.check_bool "duplicates injected" true (Obs.counter w.Stacks.obs "fault.duplicate" > 0);
+  Testkit.check_bool "retransmit cache hit" true
+    (Obs.counter w.Stacks.obs "recover.retransmit_hit" > 0);
+  (* The duplicate of a CREATE executed once: the tree matches a clean
+     run of the same ops. *)
+  let clean = Stacks.make Stacks.Nfs_udp in
+  run_ops clean (ops_of_seed 11);
+  Testkit.check_string "no double execution" (signature clean.Stacks.server_fs)
+    (signature w.Stacks.server_fs)
+
+(* --- Crash/restart: leases die, clients reconnect and re-authenticate --- *)
+
+let test_crash_recovery () =
+  let w = Stacks.make Stacks.Sfs in
+  let now = Simclock.now_us w.Stacks.clock in
+  Stacks.arm_faults w
+    (Fault.make ~seed:"crash"
+       ~crashes:
+         [ { Fault.c_host = Stacks.server_location; c_down_us = now +. 1_000.0; c_up_us = now +. 50_000.0 } ]
+       ());
+  run_ops w [ Mkdir "pre" ];
+  Simclock.advance w.Stacks.clock 2_000.0 (* into the outage *);
+  run_ops w [ Mkdir "during"; Write ("during/f", "x"); Read "during/f" ];
+  Testkit.check_bool "server restarted" true (Obs.counter w.Stacks.obs "recover.server_restart" >= 1);
+  Testkit.check_bool "client reconnected" true (Obs.counter w.Stacks.obs "recover.reconnect" > 0);
+  Testkit.check_bool "client re-authenticated" true (Obs.counter w.Stacks.obs "recover.reauth" > 0);
+  Testkit.check_bool "cache flushed" true (Obs.counter w.Stacks.obs "recover.cache_flush" > 0);
+  (* All three ops landed despite the outage. *)
+  let s = signature w.Stacks.server_fs in
+  let contains needle =
+    let n = String.length needle and m = String.length s in
+    let rec at i = i + n <= m && (String.sub s i n = needle || at (i + 1)) in
+    at 0
+  in
+  Testkit.check_bool "post-crash writes survived" true
+    (contains "bench/during" && contains "bench/during/f")
+
+(* --- The oracle property --- *)
+
+(* Derive a whole scenario (stack, rates, optional crash window, ops)
+   from one integer.  Corruption is only thrown at SFS stacks: the MAC
+   catches it and the client recovers.  On plain NFS corrupted bytes
+   can silently change data — the paper's argument, not a bug in the
+   harness — so the insecure baseline is only subjected to loss-shaped
+   faults it can survive. *)
+let scenario_of_seed (seed : int) : Stacks.stack * Fault.spec * op list =
+  let r = Testkit.make_rand (seed * 2 + 1) in
+  let stack = if r () land 1 = 0 then Stacks.Nfs_udp else Stacks.Sfs in
+  let corrupt_pm = if stack = Stacks.Sfs then r () land 127 else 0 in
+  let crashes =
+    if r () land 3 = 0 then
+      let t0 = 5_000.0 +. float_of_int (r () * 100) in
+      [ { Fault.c_host = Stacks.server_location; c_down_us = t0; c_up_us = t0 +. 60_000.0 } ]
+    else []
+  in
+  let spec =
+    Fault.make
+      ~seed:("oracle-" ^ string_of_int seed)
+      ~drop_pm:(r () mod 300) ~dup_pm:(r () land 127) ~reorder_pm:(r () land 127) ~corrupt_pm
+      ~delay_pm:(r () mod 500) ~delay_mean_us:(500 + (8 * (r ()))) ~delay_p99_us:30_000 ~crashes ()
+  in
+  (stack, spec, ops_of_seed seed)
+
+let oracle_prop =
+  QCheck.Test.make ~count:100 ~name:"faulty run converges to the fault-free oracle"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let stack, spec, ops = scenario_of_seed seed in
+      let faulty = Stacks.make ~fault:spec stack in
+      run_ops faulty ops;
+      let clean = Stacks.make stack in
+      run_ops clean ops;
+      signature faulty.Stacks.server_fs = signature clean.Stacks.server_fs)
+
+let suite =
+  ( "fault",
+    [
+      Alcotest.test_case "empty plan is a no-op" `Quick test_empty_plan;
+      Alcotest.test_case "same-seed ledger determinism" `Quick test_ledger_determinism;
+      Alcotest.test_case "retransmit cache absorbs duplicates" `Quick test_retransmit_cache;
+      Alcotest.test_case "crash window: reconnect + reauth" `Quick test_crash_recovery;
+    ]
+    @ Testkit.to_alcotest [ oracle_prop ] )

@@ -127,6 +127,48 @@ let test_clock () =
   Alcotest.check_raises "negative" (Invalid_argument "Simclock.advance: negative") (fun () ->
       Simclock.advance clock (-1.0))
 
+(* Fault-injector transparency: with the *empty* fault plan armed, the
+   network is indistinguishable from one with no injector at all —
+   every message is delivered, exactly once, and per (src, dst) pair
+   the arrival order at the server equals the send order. *)
+let ordering_prop =
+  let module Fault = Sfs_fault.Fault in
+  QCheck.Test.make ~count:100 ~name:"empty fault plan preserves per-pair delivery order"
+    QCheck.(
+      pair small_int
+        (list_of_size (Gen.int_range 0 40) (pair (int_bound 2) (string_of_size (Gen.int_range 0 64)))))
+    (fun (seed_n, sends) ->
+      let run (armed : bool) : (string * string) list =
+        let clock = Simclock.create () in
+        let net = Simnet.create clock in
+        let h = Simnet.add_host net "srv" in
+        let trace = ref [] in
+        Simnet.listen net h ~port:9 (fun ~peer msg ->
+            trace := (peer, msg) :: !trace;
+            "ok");
+        if armed then
+          Simnet.set_injector net
+            (Some
+               (Fault.injector
+                  ~now_us:(fun () -> Simclock.now_us clock)
+                  (Fault.none ~seed:(string_of_int seed_n))));
+        let conns =
+          Array.init 3 (fun i ->
+              Simnet.connect net ~from_host:(Printf.sprintf "c%d" i) ~addr:"srv" ~port:9
+                ~proto:Costmodel.Udp)
+        in
+        List.iter (fun (ci, msg) -> ignore (Simnet.call conns.(ci) msg)) sends;
+        List.rev !trace
+      in
+      let armed = run true in
+      armed = run false
+      && List.for_all
+           (fun ci ->
+             let src = Printf.sprintf "c%d" ci in
+             List.filter_map (fun (p, m) -> if p = src then Some m else None) armed
+             = List.filter_map (fun (c, m) -> if c = ci then Some m else None) sends)
+           [ 0; 1; 2 ])
+
 let suite =
   ( "net",
     [
@@ -140,4 +182,5 @@ let suite =
       Alcotest.test_case "closed connection" `Quick test_closed_conn;
       Alcotest.test_case "per-connection state" `Quick test_per_connection_state;
       Alcotest.test_case "clock" `Quick test_clock;
-    ] )
+    ]
+    @ Testkit.to_alcotest [ ordering_prop ] )
