@@ -23,7 +23,7 @@ bench:
 # under _traces/.  --no-results keeps BENCH_results.json untouched.
 trace: build
 	mkdir -p _traces
-	for fig in fig5 fig6 fig7 fig8 fig9; do \
+	for fig in fig5 fig6 fig7 fig8 fig9 pipeline; do \
 	  dune exec bench/main.exe -- $$fig \
 	    --trace _traces/$$fig.trace.json \
 	    --metrics _traces/$$fig.metrics.jsonl \
@@ -40,7 +40,7 @@ perf: build
 	dune exec --no-build bench/main.exe -- crypto --no-results
 	dune exec --no-build bench/main.exe -- crypto --no-results
 	rm -f _perf_results.json
-	dune exec --no-build bench/main.exe -- fig5 fig6 fig7 fig8 fig9 ablations faults --results _perf_results.json
+	dune exec --no-build bench/main.exe -- fig5 fig6 fig7 fig8 fig9 pipeline ablations faults --results _perf_results.json
 	git show HEAD:BENCH_results.json | grep -v '"figure":"crypto"' > _perf_head.json
 	grep -v '"figure":"crypto"' _perf_results.json > _perf_now.json
 	diff -u _perf_head.json _perf_now.json

@@ -16,11 +16,13 @@
 open Sfs_nfs.Nfs_types
 module Fs_intf = Sfs_nfs.Fs_intf
 module Nfs_client = Sfs_nfs.Nfs_client
+module Nfs_proto = Sfs_nfs.Nfs_proto
 module Cachefs = Sfs_nfs.Cachefs
 module Simos = Sfs_os.Simos
 module Simnet = Sfs_net.Simnet
 module Simclock = Sfs_net.Simclock
 module Costmodel = Sfs_net.Costmodel
+module Rpc_mux = Sfs_net.Rpc_mux
 module Rabin = Sfs_crypto.Rabin
 module Prng = Sfs_crypto.Prng
 module Keyneg = Sfs_proto.Keyneg
@@ -79,6 +81,8 @@ type t = {
   mutable encrypt : bool; (* ablation switch: "SFS w/o encryption" *)
   mutable cache_policy : Cachefs.policy;
   rpc_attempts : int; (* per-RPC budget incl. the first transmission *)
+  rpc_window : int; (* concurrent in-flight calls (1 = fully serial) *)
+  readahead : int; (* sequential-read prefetch depth, in blocks *)
   obs : Obs.registry option;
 }
 
@@ -88,8 +92,8 @@ let rpc_backoff_base_us = 50_000.0
 let rpc_backoff_max_us = 1_600_000.0
 
 let create ?(temp_key_bits = 512) ?(temp_key_lifetime_s = 3600.0) ?(encrypt = true)
-    ?(cache_policy = Cachefs.sfs_policy) ?(rpc_attempts = 8) ?obs (net : Simnet.t)
-    ~(from_host : string) ~(rng : Prng.t) () : t =
+    ?(cache_policy = Cachefs.sfs_policy) ?(rpc_attempts = 8) ?(rpc_window = 1) ?(readahead = 0)
+    ?obs (net : Simnet.t) ~(from_host : string) ~(rng : Prng.t) () : t =
   {
     net;
     clock = Simnet.clock net;
@@ -104,6 +108,8 @@ let create ?(temp_key_bits = 512) ?(temp_key_lifetime_s = 3600.0) ?(encrypt = tr
     encrypt;
     cache_policy;
     rpc_attempts = max 1 rpc_attempts;
+    rpc_window = max 1 rpc_window;
+    readahead = max 0 readahead;
     obs;
   }
 
@@ -128,6 +134,7 @@ let mounts (t : t) : mount list = Hashtbl.fold (fun _ m acc -> m :: acc) t.mount
 let channel_exchange ~(channel : Channel.t) ~(conn : Simnet.conn) (req : Sfsrw.request) :
     (Sfsrw.response, string) result =
   let wire = Channel.seal channel (Sfsrw.request_to_string req) in
+  (* sfslint: allow SL010 — authentication exchanges are serial by design *)
   let reply = Simnet.call conn wire in
   match Channel.open_ channel reply with
   | Ok plain -> Sfsrw.response_of_string plain
@@ -151,7 +158,9 @@ let dial (t : t) (path : Pathname.t) :
       let extensions = if t.encrypt then [] else [ "no-encrypt" ] in
       match
         Keyneg.client_negotiate ~extensions ~rng:t.rng ~temp_key:(temp_key t) ~location
-          ~hostid:(Pathname.hostid path) ~service:Keyneg.Fs (fun msg -> Simnet.call conn msg)
+          ~hostid:(Pathname.hostid path) ~service:Keyneg.Fs
+          (* sfslint: allow SL010 — key negotiation is a serial handshake *)
+          (fun msg -> Simnet.call conn msg)
       with
       | exception Keyneg.Host_revoked certificate ->
           Error (Revoked (Revocation.cert_for path certificate))
@@ -363,6 +372,7 @@ let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
                     end
                     else begin
                       Simclock.advance t.clock t.costs.Costmodel.userlevel_us_per_side;
+                      (* sfslint: allow SL010 — sync fallback: metadata ops and the recovery path; READs pipeline via Rpc_mux *)
                       Simnet.call conn (Channel.seal channel req)
                     end
                   in
@@ -401,13 +411,95 @@ let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
               | exception Nfs_client.Rpc_failure e -> Error (Negotiation_failed e)
               | Ok root ->
                   let inner_ops = Nfs_client.generic_ops raw_call ~root in
+                  (* The windowed READ path (readahead).  Requests ride
+                     the same secure channel in submission order — the
+                     mux runs exchanges eagerly, so the ARC4 stream
+                     positions and the server's execution order are
+                     byte-identical to the serial client's — while the
+                     round trips overlap in simulated time. *)
+                  let pipeline =
+                    if t.rpc_window > 1 && t.readahead > 0 then begin
+                      let mux =
+                        Rpc_mux.create ?obs:t.obs ~window:t.rpc_window ~clock:t.clock
+                          ~wire_us:(fun bytes -> Costmodel.transfer_us t.costs Costmodel.Tcp bytes)
+                          ~latency_us:t.costs.Costmodel.tcp_rpc_us
+                          ~op_us:t.costs.Costmodel.pipeline_sfs_op_us
+                          ~exchange:(fun wire ->
+                            let reply, server_us = Simnet.call_measured m.m_conn wire in
+                            match Channel.open_ m.m_channel reply with
+                            | Ok plain -> (
+                                match Sfsrw.response_of_string plain with
+                                | Ok (Sfsrw.Fs_reply { results; invalidations = inv }) ->
+                                    (* Capture invalidations eagerly: a
+                                       ticket the cache later abandons
+                                       must not lose a callback. *)
+                                    m.m_invalidations := !(m.m_invalidations) @ inv;
+                                    {
+                                      Rpc_mux.c_payload = results;
+                                      c_server_us = server_us;
+                                      c_wire_bytes = String.length reply;
+                                    }
+                                | Ok _ | Result.Error _ -> raise Simnet.Timeout)
+                            | Error _ ->
+                                (* Poisoned streams: surface as a
+                                   timeout; the sync fallback's recovery
+                                   reconnects and re-authenticates. *)
+                                raise Simnet.Timeout)
+                          ()
+                      in
+                      let pl_submit cred fh ~off ~count =
+                        (* Reads m_channel/m_conn afresh, so a
+                           reconnection between reads is transparent. *)
+                        let xid = m.m_xid in
+                        m.m_xid <- m.m_xid + 1;
+                        let authno =
+                          match Hashtbl.find_opt m.m_authnos cred.Simos.cred_uid with
+                          | Some a -> a
+                          | None -> Sfsrw.authno_anonymous
+                        in
+                        let req =
+                          Sfsrw.request_to_string
+                            (Sfsrw.Fs_call
+                               {
+                                 xid;
+                                 authno;
+                                 proc = Nfs_proto.proc_read;
+                                 args = Xdr.encode Nfs_proto.enc_read_args (fh, off, count);
+                               })
+                        in
+                        (* Residual client-side costs; the window hides
+                           the rest (the write-behind path's overlap
+                           fractions). *)
+                        Simclock.advance t.clock
+                          (t.costs.Costmodel.async_userlevel_factor
+                          *. (2.0 *. t.costs.Costmodel.userlevel_us_per_side));
+                        let channel = m.m_channel in
+                        let wire = Channel.seal ~bill:false channel req in
+                        Simclock.advance t.clock
+                          (t.costs.Costmodel.async_crypto_factor
+                          *. Channel.crypto_cost_us channel (String.length req));
+                        let ticket = Rpc_mux.submit mux ~wire_bytes:(String.length wire) wire in
+                        Some
+                          (fun () ->
+                            let results = Rpc_mux.await mux ticket in
+                            match Xdr.run results (Nfs_proto.dec_res Nfs_proto.dec_read_ok) with
+                            | Ok v -> v
+                            | Result.Error e ->
+                                raise (Nfs_client.Rpc_failure ("unparsable result: " ^ e)))
+                      in
+                      Some { Fs_intf.pl_depth = t.readahead; pl_submit }
+                    end
+                    else None
+                  in
                   let cache =
                     Cachefs.create
                       ~take_invalidations:(fun () ->
                         let inv = !(m.m_invalidations) in
                         m.m_invalidations := [];
                         inv)
-                      ?obs:t.obs ~clock:t.clock ~policy:t.cache_policy inner_ops
+                      ?obs:t.obs ?pipeline
+                      ~write_behind:(t.rpc_window > 1)
+                      ~clock:t.clock ~policy:t.cache_policy inner_ops
                   in
                   m.m_cache <- Some cache;
                   m.m_ops <- Some (Cachefs.ops cache);
@@ -440,6 +532,7 @@ let mount_readonly (t : t) (path : Pathname.t) : (mount, mount_error) result =
               extensions = [];
             }
           in
+          (* sfslint: allow SL010 — read-only connect handshake, serial by design *)
           let res = Simnet.call conn (Xdr.encode Keyneg.enc_connect_req req) in
           match Xdr.run res Keyneg.dec_connect_res with
           | Result.Error e -> Error (Negotiation_failed e)
@@ -452,6 +545,7 @@ let mount_readonly (t : t) (path : Pathname.t) : (mount, mount_error) result =
               else
                 let exchange bytes =
                   Simclock.advance t.clock t.costs.Costmodel.userlevel_us_per_side;
+                  (* sfslint: allow SL010 — read-only dialect: every fetch is hash-verified against the previous, so the chain is serial *)
                   Simnet.call conn bytes
                 in
                 match Readonly.connect ~exchange ~pubkey ~clock:t.clock with

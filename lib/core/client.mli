@@ -29,6 +29,8 @@ val create :
   ?encrypt:bool ->
   ?cache_policy:Cachefs.policy ->
   ?rpc_attempts:int ->
+  ?rpc_window:int ->
+  ?readahead:int ->
   ?obs:Sfs_obs.Obs.registry ->
   Simnet.t ->
   from_host:string ->
@@ -41,7 +43,11 @@ val create :
     forward secrecy.  [rpc_attempts] (default 8) bounds the per-RPC
     recovery budget: a timeout or channel failure backs off (capped
     exponential), reconnects and re-issues, because any loss poisons
-    the ARC4 streams.  When [obs] is given, automount and
+    the ARC4 streams.  [rpc_window] (default 1 = fully serial) allows
+    that many concurrent in-flight calls through the windowed
+    dispatcher, enabling sequential-read readahead of [readahead]
+    blocks (default 0) and write-behind gathering in the cache layer —
+    DESIGN.md §11.  When [obs] is given, automount and
     authentication spans are recorded, and the mount's channel and
     cache are instrumented too ([channel.client.*], [cache.*]). *)
 

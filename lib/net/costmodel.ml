@@ -18,7 +18,17 @@
    - asynchronous (write-behind) RPCs pipeline: they pay wire transfer
      but not the fixed round-trip latency, and only a fraction of the
      user-level and crypto costs ("multiple outstanding requests can
-     overlap the latency of NFS RPCs", section 4.2).
+     overlap the latency of NFS RPCs", section 4.2);
+   - windowed (readahead) RPCs through Rpc_mux overlap round trips
+     completely, so a saturated window is bandwidth-bound: its ceiling
+     is set by reply wire transfer (the full-duplex wire carries the
+     small requests alongside) plus a per-reply processing residual
+     (pipeline_nfs_op_us / pipeline_sfs_op_us) — demux and copyout that
+     serialise at the receiver even under overlap, larger for SFS
+     because its user-level daemons store-and-forward every message
+     once more than the in-kernel NFS path — or by the measured
+     server-side time per call, whichever resource saturates first
+     (for encrypting SFS, the server's seal of each 8 KB reply).
 
    The disk constants model the IBM 18ES 9 GB SCSI disk of the paper's
    testbed; see Diskmodel for how they are charged. *)
@@ -38,6 +48,8 @@ type t = {
   mss_bytes : int;
   async_userlevel_factor : float; (* share of user-level cost not hidden by the pipeline *)
   async_crypto_factor : float; (* share of crypto cost not hidden by the pipeline *)
+  pipeline_nfs_op_us : float; (* per-reply receive-side residual of a windowed NFS exchange *)
+  pipeline_sfs_op_us : float; (* same through the user-level SFS relay *)
 }
 
 let default : t =
@@ -54,6 +66,8 @@ let default : t =
     mss_bytes = 1460;
     async_userlevel_factor = 0.35;
     async_crypto_factor = 0.7;
+    pipeline_nfs_op_us = 100.0;
+    pipeline_sfs_op_us = 140.0;
   }
 
 let rpc_fixed_us (t : t) (proto : transport_proto) : float =

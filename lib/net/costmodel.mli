@@ -20,6 +20,13 @@ type t = {
   async_userlevel_factor : float;
       (** share of user-level cost not hidden by the pipeline *)
   async_crypto_factor : float;  (** share of crypto cost not hidden by the pipeline *)
+  pipeline_nfs_op_us : float;
+      (** per-reply residual of a windowed ({!Rpc_mux}) NFS exchange:
+          receive-side demux and copyout that serialise at the client
+          even when round trips overlap *)
+  pipeline_sfs_op_us : float;
+      (** same, through SFS's user-level store-and-forward relay, which
+          touches every byte once more than the in-kernel NFS path *)
 }
 
 val default : t

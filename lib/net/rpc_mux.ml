@@ -1,0 +1,157 @@
+(* Windowed RPC dispatch (the libasync analogue).
+
+   The real SFS issued many asynchronous RPCs concurrently and
+   demultiplexed replies by xid; our substrate is a synchronous
+   single-clock simulation, so concurrency has to be *accounted* rather
+   than executed.  The trick: exchanges still run eagerly and in
+   submission order (which keeps the server's execution order, the
+   duplicate-request cache and the ARC4 stream positions exactly as a
+   serial client would leave them), but each exchange runs under
+   Simclock.absorb so it charges nothing directly.  The mux then replays
+   the charges onto three virtual resource timelines:
+
+     up_free    — the request direction of the (full-duplex) wire:
+                  requests serialise among themselves but ride
+                  alongside incoming replies;
+     srv_free   — the server CPU/disk: each call occupies it for the
+                  time the handler actually charged (measured);
+     down_free  — the reply direction, plus op_us of per-reply client
+                  processing (demux, copyout) that serialises even
+                  under overlap.
+
+   A call's reply is ready at
+
+     req_done  = max(now, up_free) + wire_us(req)    up_free   := req_done
+     srv_done  = max(req_done, srv_free) + server    srv_free  := srv_done
+     rep_done  = max(srv_done, down_free) + wire_us(reply) + op_us
+                                                     down_free := rep_done
+     ready     = rep_done + latency_us
+
+   latency_us is the fixed per-RPC round-trip cost: every call pays it,
+   but it occupies no resource — that is precisely what a window > 1
+   overlaps away.  With window = 1 the caller waits for each ready
+   before the next send and the schedule degenerates to the serial one.
+
+   The timelines are clamped to [now] on every submit, so a mux carried
+   across idle periods or reconnects needs no reset.  A failed exchange
+   (Timeout and friends) consumes no resources; its ticket holds the
+   exception, raised at await so the caller's recovery path (retransmit
+   / reconnect / re-auth) runs exactly as it would have serially. *)
+
+module Obs = Sfs_obs.Obs
+
+type completion = {
+  c_payload : string; (* decoded reply payload *)
+  c_server_us : float; (* measured server-side time (Simnet.call_measured) *)
+  c_wire_bytes : int; (* reply length on the wire (sealed, for SFS) *)
+}
+
+type ticket = {
+  tk_ready_us : float;
+  tk_result : (string, exn) result;
+  tk_on_complete : ((string, exn) result -> unit) option;
+  mutable tk_done : bool; (* completion callback fired *)
+}
+
+type t = {
+  window : int;
+  clock : Simclock.t;
+  wire_us : int -> float;
+  latency_us : float;
+  op_us : float;
+  exchange : string -> completion;
+  obs : Obs.registry option;
+  mutable up_free_us : float;
+  mutable srv_free_us : float;
+  mutable down_free_us : float;
+  mutable pending : ticket list; (* oldest first; length < window between submits *)
+}
+
+let create ?obs ~(window : int) ~(clock : Simclock.t) ~(wire_us : int -> float)
+    ~(latency_us : float) ~(op_us : float) ~(exchange : string -> completion) () : t =
+  if window < 1 then invalid_arg "Rpc_mux.create: window < 1";
+  {
+    window;
+    clock;
+    wire_us;
+    latency_us;
+    op_us;
+    exchange;
+    obs;
+    up_free_us = 0.0;
+    srv_free_us = 0.0;
+    down_free_us = 0.0;
+    pending = [];
+  }
+
+let window (t : t) : int = t.window
+let in_flight (t : t) : int = List.length t.pending
+
+(* Advance the clock to the ticket's ready time and fire its callback
+   (once).  Completion order is submission order for forced completions;
+   await may complete a younger ticket first, which is exactly the
+   out-of-order reply consumption the xid demux allows. *)
+let finish (t : t) (tk : ticket) : unit =
+  let now = Simclock.now_us t.clock in
+  if tk.tk_ready_us > now then Simclock.advance t.clock (tk.tk_ready_us -. now);
+  if not tk.tk_done then begin
+    tk.tk_done <- true;
+    match tk.tk_on_complete with None -> () | Some f -> f tk.tk_result
+  end
+
+let complete_oldest (t : t) : unit =
+  match t.pending with
+  | [] -> ()
+  | tk :: rest ->
+      t.pending <- rest;
+      finish t tk
+
+let submit ?on_complete (t : t) ~(wire_bytes : int) (request : string) : ticket =
+  (* Window enforcement: a full window means the client blocks until the
+     oldest outstanding reply arrives before it may send again. *)
+  while List.length t.pending >= t.window do
+    Obs.incr t.obs "mux.stall";
+    complete_oldest t
+  done;
+  Obs.incr t.obs "mux.submit";
+  let now = Simclock.now_us t.clock in
+  if t.up_free_us < now then t.up_free_us <- now;
+  if t.srv_free_us < now then t.srv_free_us <- now;
+  if t.down_free_us < now then t.down_free_us <- now;
+  let tk =
+    match t.exchange request with
+    | c ->
+        (* Accumulated resource occupancy (integer µs): how the window's
+           wall-clock divides between the server and the wire. *)
+        Obs.add t.obs "mux.server_us" (int_of_float c.c_server_us);
+        Obs.add t.obs "mux.wire_us"
+          (int_of_float (t.wire_us wire_bytes +. t.op_us +. t.wire_us c.c_wire_bytes));
+        let req_done = t.up_free_us +. t.wire_us wire_bytes in
+        t.up_free_us <- req_done;
+        let srv_start = if req_done > t.srv_free_us then req_done else t.srv_free_us in
+        let srv_done = srv_start +. c.c_server_us in
+        t.srv_free_us <- srv_done;
+        let rep_start = if srv_done > t.down_free_us then srv_done else t.down_free_us in
+        let rep_done = rep_start +. t.wire_us c.c_wire_bytes +. t.op_us in
+        t.down_free_us <- rep_done;
+        {
+          tk_ready_us = rep_done +. t.latency_us;
+          tk_result = Ok c.c_payload;
+          tk_on_complete = on_complete;
+          tk_done = false;
+        }
+    | exception e ->
+        (* The exchange charged nothing (Simnet.call_measured restores
+           the clock); the failure is observed when awaited. *)
+        Obs.incr t.obs "mux.fail";
+        { tk_ready_us = now; tk_result = Error e; tk_on_complete = on_complete; tk_done = false }
+  in
+  t.pending <- t.pending @ [ tk ];
+  tk
+
+let await (t : t) (tk : ticket) : string =
+  t.pending <- List.filter (fun p -> p != tk) t.pending;
+  finish t tk;
+  match tk.tk_result with Ok payload -> payload | Error e -> raise e
+
+let drain (t : t) : unit = while t.pending <> [] do complete_oldest t done

@@ -1,0 +1,65 @@
+(** Windowed RPC dispatch: the libasync analogue for the simulated
+    substrate (DESIGN.md §11).
+
+    Exchanges run eagerly and in submission order — so server execution
+    order, duplicate-request-cache contents and ARC4 stream positions
+    are byte-identical to a serial client's — but their cost is
+    re-accounted onto virtual resource timelines — the two directions of
+    the full-duplex wire and the server CPU/disk — so that up to
+    [window] round trips overlap in simulated wall-clock.  With
+    [window = 1] the schedule degenerates to the serial one. *)
+
+type completion = {
+  c_payload : string;  (** decoded reply payload *)
+  c_server_us : float;
+      (** simulated time the server side spent on this exchange, as
+          measured by {!Simnet.call_measured} *)
+  c_wire_bytes : int;  (** reply length on the wire (sealed, for SFS) *)
+}
+
+type ticket
+(** One outstanding call.  Holds either the reply payload or the
+    exception the exchange raised; both surface at {!await}. *)
+
+type t
+
+val create :
+  ?obs:Sfs_obs.Obs.registry ->
+  window:int ->
+  clock:Simclock.t ->
+  wire_us:(int -> float) ->
+  latency_us:float ->
+  op_us:float ->
+  exchange:(string -> completion) ->
+  unit ->
+  t
+(** [wire_us] maps a wire length to link occupancy; [latency_us] is the
+    fixed per-RPC round-trip cost (paid by every call, overlapped by the
+    window); [op_us] is the per-reply client processing residual that
+    serialises on the receive path
+    ({!Costmodel.t.pipeline_nfs_op_us} / [pipeline_sfs_op_us]).
+    [exchange] performs one request/reply synchronously under
+    {!Simclock.absorb} discipline — it must charge nothing to the clock
+    (use {!Simnet.call_measured}).  When [obs] is given, counters
+    [mux.submit], [mux.stall] (window-full forced waits) and [mux.fail]
+    are recorded.
+    @raise Invalid_argument if [window < 1]. *)
+
+val submit : ?on_complete:((string, exn) result -> unit) -> t -> wire_bytes:int -> string -> ticket
+(** Issue a call.  If the window is full, first advances the clock to
+    the oldest outstanding reply's ready time (completing it).  The
+    exchange itself runs now, in submission order; a raised exception is
+    captured in the ticket and re-raised at {!await}.  [wire_bytes] is
+    the request's on-the-wire length.  [on_complete] fires exactly once,
+    when the ticket completes (forced or awaited). *)
+
+val await : t -> ticket -> string
+(** Advance the clock to the ticket's ready time (if not already past)
+    and return the payload, or re-raise the exchange's exception.
+    Idempotent on completed tickets. *)
+
+val drain : t -> unit
+(** Force-complete every outstanding ticket in submission order. *)
+
+val window : t -> int
+val in_flight : t -> int

@@ -22,5 +22,20 @@ let time (t : t) (f : unit -> 'a) : 'a * float =
   let v = f () in
   (v, t.now_us -. t0)
 
+(* Run [f], measure the simulated time it charged, then roll the clock
+   back so the caller can re-account that time under an overlap model
+   (Rpc_mux).  On exception the clock is restored and the exception
+   propagates: a failed exchange must not leave phantom charges. *)
+let absorb (t : t) (f : unit -> 'a) : 'a * float =
+  let t0 = t.now_us in
+  match f () with
+  | v ->
+      let d = t.now_us -. t0 in
+      t.now_us <- t0;
+      (v, d)
+  | exception e ->
+      t.now_us <- t0;
+      raise e
+
 (* Coarse seconds counter used for cache-lease expiry decisions. *)
 let seconds (t : t) : int = int_of_float (t.now_us /. 1_000_000.0)

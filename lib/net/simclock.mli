@@ -13,3 +13,10 @@ val advance : t -> float -> unit
 val time : t -> (unit -> 'a) -> 'a * float
 (** [time t f] runs [f] and returns its result with the simulated time
     it consumed. *)
+
+val absorb : t -> (unit -> 'a) -> 'a * float
+(** [absorb t f] runs [f], measures the simulated time it charged, and
+    rolls the clock back to where it was, returning [(result, charged)].
+    Used by the pipelined dispatcher ({!Rpc_mux}) to re-account a
+    synchronous exchange's cost under an overlapped time model.  On
+    exception the clock is restored and the exception re-raised. *)

@@ -291,6 +291,33 @@ let call (c : conn) (request : string) : string =
       Obs.observe t.obs c.k_rpc_us (int_of_float (Simclock.now_us t.clock -. start_us));
       reply)
 
+(* A windowed-pipeline exchange (Rpc_mux): runs the full tap / fault /
+   handler path like [call], but charges *nothing* to the clock itself.
+   Server-side processing time (the handler's own charges, plus any
+   injector delays) is measured with [Simclock.absorb] and returned so
+   the dispatcher can re-account it under an overlapped time model.
+   Exceptions (drops, corruption-induced timeouts) restore the clock and
+   propagate to the caller. *)
+let call_measured (c : conn) (request : string) : string * float =
+  if c.closed then raise Timeout;
+  check_liveness c;
+  let t = c.net in
+  Obs.span ~args:c.span_args t.obs ~cat:"net" "rpc_pipe" (fun () ->
+      c.rpc_count <- c.rpc_count + 1;
+      c.bytes_sent <- c.bytes_sent + String.length request;
+      Obs.incr t.obs c.k_rpcs;
+      Obs.add t.obs c.k_bytes_out (String.length request);
+      let reply, server_us =
+        Simclock.absorb t.clock (fun () ->
+            let request = apply_tap c To_server request in
+            let reply = deliver c request in
+            let reply = apply_tap c To_client reply in
+            deliver_reply c reply)
+      in
+      c.bytes_received <- c.bytes_received + String.length reply;
+      Obs.add t.obs c.k_bytes_in (String.length reply);
+      (reply, server_us))
+
 (* A pipelined (write-behind) exchange: the caller does not wait for
    the reply, so the fixed round-trip latency is hidden; only wire
    transfer plus a small per-op floor is charged.  Taps still see the

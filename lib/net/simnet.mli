@@ -91,6 +91,15 @@ val call_async : conn -> string -> string
 (** Pipelined exchange (write-behind traffic): charges wire transfer of
     the request plus a small floor, hiding the round-trip latency. *)
 
+val call_measured : conn -> string -> string * float
+(** Windowed-pipeline exchange ({!Rpc_mux}): runs the same tap / fault /
+    handler path as {!call} but charges nothing to the clock.  Returns
+    the raw reply together with the simulated microseconds the server
+    side spent producing it (handler charges plus injector delays),
+    measured with {!Simclock.absorb}, so the dispatcher can re-account
+    that time under an overlapped model.
+    @raise Timeout as {!call} does; the clock is left unchanged. *)
+
 val inject : conn -> string -> string
 (** Adversary-side raw delivery (replay), bypassing taps and billing. *)
 

@@ -39,13 +39,35 @@ let sfs_policy =
 
 let block_size = 8192
 
+(* Write-behind gather threshold: dirty bytes coalesce into one
+   unstable WRITE of up to this size (8 blocks), the paper's "multiple
+   outstanding requests" discipline applied to the write side. *)
+let gather_bytes = 64 * 1024
+
+(* Readahead arms only after this many consecutive sequential reads on
+   one handle, so single-block workloads (LFS small files, MAB) never
+   pay for prefetches they will not use. *)
+let readahead_min_run = 8
+
 type attr_entry = { attr : fattr; expires_us : float }
+
+(* The single active write-behind buffer: contiguous unstable writes by
+   one user to one file.  Exactly one may be live at a time — a write to
+   any other file flushes it first — which bounds memory and keeps the
+   RPC count of mixed workloads essentially unchanged. *)
+type wbuf = { wb_fh : fh; wb_off : int; wb_buf : Buffer.t; wb_cred : Simos.cred }
 
 type t = {
   inner : Fs_intf.ops;
   clock : Simclock.t;
   policy : policy;
   take_invalidations : unit -> fh list; (* drained before each cache consult *)
+  pipeline : Fs_intf.pipeline option; (* windowed read path, when the transport offers one *)
+  write_behind : bool;
+  inflight : (fh * int, unit -> (string * bool * fattr) res) Hashtbl.t;
+  (* submitted readahead, by block; claimed (awaited) on the next read *)
+  last_read : (fh, int * int) Hashtbl.t; (* last block read, run length *)
+  mutable wbuf : wbuf option;
   attrs : (fh, attr_entry) Hashtbl.t;
   names : (fh * string, (fh * float) (* target, expiry *)) Hashtbl.t;
   access_cache : (fh * int * int, int * float) Hashtbl.t; (* (fh, uid, mask) -> granted, expiry *)
@@ -64,14 +86,19 @@ type t = {
 
 let no_invalidations () : fh list = []
 
-let create ?(take_invalidations = no_invalidations) ?obs ~(clock : Simclock.t) ~(policy : policy)
-    (inner : Fs_intf.ops) : t =
+let create ?(take_invalidations = no_invalidations) ?obs ?pipeline ?(write_behind = false)
+    ~(clock : Simclock.t) ~(policy : policy) (inner : Fs_intf.ops) : t =
   {
     inner;
     clock;
     policy;
     take_invalidations;
     obs;
+    pipeline;
+    write_behind;
+    inflight = Hashtbl.create 64;
+    last_read = Hashtbl.create 64;
+    wbuf = None;
     attrs = Hashtbl.create 512;
     names = Hashtbl.create 512;
     access_cache = Hashtbl.create 512;
@@ -104,10 +131,21 @@ let drop_access (t : t) (h : fh) : unit =
   in
   List.iter (Hashtbl.remove t.access_cache) doomed
 
+(* Abandon submitted readahead for a handle: the replies are simply
+   never awaited (the dispatcher force-completes their tickets under
+   window pressure, as a real client would discard stale replies). *)
+let drop_inflight (t : t) (h : fh) : unit =
+  let doomed =
+    Hashtbl.fold (fun (f, b) _ acc -> if f = h then (f, b) :: acc else acc) t.inflight []
+  in
+  List.iter (Hashtbl.remove t.inflight) doomed
+
 let invalidate_fh (t : t) (h : fh) : unit =
   Hashtbl.remove t.attrs h;
   drop_access t h;
   drop_blocks t h;
+  drop_inflight t h;
+  Hashtbl.remove t.last_read h;
   (* Name entries pointing into or out of this handle go too. *)
   let doomed =
     Hashtbl.fold (fun (d, n) (tgt, _) acc -> if d = h || tgt = h then (d, n) :: acc else acc) t.names []
@@ -123,12 +161,18 @@ let drain_invalidations (t : t) : unit =
     List.iter (invalidate_fh t) fhs
   end
 
+(* Note: the write-behind buffer survives — it holds unwritten user
+   data, not cached server state, and this runs mid-recovery (reconnect
+   flushes caches before the channel is usable again).  The dirty data
+   flushes on its next trigger or via [flush_dirty]. *)
 let invalidate_all (t : t) : unit =
   Hashtbl.reset t.attrs;
   Hashtbl.reset t.names;
   Hashtbl.reset t.access_cache;
   Hashtbl.reset t.negatives;
   Hashtbl.reset t.blocks;
+  Hashtbl.reset t.inflight;
+  Hashtbl.reset t.last_read;
   t.block_lru <- [];
   t.cached_bytes <- 0
 
@@ -200,11 +244,183 @@ let ( let* ) = Result.bind
 let stats (t : t) : (int * int) * (int * int) * (int * int) =
   ((t.getattrs, t.getattr_hits), (t.lookups, t.lookup_hits), (t.reads, t.read_hits))
 
+(* --- Write-behind --- *)
+
+(* Cache what a write (direct or flushed) put on the server: attributes
+   first (the mtime change evicts stale blocks), then the aligned
+   chunks, partial ones only when they form the file's tail. *)
+let note_written (t : t) (h : fh) ~(off : int) (data : string) (a : fattr) : unit =
+  note_attr t h a;
+  if off mod block_size = 0 then
+    List.iteri
+      (fun i chunk ->
+        let chunk_off = off + (i * block_size) in
+        if String.length chunk = block_size || chunk_off + String.length chunk = a.size then
+          note_block t h (chunk_off / block_size) chunk)
+      (Sfs_util.Bytesutil.chunks ~size:block_size data)
+  else drop_blocks t h
+
+(* Push the gather buffer to the server as one unstable WRITE.  A
+   transport fault propagates to whoever triggered the flush — the same
+   recovery (retransmit / reconnect / re-auth) a synchronous write rides.
+   A server-side error drops our now-unreliable cached blocks; the
+   serial client would have surfaced it to the writer, but either way
+   the server state is "that write did not happen". *)
+let flush_dirty (t : t) : unit =
+  match t.wbuf with
+  | None -> ()
+  | Some w ->
+      t.wbuf <- None;
+      let data = Buffer.contents w.wb_buf in
+      if data <> "" then begin
+        Obs.incr t.obs "cache.wb.flush";
+        match t.inner.Fs_intf.fs_write w.wb_cred w.wb_fh ~off:w.wb_off ~stable:false data with
+        | Ok a -> note_written t w.wb_fh ~off:w.wb_off data a
+        | Error _ -> drop_blocks t w.wb_fh
+      end
+
+let flush_for (t : t) (h : fh) : unit =
+  match t.wbuf with Some w when w.wb_fh = h -> flush_dirty t | _ -> ()
+
+(* --- Readahead --- *)
+
+(* Await previously submitted readahead covering the demanded blocks;
+   successful replies feed the block cache (turning this read into a
+   hit), failures are ignored — the synchronous path will re-fetch and
+   recover. *)
+let claim_inflight (t : t) (h : fh) (first : int) (last : int) : unit =
+  for b = first to last do
+    match Hashtbl.find_opt t.inflight (h, b) with
+    | None -> ()
+    | Some thunk -> (
+        Hashtbl.remove t.inflight (h, b);
+        match thunk () with
+        | Ok (data, eof, a) ->
+            note_attr t h a;
+            if data <> "" && (String.length data = block_size || eof) then note_block t h b data
+        | Error _ -> ()
+        | exception _ -> ())
+  done
+
+(* Track sequential consumption per handle: the run length of
+   consecutive block-adjacent reads. *)
+let note_seq (t : t) (h : fh) (first : int) (last : int) : int =
+  let run =
+    match Hashtbl.find_opt t.last_read h with
+    | Some (prev, r) when first = prev + 1 -> r + 1
+    | Some (prev, r) when first = prev -> r
+    | _ -> 1
+  in
+  Hashtbl.replace t.last_read h (last, run);
+  run
+
+(* Keep [pl_depth] blocks of readahead submitted beyond [next - 1],
+   skipping blocks already cached or in flight and never reading past
+   the (fresh) known size. *)
+let top_up (t : t) (cred : Simos.cred) (h : fh) ~(next : int) : unit =
+  match (t.pipeline, fresh_attr t h) with
+  | Some pl, Some e when pl.Fs_intf.pl_depth > 0 ->
+      let size = e.attr.size in
+      (try
+         for b = next to next + pl.Fs_intf.pl_depth - 1 do
+           if
+             b * block_size < size
+             && (not (Hashtbl.mem t.blocks (h, b)))
+             && not (Hashtbl.mem t.inflight (h, b))
+           then
+             match pl.Fs_intf.pl_submit cred h ~off:(b * block_size) ~count:block_size with
+             | Some thunk ->
+                 Obs.incr t.obs "cache.readahead.submit";
+                 Hashtbl.replace t.inflight (h, b) thunk
+             | None -> raise Exit
+         done
+       with Exit -> ())
+  | _ -> ()
+
+(* Serve a read from cached blocks, bounded by the fresh size; [None]
+   when anything needed is missing (caller falls back to the wire). *)
+let serve_cached (t : t) (h : fh) ~(off : int) ~(count : int) : (string * bool * fattr) option =
+  match fresh_attr t h with
+  | None -> None
+  | Some e ->
+      let size = e.attr.size in
+      let avail = max 0 (size - off) in
+      let n = min count avail in
+      let buf = Buffer.create n in
+      let pos = ref off in
+      let ok = ref true in
+      while !ok && Buffer.length buf < n do
+        let b = !pos / block_size in
+        match Hashtbl.find_opt t.blocks (h, b) with
+        | None -> ok := false
+        | Some data ->
+            let block_off = !pos - (b * block_size) in
+            if block_off >= String.length data then ok := false
+            else begin
+              let take = min (String.length data - block_off) (n - Buffer.length buf) in
+              Buffer.add_substring buf data block_off take;
+              pos := !pos + take
+            end
+      done;
+      if !ok then begin
+        charge_hit t count;
+        Some (Buffer.contents buf, off + n >= size, e.attr)
+      end
+      else None
+
+(* Fetch the demanded blocks through the windowed dispatcher, top the
+   readahead window up behind them so everything overlaps, then await
+   the demanded ones and serve from cache.  Any refusal or failure
+   returns [None]: the caller falls back to the synchronous read, whose
+   recovery path handles transport faults (reads are idempotent). *)
+let fetch_pipelined (t : t) (cred : Simos.cred) (h : fh) ~(off : int) ~(count : int)
+    ~(first : int) ~(last : int) : (string * bool * fattr) option =
+  match t.pipeline with
+  | None -> None
+  | Some pl ->
+      let fg =
+        List.init
+          (last - first + 1)
+          (fun i ->
+            let b = first + i in
+            if Hashtbl.mem t.blocks (h, b) then Some None
+            else
+              match pl.Fs_intf.pl_submit cred h ~off:(b * block_size) ~count:block_size with
+              | Some thunk -> Some (Some (b, thunk))
+              | None -> None)
+      in
+      if List.exists (function None -> true | Some _ -> false) fg then
+        None (* abandon any submitted tickets; the sync path re-fetches *)
+      else begin
+        top_up t cred h ~next:(last + 1);
+        let ok =
+          List.for_all
+            (function
+              | Some (Some (b, thunk)) -> (
+                  match thunk () with
+                  | Ok (data, eof, a) ->
+                      note_attr t h a;
+                      if data <> "" && (String.length data = block_size || eof) then
+                        note_block t h b data;
+                      true
+                  | Error _ -> false
+                  | exception _ -> false)
+              | _ -> true)
+            fg
+        in
+        if ok then serve_cached t h ~off ~count else None
+      end
+
 let ops (t : t) : Fs_intf.ops =
   let inner = t.inner in
   let getattr cred h =
     drain_invalidations t;
     t.getattrs <- t.getattrs + 1;
+    (* A fresh cached attribute already reflects the write-behind
+       buffer (its size is updated as the buffer grows); only a miss
+       with dirty data must flush first, or the server would answer
+       with the pre-buffer size. *)
+    if t.write_behind && fresh_attr t h = None then flush_for t h;
     match fresh_attr t h with
     | Some e ->
         t.getattr_hits <- t.getattr_hits + 1;
@@ -223,6 +439,7 @@ let ops (t : t) : Fs_intf.ops =
     fs_setattr =
       (fun cred h s ->
         drain_invalidations t;
+        if t.write_behind then flush_for t h;
         let* a = inner.Fs_intf.fs_setattr cred h s in
         invalidate_fh t h;
         note_attr t h a;
@@ -307,10 +524,15 @@ let ops (t : t) : Fs_intf.ops =
     fs_read =
       (fun cred h ~off ~count ->
         drain_invalidations t;
+        if t.write_behind then flush_for t h;
         t.reads <- t.reads + 1;
         (* Whole-block caching: a read is a hit when every covered block
            is cached and attributes are fresh. *)
         let first = off / block_size and last = if count = 0 then off / block_size else (off + count - 1) / block_size in
+        (* Replies from earlier readahead land in the block cache first,
+           so a prefetched block is an ordinary hit below. *)
+        if t.pipeline <> None then claim_inflight t h first last;
+        let run = if t.pipeline <> None then note_seq t h first last else 0 in
         let cached =
           fresh_attr t h <> None
           &&
@@ -337,41 +559,99 @@ let ops (t : t) : Fs_intf.ops =
             Buffer.add_substring buf data block_off take;
             pos := !pos + take
           done;
+          (* Keep the window full behind a sequential consumer. *)
+          if run >= readahead_min_run then top_up t cred h ~next:(last + 1);
           Ok (Buffer.contents buf, off + n >= size, e.attr)
         end
         else begin
           Obs.incr t.obs "cache.read.miss";
-          let* data, eof, a = inner.Fs_intf.fs_read cred h ~off ~count in
-          note_attr t h a;
-          (* Cache only block-aligned full coverage to keep bookkeeping
-             simple; partial tail blocks are cached on eof. *)
-          if off mod block_size = 0 then begin
-            List.iteri
-              (fun i chunk ->
-                if String.length chunk = block_size || eof then
-                  note_block t h ((off / block_size) + i) chunk)
-              (Sfs_util.Bytesutil.chunks ~size:block_size data)
-          end;
-          Ok (data, eof, a)
+          match
+            if run >= readahead_min_run then fetch_pipelined t cred h ~off ~count ~first ~last
+            else None
+          with
+          | Some r -> Ok r
+          | None ->
+              let* data, eof, a = inner.Fs_intf.fs_read cred h ~off ~count in
+              note_attr t h a;
+              (* Cache only block-aligned full coverage to keep bookkeeping
+                 simple; partial tail blocks are cached on eof. *)
+              if off mod block_size = 0 then begin
+                List.iteri
+                  (fun i chunk ->
+                    if String.length chunk = block_size || eof then
+                      note_block t h ((off / block_size) + i) chunk)
+                  (Sfs_util.Bytesutil.chunks ~size:block_size data)
+              end;
+              Ok (data, eof, a)
         end);
     fs_write =
       (fun cred h ~off ~stable data ->
         drain_invalidations t;
-        let* a = inner.Fs_intf.fs_write cred h ~off ~stable data in
-        (* Write-through with local block update; attributes first, so
-           the mtime change does not evict the blocks we are adding.
-           Partial chunks are cacheable when they form the file's tail
-           (the read path bounds hits by the cached size). *)
-        note_attr t h a;
-        if off mod block_size = 0 then
-          List.iteri
-            (fun i chunk ->
-              let chunk_off = off + (i * block_size) in
-              if String.length chunk = block_size || chunk_off + String.length chunk = a.size
-              then note_block t h (chunk_off / block_size) chunk)
-            (Sfs_util.Bytesutil.chunks ~size:block_size data)
-        else drop_blocks t h;
-        Ok a);
+        (* A write to a different file flushes the (single) gather
+           buffer, preserving server-visible write order. *)
+        (match t.wbuf with Some w when w.wb_fh <> h -> flush_dirty t | _ -> ());
+        let write_through () =
+          let* a = inner.Fs_intf.fs_write cred h ~off ~stable data in
+          (* Write-through with local block update; attributes first, so
+             the mtime change does not evict the blocks we are adding.
+             Partial chunks are cacheable when they form the file's tail
+             (the read path bounds hits by the cached size). *)
+          note_written t h ~off data a;
+          Ok a
+        in
+        (* Predicted post-write attributes: the cached entry with its
+           size extended over the buffered extent.  Updating the stored
+           entry keeps getattr and the readahead size bound honest
+           without contacting the server. *)
+        let predict (w : wbuf) : fattr option =
+          match Hashtbl.find_opt t.attrs h with
+          | Some e ->
+              let extent = w.wb_off + Buffer.length w.wb_buf in
+              let a = if extent > e.attr.size then { e.attr with size = extent } else e.attr in
+              Hashtbl.replace t.attrs h { e with attr = a };
+              Some a
+          | None -> None
+        in
+        if not (t.write_behind && not stable) then begin
+          if t.write_behind then flush_for t h;
+          write_through ()
+        end
+        else begin
+          match t.wbuf with
+          | Some w
+            when w.wb_fh = h && w.wb_cred = cred && off = w.wb_off + Buffer.length w.wb_buf -> (
+              Buffer.add_string w.wb_buf data;
+              Obs.add t.obs "cache.wb.bytes" (String.length data);
+              match predict w with
+              | Some a ->
+                  if Buffer.length w.wb_buf >= gather_bytes then flush_dirty t;
+                  Ok a
+              | None ->
+                  (* No cached attributes to predict from: give up on
+                     buffering this run. *)
+                  flush_dirty t;
+                  inner.Fs_intf.fs_getattr cred h)
+          | other -> (
+              (* Non-contiguous, different user, or nothing buffered:
+                 flush and try to start a fresh buffer. *)
+              (match other with Some _ -> flush_dirty t | None -> ());
+              match fresh_attr t h with
+              | None -> write_through ()
+              | Some _ -> (
+                  let w =
+                    { wb_fh = h; wb_off = off; wb_buf = Buffer.create (2 * gather_bytes); wb_cred = cred }
+                  in
+                  Buffer.add_string w.wb_buf data;
+                  t.wbuf <- Some w;
+                  Obs.add t.obs "cache.wb.bytes" (String.length data);
+                  match predict w with
+                  | Some a ->
+                      if Buffer.length w.wb_buf >= gather_bytes then flush_dirty t;
+                      Ok a
+                  | None ->
+                      t.wbuf <- None;
+                      write_through ()))
+        end);
     fs_create =
       (fun cred ~dir name ~mode ->
         drain_invalidations t;
@@ -402,18 +682,21 @@ let ops (t : t) : Fs_intf.ops =
         Ok (h, a));
     fs_remove =
       (fun cred ~dir name ->
+        if t.write_behind then flush_dirty t;
         let* () = inner.Fs_intf.fs_remove cred ~dir name in
         Hashtbl.remove t.names (dir, name);
         if not t.policy.use_leases then Hashtbl.remove t.attrs dir;
         Ok ());
     fs_rmdir =
       (fun cred ~dir name ->
+        if t.write_behind then flush_dirty t;
         let* () = inner.Fs_intf.fs_rmdir cred ~dir name in
         Hashtbl.remove t.names (dir, name);
         if not t.policy.use_leases then Hashtbl.remove t.attrs dir;
         Ok ());
     fs_rename =
       (fun cred ~from_dir ~from_name ~to_dir ~to_name ->
+        if t.write_behind then flush_dirty t;
         let* () = inner.Fs_intf.fs_rename cred ~from_dir ~from_name ~to_dir ~to_name in
         Hashtbl.remove t.names (from_dir, from_name);
         Hashtbl.remove t.names (to_dir, to_name);
@@ -440,6 +723,11 @@ let ops (t : t) : Fs_intf.ops =
               (de.d_fh, Simclock.now_us t.clock +. (name_ttl_s t de.d_attr *. 1_000_000.0)))
           entries;
         Ok entries);
-    fs_commit = (fun cred h -> inner.Fs_intf.fs_commit cred h);
+    fs_commit =
+      (fun cred h ->
+        (* The deferred COMMIT: dirty data goes out as one gather-WRITE
+           first, then the commit covers it. *)
+        if t.write_behind then flush_for t h;
+        inner.Fs_intf.fs_commit cred h);
     fs_fsstat = (fun cred h -> inner.Fs_intf.fs_fsstat cred h);
   }

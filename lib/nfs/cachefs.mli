@@ -27,21 +27,40 @@ type t
 val create :
   ?take_invalidations:(unit -> fh list) ->
   ?obs:Sfs_obs.Obs.registry ->
+  ?pipeline:Fs_intf.pipeline ->
+  ?write_behind:bool ->
   clock:Sfs_net.Simclock.t ->
   policy:policy ->
   Fs_intf.ops ->
   t
 (** [take_invalidations] drains the server's piggybacked callbacks; it
     is polled before every cache consultation when leases are in use.
+    When [pipeline] is given, sequential reads (after a short run of
+    consecutive blocks on one handle) are fetched through the windowed
+    dispatcher with [pl_depth] blocks of readahead; any pipelined
+    failure falls back to the synchronous path, whose recovery handles
+    it.  [write_behind] (default off) coalesces contiguous unstable
+    writes into gather-WRITEs of up to 64 KB, flushed on any dependent
+    operation (read/setattr/commit of the file, a write elsewhere) or
+    via {!flush_dirty}.
     When [obs] is given, per-cache hit/miss tallies are recorded under
     [cache.attr.*], [cache.name.*], [cache.neg.hit], [cache.access.*],
-    [cache.read.*], plus [cache.invalidations] for drained callbacks. *)
+    [cache.read.*], plus [cache.invalidations] for drained callbacks,
+    [cache.readahead.submit], and [cache.wb.flush] / [cache.wb.bytes]
+    for the write-behind path. *)
 
 val ops : t -> Fs_intf.ops
 (** The caching view of the wrapped file system. *)
 
 val invalidate_all : t -> unit
-(** Drop everything (unmount/remount between benchmark phases). *)
+(** Drop everything (unmount/remount between benchmark phases) — except
+    the write-behind buffer, which holds unwritten user data rather
+    than cached server state; call {!flush_dirty} first if the mount is
+    going away for good. *)
+
+val flush_dirty : t -> unit
+(** Push any buffered write-behind data to the server now (one gather
+    WRITE).  No-op when clean. *)
 
 val stats : t -> (int * int) * (int * int) * (int * int)
 (** [((getattrs, hits), (lookups, hits), (reads, hits))]. *)

@@ -34,3 +34,16 @@ type ops = {
   fs_commit : Simos.cred -> fh -> unit res;
   fs_fsstat : Simos.cred -> fh -> (int * int) res; (* files, bytes *)
 }
+
+(* A pipelined read path the transport may offer the cache (readahead).
+   [pl_submit] issues one READ through the windowed dispatcher and
+   returns a thunk that awaits the reply — or [None] when the transport
+   cannot pipeline right now.  The thunk may raise (transport fault);
+   callers fall back to the synchronous [fs_read], whose recovery path
+   handles it.  READs are idempotent, so an abandoned in-flight prefetch
+   is harmless. *)
+type pipeline = {
+  pl_depth : int; (* readahead depth (blocks beyond the demanded one) *)
+  pl_submit :
+    Simos.cred -> fh -> off:int -> count:int -> (unit -> (string * bool * fattr) res) option;
+}

@@ -9,6 +9,8 @@
 open Nfs_types
 module Simos = Sfs_os.Simos
 module Simnet = Sfs_net.Simnet
+module Rpc_mux = Sfs_net.Rpc_mux
+module Costmodel = Sfs_net.Costmodel
 module Xdr = Sfs_xdr.Xdr
 module Sunrpc = Sfs_xdr.Sunrpc
 module Obs = Sfs_obs.Obs
@@ -53,6 +55,7 @@ let create ?retry ~(machine : string) (send : transport) : t =
   { send; xid = 1; machine; enc = Xdr.make_enc (); retry }
 
 let of_conn ?retry ~(machine : string) (conn : Simnet.conn) : t =
+  (* sfslint: allow SL010 — mount/setup transport; data reads pipeline via conn_pipeline *)
   create ?retry ~machine (fun bytes -> Simnet.call conn bytes)
 
 exception Rpc_failure of string
@@ -196,6 +199,7 @@ let generic_ops (call : raw_call) ~(root : fh) : Fs_intf.ops =
    (TCP)'s poor showing on write-heavy workloads. *)
 let conn_ops ?(stall = fun (_ : int) -> ()) ?retry ~(machine : string) (conn : Simnet.conn)
     ~(root : fh) : Fs_intf.ops =
+  (* sfslint: allow SL010 — metadata/sync ops keep NFS RPC semantics; READs pipeline, WRITEs go async *)
   let sync = create ?retry ~machine (fun b -> Simnet.call conn b) in
   let async_t =
     { (create ?retry ~machine (fun b -> Simnet.call_async conn b)) with xid = 100_000_000 }
@@ -213,10 +217,68 @@ let ops (t : t) ~(root : fh) : Fs_intf.ops =
       call_raw t ~cred ~prog:Nfs_proto.prog ~vers:Nfs_proto.vers ~proc args)
     ~root
 
+(* The windowed READ path (readahead): its own xid space, so pipelined
+   traffic can never collide with the sync (base 1) or async (base 1e8)
+   clients, and its own Rpc_mux over the measured exchange.  No
+   retransmission here — a fault raises out of the await thunk, and the
+   caller (Cachefs) falls back to the synchronous path, whose retry
+   machinery recovers; READs are idempotent, so the abandoned xid is
+   harmless. *)
+let conn_pipeline ?obs ?(window = 16) ?(depth = 16) (net : Simnet.t)
+    ~(proto : Costmodel.transport_proto) ~(machine : string) (conn : Simnet.conn) :
+    Fs_intf.pipeline =
+  let costs = Simnet.costs net in
+  let enc = Xdr.make_enc () in
+  let xid = ref 200_000_000 in
+  let mux =
+    Rpc_mux.create ?obs ~window ~clock:(Simnet.clock net)
+      ~wire_us:(fun bytes -> Costmodel.transfer_us costs proto bytes)
+      ~latency_us:(Costmodel.rpc_fixed_us costs proto)
+      ~op_us:costs.Costmodel.pipeline_nfs_op_us
+      ~exchange:(fun msg ->
+        let reply, server_us = Simnet.call_measured conn msg in
+        { Rpc_mux.c_payload = reply; c_server_us = server_us; c_wire_bytes = String.length reply })
+      ()
+  in
+  let pl_submit cred h ~off ~count =
+    let this_xid = !xid in
+    incr xid;
+    let msg =
+      Sunrpc.msg_to_string ~enc
+        (Sunrpc.Call
+           {
+             Sunrpc.xid = this_xid;
+             prog = Nfs_proto.prog;
+             vers = Nfs_proto.vers;
+             proc = Nfs_proto.proc_read;
+             cred = rpc_auth_of_cred machine cred;
+             args = Xdr.encode Nfs_proto.enc_read_args (h, off, count);
+           })
+    in
+    match Rpc_mux.submit mux ~wire_bytes:(String.length msg) msg with
+    | ticket ->
+        Some
+          (fun () ->
+            let reply = Rpc_mux.await mux ticket in
+            match Sunrpc.msg_of_string reply with
+            | Ok (Sunrpc.Reply r) when r.Sunrpc.reply_xid = this_xid || r.Sunrpc.reply_xid = 0 -> (
+                match r.Sunrpc.body with
+                | Sunrpc.Success results -> (
+                    match Xdr.run results (Nfs_proto.dec_res Nfs_proto.dec_read_ok) with
+                    | Ok v -> v
+                    | Result.Error e -> raise (Rpc_failure ("unparsable result: " ^ e)))
+                | _ -> raise (Rpc_failure "pipelined read rejected"))
+            | _ -> raise (Rpc_failure "pipelined read: bad reply"))
+    | exception Simnet.Timeout -> None
+  in
+  { Fs_intf.pl_depth = depth; pl_submit }
+
 (* Convenience: dial an NFS server over the simulated network and mount
-   its export. *)
-let mount ?retry (net : Simnet.t) ~(from_host : string) ~(addr : string)
-    ~(proto : Sfs_net.Costmodel.transport_proto) ~(cred : Simos.cred) : Fs_intf.ops =
+   its export; [window]/[readahead] > trivial also build the pipelined
+   read path for the caching layer. *)
+let mount_pipelined ?retry ?obs ?(window = 1) ?(readahead = 0) (net : Simnet.t)
+    ~(from_host : string) ~(addr : string) ~(proto : Sfs_net.Costmodel.transport_proto)
+    ~(cred : Simos.cred) : Fs_intf.ops * Fs_intf.pipeline option =
   let conn = Simnet.connect net ~from_host ~addr ~port:2049 ~proto in
   let t = of_conn ?retry ~machine:from_host conn in
   let root = mount_root t ~cred in
@@ -229,4 +291,13 @@ let mount ?retry (net : Simnet.t) ~(from_host : string) ~(addr : string)
           if bytes > costs.Sfs_net.Costmodel.mss_bytes then
             Sfs_net.Simclock.advance (Simnet.clock net) costs.Sfs_net.Costmodel.nfs_tcp_stall_us
   in
-  conn_ops ~stall ?retry ~machine:from_host conn ~root
+  let pipeline =
+    if window > 1 && readahead > 0 then
+      Some (conn_pipeline ?obs ~window ~depth:readahead net ~proto ~machine:from_host conn)
+    else None
+  in
+  (conn_ops ~stall ?retry ~machine:from_host conn ~root, pipeline)
+
+let mount ?retry (net : Simnet.t) ~(from_host : string) ~(addr : string)
+    ~(proto : Sfs_net.Costmodel.transport_proto) ~(cred : Simos.cred) : Fs_intf.ops =
+  fst (mount_pipelined ?retry net ~from_host ~addr ~proto ~cred)

@@ -56,6 +56,20 @@ val conn_ops :
     pipelined path.  [stall] is invoked with each request size — the
     hook that models FreeBSD's suboptimal NFS-over-TCP (section 4.1). *)
 
+val conn_pipeline :
+  ?obs:Sfs_obs.Obs.registry ->
+  ?window:int ->
+  ?depth:int ->
+  Simnet.t ->
+  proto:Sfs_net.Costmodel.transport_proto ->
+  machine:string ->
+  Simnet.conn ->
+  Fs_intf.pipeline
+(** The windowed READ path (readahead) over its own {!Rpc_mux} and xid
+    space.  No retransmission: a fault raises out of the await thunk
+    and the caller falls back to the synchronous path's recovery (READs
+    are idempotent, so abandoned xids are harmless). *)
+
 val mount :
   ?retry:retry ->
   Simnet.t ->
@@ -65,3 +79,18 @@ val mount :
   cred:Simos.cred ->
   Fs_intf.ops
 (** Dial an NFS server on the simulated network and mount its export. *)
+
+val mount_pipelined :
+  ?retry:retry ->
+  ?obs:Sfs_obs.Obs.registry ->
+  ?window:int ->
+  ?readahead:int ->
+  Simnet.t ->
+  from_host:string ->
+  addr:string ->
+  proto:Sfs_net.Costmodel.transport_proto ->
+  cred:Simos.cred ->
+  Fs_intf.ops * Fs_intf.pipeline option
+(** Like {!mount}, but when [window > 1] and [readahead > 0] (defaults
+    are the trivial 1/0) also returns the pipelined read path for
+    {!Cachefs.create}'s [pipeline]. *)

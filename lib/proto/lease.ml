@@ -50,12 +50,22 @@ let register_conn (t : t) : int =
 let drop_conn (t : t) (conn : int) : unit = Hashtbl.remove t.pending conn
 
 (* Record that [conn] received attributes for [fh] (it will cache them
-   until the lease expires). *)
+   until the lease expires).  When the connection already holds an
+   unexpired lease on the file — every block of a sequential scan
+   returns the same attributes — the grant piggybacks on the reply as a
+   refresh of the existing lease rather than a new registration, so a
+   scan costs one grant per file, not one per block. *)
 let grant (t : t) ~(conn : int) (fh : string) : unit =
-  Obs.incr t.obs "lease.grants";
-  let expiry = Simclock.now_us t.clock +. (float_of_int t.lease_s *. 1_000_000.0) in
+  let now = Simclock.now_us t.clock in
+  let expiry = now +. (float_of_int t.lease_s *. 1_000_000.0) in
   let l = match Hashtbl.find_opt t.holders fh with Some l -> l | None -> ref [] in
-  l := (conn, expiry) :: List.remove_assoc conn !l;
+  (match List.assoc_opt conn !l with
+  | Some old_expiry when old_expiry > now ->
+      Obs.incr t.obs "lease.piggyback";
+      l := (conn, expiry) :: List.remove_assoc conn !l
+  | _ ->
+      Obs.incr t.obs "lease.grants";
+      l := (conn, expiry) :: List.remove_assoc conn !l);
   Hashtbl.replace t.holders fh l
 
 (* A mutation of [fh] by [by]: queue invalidations to every other

@@ -79,9 +79,17 @@ let arm_faults (w : world) (spec : Fault.spec) : unit =
 let disarm_faults (w : world) : unit = Simnet.set_injector w.net None
 
 (* A fixed small key size keeps world construction fast; the crypto
-   micro-benchmarks measure the full-size primitives separately. *)
+   micro-benchmarks measure the full-size primitives separately.
+
+   [rpc_window]/[readahead] select the pipelined dispatch path (DESIGN.md
+   §11) on the remote stacks: windowed in-flight RPCs with sequential-read
+   readahead, plus write-behind gathering on the SFS stacks.  The defaults
+   model the paper's async clients; pass [~rpc_window:1 ~readahead:0] for
+   the fully serial lockstep client (the equivalence tests' baseline). *)
 let make ?fault ?(key_bits = 512) ?(server_disk_params = Diskmodel.default_params)
-    ?(costs = Costmodel.default) (stack : stack) : world =
+    ?(costs = Costmodel.default) ?(rpc_window = 16) ?readahead (stack : stack) : world =
+  let rpc_window = max 1 rpc_window in
+  let readahead = match readahead with Some r -> max 0 r | None -> rpc_window in
   let clock = Simclock.create () in
   (* One registry per world: the deterministic observability spine.
      Everything below it keys its spans and counters to the simulated
@@ -135,11 +143,14 @@ let make ?fault ?(key_bits = 512) ?(server_disk_params = Diskmodel.default_param
          exponential backoff, billed to the simulated clock.  A no-op
          on a fault-free network. *)
       let retry = Nfs_client.retry_policy ~obs ~charge:(Simclock.advance clock) () in
-      let ops =
-        Nfs_client.mount ~retry net ~from_host:client_host ~addr:server_location ~proto
-          ~cred:root_cred
+      let ops, pipeline =
+        Nfs_client.mount_pipelined ~retry ~obs ~window:rpc_window ~readahead net
+          ~from_host:client_host ~addr:server_location ~proto ~cred:root_cred
       in
-      let cache = Cachefs.create ~obs ~clock ~policy:Cachefs.nfs_policy ops in
+      (* Readahead only: kernel NFS write traffic already goes through the
+         async write-behind path in [conn_ops], so the cache stays
+         write-through here to keep the fig9 write calibration intact. *)
+      let cache = Cachefs.create ~obs ~clock ?pipeline ~policy:Cachefs.nfs_policy ops in
       let vfs = Core.Vfs.make ~clock ~root_fs:client_root () in
       Core.Vfs.add_mount vfs ~at:"/mnt" (Cachefs.ops cache);
       {
@@ -174,7 +185,8 @@ let make ?fault ?(key_bits = 512) ?(server_disk_params = Diskmodel.default_param
       let encrypt = stack <> Sfs_noenc in
       let cache_policy = if stack = Sfs_nocache then Cachefs.nfs_policy else Cachefs.sfs_policy in
       let client =
-        Core.Client.create ~encrypt ~cache_policy ~obs net ~from_host:client_host ~rng ()
+        Core.Client.create ~encrypt ~cache_policy ~rpc_window ~readahead ~obs net
+          ~from_host:client_host ~rng ()
       in
       let vfs = Core.Vfs.make ~sfscd:client ~clock ~root_fs:client_root () in
       let agent = Core.Agent.create ~now_us:(fun () -> Simclock.now_us clock) ~obs user in

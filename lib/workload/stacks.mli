@@ -45,13 +45,18 @@ val make :
   ?key_bits:int ->
   ?server_disk_params:Diskmodel.params ->
   ?costs:Costmodel.t ->
+  ?rpc_window:int ->
+  ?readahead:int ->
   stack ->
   world
 (** Build a ready world: server with a world-writable /bench, client
     machine, and (for SFS stacks) keys, authserv, agent and a primed
     authenticated mount.  [fault] arms a fault plan on the network
     {e after} construction and priming (construction always runs
-    clean). *)
+    clean).  [rpc_window] (default 16) and [readahead] (default
+    [rpc_window]) configure the pipelined RPC dispatcher on the remote
+    stacks — DESIGN.md §11; [~rpc_window:1 ~readahead:0] rebuilds the
+    fully serial client the equivalence tests compare against. *)
 
 val arm_faults : world -> Sfs_fault.Fault.spec -> unit
 (** Compile the plan against this world's clock and obs registry and

@@ -13,6 +13,7 @@ module Fault = Sfs_fault.Fault
 module Stacks = Sfs_workload.Stacks
 module Simclock = Sfs_net.Simclock
 module Memfs = Sfs_nfs.Memfs
+module Cachefs = Sfs_nfs.Cachefs
 module Obs = Sfs_obs.Obs
 module Vfs = Sfs_core.Vfs
 
@@ -202,6 +203,72 @@ let oracle_prop =
       run_ops clean ops;
       signature faulty.Stacks.server_fs = signature clean.Stacks.server_fs)
 
+(* --- Pipelining is invisible to correctness (DESIGN.md §11) --- *)
+
+(* Sequential large-file traffic, big enough to trigger readahead runs
+   (>= 8 consecutive blocks) and coalesced write-behind gathers on the
+   pipelined stacks.  The re-reads hit whatever the prefetcher pulled
+   in; the second file's odd tail length exercises the partial last
+   block of a gather. *)
+let seq_phase (seed : int) : op list =
+  let r = Testkit.make_rand (seed + 17) in
+  let big = Testkit.rand_string r (12 * 8192) in
+  [
+    Mkdir "seq";
+    Write ("seq/big", big);
+    Read "seq/big";
+    Write ("seq/odd", String.sub big 0 ((3 * 8192) + 137));
+    Read "seq/odd";
+  ]
+
+(* The signature reflects the server's tree, so a pipelined client must
+   push any write-behind buffer out before we compare.  Faults may make
+   the flush itself fail; like the workload, we shrug — convergence of
+   the surviving state is what the property asserts. *)
+let settle (w : Stacks.world) : unit =
+  match w.Stacks.client_cache with
+  | None -> ()
+  | Some c -> (
+      try Cachefs.flush_dirty c
+      with Sfs_nfs.Nfs_client.Rpc_failure _ | Sfs_net.Simnet.Timeout -> ())
+
+(* Windowed dispatch, readahead and write-behind re-account *time*;
+   they must never change *state*: any pipelined configuration yields a
+   server tree byte-identical to the fully serial client's. *)
+let pipeline_equiv_prop =
+  QCheck.Test.make ~count:60 ~name:"pipelined tree is byte-identical to serial"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Testkit.make_rand (seed + 3) in
+      let stack = if r () land 1 = 0 then Stacks.Nfs_udp else Stacks.Sfs in
+      let window = [| 2; 4; 16 |].(r () mod 3) in
+      let readahead = r () mod 24 in
+      let ops = ops_of_seed seed @ seq_phase seed in
+      let serial = Stacks.make ~rpc_window:1 ~readahead:0 stack in
+      run_ops serial ops;
+      let piped = Stacks.make ~rpc_window:window ~readahead stack in
+      run_ops piped ops;
+      settle piped;
+      signature serial.Stacks.server_fs = signature piped.Stacks.server_fs)
+
+(* And the same under fire: the existing oracle fault plans, replayed
+   against a pipelined client, still converge to the serial fault-free
+   tree — faults cost time, pipelining saves it, neither touches
+   correctness. *)
+let pipeline_fault_oracle_prop =
+  QCheck.Test.make ~count:100
+    ~name:"pipelined faulty run converges to the serial fault-free oracle"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let stack, spec, ops = scenario_of_seed seed in
+      let ops = ops @ seq_phase seed in
+      let faulty = Stacks.make ~fault:spec ~rpc_window:(2 + (seed mod 15)) stack in
+      run_ops faulty ops;
+      settle faulty;
+      let serial = Stacks.make ~rpc_window:1 ~readahead:0 stack in
+      run_ops serial ops;
+      signature faulty.Stacks.server_fs = signature serial.Stacks.server_fs)
+
 let suite =
   ( "fault",
     [
@@ -210,4 +277,4 @@ let suite =
       Alcotest.test_case "retransmit cache absorbs duplicates" `Quick test_retransmit_cache;
       Alcotest.test_case "crash window: reconnect + reauth" `Quick test_crash_recovery;
     ]
-    @ Testkit.to_alcotest [ oracle_prop ] )
+    @ Testkit.to_alcotest [ oracle_prop; pipeline_equiv_prop; pipeline_fault_oracle_prop ] )

@@ -184,6 +184,20 @@ let test_sl009 () =
   silent "pragma" ~path:"lib/proto/channel.ml" ~code:"SL009"
     "(* sfslint: allow SL009 — one-time counter names at create *)\nlet f a b = a ^ b"
 
+let test_sl010 () =
+  fires "Simnet.call in the SFS client" ~path:"lib/core/client.ml" ~code:"SL010"
+    {|let f conn wire = Simnet.call conn wire|};
+  fires "fully qualified" ~path:"lib/nfs/nfs_client.ml" ~code:"SL010"
+    {|let f conn wire = Sfs_net.Simnet.call conn wire|};
+  silent "call_async is the point" ~path:"lib/core/client.ml" ~code:"SL010"
+    {|let f conn wire = Simnet.call_async conn wire|};
+  silent "call_measured feeds the mux" ~path:"lib/nfs/nfs_client.ml" ~code:"SL010"
+    {|let f conn wire = Simnet.call_measured conn wire|};
+  silent "outside the client hot paths" ~path:"lib/core/server.ml" ~code:"SL010"
+    {|let f conn wire = Simnet.call conn wire|};
+  silent "waived setup exchange" ~path:"lib/core/client.ml" ~code:"SL010"
+    "(* sfslint: allow SL010 — key negotiation is a serial handshake *)\nlet f conn wire = Simnet.call conn wire"
+
 let test_sl000_pragma_hygiene () =
   fires "no codes" ~path:"lib/core/vfs.ml" ~code:"SL000"
     "(* sfslint: allow *)\nlet x = 1";
@@ -238,6 +252,7 @@ let suite =
       Alcotest.test_case "SL007 interface files" `Quick test_sl007;
       Alcotest.test_case "SL008 stdout silence" `Quick test_sl008;
       Alcotest.test_case "SL009 wire-path string building" `Quick test_sl009;
+      Alcotest.test_case "SL010 blocking call on hot path" `Quick test_sl010;
       Alcotest.test_case "SL000 pragma hygiene" `Quick test_sl000_pragma_hygiene;
       Alcotest.test_case "enable/disable filtering" `Quick test_enable_disable;
       Alcotest.test_case "engine robustness" `Quick test_engine_robustness;

@@ -169,6 +169,83 @@ let ordering_prop =
              = List.filter_map (fun (c, m) -> if c = ci then Some m else None) sends)
            [ 0; 1; 2 ])
 
+(* --- Rpc_mux: windowed dispatch (DESIGN.md §11) --- *)
+
+module Rpc_mux = Sfs_net.Rpc_mux
+
+(* wire 0.1 µs/byte, 100 µs fixed latency, 5 µs per-reply residual,
+   40 µs of server time per call; requests are 100 B, replies 200 B. *)
+let make_mux window clock =
+  Rpc_mux.create ~window ~clock
+    ~wire_us:(fun b -> float_of_int b /. 10.0)
+    ~latency_us:100.0 ~op_us:5.0
+    ~exchange:(fun req ->
+      { Rpc_mux.c_payload = "r:" ^ req; c_server_us = 40.0; c_wire_bytes = 200 })
+    ()
+
+let test_mux_timing () =
+  (* window=1 degenerates to the serial schedule: every call pays the
+     full req-wire + server + reply-wire + residual + latency. *)
+  let clock1 = Simclock.create () in
+  let mux1 = make_mux 1 clock1 in
+  let per_call = 10.0 +. 40.0 +. 20.0 +. 5.0 +. 100.0 in
+  Testkit.check_string "payload" "r:a" (Rpc_mux.await mux1 (Rpc_mux.submit mux1 ~wire_bytes:100 "a"));
+  Alcotest.(check (float 1e-6)) "serial cost" per_call (Simclock.now_us clock1);
+  ignore (Rpc_mux.await mux1 (Rpc_mux.submit mux1 ~wire_bytes:100 "b"));
+  Alcotest.(check (float 1e-6)) "serial cost x2" (2.0 *. per_call) (Simclock.now_us clock1);
+  (* window=8: the eight round trips overlap; after the first reply's
+     full pipeline fill (175 µs) each further reply is gated only by
+     the 40 µs server bottleneck, not the whole round trip. *)
+  let clock8 = Simclock.create () in
+  let mux8 = make_mux 8 clock8 in
+  let ts = List.init 8 (fun i -> Rpc_mux.submit mux8 ~wire_bytes:100 (string_of_int i)) in
+  List.iteri
+    (fun i t -> Testkit.check_string "reply" ("r:" ^ string_of_int i) (Rpc_mux.await mux8 t))
+    ts;
+  Alcotest.(check (float 1e-6)) "pipelined wall-clock" (175.0 +. (7.0 *. 40.0)) (Simclock.now_us clock8);
+  Testkit.check_int "all complete" 0 (Rpc_mux.in_flight mux8)
+
+let test_mux_semantics () =
+  let clock = Simclock.create () in
+  let calls = ref [] in
+  let boom = ref false in
+  let mux =
+    Rpc_mux.create ~window:2 ~clock
+      ~wire_us:(fun b -> float_of_int b)
+      ~latency_us:10.0 ~op_us:1.0
+      ~exchange:(fun req ->
+        calls := req :: !calls;
+        if !boom then failwith ("boom:" ^ req);
+        { Rpc_mux.c_payload = req; c_server_us = 5.0; c_wire_bytes = 1 })
+      ()
+  in
+  let fired = ref 0 in
+  let t1 = Rpc_mux.submit ~on_complete:(fun _ -> incr fired) mux ~wire_bytes:1 "a" in
+  let _t2 = Rpc_mux.submit mux ~wire_bytes:1 "b" in
+  Testkit.check_int "window full" 2 (Rpc_mux.in_flight mux);
+  (* A third submit stalls: the oldest ticket is forced to completion
+     (callback fires) before the new call takes its slot. *)
+  let t3 = Rpc_mux.submit mux ~wire_bytes:1 "c" in
+  Testkit.check_int "stall completed oldest" 1 !fired;
+  Testkit.check_int "slot reused" 2 (Rpc_mux.in_flight mux);
+  (* Exchanges ran eagerly, in submission order — the server saw the
+     same sequence a serial client would send. *)
+  Testkit.check_string "submission order" "a,b,c" (String.concat "," (List.rev !calls));
+  Testkit.check_string "await after forced completion" "a" (Rpc_mux.await mux t1);
+  Testkit.check_int "callback fires exactly once" 1 !fired;
+  Testkit.check_string "out-of-order await" "c" (Rpc_mux.await mux t3);
+  Rpc_mux.drain mux;
+  Testkit.check_int "drained" 0 (Rpc_mux.in_flight mux);
+  (* A failing exchange is captured at submit and re-raised at await. *)
+  boom := true;
+  let tx = Rpc_mux.submit mux ~wire_bytes:1 "x" in
+  (match Rpc_mux.await mux tx with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure m -> Testkit.check_string "failure surfaces at await" "boom:x" m);
+  Alcotest.check_raises "window must be positive"
+    (Invalid_argument "Rpc_mux.create: window < 1") (fun () ->
+      ignore (make_mux 0 (Simclock.create ())))
+
 let suite =
   ( "net",
     [
@@ -182,5 +259,7 @@ let suite =
       Alcotest.test_case "closed connection" `Quick test_closed_conn;
       Alcotest.test_case "per-connection state" `Quick test_per_connection_state;
       Alcotest.test_case "clock" `Quick test_clock;
+      Alcotest.test_case "rpc mux timing" `Quick test_mux_timing;
+      Alcotest.test_case "rpc mux semantics" `Quick test_mux_semantics;
     ]
     @ Testkit.to_alcotest [ ordering_prop ] )

@@ -88,6 +88,12 @@ let rules : rule_info list =
       ri_hint =
         "work block-wise on Bytes (Arc4.*_into, Mac.mac_into, Bytesutil.put_*) instead of per-byte String combinators or concatenation";
     };
+    {
+      ri_code = "SL010";
+      ri_title = "blocking Simnet.call on a client hot path";
+      ri_hint =
+        "route request/reply traffic through Rpc_mux (Simnet.call_measured) or Simnet.call_async so round trips can overlap; waive with a pragma for setup/auth/recovery exchanges that are serial by design";
+    };
   ]
 
 let all_codes = List.map (fun r -> r.ri_code) rules
@@ -126,6 +132,14 @@ let sl009_applies path =
 let sl009_hot path =
   List.mem path
     [ "lib/crypto/arc4.ml"; "lib/crypto/sha1.ml"; "lib/crypto/mac.ml"; "lib/proto/channel.ml" ]
+(* SL010: the client-side RPC hot paths.  A synchronous [Simnet.call]
+   here serialises the whole round trip; data traffic must go through
+   the windowed dispatcher or the async path.  Setup, key negotiation,
+   authentication and recovery exchanges are inherently serial and
+   carry pragmas. *)
+let sl010_applies path =
+  List.mem path [ "lib/nfs/nfs_client.ml"; "lib/core/client.ml" ]
+
 let sl003_applies path = in_lib path && path <> "lib/net/simclock.ml"
 let sl004_applies path = starts_with ~prefix:"lib/xdr/" path || starts_with ~prefix:"lib/proto/" path
 
@@ -417,6 +431,12 @@ let check_ast ~(path : string) ~(enabled : string list) (ast : structure) : diag
              (Printf.sprintf "%s in decoder '%s' lets a malicious peer crash the server"
                 (String.concat "." p)
                 (match !binding_stack with b :: _ -> b | [] -> "?"))
+       | _ -> ());
+    (if sl010_applies path then
+       match p with
+       | [ "Simnet"; "call" ] | [ "Sfs_net"; "Simnet"; "call" ] ->
+           add ~loc "SL010"
+             "blocking Simnet.call serialises the round trip on a client hot path"
        | _ -> ());
     (if sl009_applies path then
        match p with
