@@ -1,17 +1,25 @@
 # Convenience targets; everything is driven by dune underneath.
 
-.PHONY: all build lint test bench trace perf ci clean
+.PHONY: all build lint taint test bench trace perf ci clean
 
 all: build
 
 build:
 	dune build
 
-# Run sfslint over lib/ and refresh lint-report.json.
+# Run sfslint over lib/ and refresh the committed lint-report.json
+# (the @lint alias is a drift gate: it diffs the regenerated report
+# against the committed one; --auto-promote refreshes it in place).
 lint:
-	dune build @lint
+	dune build @lint --auto-promote
 
-# Full tier-1 suite (includes the @lint gate and the linter's self-tests).
+# Run the sfstaint whole-program secret-flow analysis over lib/ and
+# refresh the committed taint-report.json the same way.
+taint:
+	dune build @taint --auto-promote
+
+# Full tier-1 suite (includes the @lint/@taint gates and both tools'
+# self-test suites).
 test:
 	dune runtest
 
@@ -48,10 +56,11 @@ perf: build
 	@echo "perf: simulated-time figures unchanged vs HEAD"
 
 # Everything the CI workflow runs, in the same order: build, the full
-# tier-1 test suite (which includes the @lint gate), the perf
-# determinism gate, and a standalone lint pass that refreshes
-# lint-report.json for the CI artifact upload.
-ci: build test perf lint
+# tier-1 test suite (which includes the @lint/@taint drift gates), the
+# perf determinism gate, and a strict static-analysis pass (no
+# promotion: a stale committed report fails here, as in CI).
+ci: build test perf
+	dune build @lint @taint
 	@echo "ci: all gates passed"
 
 clean:

@@ -30,6 +30,7 @@ val user : t -> Simos.user
 val add_key : t -> Rabin.priv -> unit
 
 val keys : t -> Rabin.priv list
+[@@sfs.secret]
 (** Directly-held keys only (not split or proxied signers). *)
 
 val add_split_key : t -> local:Keysplit.share -> fetch_rest:(unit -> Keysplit.share list) -> unit

@@ -94,6 +94,7 @@ val enc_registration : Xdr.enc -> registration -> unit
 val dec_registration : Xdr.dec -> registration
 
 val seal_with : string -> string -> string
+[@@sfs.declassify "ARC4+HMAC seal under the SRP session key; the sealed payload is wire-safe"]
 (** One-shot sealing under a symmetric key (the SRP session key). *)
 
 val open_with : string -> string -> string option

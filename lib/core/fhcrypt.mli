@@ -11,6 +11,7 @@ val create : string -> t
 val of_prng : Sfs_crypto.Prng.t -> t
 
 val encrypt : t -> string -> string
+[@@sfs.declassify "blinded file handle: Arc4+MAC output reveals nothing about the handle key"]
 (** Inner handles up to 40 bytes. *)
 
 val decrypt : t -> string -> string option

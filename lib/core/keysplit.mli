@@ -14,6 +14,7 @@ val split : Prng.t -> Rabin.priv -> n:int -> share list
 (** @raise Invalid_argument for [n < 2]. *)
 
 val combine : share list -> Rabin.priv option
+[@@sfs.secret]
 (** Needs all [n] distinct shares of one splitting. *)
 
 val refresh : Prng.t -> share list -> share list option
@@ -21,4 +22,5 @@ val refresh : Prng.t -> share list -> share list option
     share sets are incompatible. *)
 
 val share_to_string : share -> string
+[@@sfs.declassify "one serialized share of an n-of-n XOR split is uniformly random on its own (section 2.5.1)"]
 val share_of_string : string -> share option

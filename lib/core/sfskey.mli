@@ -21,6 +21,7 @@ val error_to_string : error -> string
 
 val encrypt_privkey :
   cost:int -> salt:string -> user:string -> password:string -> Rabin.priv -> string
+[@@sfs.declassify "the private key leaves here only under the password-derived ARC4+MAC seal (section 2.4)"]
 
 val decrypt_privkey :
   cost:int -> salt:string -> user:string -> password:string -> string -> Rabin.priv option
@@ -35,8 +36,9 @@ val register_local :
 
 type fetched = {
   server_path : Pathname.t;
-  private_key : Rabin.priv option;
-  session_key : string; (** for follow-up registration on this session *)
+  private_key : Rabin.priv option; [@sfs.secret]
+  session_key : string; [@sfs.secret]
+      (** for follow-up registration on this session *)
   srp_conn : Simnet.conn;
 }
 

@@ -21,6 +21,7 @@ val skip : t -> int -> unit
     throwaway keystream. *)
 
 val keystream : t -> int -> string
+[@@sfs.secret]
 (** [keystream t n] advances the stream, returning [n] bytes. *)
 
 val keystream_into : t -> Bytes.t -> off:int -> len:int -> unit
@@ -28,18 +29,22 @@ val keystream_into : t -> Bytes.t -> off:int -> len:int -> unit
     @raise Invalid_argument when the range is out of bounds. *)
 
 val encrypt : t -> string -> string
+[@@sfs.declassify "stream-cipher output is ciphertext; it reveals neither key nor keystream"]
 (** Xors the input against the stream, advancing it. *)
 
 val encrypt_into : t -> Bytes.t -> off:int -> len:int -> unit
+[@@sfs.declassify "in-place stream-cipher pass leaves ciphertext in the buffer, not key material"]
 (** Xors [len] bytes at [off] in place against the stream — the
     single-pass whole-frame encryption of the channel fast path.
     @raise Invalid_argument when the range is out of bounds. *)
 
 val xor_into : t -> src:string -> src_off:int -> dst:Bytes.t -> dst_off:int -> len:int -> unit
+[@@sfs.declassify "xor against the keystream yields ciphertext or recovered plaintext, never the stream itself"]
 (** Xors [len] bytes of [src] at [src_off] against the stream into
     [dst] at [dst_off]: decryption straight off the wire into a caller
     buffer. @raise Invalid_argument when either range is out of
     bounds. *)
 
 val decrypt : t -> string -> string
+[@@sfs.declassify "recovered plaintext is application data; where it is a key the consuming interface re-asserts secrecy"]
 (** Identical to {!encrypt}; named for call-site clarity. *)

@@ -9,19 +9,25 @@ type schedule
     per MAC into two context clones. *)
 
 val schedule : key:string -> schedule
+[@@sfs.secret]
 
 val hmac : key:string -> string -> string
+[@@sfs.declassify "an HMAC tag is published alongside the message; it does not invert to the key"]
 (** Plain HMAC-SHA-1, also used by SRP key confirmation. *)
 
 val hmac_sched : schedule -> string -> string
+[@@sfs.declassify "an HMAC tag is published alongside the message; it does not invert to the key"]
 
 val of_message : key:string -> string -> string
+[@@sfs.declassify "an HMAC tag is published alongside the message; it does not invert to the key"]
 (** MAC over the 4-byte big-endian length followed by the message, per
     paper section 3.1.3. *)
 
 val of_message_sched : schedule -> string -> string
+[@@sfs.declassify "an HMAC tag is published alongside the message; it does not invert to the key"]
 
 val mac_into : schedule -> Bytes.t -> off:int -> len:int -> dst:Bytes.t -> dst_off:int -> unit
+[@@sfs.declassify "writes only the 20-byte public tag into the destination buffer"]
 (** [mac_into s buf ~off ~len ~dst ~dst_off] MACs [len] bytes of [buf]
     at [off] and writes the 20-byte tag into [dst] at [dst_off], with no
     intermediate strings.  The length word is {e not} prepended: the
@@ -30,6 +36,8 @@ val mac_into : schedule -> Bytes.t -> off:int -> len:int -> dst:Bytes.t -> dst_o
     @raise Invalid_argument when the tag range is out of bounds. *)
 
 val verify : key:string -> tag:string -> string -> bool
+[@@sfs.declassify "a boolean verdict from a constant-time comparison reveals no key bits"]
 (** Constant-time comparison against a freshly computed tag. *)
 
 val verify_sched : schedule -> tag:string -> string -> bool
+[@@sfs.declassify "a boolean verdict from a constant-time comparison reveals no key bits"]

@@ -6,9 +6,10 @@
 open Sfs_bignum
 
 type pub = { n : Nat.t; bits : int }
-type priv = { pub : pub; p : Nat.t; q : Nat.t }
+type priv = { pub : pub [@sfs.public]; p : Nat.t; q : Nat.t }
 
 val generate : ?bits:int -> Prng.t -> priv
+[@@sfs.secret]
 (** [generate ~bits rng] draws [p ≡ 3 (mod 8)], [q ≡ 7 (mod 8)] of
     [bits/2] bits each.  Default 1024-bit modulus; tests use smaller. *)
 
@@ -25,6 +26,7 @@ val pub_fingerprint : pub -> string
 
 val priv_to_string : priv -> string
 val priv_of_string : string -> priv option
+[@@sfs.secret]
 (** Private-key serialization, for agent storage and the encrypted-key
     deposit with authserv. *)
 
@@ -34,6 +36,7 @@ type signature = { root : Nat.t; negate : bool; double : bool }
 (** A modular square root plus the two Williams tweak bits. *)
 
 val sign : priv -> string -> signature
+[@@sfs.declassify "a Rabin-Williams signature is published on the wire by design; it reveals a square root, not the factors"]
 val verify : pub -> string -> signature -> bool
 val signature_to_string : signature -> string
 val signature_of_string : string -> signature option
@@ -44,18 +47,22 @@ val max_plaintext : pub -> int
 (** OAEP capacity in bytes for direct encryption. *)
 
 val encrypt : pub -> Prng.t -> string -> Nat.t
+[@@sfs.declassify "OAEP ciphertext under the recipient's public key; safe to transmit"]
 (** OAEP-pad then square. @raise Invalid_argument when the message
     exceeds {!max_plaintext}. *)
 
 val decrypt : priv -> Nat.t -> string option
+[@@sfs.declassify "recovered plaintext is the caller's message, not key material; callers re-assert secrecy where the payload is a key"]
 (** Takes all four square roots; the OAEP redundancy identifies the
     plaintext. [None] on tampered or garbage ciphertext. *)
 
 val encrypt_blob : pub -> Prng.t -> string -> string
+[@@sfs.declassify "hybrid ciphertext+MAC under the recipient's public key; safe to transmit"]
 (** Hybrid encryption for arbitrary-length payloads: Rabin-encrypts a
     fresh 20-byte key, ARC4-encrypts the body, MACs it. *)
 
 val decrypt_blob : priv -> string -> string option
+[@@sfs.declassify "recovered plaintext is the caller's message, not key material; callers re-assert secrecy where the payload is a key"]
 
 (**/**)
 

@@ -17,17 +17,22 @@ val copy : ctx -> ctx
     key schedules. *)
 
 val final : ctx -> string
+[@@sfs.declassify "a SHA-1 digest is one-way; SFS publishes digests of secrets (HostIDs, tags) by design"]
 (** 20-byte digest. The context must not be reused after [final]. *)
 
 val digest_into : ctx -> Bytes.t -> off:int -> unit
+[@@sfs.declassify "writes only the one-way 20-byte digest into the destination buffer"]
 (** Writes the 20-byte digest at [off] with no intermediate string.
     Same reuse rule as {!final}. @raise Invalid_argument when the
     range is out of bounds. *)
 
 val digest : string -> string
+[@@sfs.declassify "a SHA-1 digest is one-way; SFS publishes digests of secrets (HostIDs, tags) by design"]
 val digest_list : string list -> string
+[@@sfs.declassify "a SHA-1 digest is one-way; SFS publishes digests of secrets (HostIDs, tags) by design"]
 (** [digest_list parts] hashes the concatenation of [parts]. *)
 
 val digest_size : int
 val hex : string -> string
+[@@sfs.declassify "hex rendering of the one-way digest, for fingerprint display"]
 (** [hex s] is the digest of [s] in lowercase hex. *)

@@ -15,25 +15,28 @@ val default_group : group
 val generate_group : Prng.t -> bits:int -> group
 (** Fresh safe-prime group; expensive at large sizes. *)
 
-type verifier = { user : string; salt : string; v : Nat.t; cost : int }
+type verifier = { user : string; salt : string; v : Nat.t [@sfs.secret]; cost : int }
 (** What the server stores.  A stolen verifier admits only an
     eksblowfish-cost-paced guessing attack, never direct login. *)
 
 val make_verifier : ?cost:int -> group -> Prng.t -> user:string -> password:string -> verifier
 
 val private_key : cost:int -> salt:string -> user:string -> password:string -> Nat.t
+[@@sfs.secret]
 (** x = H(salt ∥ eksblowfish(cost, user ∥ password)); also used to
     derive the key that encrypts a user's registered private key. *)
 
 type client
 type server
-type session = { key : string; proof : string }
+type session = { key : string [@sfs.secret]; proof : string }
 
 val client_start : group -> Prng.t -> user:string -> password:string -> client
 val client_pub : client -> Nat.t
+[@@sfs.declassify "the blinded group element A = g^a is what SRP puts on the wire"]
 
 val server_start : group -> Prng.t -> verifier -> server
 val server_pub : server -> Nat.t
+[@@sfs.declassify "the blinded group element B = kv + g^b is what SRP puts on the wire"]
 
 val client_finish : client -> salt:string -> cost:int -> b_pub:Nat.t -> session option
 (** [None] when the server's value is degenerate (B ≡ 0 or u = 0). *)

@@ -46,6 +46,7 @@ val create :
     @raise Invalid_argument if [window < 1]. *)
 
 val submit : ?on_complete:((string, exn) result -> unit) -> t -> wire_bytes:int -> string -> ticket
+[@@sfs.sink "wire"]
 (** Issue a call.  If the window is full, first advances the clock to
     the oldest outstanding reply's ready time (completing it).  The
     exchange itself runs now, in submission order; a raised exception is

@@ -82,16 +82,19 @@ val connect :
     window. *)
 
 val call : conn -> string -> string
+[@@sfs.sink "wire"]
 (** One request/reply exchange.  Charges wire time, runs taps, then
     applies the armed injector's verdict (if any) to both directions.
     @raise Timeout when the adversary or the fault plan loses either
     message, or the peer is down/restarted (TCP). *)
 
 val call_async : conn -> string -> string
+[@@sfs.sink "wire"]
 (** Pipelined exchange (write-behind traffic): charges wire transfer of
     the request plus a small floor, hiding the round-trip latency. *)
 
 val call_measured : conn -> string -> string * float
+[@@sfs.sink "wire"]
 (** Windowed-pipeline exchange ({!Rpc_mux}): runs the same tap / fault /
     handler path as {!call} but charges nothing to the clock.  Returns
     the raw reply together with the simulated microseconds the server
@@ -101,6 +104,7 @@ val call_measured : conn -> string -> string * float
     @raise Timeout as {!call} does; the clock is left unchanged. *)
 
 val inject : conn -> string -> string
+[@@sfs.sink "wire"]
 (** Adversary-side raw delivery (replay), bypassing taps and billing. *)
 
 val set_tap : conn -> tap option -> unit

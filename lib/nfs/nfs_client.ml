@@ -124,7 +124,9 @@ let generic_call ?(async = false) (call : raw_call) ~(cred : Simos.cred) ~(proc 
   let results = call ~cred ~proc ~async args in
   match Xdr.run results dec_result with
   | Ok v -> v
-  | Result.Error e -> raise (Rpc_failure ("unparsable result: " ^ e))
+  | Result.Error e ->
+      (* sfstaint: allow TNT004 — Xdr errors interpolate only lengths and tag values, never reply bytes; the transport closure's captured channel state stays out of the message *)
+      raise (Rpc_failure ("unparsable result: " ^ e))
 
 (* Fetch the root handle via the MOUNT program. *)
 let mount_root (t : t) ~(cred : Simos.cred) : fh =

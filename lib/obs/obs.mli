@@ -32,17 +32,21 @@ val create : ?max_spans:int -> now_us:(unit -> float) -> unit -> registry
 val now_us : registry -> float
 
 val add : registry option -> string -> int -> unit
+[@@sfs.sink "obs"]
 (** [add r name n] bumps counter [name] by [n]. *)
 
 val incr : registry option -> string -> unit
+[@@sfs.sink "obs"]
 val counter : registry -> string -> int
 
 val observe : registry option -> string -> int -> unit
+[@@sfs.sink "obs"]
 (** [observe r name v] records integer observation [v] (microseconds or
     bytes, rounded by the caller) into histogram [name].  Buckets are
     power-of-two sized: bucket index = bit count of [v]. *)
 
 val span : ?args:(string * string) list -> registry option -> cat:string -> string -> (unit -> 'a) -> 'a
+[@@sfs.sink "obs"]
 (** [span r ~cat name f] runs [f], recording a span on completion —
     whether [f] returns or raises. *)
 

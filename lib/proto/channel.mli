@@ -41,6 +41,7 @@ val create :
     (default label ["chan"]). *)
 
 val seal : ?bill:bool -> t -> string -> string
+[@@sfs.declassify "the trusted seal boundary: MAC-then-encrypt output is what SFS puts on the wire"]
 (** Protect one outgoing message.  [~bill:false] suppresses the time
     charge (pipelined write-behind traffic bills a fraction instead). *)
 

@@ -53,8 +53,10 @@ val dec_keyneg_res : Xdr.dec -> keyneg_res
 (** {2 Session keys} *)
 
 type session_keys = {
-  kcs : string; (** client-to-server key *)
-  ksc : string; (** server-to-client key *)
+  kcs : string; [@sfs.secret]
+      (** client-to-server key *)
+  ksc : string; [@sfs.secret]
+      (** server-to-client key *)
   session_id : string; (** SHA-1("SessionInfo", k_SC, k_CS), section 3.1.2 *)
 }
 
@@ -83,7 +85,7 @@ val client_negotiate :
   location:string ->
   hostid:string ->
   service:service ->
-  (string -> string) ->
+  ((string -> string)[@sfs.sink "wire"]) ->
   client_result
 (** Run the two-exchange negotiation over a raw transport.  Checks the
     served key against [hostid] — a man in the middle substituting a

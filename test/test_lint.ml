@@ -203,14 +203,27 @@ let test_sl000_pragma_hygiene () =
     "(* sfslint: allow *)\nlet x = 1";
   fires "unknown code" ~path:"lib/core/vfs.ml" ~code:"SL000"
     "(* sfslint: allow SL999 — no such rule *)\nlet x = 1";
-  fires "missing justification" ~path:"lib/core/vfs.ml" ~code:"SL000"
-    "(* sfslint: allow SL001 *)\nlet x = 1";
+  fires "missing justification is SL011, not SL000" ~path:"lib/core/vfs.ml"
+    ~code:"SL011" "(* sfslint: allow SL001 *)\nlet x = 1";
   fires "unknown directive" ~path:"lib/core/vfs.ml" ~code:"SL000"
     "(* sfslint: disable SL001 — wrong verb *)\nlet x = 1";
   silent "well-formed pragma" ~path:"lib/core/vfs.ml" ~code:"SL000"
     "(* sfslint: allow SL001 — a justified waiver *)\nlet x = 1";
   (* A malformed pragma never suppresses. *)
   fires "malformed pragma does not suppress" ~path:"lib/crypto/mac.ml" ~code:"SL001"
+    "(* sfslint: allow SL001 *)\nlet f ~tag x = tag = x"
+
+let test_sl011_bare_waiver () =
+  fires "bare pragma is its own violation" ~path:"lib/core/vfs.ml" ~code:"SL011"
+    "(* sfslint: allow SL003 *)\nlet x = 1";
+  fires "bare pragma with several codes" ~path:"lib/core/vfs.ml" ~code:"SL011"
+    "(* sfslint: allow SL001 SL002 *)\nlet x = 1";
+  silent "justified pragma" ~path:"lib/core/vfs.ml" ~code:"SL011"
+    "(* sfslint: allow SL003 — OS entropy is fine in a demo binary *)\nlet x = 1";
+  silent "ascii double-dash separator" ~path:"lib/core/vfs.ml" ~code:"SL011"
+    "(* sfslint: allow SL003 -- OS entropy is fine in a demo binary *)\nlet x = 1";
+  (* The bare pragma does not suppress the violation it names. *)
+  fires "bare pragma does not suppress" ~path:"lib/crypto/mac.ml" ~code:"SL001"
     "(* sfslint: allow SL001 *)\nlet f ~tag x = tag = x"
 
 let test_enable_disable () =
@@ -254,6 +267,7 @@ let suite =
       Alcotest.test_case "SL009 wire-path string building" `Quick test_sl009;
       Alcotest.test_case "SL010 blocking call on hot path" `Quick test_sl010;
       Alcotest.test_case "SL000 pragma hygiene" `Quick test_sl000_pragma_hygiene;
+      Alcotest.test_case "SL011 bare waiver pragma" `Quick test_sl011_bare_waiver;
       Alcotest.test_case "enable/disable filtering" `Quick test_enable_disable;
       Alcotest.test_case "engine robustness" `Quick test_engine_robustness;
     ] )

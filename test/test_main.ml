@@ -14,5 +14,6 @@ let () =
       Test_fault.suite;
       Test_integration.suite;
       Test_lint.suite;
+      Test_taint.suite;
       Test_obs.suite;
     ]

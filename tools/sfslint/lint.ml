@@ -14,7 +14,11 @@
        (* sfslint: allow SL003 — OS-entropy fallback for demo binaries *)
 
    Pragmas must name a known rule code and carry a justification;
-   malformed pragmas are themselves reported (SL000).
+   malformed pragmas are themselves reported (SL000), and a pragma
+   whose tail carries no justification text is reported (SL011) and
+   does not suppress anything.  The pragma machinery is parameterized
+   by tool name and code alphabet so sfstaint reuses it for its
+   TNTxxx waivers.
 
    Rule applicability keys on repo-relative paths ("lib/crypto/mac.ml"),
    so the engine can be driven both by the CLI walking the tree and by
@@ -93,6 +97,12 @@ let rules : rule_info list =
       ri_title = "blocking Simnet.call on a client hot path";
       ri_hint =
         "route request/reply traffic through Rpc_mux (Simnet.call_measured) or Simnet.call_async so round trips can overlap; waive with a pragma for setup/auth/recovery exchanges that are serial by design";
+    };
+    {
+      ri_code = "SL011";
+      ri_title = "waiver pragma without a justification";
+      ri_hint =
+        "every allow pragma must say why the waiver is sound: (* sfslint: allow SLxxx — reason *)";
     };
   ]
 
@@ -235,6 +245,8 @@ type pragma = {
   p_line_start : int;
   p_line_end : int;
   p_codes : string list; (* empty when malformed *)
+  p_reason : string; (* justification text; "" when bare *)
+  p_bare : bool; (* well-formed codes but no justification: never suppresses *)
   p_malformed : string option; (* SL000 message *)
 }
 
@@ -326,58 +338,109 @@ let contains_sub (s : string) (sub : string) : bool =
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
   m = 0 || go 0
 
-(* Find every SLxxx token in [s]; returns codes in order with the end
-   offset of the last one. *)
-let find_codes (s : string) : string list * int =
-  let n = String.length s in
+(* Find every <prefix>NNN token in [s]; returns codes in order with
+   the end offset of the last one.  The code alphabet is a prefix plus
+   three digits — "SL001" for this tool, "TNT004" for sfstaint. *)
+let find_codes ~(prefix : string) (s : string) : string list * int =
+  let n = String.length s and pl = String.length prefix in
   let codes = ref [] in
   let last_end = ref 0 in
   let is_digit c = c >= '0' && c <= '9' in
-  for i = 0 to n - 5 do
+  for i = 0 to n - (pl + 3) do
     if
-      s.[i] = 'S' && s.[i + 1] = 'L' && is_digit s.[i + 2] && is_digit s.[i + 3]
-      && is_digit s.[i + 4]
+      String.sub s i pl = prefix
+      && is_digit s.[i + pl]
+      && is_digit s.[i + pl + 1]
+      && is_digit s.[i + pl + 2]
     then begin
-      codes := String.sub s i 5 :: !codes;
-      last_end := i + 5
+      codes := String.sub s i (pl + 3) :: !codes;
+      last_end := i + pl + 3
     end
   done;
   (List.rev !codes, !last_end)
 
-let parse_pragma (text : string) (line_start : int) (line_end : int) : pragma option =
-  if not (contains_sub text "sfslint") then None
+(* A justification needs at least two alphabetic words ("public tag",
+   "serial handshake"), not just a stray character. *)
+let has_justification (tail : string) : bool =
+  let n = String.length tail in
+  let words = ref 0 in
+  let run = ref 0 in
+  let flush () =
+    if !run >= 2 then incr words;
+    run := 0
+  in
+  for i = 0 to n - 1 do
+    let c = tail.[i] in
+    if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') then incr run else flush ()
+  done;
+  flush ();
+  !words >= 2
+
+let reason_of_tail (tail : string) : string =
+  let n = String.length tail in
+  let rec start i =
+    if i >= n then n
+    else
+      let c = tail.[i] in
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') then i
+      else start (i + 1)
+  in
+  let s = start 0 in
+  String.trim (String.sub tail s (n - s))
+
+(* The tool-generic pragma parser.  [tool] is the directive name the
+   comment must carry ("sfslint"/"sfstaint"); [prefix]+3 digits is the
+   code alphabet; [known] the valid codes.  A pragma with codes but no
+   justification parses as bare: it never suppresses, and each tool
+   reports it (SL011 here, TNT000 in sfstaint). *)
+let parse_pragma_for ~(tool : string) ~(prefix : string) ~(known : string list)
+    (text : string) (line_start : int) (line_end : int) : pragma option =
+  if not (contains_sub text tool) then None
   else
-    let malformed msg =
-      Some { p_line_start = line_start; p_line_end = line_end; p_codes = []; p_malformed = Some msg }
+    let mk ?(codes = []) ?(reason = "") ?(bare = false) malformed =
+      Some
+        {
+          p_line_start = line_start;
+          p_line_end = line_end;
+          p_codes = codes;
+          p_reason = reason;
+          p_bare = bare;
+          p_malformed = malformed;
+        }
     in
     if not (contains_sub text "allow") then
-      malformed "sfslint pragma without an 'allow' directive"
+      mk (Some (tool ^ " pragma without an 'allow' directive"))
     else
-      let codes, last_end = find_codes text in
-      let unknown = List.filter (fun c -> not (List.mem c all_codes)) codes in
-      if codes = [] then malformed "sfslint pragma names no rule code (SLxxx)"
+      let codes, last_end = find_codes ~prefix text in
+      let unknown = List.filter (fun c -> not (List.mem c known)) codes in
+      if codes = [] then
+        mk (Some (Printf.sprintf "%s pragma names no rule code (%sxxx)" tool prefix))
       else if unknown <> [] then
-        malformed (Printf.sprintf "sfslint pragma names unknown rule %s" (List.hd unknown))
+        mk (Some (Printf.sprintf "%s pragma names unknown rule %s" tool (List.hd unknown)))
       else
         let tail = String.sub text last_end (String.length text - last_end) in
-        let has_reason =
-          String.exists
-            (fun c ->
-              (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9'))
-            tail
-        in
-        if not has_reason then malformed "sfslint pragma carries no justification"
-        else
-          Some { p_line_start = line_start; p_line_end = line_end; p_codes = codes; p_malformed = None }
+        if has_justification tail then mk ~codes ~reason:(reason_of_tail tail) None
+        else mk ~codes ~bare:true None
+
+let parse_pragma (text : string) (line_start : int) (line_end : int) : pragma option =
+  parse_pragma_for ~tool:"sfslint" ~prefix:"SL" ~known:all_codes text line_start line_end
+
+let scan_pragmas_for ~(tool : string) ~(prefix : string) ~(known : string list) (src : string)
+    : pragma list =
+  List.filter_map
+    (fun (text, ls, le) -> parse_pragma_for ~tool ~prefix ~known text ls le)
+    (scan_comments src)
 
 let scan_pragmas (src : string) : pragma list =
-  List.filter_map (fun (text, ls, le) -> parse_pragma text ls le) (scan_comments src)
+  scan_pragmas_for ~tool:"sfslint" ~prefix:"SL" ~known:all_codes src
 
 (* A pragma covers a diagnostic on its own line span or on the line
-   directly below the comment. *)
+   directly below the comment.  Bare pragmas never suppress. *)
 let suppressed (pragmas : pragma list) (code : string) (line : int) : bool =
   List.exists
-    (fun p -> List.mem code p.p_codes && line >= p.p_line_start && line <= p.p_line_end + 1)
+    (fun p ->
+      (not p.p_bare) && List.mem code p.p_codes && line >= p.p_line_start
+      && line <= p.p_line_end + 1)
     pragmas
 
 (* --- the AST pass --- *)
@@ -555,23 +618,33 @@ let check_source ?(enabled = all_codes) ~(path : string) ~(source : string) () :
       let pragmas = scan_pragmas source in
       let ast_diags = check_ast ~path ~enabled ast in
       let pragma_diags =
-        if List.mem "SL000" enabled then
-          List.filter_map
-            (fun p ->
-              match p.p_malformed with
-              | Some msg ->
-                  Some
-                    {
-                      code = "SL000";
-                      file = path;
-                      line = p.p_line_start;
-                      col = 0;
-                      message = msg;
-                      hint = hint_of_code "SL000";
-                    }
-              | None -> None)
-            pragmas
-        else []
+        List.filter_map
+          (fun p ->
+            match p.p_malformed with
+            | Some msg when List.mem "SL000" enabled ->
+                Some
+                  {
+                    code = "SL000";
+                    file = path;
+                    line = p.p_line_start;
+                    col = 0;
+                    message = msg;
+                    hint = hint_of_code "SL000";
+                  }
+            | None when p.p_bare && List.mem "SL011" enabled ->
+                Some
+                  {
+                    code = "SL011";
+                    file = path;
+                    line = p.p_line_start;
+                    col = 0;
+                    message =
+                      Printf.sprintf "pragma waives %s without a justification"
+                        (String.concat ", " p.p_codes);
+                    hint = hint_of_code "SL011";
+                  }
+            | _ -> None)
+          pragmas
       in
       let kept =
         List.filter (fun d -> not (suppressed pragmas d.code d.line)) ast_diags
@@ -587,7 +660,9 @@ let missing_interface ?(enabled = all_codes) ~(path : string) ~(source : string)
     || (not (in_lib path))
     || (not (ends_with ~suffix:".ml" path))
     || has_mli
-    || List.exists (fun p -> List.mem "SL007" p.p_codes) (scan_pragmas source)
+    || List.exists
+         (fun p -> (not p.p_bare) && List.mem "SL007" p.p_codes)
+         (scan_pragmas source)
   then None
   else
     Some

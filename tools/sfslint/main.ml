@@ -4,16 +4,20 @@
    Walks the given files/directories (typically just "lib"), lints
    every .ml, and reports violations.
 
-   Exit codes: 0 clean, 1 violations found, 2 usage/IO/parse error. *)
+   Exit codes: 0 clean, 1 violations found, 2 usage/IO/parse error.
+   --exit-zero reports but always exits 0 (parse errors still exit 2)
+   — the build uses it for the report-generation rule, with a second
+   strict run as the gate. *)
 
 module Lint = Sfslint_core.Lint
 
-let usage = "sfslint [--format=text|github|json] [--enable SLxxx] [--disable SLxxx] [--report FILE] [--list-rules] <path>..."
+let usage = "sfslint [--format=text|github|json] [--enable SLxxx] [--disable SLxxx] [--report FILE] [--exit-zero] [--list-rules] <path>..."
 
 let format = ref "text"
 let enable : string list ref = ref []
 let disable : string list ref = ref []
 let report_file : string ref = ref ""
+let exit_zero = ref false
 let list_rules = ref false
 let roots : string list ref = ref []
 
@@ -30,6 +34,7 @@ let spec =
       Arg.String (fun s -> disable := !disable @ split_codes s),
       "CODES  skip these rules (comma-separated, repeatable)" );
     ("--report", Arg.Set_string report_file, "FILE  also write a JSON report to FILE");
+    ("--exit-zero", Arg.Set exit_zero, " report findings but exit 0 (for report generation)");
     ("--list-rules", Arg.Set list_rules, " print the rule table and exit");
   ]
 
@@ -128,4 +133,6 @@ let () =
     output_char oc '\n';
     close_out oc
   end;
-  if !had_error then exit 2 else if diags <> [] then exit 1 else exit 0
+  if !had_error then exit 2
+  else if (not !exit_zero) && diags <> [] then exit 1
+  else exit 0

@@ -1,0 +1,115 @@
+(* sfstaint CLI.
+
+   Usage: main.exe [options] <path>...
+   Walks the given files/directories (typically just "lib"), feeds
+   every .mli (policy attributes) and .ml (bodies) into the
+   whole-program secret-flow analysis, and reports source→sink flows.
+
+   Exit codes: 0 clean (every flow waived, no diagnostics), 1 unwaived
+   flows or diagnostics, 2 usage/IO/parse error.  --exit-zero reports
+   but always exits 0 — the build uses it for the report-generation
+   rule, with a second strict run as the gate. *)
+
+module Taint = Sfstaint_core.Taint
+
+let usage = "sfstaint [--format=text|github|json] [--report FILE] [--exit-zero] <path>..."
+
+let format = ref "text"
+let report_file : string ref = ref ""
+let exit_zero = ref false
+let roots : string list ref = ref []
+
+let spec =
+  [
+    ("--format", Arg.Set_string format, "FMT  output format: text (default), github, json");
+    ("--report", Arg.Set_string report_file, "FILE  also write a JSON report to FILE");
+    ("--exit-zero", Arg.Set exit_zero, " report findings but exit 0 (for report generation)");
+  ]
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("sfstaint: " ^ s); exit 2) fmt
+
+(* Repo-relative path, same convention as sfslint: the suffix starting
+   at the last "lib" path segment. *)
+let rel_path (p : string) : string =
+  let segs = String.split_on_char '/' p in
+  let rec last_lib_suffix best = function
+    | [] -> best
+    | "lib" :: _ as rest -> last_lib_suffix (Some rest) (List.tl rest)
+    | _ :: tl -> last_lib_suffix best tl
+  in
+  match last_lib_suffix None segs with
+  | Some suffix -> String.concat "/" suffix
+  | None -> p
+
+let rec walk (p : string) : string list =
+  if Sys.is_directory p then
+    Sys.readdir p |> Array.to_list |> List.sort compare
+    |> List.concat_map (fun name ->
+           if name = "_build" || name = ".git" || (String.length name > 0 && name.[0] = '.')
+           then []
+           else walk (Filename.concat p name))
+  else if Filename.check_suffix p ".ml" || Filename.check_suffix p ".mli" then [ p ]
+  else []
+
+let read_file (p : string) : string =
+  let ic = open_in_bin p in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let () =
+  (try Arg.parse_argv Sys.argv spec (fun p -> roots := !roots @ [ p ]) usage with
+  | Arg.Bad msg -> die "%s" msg
+  | Arg.Help msg ->
+      print_string msg;
+      exit 0);
+  if !roots = [] then die "no paths given; try: sfstaint lib";
+  if not (List.mem !format [ "text"; "github"; "json" ]) then
+    die "unknown --format %s (want text, github or json)" !format;
+  let files =
+    List.concat_map
+      (fun root ->
+        if not (Sys.file_exists root) then die "no such path: %s" root;
+        walk root)
+      !roots
+  in
+  if files = [] then die "no .ml/.mli files under %s" (String.concat " " !roots);
+  let load suffix =
+    List.filter_map
+      (fun f ->
+        if Filename.check_suffix f suffix then
+          Some (rel_path f, try read_file f with Sys_error e -> die "%s" e)
+        else None)
+      files
+  in
+  let intfs = load ".mli" and impls = load ".ml" in
+  match Taint.analyze ~intfs ~impls () with
+  | Error msg -> die "%s" msg
+  | Ok report ->
+      let json = Taint.report_json report in
+      let unwaived = Taint.unwaived report in
+      (match !format with
+      | "json" -> print_endline json
+      | "github" ->
+          List.iter
+            (fun f -> print_endline (Taint.render_flow_github f))
+            unwaived
+      | _ ->
+          List.iter (fun f -> print_endline (Taint.render_flow_text f)) report.Taint.r_flows;
+          List.iter (fun d -> print_endline (Taint.render_diag_text d)) report.Taint.r_diags;
+          Printf.printf "sfstaint: %d file(s), %d secret source(s), %d flow(s) (%d unwaived), %d diagnostic(s)\n"
+            report.Taint.r_files
+            (List.length report.Taint.r_sources)
+            (List.length report.Taint.r_flows)
+            (List.length unwaived)
+            (List.length report.Taint.r_diags));
+      if !report_file <> "" then begin
+        let oc = open_out !report_file in
+        output_string oc json;
+        output_char oc '\n';
+        close_out oc
+      end;
+      if !exit_zero then exit 0
+      else if unwaived <> [] || report.Taint.r_diags <> [] then exit 1
+      else exit 0
