@@ -41,9 +41,11 @@ trace: build
 # Fast-path regression gate (DESIGN.md §9).  Exercises the real-CPU
 # crypto suite twice (bechamel numbers vary with host load and are never
 # compared), then re-runs every simulated-time figure into a temp file
-# and fails if any deterministic row differs from the committed
-# BENCH_results.json at git HEAD — i.e. if an "optimization" changed
-# wire bytes or modeled costs.
+# and gates twice: benchdiff fails on a performance *trend* regression
+# vs HEAD (>10% throughput drop or >15% critical-path p99 inflation,
+# waivable only via perf-allowlist.txt), then the byte-diff fails on
+# ANY drift — i.e. if an "optimization" changed wire bytes or modeled
+# costs without the baseline being regenerated and reviewed.
 perf: build
 	dune exec --no-build bench/main.exe -- crypto --no-results
 	dune exec --no-build bench/main.exe -- crypto --no-results
@@ -51,6 +53,8 @@ perf: build
 	dune exec --no-build bench/main.exe -- fig5 fig6 fig7 fig8 fig9 pipeline ablations faults --results _perf_results.json
 	git show HEAD:BENCH_results.json | grep -v '"figure":"crypto"' > _perf_head.json
 	grep -v '"figure":"crypto"' _perf_results.json > _perf_now.json
+	dune exec --no-build tools/benchdiff/benchdiff.exe -- \
+	  --baseline _perf_head.json --current _perf_now.json --allow perf-allowlist.txt
 	diff -u _perf_head.json _perf_now.json
 	rm -f _perf_results.json _perf_head.json _perf_now.json
 	@echo "perf: simulated-time figures unchanged vs HEAD"

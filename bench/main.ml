@@ -4,7 +4,7 @@
 
    Usage:
      main.exe [fig5] [fig6] [fig7] [fig8] [fig9] [pipeline] [ablations] [faults] [crypto]
-              [--trace FILE] [--metrics FILE] [--json]
+              [--trace FILE] [--trace-ops FILE] [--metrics FILE] [--json]
               [--results FILE] [--no-results]
 
    With no figure arguments, everything runs in order.  Absolute numbers
@@ -704,7 +704,15 @@ let json_of_fig (fo : fig_out) : string =
                     (fun (n, v) -> Printf.sprintf "\"%s\":%d" (json_escape n) v)
                     snap.Obs.snap_counters)))
           fo.fo_regs));
-  Buffer.add_string buf "}}";
+  Buffer.add_string buf "}";
+  (* Critical-path profile (DESIGN.md §13): per-op-type segment
+     breakdown and latency quantiles, present for any world that ran
+     ops with capture enabled.  Deterministic, so the figure line stays
+     byte-identical across same-seed runs. *)
+  (match Sfs_obs.Trace.critical_path_json fo.fo_regs with
+  | Some cp -> Buffer.add_string buf (",\"critical_path\":" ^ cp)
+  | None -> ());
+  Buffer.add_string buf "}";
   Buffer.contents buf
 
 let write_file (path : string) (contents : string) : unit =
@@ -722,6 +730,7 @@ let append_results (path : string) : unit =
 let () =
   let argv = List.tl (Array.to_list Sys.argv) in
   let trace_file = ref None in
+  let trace_ops_file = ref None in
   let metrics_file = ref None in
   let json_stdout = ref false in
   let results_file = ref (Some "BENCH_results.json") in
@@ -729,6 +738,9 @@ let () =
     | [] -> List.rev acc
     | "--trace" :: f :: rest ->
         trace_file := Some f;
+        parse acc rest
+    | "--trace-ops" :: f :: rest ->
+        trace_ops_file := Some f;
         parse acc rest
     | "--metrics" :: f :: rest ->
         metrics_file := Some f;
@@ -760,6 +772,13 @@ let () =
   | Some path ->
       write_file path (Obs.chrome_trace (all_regs ()));
       Printf.printf "Wrote Chrome trace to %s (load in Perfetto or about:tracing).\n" path
+  | None -> ());
+  (match !trace_ops_file with
+  | Some path ->
+      write_file path (Obs.chrome_trace ~ops_only:true (all_regs ()));
+      Printf.printf
+        "Wrote causally-linked op trace to %s (flow arrows connect client ops to server spans).\n"
+        path
   | None -> ());
   (match !metrics_file with
   | Some path ->

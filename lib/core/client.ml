@@ -325,6 +325,10 @@ let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
                    whose reply was lost. *)
                 let xid = m.m_xid in
                 m.m_xid <- m.m_xid + 1;
+                let opname =
+                  (if proc = Sfsrw.proc_getroot then "getroot" else Nfs_proto.proc_name proc)
+                  ^ if async then "/wb" else ""
+                in
                 let rec go (i : int) : string =
                   let channel = m.m_channel and conn = m.m_conn in
                   let authno =
@@ -332,11 +336,22 @@ let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
                     | Some a -> a
                     | None -> Sfsrw.authno_anonymous
                   in
-                  let req = Sfsrw.request_to_string (Sfsrw.Fs_call { xid; authno; proc; args }) in
+                  (* Per-attempt op span; its context rides the wire so
+                     the server's spans attach to this attempt. *)
+                  let os = Obs.span_begin t.obs ~cat:"op" opname in
+                  let trace, span =
+                    match Obs.open_ctx os with
+                    | Some cx -> (cx.Obs.cx_trace, cx.Obs.cx_span)
+                    | None -> (0, 0)
+                  in
+                  let req =
+                    Sfsrw.request_to_string (Sfsrw.Fs_call { xid; authno; proc; trace; span; args })
+                  in
                   (* Any transport or channel failure poisons the ARC4
                      streams; retransmission on the same channel is
                      useless.  Back off, reconnect, re-issue. *)
                   let recover (why : string) : string =
+                    Obs.span_end os;
                     if i + 1 >= t.rpc_attempts then begin
                       Obs.incr t.obs "recover.rpc_giveup";
                       raise (Nfs_client.Rpc_failure why)
@@ -356,8 +371,16 @@ let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
                       go (i + 1)
                     end
                   in
+                  (* [exchange] also returns a sampler that, called at
+                     decode success, records the attempt's critical-path
+                     decomposition (branch-specific: the serial and
+                     write-behind paths charge different cost shares).
+                     Each sampler's segments telescope to the attempt's
+                     wall time by construction — the analytic inverse of
+                     exactly the charges Simnet.call/call_async made. *)
                   let exchange () =
                     if async then begin
+                      let t0 = Simclock.now_us t.clock in
                       (* Write-behind: the pipeline hides most of the
                          user-level crossings and overlaps encryption
                          with the wire; charge the residual fractions. *)
@@ -365,20 +388,88 @@ let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
                         (t.costs.Costmodel.async_userlevel_factor
                         *. (2.0 *. t.costs.Costmodel.userlevel_us_per_side));
                       let wire = Channel.seal ~bill:false channel req in
-                      Simclock.advance t.clock
-                        (t.costs.Costmodel.async_crypto_factor
-                        *. Channel.crypto_cost_us channel (String.length req));
-                      Simnet.call_async conn wire
+                      let crypto_up_full = Channel.crypto_cost_us channel (String.length req) in
+                      let crypto_up = t.costs.Costmodel.async_crypto_factor *. crypto_up_full in
+                      Simclock.advance t.clock crypto_up;
+                      let t1 = Simclock.now_us t.clock in
+                      let reply = Simnet.call_async conn wire in
+                      let sample (plain : string) : unit =
+                        let t2 = Simclock.now_us t.clock in
+                        let crypto_down = Channel.crypto_cost_us channel (String.length plain) in
+                        let up_wire =
+                          Costmodel.transfer_us t.costs Costmodel.Tcp (String.length wire)
+                        in
+                        let floor = t.costs.Costmodel.async_floor_us in
+                        Obs.span_end ~end_us:t2 os;
+                        Obs.cp_record t.obs
+                          {
+                            Obs.cp_op = opname;
+                            cp_trace = trace;
+                            cp_span = span;
+                            cp_start_us = t0;
+                            cp_wall_us = t2 -. t0;
+                            cp_segments =
+                              [
+                                ("client", t1 -. t0 -. crypto_up);
+                                ("crypto_up", crypto_up);
+                                ("latency", floor);
+                                ("up_wire", up_wire);
+                                ("server_cpu", t2 -. t1 -. floor -. up_wire -. crypto_down);
+                                ("crypto_down", crypto_down);
+                              ];
+                            cp_crypto_up_ctr = int_of_float crypto_up_full;
+                            cp_crypto_down_ctr = int_of_float crypto_down;
+                          }
+                      in
+                      (reply, sample)
                     end
                     else begin
+                      let t0 = Simclock.now_us t.clock in
                       Simclock.advance t.clock t.costs.Costmodel.userlevel_us_per_side;
+                      let wire = Channel.seal channel req in
+                      let t1 = Simclock.now_us t.clock in
                       (* sfslint: allow SL010 — sync fallback: metadata ops and the recovery path; READs pipeline via Rpc_mux *)
-                      Simnet.call conn (Channel.seal channel req)
+                      let reply = Simnet.call conn wire in
+                      let sample (plain : string) : unit =
+                        let t2 = Simclock.now_us t.clock in
+                        let crypto_up = Channel.crypto_cost_us channel (String.length req) in
+                        let crypto_down = Channel.crypto_cost_us channel (String.length plain) in
+                        let up_wire =
+                          Costmodel.transfer_us t.costs Costmodel.Tcp (String.length wire)
+                        in
+                        let down_wire =
+                          Costmodel.transfer_us t.costs Costmodel.Tcp (String.length reply)
+                        in
+                        let latency = Costmodel.rpc_fixed_us t.costs Costmodel.Tcp in
+                        Obs.span_end ~end_us:t2 os;
+                        Obs.cp_record t.obs
+                          {
+                            Obs.cp_op = opname;
+                            cp_trace = trace;
+                            cp_span = span;
+                            cp_start_us = t0;
+                            cp_wall_us = t2 -. t0;
+                            cp_segments =
+                              [
+                                ("client", t1 -. t0 -. crypto_up);
+                                ("crypto_up", crypto_up);
+                                ("latency", latency);
+                                ("up_wire", up_wire);
+                                ( "server_cpu",
+                                  t2 -. t1 -. latency -. up_wire -. down_wire -. crypto_down );
+                                ("crypto_down", crypto_down);
+                                ("down_wire", down_wire);
+                              ];
+                            cp_crypto_up_ctr = int_of_float crypto_up;
+                            cp_crypto_down_ctr = int_of_float crypto_down;
+                          }
+                      in
+                      (reply, sample)
                     end
                   in
                   match exchange () with
                   | exception Simnet.Timeout -> recover "timeout"
-                  | reply -> (
+                  | reply, sample -> (
                       match Channel.open_ channel reply with
                       | Error `Mac_mismatch ->
                           Obs.incr t.obs "recover.mac_mismatch";
@@ -390,9 +481,13 @@ let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
                           match Sfsrw.response_of_string plain with
                           | Ok (Sfsrw.Fs_reply { results; invalidations = inv }) ->
                               m.m_invalidations := !(m.m_invalidations) @ inv;
+                              sample plain;
                               results
-                          | Ok (Sfsrw.Proto_error e) -> raise (Nfs_client.Rpc_failure e)
+                          | Ok (Sfsrw.Proto_error e) ->
+                              Obs.span_end os;
+                              raise (Nfs_client.Rpc_failure e)
                           | Ok (Sfsrw.Auth_granted _ | Sfsrw.Auth_denied _) ->
+                              Obs.span_end os;
                               raise (Nfs_client.Rpc_failure "unexpected auth response")
                           | Result.Error e -> recover ("garbled response: " ^ e)))
                 in
@@ -438,6 +533,13 @@ let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
                                       Rpc_mux.c_payload = results;
                                       c_server_us = server_us;
                                       c_wire_bytes = String.length reply;
+                                      (* Of the measured server time, the
+                                         reply seal — attributed to the
+                                         down direction so the analyzer
+                                         never double-counts full-duplex
+                                         crypto overlap. *)
+                                      c_crypto_us =
+                                        Channel.crypto_cost_us m.m_channel (String.length plain);
                                     }
                                 | Ok _ | Result.Error _ -> raise Simnet.Timeout)
                             | Error _ ->
@@ -457,6 +559,13 @@ let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
                           | Some a -> a
                           | None -> Sfsrw.authno_anonymous
                         in
+                        let t0 = Simclock.now_us t.clock in
+                        let os = Obs.span_begin t.obs ~cat:"op" "read" in
+                        let trace, span =
+                          match Obs.open_ctx os with
+                          | Some cx -> (cx.Obs.cx_trace, cx.Obs.cx_span)
+                          | None -> (0, 0)
+                        in
                         let req =
                           Sfsrw.request_to_string
                             (Sfsrw.Fs_call
@@ -464,6 +573,8 @@ let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
                                  xid;
                                  authno;
                                  proc = Nfs_proto.proc_read;
+                                 trace;
+                                 span;
                                  args = Xdr.encode Nfs_proto.enc_read_args (fh, off, count);
                                })
                         in
@@ -475,10 +586,21 @@ let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
                           *. (2.0 *. t.costs.Costmodel.userlevel_us_per_side));
                         let channel = m.m_channel in
                         let wire = Channel.seal ~bill:false channel req in
-                        Simclock.advance t.clock
-                          (t.costs.Costmodel.async_crypto_factor
-                          *. Channel.crypto_cost_us channel (String.length req));
-                        let ticket = Rpc_mux.submit mux ~wire_bytes:(String.length wire) wire in
+                        let crypto_up_full = Channel.crypto_cost_us channel (String.length req) in
+                        let crypto_up = t.costs.Costmodel.async_crypto_factor *. crypto_up_full in
+                        Simclock.advance t.clock crypto_up;
+                        let info =
+                          {
+                            Rpc_mux.ci_op = "read";
+                            ci_t0_us = t0;
+                            ci_crypto_up_us = crypto_up;
+                            ci_crypto_up_ctr = int_of_float crypto_up_full;
+                            ci_span = os;
+                          }
+                        in
+                        let ticket =
+                          Rpc_mux.submit ~info mux ~wire_bytes:(String.length wire) wire
+                        in
                         Some
                           (fun () ->
                             let results = Rpc_mux.await mux ticket in

@@ -272,24 +272,34 @@ let handle_fs_request (t : t) (s : fs_session) (req : Sfsrw.request) : Sfsrw.res
             s.next_authno <- authno + 1;
             Hashtbl.replace s.authnos authno (user, cred);
             Sfsrw.Auth_granted { authno; seqno })
-  | Sfsrw.Fs_call { xid; authno; proc; args } -> (
-      (* A hit requires the same procedure and byte-identical arguments
-         — only a true retransmission replays (the authno may legally
-         differ: re-authentication after a reconnect renumbers it). *)
-      let key = (s.peer, xid) in
-      match Hashtbl.find_opt t.drc key with
-      | Some (p0, a0, reply) when p0 = proc && String.equal a0 args -> (* sfslint: allow SL001 — duplicate-request-cache argument compare, nothing secret *)
-          Obs.incr t.obs "recover.retransmit_hit";
-          reply
-      | previous ->
-          let reply = execute_fs_call t s ~authno ~proc args in
-          Hashtbl.replace t.drc key (proc, args, reply);
-          if previous = None then begin
-            Queue.push key t.drc_order;
-            if Queue.length t.drc_order > drc_size then
-              Hashtbl.remove t.drc (Queue.pop t.drc_order)
-          end;
-          reply)
+  | Sfsrw.Fs_call { xid; authno; proc; trace; span; args } ->
+      (* Adopt the client's causal context for the extent of the call:
+         every span recorded below (DRC hit, NFS proc execution, lease
+         work) becomes a remote child of the op that sent it. *)
+      let ctx =
+        if trace > 0 then Some { Obs.cx_trace = trace; cx_span = span } else None
+      in
+      Obs.with_ctx t.obs ctx (fun () ->
+          (* A hit requires the same procedure and byte-identical arguments
+             — only a true retransmission replays (the authno may legally
+             differ: re-authentication after a reconnect renumbers it). *)
+          let key = (s.peer, xid) in
+          match Hashtbl.find_opt t.drc key with
+          | Some (p0, a0, reply) when p0 = proc && String.equal a0 args -> (* sfslint: allow SL001 — duplicate-request-cache argument compare, nothing secret *)
+              Obs.incr t.obs "recover.retransmit_hit";
+              (* Instantaneous marker: the replay shows up in the trace
+                 attached to the retransmitting op. *)
+              Obs.span t.obs ~cat:"server" "drc_hit" (fun () -> ());
+              reply
+          | previous ->
+              let reply = execute_fs_call t s ~authno ~proc args in
+              Hashtbl.replace t.drc key (proc, args, reply);
+              if previous = None then begin
+                Queue.push key t.drc_order;
+                if Queue.length t.drc_order > drc_size then
+                  Hashtbl.remove t.drc (Queue.pop t.drc_order)
+              end;
+              reply)
 
 let fs_connection ?(encrypt = true) ~(peer : string) (t : t) : string -> string =
   (* Connection state machine: connect -> keyneg -> channel traffic.

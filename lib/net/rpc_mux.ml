@@ -44,6 +44,22 @@ type completion = {
   c_payload : string; (* decoded reply payload *)
   c_server_us : float; (* measured server-side time (Simnet.call_measured) *)
   c_wire_bytes : int; (* reply length on the wire (sealed, for SFS) *)
+  c_crypto_us : float; (* reply-seal time inside c_server_us (0 when clear) *)
+}
+
+(* Critical-path capture: everything the caller knows about the op that
+   the mux cannot see.  [ci_t0_us] is the clock when the client began
+   the op, before its own user-level/seal charges; [ci_crypto_up_us] is
+   the seal time it billed since then (the async share); the [_ctr]
+   field is the exact integer the seal bumped [crypto_us_out] by, kept
+   separately so aggregate attribution reconciles against the counters
+   even though only a fraction of it is on the critical path. *)
+type call_info = {
+  ci_op : string;
+  ci_t0_us : float;
+  ci_crypto_up_us : float;
+  ci_crypto_up_ctr : int;
+  ci_span : Obs.open_span;
 }
 
 type ticket = {
@@ -106,7 +122,8 @@ let complete_oldest (t : t) : unit =
       t.pending <- rest;
       finish t tk
 
-let submit ?on_complete (t : t) ~(wire_bytes : int) (request : string) : ticket =
+let submit ?on_complete ?info (t : t) ~(wire_bytes : int) (request : string) : ticket =
+  let enter = Simclock.now_us t.clock in
   (* Window enforcement: a full window means the client blocks until the
      oldest outstanding reply arrives before it may send again. *)
   while List.length t.pending >= t.window do
@@ -126,6 +143,7 @@ let submit ?on_complete (t : t) ~(wire_bytes : int) (request : string) : ticket 
         Obs.add t.obs "mux.server_us" (int_of_float c.c_server_us);
         Obs.add t.obs "mux.wire_us"
           (int_of_float (t.wire_us wire_bytes +. t.op_us +. t.wire_us c.c_wire_bytes));
+        let up_queue = t.up_free_us -. now in
         let req_done = t.up_free_us +. t.wire_us wire_bytes in
         t.up_free_us <- req_done;
         let srv_start = if req_done > t.srv_free_us then req_done else t.srv_free_us in
@@ -134,16 +152,59 @@ let submit ?on_complete (t : t) ~(wire_bytes : int) (request : string) : ticket 
         let rep_start = if srv_done > t.down_free_us then srv_done else t.down_free_us in
         let rep_done = rep_start +. t.wire_us c.c_wire_bytes +. t.op_us in
         t.down_free_us <- rep_done;
+        let ready = rep_done +. t.latency_us in
+        (match info with
+        | None -> ()
+        | Some ci ->
+            (* Each term below telescopes: their sum is exactly
+               [ready - ci_t0] (the op's wall time as the client sees
+               it), checked by the reconciliation test.  "client" is
+               computed as a residual so caller-side charges the mux
+               cannot see (user-level copyout, xdr encode) land there
+               rather than breaking the invariant. *)
+            let segments =
+              [
+                ("client", enter -. ci.ci_t0_us -. ci.ci_crypto_up_us);
+                ("crypto_up", ci.ci_crypto_up_us);
+                ("mux_stall", now -. enter);
+                ("up_queue", up_queue);
+                ("up_wire", t.wire_us wire_bytes);
+                ("srv_queue", srv_start -. req_done);
+                ("server_cpu", c.c_server_us -. c.c_crypto_us);
+                ("crypto_down", c.c_crypto_us);
+                ("down_queue", rep_start -. srv_done);
+                ("down_wire", t.wire_us c.c_wire_bytes);
+                ("client_post", t.op_us);
+                ("latency", t.latency_us);
+              ]
+            in
+            Obs.span_end ~end_us:ready ci.ci_span;
+            let cx = Obs.open_ctx ci.ci_span in
+            Obs.cp_record t.obs
+              {
+                Obs.cp_op = ci.ci_op;
+                cp_trace = (match cx with Some c -> c.Obs.cx_trace | None -> 0);
+                cp_span = (match cx with Some c -> c.Obs.cx_span | None -> 0);
+                cp_start_us = ci.ci_t0_us;
+                cp_wall_us = ready -. ci.ci_t0_us;
+                cp_segments = segments;
+                cp_crypto_up_ctr = ci.ci_crypto_up_ctr;
+                cp_crypto_down_ctr = int_of_float c.c_crypto_us;
+              });
         {
-          tk_ready_us = rep_done +. t.latency_us;
+          tk_ready_us = ready;
           tk_result = Ok c.c_payload;
           tk_on_complete = on_complete;
           tk_done = false;
         }
     | exception e ->
         (* The exchange charged nothing (Simnet.call_measured restores
-           the clock); the failure is observed when awaited. *)
+           the clock); the failure is observed when awaited.  No
+           critical-path sample: a failed exchange has no wall time to
+           decompose (its span closes at [now] so it still appears in
+           the trace). *)
         Obs.incr t.obs "mux.fail";
+        (match info with None -> () | Some ci -> Obs.span_end ci.ci_span);
         { tk_ready_us = now; tk_result = Error e; tk_on_complete = on_complete; tk_done = false }
   in
   t.pending <- t.pending @ [ tk ];

@@ -15,6 +15,26 @@ type completion = {
       (** simulated time the server side spent on this exchange, as
           measured by {!Simnet.call_measured} *)
   c_wire_bytes : int;  (** reply length on the wire (sealed, for SFS) *)
+  c_crypto_us : float;
+      (** of [c_server_us], the reply-seal (down-direction crypto) time —
+          split out so the critical-path analyzer attributes each
+          direction's crypto separately instead of double-counting the
+          full-duplex overlap under pipelining; [0.] on clear channels *)
+}
+
+(** Critical-path capture for one submitted op (DESIGN.md §13):
+    [ci_t0_us] is the clock when the client began the op (before its
+    own user-level/seal charges), [ci_crypto_up_us] the request-seal
+    time it billed since then, [ci_crypto_up_ctr] the exact integer
+    that seal added to the [crypto_us_out] counter (for
+    reconciliation), and [ci_span] the op's open span — closed by
+    {!submit} at the op's ready time. *)
+type call_info = {
+  ci_op : string;
+  ci_t0_us : float;
+  ci_crypto_up_us : float;
+  ci_crypto_up_ctr : int;
+  ci_span : Sfs_obs.Obs.open_span;
 }
 
 type ticket
@@ -45,14 +65,23 @@ val create :
     are recorded.
     @raise Invalid_argument if [window < 1]. *)
 
-val submit : ?on_complete:((string, exn) result -> unit) -> t -> wire_bytes:int -> string -> ticket
+val submit :
+  ?on_complete:((string, exn) result -> unit) ->
+  ?info:call_info ->
+  t ->
+  wire_bytes:int ->
+  string ->
+  ticket
 [@@sfs.sink "wire"]
 (** Issue a call.  If the window is full, first advances the clock to
     the oldest outstanding reply's ready time (completing it).  The
     exchange itself runs now, in submission order; a raised exception is
     captured in the ticket and re-raised at {!await}.  [wire_bytes] is
     the request's on-the-wire length.  [on_complete] fires exactly once,
-    when the ticket completes (forced or awaited). *)
+    when the ticket completes (forced or awaited).  With [?info], the
+    mux records an {!Sfs_obs.Obs.cp_sample} decomposing the op's wall
+    time (submit begin to reply ready) into additive segments, and
+    closes [ci_span] at the ready time. *)
 
 val await : t -> ticket -> string
 (** Advance the clock to the ticket's ready time (if not already past)

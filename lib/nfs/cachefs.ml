@@ -411,6 +411,38 @@ let fetch_pipelined (t : t) (cred : Simos.cred) (h : fh) ~(off : int) ~(count : 
         if ok then serve_cached t h ~off ~count else None
       end
 
+(* Each syscall-level entry point is a trace root: a fresh trace id is
+   allocated on the way in, and everything underneath — cache
+   bookkeeping, the client's per-RPC op spans, even the server's
+   dispatch (adopted via the wire annex) — attaches to it as a child
+   (DESIGN.md §13). *)
+let rooted (obs : Obs.registry option) (o : Fs_intf.ops) : Fs_intf.ops =
+  let r name f = Obs.span_root obs ~cat:"op" name f in
+  {
+    Fs_intf.fs_root = o.Fs_intf.fs_root;
+    fs_getattr = (fun c h -> r "getattr" (fun () -> o.Fs_intf.fs_getattr c h));
+    fs_setattr = (fun c h s -> r "setattr" (fun () -> o.Fs_intf.fs_setattr c h s));
+    fs_lookup = (fun c ~dir n -> r "lookup" (fun () -> o.Fs_intf.fs_lookup c ~dir n));
+    fs_access = (fun c h w -> r "access" (fun () -> o.Fs_intf.fs_access c h w));
+    fs_readlink = (fun c h -> r "readlink" (fun () -> o.Fs_intf.fs_readlink c h));
+    fs_read = (fun c h ~off ~count -> r "read" (fun () -> o.Fs_intf.fs_read c h ~off ~count));
+    fs_write =
+      (fun c h ~off ~stable d -> r "write" (fun () -> o.Fs_intf.fs_write c h ~off ~stable d));
+    fs_create = (fun c ~dir n ~mode -> r "create" (fun () -> o.Fs_intf.fs_create c ~dir n ~mode));
+    fs_mkdir = (fun c ~dir n ~mode -> r "mkdir" (fun () -> o.Fs_intf.fs_mkdir c ~dir n ~mode));
+    fs_symlink =
+      (fun c ~dir n ~target -> r "symlink" (fun () -> o.Fs_intf.fs_symlink c ~dir n ~target));
+    fs_remove = (fun c ~dir n -> r "remove" (fun () -> o.Fs_intf.fs_remove c ~dir n));
+    fs_rmdir = (fun c ~dir n -> r "rmdir" (fun () -> o.Fs_intf.fs_rmdir c ~dir n));
+    fs_rename =
+      (fun c ~from_dir ~from_name ~to_dir ~to_name ->
+        r "rename" (fun () -> o.Fs_intf.fs_rename c ~from_dir ~from_name ~to_dir ~to_name));
+    fs_link = (fun c ~target ~dir n -> r "link" (fun () -> o.Fs_intf.fs_link c ~target ~dir n));
+    fs_readdir = (fun c h -> r "readdir" (fun () -> o.Fs_intf.fs_readdir c h));
+    fs_commit = (fun c h -> r "commit" (fun () -> o.Fs_intf.fs_commit c h));
+    fs_fsstat = (fun c h -> r "fsstat" (fun () -> o.Fs_intf.fs_fsstat c h));
+  }
+
 let ops (t : t) : Fs_intf.ops =
   let inner = t.inner in
   let getattr cred h =
@@ -433,6 +465,7 @@ let ops (t : t) : Fs_intf.ops =
         note_attr t h a;
         Ok a
   in
+  rooted t.obs
   {
     Fs_intf.fs_root = inner.Fs_intf.fs_root;
     fs_getattr = getattr;

@@ -43,6 +43,7 @@ type t = {
   machine : string;
   enc : Xdr.enc;
   retry : retry option;
+  obs : Obs.registry option; (* for the trace-context annex on calls *)
 }
 
 let rpc_auth_of_cred (machine : string) (c : Simos.cred) : Sunrpc.auth_flavor =
@@ -51,12 +52,12 @@ let rpc_auth_of_cred (machine : string) (c : Simos.cred) : Sunrpc.auth_flavor =
     Sunrpc.Auth_unix
       { stamp = 0; machine; uid = c.Simos.cred_uid; gid = c.Simos.cred_gid; gids = c.Simos.cred_groups }
 
-let create ?retry ~(machine : string) (send : transport) : t =
-  { send; xid = 1; machine; enc = Xdr.make_enc (); retry }
+let create ?retry ?obs ~(machine : string) (send : transport) : t =
+  { send; xid = 1; machine; enc = Xdr.make_enc (); retry; obs }
 
-let of_conn ?retry ~(machine : string) (conn : Simnet.conn) : t =
+let of_conn ?retry ?obs ~(machine : string) (conn : Simnet.conn) : t =
   (* sfslint: allow SL010 — mount/setup transport; data reads pipeline via conn_pipeline *)
-  create ?retry ~machine (fun bytes -> Simnet.call conn bytes)
+  create ?retry ?obs ~machine (fun bytes -> Simnet.call conn bytes)
 
 exception Rpc_failure of string
 
@@ -71,9 +72,19 @@ let call_raw (t : t) ~(cred : Simos.cred) ~(prog : int) ~(vers : int) ~(proc : i
     string =
   let xid = t.xid in
   t.xid <- t.xid + 1;
+  (* Piggyback the ambient causal context (the enclosing Cachefs op
+     root), so server-side spans attach to the op that caused them.
+     Retransmissions reuse [msg] verbatim, keeping the server's
+     byte-comparing duplicate request cache effective. *)
+  let trace, span =
+    match Obs.current t.obs with
+    | Some cx -> (cx.Obs.cx_trace, cx.Obs.cx_span)
+    | None -> (0, 0)
+  in
   let msg =
     Sunrpc.msg_to_string ~enc:t.enc
-      (Sunrpc.Call { Sunrpc.xid; prog; vers; proc; cred = rpc_auth_of_cred t.machine cred; args })
+      (Sunrpc.Call
+         { Sunrpc.xid; prog; vers; proc; trace; span; cred = rpc_auth_of_cred t.machine cred; args })
   in
   let attempts = match t.retry with None -> 1 | Some r -> r.r_attempts in
   let rec attempt (i : int) : string =
@@ -199,12 +210,12 @@ let generic_ops (call : raw_call) ~(root : fh) : Fs_intf.ops =
    NFS-over-TCP (paper section 4.1): requests spanning multiple TCP
    segments hit delayed-ACK/Nagle stalls — the pathology behind NFS 3
    (TCP)'s poor showing on write-heavy workloads. *)
-let conn_ops ?(stall = fun (_ : int) -> ()) ?retry ~(machine : string) (conn : Simnet.conn)
+let conn_ops ?(stall = fun (_ : int) -> ()) ?retry ?obs ~(machine : string) (conn : Simnet.conn)
     ~(root : fh) : Fs_intf.ops =
   (* sfslint: allow SL010 — metadata/sync ops keep NFS RPC semantics; READs pipeline, WRITEs go async *)
-  let sync = create ?retry ~machine (fun b -> Simnet.call conn b) in
+  let sync = create ?retry ?obs ~machine (fun b -> Simnet.call conn b) in
   let async_t =
-    { (create ?retry ~machine (fun b -> Simnet.call_async conn b)) with xid = 100_000_000 }
+    { (create ?retry ?obs ~machine (fun b -> Simnet.call_async conn b)) with xid = 100_000_000 }
   in
   generic_ops
     (fun ~cred ~proc ~async args ->
@@ -239,12 +250,23 @@ let conn_pipeline ?obs ?(window = 16) ?(depth = 16) (net : Simnet.t)
       ~op_us:costs.Costmodel.pipeline_nfs_op_us
       ~exchange:(fun msg ->
         let reply, server_us = Simnet.call_measured conn msg in
-        { Rpc_mux.c_payload = reply; c_server_us = server_us; c_wire_bytes = String.length reply })
+        {
+          Rpc_mux.c_payload = reply;
+          c_server_us = server_us;
+          c_wire_bytes = String.length reply;
+          c_crypto_us = 0.0 (* clear transport *);
+        })
       ()
   in
   let pl_submit cred h ~off ~count =
     let this_xid = !xid in
     incr xid;
+    let t0 = Sfs_net.Simclock.now_us (Simnet.clock net) in
+    (* sfslint: allow SL012 — the open span is handed to Rpc_mux.submit via ~info, which closes it at the op's ready time (or at submit time on a failed exchange) *)
+    let os = Obs.span_begin obs ~cat:"op" "read" in
+    let trace, span =
+      match Obs.open_ctx os with Some cx -> (cx.Obs.cx_trace, cx.Obs.cx_span) | None -> (0, 0)
+    in
     let msg =
       Sunrpc.msg_to_string ~enc
         (Sunrpc.Call
@@ -253,11 +275,22 @@ let conn_pipeline ?obs ?(window = 16) ?(depth = 16) (net : Simnet.t)
              prog = Nfs_proto.prog;
              vers = Nfs_proto.vers;
              proc = Nfs_proto.proc_read;
+             trace;
+             span;
              cred = rpc_auth_of_cred machine cred;
              args = Xdr.encode Nfs_proto.enc_read_args (h, off, count);
            })
     in
-    match Rpc_mux.submit mux ~wire_bytes:(String.length msg) msg with
+    let info =
+      {
+        Rpc_mux.ci_op = "read";
+        ci_t0_us = t0;
+        ci_crypto_up_us = 0.0;
+        ci_crypto_up_ctr = 0;
+        ci_span = os;
+      }
+    in
+    match Rpc_mux.submit ~info mux ~wire_bytes:(String.length msg) msg with
     | ticket ->
         Some
           (fun () ->
@@ -282,7 +315,7 @@ let mount_pipelined ?retry ?obs ?(window = 1) ?(readahead = 0) (net : Simnet.t)
     ~(from_host : string) ~(addr : string) ~(proto : Sfs_net.Costmodel.transport_proto)
     ~(cred : Simos.cred) : Fs_intf.ops * Fs_intf.pipeline option =
   let conn = Simnet.connect net ~from_host ~addr ~port:2049 ~proto in
-  let t = of_conn ?retry ~machine:from_host conn in
+  let t = of_conn ?retry ?obs ~machine:from_host conn in
   let root = mount_root t ~cred in
   let costs = Simnet.costs net in
   let stall =
@@ -298,7 +331,7 @@ let mount_pipelined ?retry ?obs ?(window = 1) ?(readahead = 0) (net : Simnet.t)
       Some (conn_pipeline ?obs ~window ~depth:readahead net ~proto ~machine:from_host conn)
     else None
   in
-  (conn_ops ~stall ?retry ~machine:from_host conn ~root, pipeline)
+  (conn_ops ~stall ?retry ?obs ~machine:from_host conn ~root, pipeline)
 
 let mount ?retry (net : Simnet.t) ~(from_host : string) ~(addr : string)
     ~(proto : Sfs_net.Costmodel.transport_proto) ~(cred : Simos.cred) : Fs_intf.ops =

@@ -34,8 +34,11 @@ val retry_policy :
 
 type t
 
-val create : ?retry:retry -> machine:string -> transport -> t
-val of_conn : ?retry:retry -> machine:string -> Simnet.conn -> t
+val create : ?retry:retry -> ?obs:Sfs_obs.Obs.registry -> machine:string -> transport -> t
+val of_conn : ?retry:retry -> ?obs:Sfs_obs.Obs.registry -> machine:string -> Simnet.conn -> t
+(** With [obs], calls carry the current trace context ({!Sfs_obs.Obs.current})
+    in the Sun RPC trace annex, so server-side spans attach to the
+    causing client op. *)
 
 type raw_call = cred:Simos.cred -> proc:int -> async:bool -> string -> string
 (** A procedure-level transport.  [async] marks write-behind traffic
@@ -51,7 +54,13 @@ val mount_root : t -> cred:Simos.cred -> fh
 val ops : t -> root:fh -> Fs_intf.ops
 
 val conn_ops :
-  ?stall:(int -> unit) -> ?retry:retry -> machine:string -> Simnet.conn -> root:fh -> Fs_intf.ops
+  ?stall:(int -> unit) ->
+  ?retry:retry ->
+  ?obs:Sfs_obs.Obs.registry ->
+  machine:string ->
+  Simnet.conn ->
+  root:fh ->
+  Fs_intf.ops
 (** Ops over a network connection, routing async traffic through the
     pipelined path.  [stall] is invoked with each request size — the
     hook that models FreeBSD's suboptimal NFS-over-TCP (section 4.1). *)

@@ -170,6 +170,14 @@ let handle_message (t : t) (bytes : string) : string =
       Sunrpc.msg_to_string ~enc:t.enc
         (Sunrpc.Reply { Sunrpc.reply_xid = 0; body = Sunrpc.Garbage_args })
   | Ok (Sunrpc.Call c) ->
+      (* Adopt the caller's trace context (if any) so the dispatch span
+         and counters attach to the causing client op. *)
+      let ctx =
+        if c.Sunrpc.trace > 0 then
+          Some { Obs.cx_trace = c.Sunrpc.trace; cx_span = c.Sunrpc.span }
+        else None
+      in
+      Obs.with_ctx t.obs ctx @@ fun () ->
       let body =
         if c.Sunrpc.prog = Nfs_proto.mount_prog then
           if c.Sunrpc.vers <> Nfs_proto.mount_vers then

@@ -1,0 +1,93 @@
+(* Critical-path aggregation: fold the per-exchange [Obs.cp_sample]s of
+   a registry into a per-op-type report — sample count, per-segment
+   totals, and wall-time quantiles from a mergeable sketch.  Everything
+   is deterministic: ops sort by name, segments keep first-appearance
+   order, and quantiles come from the fixed-bucket sketch. *)
+
+type op_agg = {
+  oa_op : string;
+  oa_count : int;
+  oa_wall_us : float; (* total wall time across samples *)
+  oa_segments : (string * float) list; (* totals, first-appearance order *)
+  oa_sketch : Sketch.t; (* of per-sample wall us, rounded *)
+}
+
+let round_us (v : float) : int = int_of_float (Float.round v)
+
+let per_op (r : Obs.registry) : op_agg list =
+  let tbl : (string, op_agg ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (s : Obs.cp_sample) ->
+      let a =
+        match Hashtbl.find_opt tbl s.Obs.cp_op with
+        | Some a -> a
+        | None ->
+            let a =
+              ref
+                {
+                  oa_op = s.Obs.cp_op;
+                  oa_count = 0;
+                  oa_wall_us = 0.0;
+                  oa_segments = [];
+                  oa_sketch = Sketch.create ();
+                }
+            in
+            Hashtbl.replace tbl s.Obs.cp_op a;
+            order := s.Obs.cp_op :: !order;
+            a
+      in
+      let segments =
+        List.fold_left
+          (fun acc (k, v) ->
+            let rec bump = function
+              | [] -> [ (k, v) ]
+              | (k', v') :: rest when String.equal k' k -> (k', v' +. v) :: rest
+              | kv :: rest -> kv :: bump rest
+            in
+            bump acc)
+          !a.oa_segments s.Obs.cp_segments
+      in
+      Sketch.observe !a.oa_sketch (round_us s.Obs.cp_wall_us);
+      a :=
+        {
+          !a with
+          oa_count = !a.oa_count + 1;
+          oa_wall_us = !a.oa_wall_us +. s.Obs.cp_wall_us;
+          oa_segments = segments;
+        })
+    (Obs.cp_samples r);
+  List.sort
+    (fun a b -> compare a.oa_op b.oa_op)
+    (List.rev_map (fun op -> !(Hashtbl.find tbl op)) !order)
+
+let us (v : float) : string = Printf.sprintf "%.3f" v
+
+let json_of_op (a : op_agg) : string =
+  let segs = List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (Obs.json_escape k) (us v)) a.oa_segments in
+  Printf.sprintf
+    "\"%s\":{\"count\":%d,\"wall_us\":%s,\"p50_us\":%d,\"p95_us\":%d,\"p99_us\":%d,\"segments\":{%s}}"
+    (Obs.json_escape a.oa_op) a.oa_count (us a.oa_wall_us)
+    (Sketch.quantile a.oa_sketch 0.50)
+    (Sketch.quantile a.oa_sketch 0.95)
+    (Sketch.quantile a.oa_sketch 0.99)
+    (String.concat "," segs)
+
+(* Per-figure report: one entry per registry label that has samples.
+   Returns [None] when no registry sampled anything (figures whose
+   stacks never take an instrumented RPC path). *)
+let critical_path_json (regs : (string * Obs.registry) list) : string option =
+  let entries =
+    List.filter_map
+      (fun (label, r) ->
+        match per_op r with
+        | [] -> None
+        | ops ->
+            Some
+              (Printf.sprintf "\"%s\":{%s}" (Obs.json_escape label)
+                 (String.concat "," (List.map json_of_op ops))))
+      regs
+  in
+  match entries with
+  | [] -> None
+  | _ -> Some (Printf.sprintf "{%s}" (String.concat "," entries))

@@ -16,7 +16,7 @@ open Sfs_nfs.Nfs_types
 module Xdr = Sfs_xdr.Xdr
 
 type request =
-  | Fs_call of { xid : int; authno : int; proc : int; args : string }
+  | Fs_call of { xid : int; authno : int; proc : int; trace : int; span : int; args : string }
   | Auth_req of { seqno : int; authmsg : string }
 
 type response =
@@ -27,11 +27,17 @@ type response =
 
 let enc_request e (r : request) =
   match r with
-  | Fs_call { xid; authno; proc; args } ->
+  | Fs_call { xid; authno; proc; trace; span; args } ->
       Xdr.enc_uint32 e 0;
       Xdr.enc_uint32 e xid;
       Xdr.enc_uint32 e authno;
       Xdr.enc_uint32 e proc;
+      (* Trace context (tracing annex): lets the server attach its
+         spans to the causing client op.  Zero when tracing is off.
+         Outside [args] so a retransmission with a different context
+         still hits the duplicate request cache. *)
+      Xdr.enc_uint32 e trace;
+      Xdr.enc_uint32 e span;
       Xdr.enc_opaque e args
   | Auth_req { seqno; authmsg } ->
       Xdr.enc_uint32 e 1;
@@ -44,8 +50,10 @@ let dec_request d : request =
       let xid = Xdr.dec_uint32 d in
       let authno = Xdr.dec_uint32 d in
       let proc = Xdr.dec_uint32 d in
+      let trace = Xdr.dec_uint32 d in
+      let span = Xdr.dec_uint32 d in
       let args = Xdr.dec_opaque d ~max:0x200000 in
-      Fs_call { xid; authno; proc; args }
+      Fs_call { xid; authno; proc; trace; span; args }
   | 1 ->
       let seqno = Xdr.dec_uint32 d in
       let authmsg = Xdr.dec_opaque d ~max:8192 in

@@ -7,12 +7,15 @@
 open Sfs_nfs.Nfs_types
 
 type request =
-  | Fs_call of { xid : int; authno : int; proc : int; args : string }
+  | Fs_call of { xid : int; authno : int; proc : int; trace : int; span : int; args : string }
   | Auth_req of { seqno : int; authmsg : string }
 (** [xid] identifies one logical call across retransmissions: a client
     that reconnects and re-issues a request keeps the same xid, and the
     server's duplicate request cache replays the stored reply instead
-    of re-executing a non-idempotent procedure. *)
+    of re-executing a non-idempotent procedure.  [trace]/[span] carry
+    the client's causal context (DESIGN.md §13); both are 0 when
+    tracing is off, and neither participates in duplicate-request
+    matching. *)
 
 type response =
   | Fs_reply of { results : string; invalidations : fh list }

@@ -14,6 +14,8 @@ type call = {
   prog : int;
   vers : int;
   proc : int;
+  trace : int; (* causal-trace context (simulation annex); 0 = none *)
+  span : int;
   cred : auth_flavor;
   args : string; (* pre-marshaled procedure arguments *)
 }
@@ -86,6 +88,12 @@ let enc_msg (e : Xdr.enc) (m : msg) : unit =
       Xdr.enc_uint32 e c.prog;
       Xdr.enc_uint32 e c.vers;
       Xdr.enc_uint32 e c.proc;
+      (* Trace-context annex (DESIGN.md §13) — a simulation-only
+         departure from RFC 1831, mirroring Sfsrw.Fs_call.  Zero when
+         tracing is off; retransmissions reuse the marshaled bytes, so
+         duplicate-request caching is unaffected. *)
+      Xdr.enc_uint32 e c.trace;
+      Xdr.enc_uint32 e c.span;
       enc_auth e c.cred;
       enc_auth e Auth_none (* verifier *);
       Xdr.enc_raw e c.args
@@ -129,10 +137,12 @@ let dec_msg (d : Xdr.dec) : msg =
       let prog = Xdr.dec_uint32 d in
       let vers = Xdr.dec_uint32 d in
       let proc = Xdr.dec_uint32 d in
+      let trace = Xdr.dec_uint32 d in
+      let span = Xdr.dec_uint32 d in
       let cred = dec_auth d in
       let _verf = dec_auth d in
       let args = Xdr.dec_rest d in
-      Call { xid; prog; vers; proc; cred; args }
+      Call { xid; prog; vers; proc; trace; span; cred; args }
   | 1 -> (
       match Xdr.dec_uint32 d with
       | 0 -> (

@@ -14,6 +14,8 @@ type call = {
   prog : int;
   vers : int;
   proc : int;
+  trace : int;  (** causal-trace context (simulation annex); 0 = none *)
+  span : int;
   cred : auth_flavor;
   args : string;  (** pre-marshaled procedure arguments *)
 }

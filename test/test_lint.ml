@@ -226,6 +226,27 @@ let test_sl011_bare_waiver () =
   fires "bare pragma does not suppress" ~path:"lib/crypto/mac.ml" ~code:"SL001"
     "(* sfslint: allow SL001 *)\nlet f ~tag x = tag = x"
 
+let test_sl012_span_bracketing () =
+  fires "span_begin with no span_end leaks" ~path:"lib/core/client.ml" ~code:"SL012"
+    "let f obs = Obs.span_begin obs ~cat:\"op\" \"read\"";
+  fires "qualified span_begin" ~path:"lib/nfs/cachefs.ml" ~code:"SL012"
+    "let f obs = Sfs_obs.Obs.span_begin obs ~cat:\"op\" \"read\"";
+  (* A span_end anywhere in the same top-level item satisfies the
+     heuristic — including on an exception path. *)
+  silent "begin/end in the same item" ~path:"lib/core/client.ml" ~code:"SL012"
+    "let f obs =\n\
+    \  let os = Obs.span_begin obs ~cat:\"op\" \"read\" in\n\
+    \  match work () with v -> Obs.span_end os; v | exception e -> Obs.span_end os; raise e";
+  (* Closing in a different top-level item does not count: the opener's
+     item still leaks on its own paths. *)
+  fires "end in a different item" ~path:"lib/core/client.ml" ~code:"SL012"
+    "let f obs = Obs.span_begin obs ~cat:\"op\" \"read\"\nlet g os = Obs.span_end os";
+  silent "delegation waived with a pragma" ~path:"lib/core/client.ml" ~code:"SL012"
+    "(* sfslint: allow SL012 — the mux closes the span at ready time *)\n\
+     let f obs = Obs.span_begin obs ~cat:\"op\" \"read\"";
+  silent "outside lib/" ~path:"bench/main.ml" ~code:"SL012"
+    "let f obs = Obs.span_begin obs ~cat:\"op\" \"read\""
+
 let test_enable_disable () =
   let src = "let x = Random.int 10\nlet f ~tag y = tag = y" in
   let all = codes ~path:"lib/core/agent.ml" src in
@@ -268,6 +289,7 @@ let suite =
       Alcotest.test_case "SL010 blocking call on hot path" `Quick test_sl010;
       Alcotest.test_case "SL000 pragma hygiene" `Quick test_sl000_pragma_hygiene;
       Alcotest.test_case "SL011 bare waiver pragma" `Quick test_sl011_bare_waiver;
+      Alcotest.test_case "SL012 span bracketing" `Quick test_sl012_span_bracketing;
       Alcotest.test_case "enable/disable filtering" `Quick test_enable_disable;
       Alcotest.test_case "engine robustness" `Quick test_engine_robustness;
     ] )

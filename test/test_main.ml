@@ -16,4 +16,6 @@ let () =
       Test_lint.suite;
       Test_taint.suite;
       Test_obs.suite;
+      Test_sketch.suite;
+      Test_trace.suite;
     ]

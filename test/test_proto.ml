@@ -295,7 +295,7 @@ let test_lease_dedup () =
 let test_sfsrw_roundtrip () =
   let reqs =
     [
-      Sfsrw.Fs_call { xid = 7; authno = 3; proc = 6; args = "argdata" };
+      Sfsrw.Fs_call { xid = 7; authno = 3; proc = 6; trace = 9; span = 4; args = "argdata" };
       Sfsrw.Auth_req { seqno = 12; authmsg = "msgdata" };
     ]
   in

@@ -62,6 +62,8 @@ let test_sunrpc_roundtrip () =
         prog = 100003;
         vers = 3;
         proc = 6;
+        trace = 0;
+        span = 0;
         cred = Sunrpc.Auth_unix { stamp = 1; machine = "client"; uid = 1000; gid = 100; gids = [ 100; 7 ] };
         args = "argbytes";
       }
@@ -133,7 +135,7 @@ let msg_gen =
     let* proc = int_range 0 21 in
     let* cred = auth_gen in
     let* args = string_size ~gen:char (int_range 0 64) in
-    return (Sunrpc.Call { Sunrpc.xid; prog = 100003; vers = 3; proc; cred; args })
+    return (Sunrpc.Call { Sunrpc.xid; prog = 100003; vers = 3; proc; trace = 0; span = 0; cred; args })
   in
   let reply =
     let* reply_xid = int_range 0 0xFFFFFFF in

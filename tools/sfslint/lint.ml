@@ -104,6 +104,14 @@ let rules : rule_info list =
       ri_hint =
         "every allow pragma must say why the waiver is sound: (* sfslint: allow SLxxx — reason *)";
     };
+    {
+      ri_code = "SL012";
+      ri_title = "span_begin without a reachable span_end";
+      ri_hint =
+        "every Obs.span_begin must reach Obs.span_end on all paths (including exceptions), or hand \
+         the open span to a closer (Rpc_mux.submit ~info closes it at the op's ready time) — waive \
+         with a pragma naming the closer";
+    };
   ]
 
 let all_codes = List.map (fun r -> r.ri_code) rules
@@ -566,6 +574,38 @@ let check_ast ~(path : string) ~(enabled : string list) (ast : structure) : diag
           | None -> Ast_iterator.default_iterator.value_binding self vb);
       structure_item =
         (fun self si ->
+          (* SL012: an explicitly bracketed span opened in a top-level
+             item that never mentions span_end cannot close it on any
+             path — exception paths included.  Items that delegate
+             closing (passing the open span to Rpc_mux.submit) carry a
+             pragma naming the closer. *)
+          (match si.pstr_desc with
+          | Pstr_value (_, _) when in_lib path && List.mem "SL012" enabled ->
+              let begins = ref [] and ends = ref 0 in
+              let gather =
+                {
+                  Ast_iterator.default_iterator with
+                  expr =
+                    (fun self e ->
+                      (match e.pexp_desc with
+                      | Pexp_ident { txt; _ } -> (
+                          match List.rev (lid_flatten txt) with
+                          | "span_begin" :: _ -> begins := e.pexp_loc :: !begins
+                          | "span_end" :: _ -> incr ends
+                          | _ -> ())
+                      | _ -> ());
+                      Ast_iterator.default_iterator.expr self e);
+                }
+              in
+              gather.structure_item gather si;
+              if !ends = 0 then
+                List.iter
+                  (fun loc ->
+                    add ~loc "SL012"
+                      "span_begin whose enclosing top-level item never calls span_end leaks the \
+                       span on every path")
+                  (List.rev !begins)
+          | _ -> ());
           (match si.pstr_desc with
           | Pstr_value (_, vbs) when in_lib path ->
               List.iter
