@@ -1,6 +1,6 @@
 (* The benchmark harness: regenerates every table and figure of the
    paper's evaluation (section 4), plus the in-text ablations and real
-   (bechamel) micro-benchmarks of the crypto substrate.
+   (process-CPU-time) micro-benchmarks of the crypto substrate.
 
    Usage:
      main.exe [fig5] [fig6] [fig7] [fig8] [fig9] [pipeline] [ablations] [faults] [crypto]
@@ -17,9 +17,9 @@
    Perfetto) and --metrics (flat JSONL) are byte-identical across runs.
    Each figure also appends its headline numbers plus all counters to
    BENCH_results.json (one JSON object per line; override the path with
-   --results FILE, suppress with --no-results).  The crypto bechamel
-   suite and the ablations' real-CPU read-only table measure wall-clock
-   time and are deliberately excluded from all deterministic outputs. *)
+   --results FILE, suppress with --no-results).  The crypto suite and
+   the ablations' real-CPU read-only table measure real CPU time and
+   are deliberately excluded from all deterministic outputs. *)
 
 open Sfs_workload
 module Obs = Sfs_obs.Obs
@@ -556,12 +556,11 @@ let faults () =
       fo_regs = [ r1; r2; r3; r4 ];
     }
 
-(* --- Real-time crypto micro-benchmarks (bechamel) --- *)
+(* --- Real-time crypto micro-benchmarks (process CPU time) --- *)
 
 let crypto () =
   hr ();
-  print_endline "Crypto substrate micro-benchmarks (real CPU time, bechamel)\n";
-  let open Bechamel in
+  print_endline "Crypto substrate micro-benchmarks (process CPU time)\n";
   let rng = Sfs_crypto.Prng.create [ "bench-crypto" ] in
   let key512 = Sfs_crypto.Rabin.generate ~bits:512 rng in
   let key1024 = Sfs_crypto.Rabin.generate ~bits:1024 rng in
@@ -570,6 +569,8 @@ let crypto () =
   let mac_key = String.make 32 'm' in
   let signature = Sfs_crypto.Rabin.sign key1024 "benchmark message" in
   let arc4 = Sfs_crypto.Arc4.create (String.make 20 'k') in
+  (* Deterministic full-width 512-bit operands for the bare-modexp case. *)
+  let modexp_operand c = Sfs_bignum.Nat.of_bytes_be (String.make 64 c) in
   let seal_chan =
     Sfs_proto.Channel.create ~send_key:(String.make 20 'x') ~recv_key:(String.make 20 'y') ()
   in
@@ -587,78 +588,143 @@ let crypto () =
   in
   (* The 64-byte cases expose per-message fixed costs (key schedules,
      staging allocations) the 8 KB cases amortize away. *)
-  let tests =
+  let tests : (string * (unit -> unit)) list =
     [
-      ("sha1-64", Test.make ~name:"sha1-64" (Staged.stage (fun () -> Sfs_crypto.Sha1.digest block64)));
-      ("sha1-8k", Test.make ~name:"sha1-8k" (Staged.stage (fun () -> Sfs_crypto.Sha1.digest block8k)));
-      ( "hmac-64",
-        Test.make ~name:"hmac-64"
-          (Staged.stage (fun () -> Sfs_crypto.Mac.of_message ~key:mac_key block64)) );
-      ( "hmac-sha1-8k",
-        Test.make ~name:"hmac-sha1-8k"
-          (Staged.stage (fun () -> Sfs_crypto.Mac.of_message ~key:mac_key block8k)) );
-      ( "arc4-64",
-        Test.make ~name:"arc4-64" (Staged.stage (fun () -> Sfs_crypto.Arc4.encrypt arc4 block64)) );
-      ( "arc4-8k",
-        Test.make ~name:"arc4-8k" (Staged.stage (fun () -> Sfs_crypto.Arc4.encrypt arc4 block8k)) );
-      ( "seal-8k",
-        Test.make ~name:"seal-8k" (Staged.stage (fun () -> Sfs_proto.Channel.seal seal_chan block8k)) );
+      ("sha1-64", fun () -> ignore (Sfs_crypto.Sha1.digest block64));
+      ("sha1-8k", fun () -> ignore (Sfs_crypto.Sha1.digest block8k));
+      ("hmac-64", fun () -> ignore (Sfs_crypto.Mac.of_message ~key:mac_key block64));
+      ("hmac-sha1-8k", fun () -> ignore (Sfs_crypto.Mac.of_message ~key:mac_key block8k));
+      ("arc4-64", fun () -> ignore (Sfs_crypto.Arc4.encrypt arc4 block64));
+      ("arc4-8k", fun () -> ignore (Sfs_crypto.Arc4.encrypt arc4 block8k));
+      ("seal-8k", fun () -> ignore (Sfs_proto.Channel.seal seal_chan block8k));
       ( "seal+open-8k",
-        Test.make ~name:"seal+open-8k"
-          (Staged.stage (fun () -> Sfs_proto.Channel.open_ pair_b (Sfs_proto.Channel.seal pair_a block8k))) );
+        fun () -> ignore (Sfs_proto.Channel.open_ pair_b (Sfs_proto.Channel.seal pair_a block8k)) );
       ( "rabin-1024-verify",
-        Test.make ~name:"rabin-1024-verify"
-          (Staged.stage (fun () -> Sfs_crypto.Rabin.verify key1024.Sfs_crypto.Rabin.pub "benchmark message" signature)) );
-      ( "rabin-1024-sign",
-        Test.make ~name:"rabin-1024-sign"
-          (Staged.stage (fun () -> Sfs_crypto.Rabin.sign key1024 "benchmark message")) );
+        fun () ->
+          ignore (Sfs_crypto.Rabin.verify key1024.Sfs_crypto.Rabin.pub "benchmark message" signature)
+      );
+      ("rabin-1024-sign", fun () -> ignore (Sfs_crypto.Rabin.sign key1024 "benchmark message"));
       ( "rabin-512-decrypt",
-        Test.make ~name:"rabin-512-decrypt"
-          (let c = Sfs_crypto.Rabin.encrypt key512.Sfs_crypto.Rabin.pub rng "msg" in
-           Staged.stage (fun () -> Sfs_crypto.Rabin.decrypt key512 c)) );
+        let c = Sfs_crypto.Rabin.encrypt key512.Sfs_crypto.Rabin.pub rng "msg" in
+        fun () -> ignore (Sfs_crypto.Rabin.decrypt key512 c) );
       ( "eksblowfish-cost-6",
-        Test.make ~name:"eksblowfish-cost-6"
-          (Staged.stage (fun () -> Sfs_crypto.Eksblowfish.hash ~cost:6 ~salt:(String.make 16 's') "pw")) );
+        fun () -> ignore (Sfs_crypto.Eksblowfish.hash ~cost:6 ~salt:(String.make 16 's') "pw") );
       ( "srp-client-full",
-        Test.make ~name:"srp-client-full"
-          (Staged.stage (fun () ->
-               let grp = Sfs_crypto.Srp.default_group in
-               Sfs_crypto.Srp.client_start grp rng ~user:"u" ~password:"p")) );
+        fun () ->
+          let grp = Sfs_crypto.Srp.default_group in
+          ignore (Sfs_crypto.Srp.client_start grp rng ~user:"u" ~password:"p") );
+      (* Montgomery modexp at the Rabin working width: the primitive
+         every signature, verification and SRP exchange bottoms out in. *)
+      ( "modexp-512",
+        let b = modexp_operand 'B' and e = modexp_operand 'E' in
+        (* 'M' = 0x4D, so the low byte is odd — Montgomery form applies
+           (an even modulus would fall back to the reference path). *)
+        let m = modexp_operand 'M' in
+        fun () -> ignore (Sfs_bignum.Nat.modexp ~base:b ~exp:e ~modulus:m) );
+      ("rabin-sign", fun () -> ignore (Sfs_crypto.Rabin.sign key512 "benchmark message"));
+      ( "rabin-verify",
+        let s = Sfs_crypto.Rabin.sign key512 "benchmark message" in
+        fun () -> ignore (Sfs_crypto.Rabin.verify key512.Sfs_crypto.Rabin.pub "benchmark message" s)
+      );
+      (* One full password exchange: both sides' ephemerals, both
+         finishes, proof check — the paper's user-authentication cost. *)
+      ( "srp-roundtrip",
+        let grp = Sfs_crypto.Srp.default_group in
+        let v = Sfs_crypto.Srp.make_verifier ~cost:4 grp rng ~user:"u" ~password:"p" in
+        fun () ->
+          let c = Sfs_crypto.Srp.client_start grp rng ~user:"u" ~password:"p" in
+          let s = Sfs_crypto.Srp.server_start grp rng v in
+          let cs =
+            Sfs_crypto.Srp.client_finish c ~salt:v.Sfs_crypto.Srp.salt ~cost:v.Sfs_crypto.Srp.cost
+              ~b_pub:(Sfs_crypto.Srp.server_pub s)
+          in
+          let ss = Sfs_crypto.Srp.server_finish s ~a_pub:(Sfs_crypto.Srp.client_pub c) in
+          ignore
+            (match (cs, ss) with
+            | Some cs, Some ss ->
+                Sfs_crypto.Srp.check_client_proof ss ~proof:cs.Sfs_crypto.Srp.proof
+            | _ -> false) );
     ]
   in
-  let benchmark test =
-    let instance = Toolkit.Instance.monotonic_clock in
-    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
-    let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"crypto" ~fmt:"%s %s" [ test ]) in
-    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) instance
-      results
+  (* Phase 1 — the deterministic work proxy: bytes allocated per op.
+     The crypto substrate is pure OCaml, so algorithmic regressions
+     (losing Montgomery form, a dropped Karatsuba threshold, a copying
+     read path) all surface as allocation growth, and unlike any clock
+     the number is exactly reproducible run to run.  That is what lets
+     benchdiff hold the crypto figure to a hard 10% per-case budget on
+     shared hardware.  Fixed iteration counts, taken before any
+     time-calibrated loop runs, keep the PRNG-consuming cases on the
+     same draw sequence every run. *)
+  let alloc_iters = 5 in
+  let alloc_rows =
+    List.map
+      (fun (name, f) ->
+        let a0 = Gc.allocated_bytes () in
+        for _ = 1 to alloc_iters do
+          f ()
+        done;
+        (name, (Gc.allocated_bytes () -. a0) /. float_of_int alloc_iters))
+      tests
   in
-  let estimate test =
-    let results = benchmark test in
-    let est = ref nan in
-    Hashtbl.iter
-      (fun name ols ->
-        match Bechamel.Analyze.OLS.estimates ols with
-        | Some [ e ] ->
-            Printf.printf "  %-28s %12.1f ns/op\n" name e;
-            est := e
-        | _ -> Printf.printf "  %-28s (no estimate)\n" name)
-      results;
-    !est
+  (* Phase 2 — process CPU time (Sys.time), not the wall clock:
+     neighbor load and preemption move wall-clock numbers 20-40%
+     between back-to-back runs here.  CPU time is better but still
+     inherits hypervisor steal and frequency drift, so it is only a
+     coarse backstop in benchdiff, not the 10% gate.  Each case is
+     calibrated to a ~50 ms window, then measured as the per-op minimum
+     over three such windows — interference only ever adds time, so the
+     minimum is the stable estimator. *)
+  let estimate (f : unit -> unit) =
+    let window = 0.05 in
+    let rec calibrate n =
+      let t0 = Sys.time () in
+      for _ = 1 to n do
+        f ()
+      done;
+      if Sys.time () -. t0 >= window then n else calibrate (2 * n)
+    in
+    let n = calibrate 1 in
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Sys.time () in
+      for _ = 1 to n do
+        f ()
+      done;
+      let per = (Sys.time () -. t0) /. float_of_int n in
+      if per < !best then best := per
+    done;
+    !best *. 1e9
   in
-  let rows = List.map (fun (name, test) -> (name, [ estimate test ])) tests in
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let ns = estimate f in
+        let alloc = List.assoc name alloc_rows in
+        Printf.printf "  crypto %-21s %12.1f ns/op %12.0f B/op\n" name ns alloc;
+        (name, [ ns; alloc ]))
+      tests
+  in
   (* Derived open-only cost; see the pair-channel comment above.  As a
      regression assertion the derived value must stay the same order as
      seal (both are one ARC4 pass + one MAC over the frame) — a large
      asymmetry means the pair test regressed into measuring the sum. *)
-  let find n = match List.assoc_opt n rows with Some [ v ] -> v | _ -> nan in
-  let open_derived = find "seal+open-8k" -. find "seal-8k" in
-  Printf.printf "  %-28s %12.1f ns/op (derived: seal+open - seal)\n" "open-8k" open_derived;
-  let rows = rows @ [ ("open-8k", [ open_derived ]) ] in
-  (* Real-CPU figures are inherently noisy: the "crypto" line in
-     BENCH_results.json is informational, and the determinism check
-     (make perf) excludes it from the byte-identical comparison. *)
-  record { fo_name = "crypto"; fo_headers = [ "ns_per_op" ]; fo_rows = rows; fo_regs = [] };
+  let find n i =
+    match List.assoc_opt n rows with
+    | Some vs -> ( match List.nth_opt vs i with Some v -> v | None -> nan)
+    | None -> nan
+  in
+  let open_ns = find "seal+open-8k" 0 -. find "seal-8k" 0 in
+  let open_alloc = find "seal+open-8k" 1 -. find "seal-8k" 1 in
+  Printf.printf "  crypto %-21s %12.1f ns/op %12.0f B/op (derived: seal+open - seal)\n" "open-8k"
+    open_ns open_alloc;
+  let rows = rows @ [ ("open-8k", [ open_ns; open_alloc ]) ] in
+  (* The "crypto" line's ns column is real CPU time, so the determinism
+     check (make perf) excludes the line from the byte-identical
+     comparison; benchdiff gates it as a trend instead — a hard 10%
+     per-case budget on the deterministic alloc_b_per_op column, a
+     coarse host-normalized backstop on ns_per_op. *)
+  record
+    { fo_name = "crypto"; fo_headers = [ "ns_per_op"; "alloc_b_per_op" ]; fo_rows = rows; fo_regs = [] };
   print_endline
     "\n(Section 3.1.3's claims to check: Rabin verification is much cheaper than\n\
      signing; ARC4 runs at stream-cipher speed; eksblowfish cost 6 is within an\n\

@@ -218,17 +218,19 @@ let divmod (a : t) (b : t) : t * t =
       let hi = r_at (j + nv) and lo = r_at (j + nv - 1) in
       let qhat = ref (((hi lsl limb_bits) lor lo) / top) in
       if !qhat > limb_mask then qhat := limb_mask;
+      let vj = shift_limbs v j in
       if !qhat > 0 then begin
-        let prod = shift_limbs (mul_schoolbook v (of_int !qhat)) j in
-        let prod = ref prod in
+        (* Correct an overestimate by walking the product down one
+           [v << j] per decrement — O(n) per step instead of
+           re-materialising the full qhat * v product each time. *)
+        let prod = ref (shift_limbs (mul_schoolbook v (of_int !qhat)) j) in
         while compare !prod r > 0 do
           decr qhat;
-          prod := shift_limbs (mul_schoolbook v (of_int !qhat)) j
+          prod := sub !prod vj
         done;
         rem := sub r !prod
       end;
       (* After estimation the remainder may still admit one more v<<j. *)
-      let vj = shift_limbs v j in
       while compare !rem vj >= 0 do
         incr qhat;
         rem := sub !rem vj
@@ -241,7 +243,10 @@ let divmod (a : t) (b : t) : t * t =
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
 
-let modexp ~(base : t) ~(exp : t) ~(modulus : t) : t =
+(* Right-to-left binary exponentiation with a full division per step.
+   Kept as the oracle the Montgomery path is equivalence-tested against,
+   and as the fallback for even moduli (where no Montgomery R⁻¹ exists). *)
+let modexp_reference ~(base : t) ~(exp : t) ~(modulus : t) : t =
   if is_zero modulus then raise Division_by_zero;
   if equal modulus one then zero
   else begin
@@ -253,6 +258,125 @@ let modexp ~(base : t) ~(exp : t) ~(modulus : t) : t =
       if i < nb - 1 then b := rem (mul !b !b) modulus
     done;
     !result
+  end
+
+(* --- Montgomery exponentiation (DESIGN.md §14) ---
+
+   For an odd k-limb modulus m, work in the residue ring scaled by
+   R = base^k: a Montgomery value ā = a·R mod m.  REDC(T) = T·R⁻¹ mod m
+   costs two k-limb multiplies (which [mul] runs through Karatsuba above
+   the threshold) and replaces the full division of [modexp_reference]'s
+   every step.  m' = -m⁻¹ mod R comes from Hensel lifting the one-limb
+   odd inverse, doubling precision each round. *)
+
+(* Low k limbs of a (a mod base^k), normalized. *)
+let trunc_limbs (a : t) (k : int) : t =
+  if Array.length a <= k then a else normalize (Array.sub a 0 k)
+
+(* Drop the low k limbs of a (a / base^k). *)
+let drop_limbs (a : t) (k : int) : t =
+  let n = Array.length a in
+  if n <= k then zero else Array.sub a k (n - k)
+
+type mont = {
+  mg_m : t; (* the (odd) modulus, k limbs *)
+  mg_k : int;
+  mg_m' : t; (* -m⁻¹ mod base^k *)
+  mg_r2 : t; (* base^2k mod m: the into-Montgomery-form multiplier *)
+  mg_one : t; (* base^k mod m: 1 in Montgomery form *)
+}
+
+(* Hensel lifting: x ≡ m⁻¹ (mod base^j) refines to mod base^2j via
+   x ← x·(2 - m·x).  Seed with the exact inverse mod base (one limb,
+   Newton on native ints), then double until k limbs are valid. *)
+let mont_of_modulus (m : t) : mont =
+  let k = Array.length m in
+  let inv0 =
+    let m0 = m.(0) in
+    let x = ref m0 in
+    (* x ≡ m0⁻¹ mod 2^3 for odd m0; five squarings reach 2^48 > 2^26. *)
+    for _ = 1 to 5 do
+      x := !x * (2 - (m0 * !x)) land limb_mask
+    done;
+    !x land limb_mask
+  in
+  let x = ref (of_int inv0) in
+  let j = ref 1 in
+  while !j < k do
+    j := min (2 * !j) k;
+    let mx = trunc_limbs (mul (trunc_limbs m !j) !x) !j in
+    (* 2 - m·x mod base^j: m·x ≡ 1 mod base^(j/2), so this never hits
+       the degenerate 0 case unless m·x = 1 exactly (then x is done). *)
+    let two_minus =
+      if compare mx two <= 0 then sub two mx
+      else sub (add (shift_limbs one !j) two) mx
+    in
+    x := trunc_limbs (mul !x two_minus) !j
+  done;
+  let inv = trunc_limbs !x k in
+  (* m' = -m⁻¹ mod base^k *)
+  let m' = if is_zero inv then zero else sub (shift_limbs one k) inv in
+  let r2 = rem (shift_limbs one (2 * k)) m in
+  let one_m = rem (shift_limbs one k) m in
+  { mg_m = m; mg_k = k; mg_m' = m'; mg_r2 = r2; mg_one = one_m }
+
+(* REDC: T < m·base^k  ↦  T·base^-k mod m. *)
+let mont_redc (g : mont) (t : t) : t =
+  let u = trunc_limbs (mul (trunc_limbs t g.mg_k) g.mg_m') g.mg_k in
+  let s = drop_limbs (add t (mul u g.mg_m)) g.mg_k in
+  if compare s g.mg_m >= 0 then sub s g.mg_m else s
+
+let mont_mul (g : mont) (a : t) (b : t) : t = mont_redc g (mul a b)
+
+(* Sliding-window width by exponent size: 4 covers SRP's 512-bit group,
+   5 the 1024-bit-plus Rabin keys; tiny exponents stay binary. *)
+let window_bits (nb : int) : int =
+  if nb <= 24 then 1 else if nb <= 96 then 3 else if nb <= 768 then 4 else 5
+
+let modexp ~(base : t) ~(exp : t) ~(modulus : t) : t =
+  if is_zero modulus then raise Division_by_zero;
+  if equal modulus one then zero
+  else if not (testbit modulus 0) then
+    (* Even modulus: no R⁻¹ exists; take the reference path. *)
+    modexp_reference ~base ~exp ~modulus
+  else if is_zero exp then one
+  else begin
+    let g = mont_of_modulus modulus in
+    let w = window_bits (num_bits exp) in
+    let bm = mont_redc g (mul (rem base modulus) g.mg_r2) in
+    (* Odd powers bm^1, bm^3, ... bm^(2^w - 1), in Montgomery form. *)
+    let odd = Array.make (1 lsl (w - 1)) bm in
+    if w > 1 then begin
+      let b2 = mont_mul g bm bm in
+      for i = 1 to Array.length odd - 1 do
+        odd.(i) <- mont_mul g odd.(i - 1) b2
+      done
+    end;
+    let result = ref g.mg_one in
+    let i = ref (num_bits exp - 1) in
+    while !i >= 0 do
+      if not (testbit exp !i) then begin
+        result := mont_mul g !result !result;
+        decr i
+      end
+      else begin
+        (* Longest window ending in a set bit, at most w bits. *)
+        let l = max 0 (!i - w + 1) in
+        let l = ref l in
+        while not (testbit exp !l) do incr l done;
+        let width = !i - !l + 1 in
+        let v = ref 0 in
+        for b = !i downto !l do
+          v := (!v lsl 1) lor (if testbit exp b then 1 else 0)
+        done;
+        for _ = 1 to width do
+          result := mont_mul g !result !result
+        done;
+        result := mont_mul g !result odd.(!v lsr 1);
+        i := !l - 1
+      end
+    done;
+    mont_redc g !result
   end
 
 let rec gcd (a : t) (b : t) : t = if is_zero b then a else gcd b (rem a b)

@@ -44,7 +44,14 @@ val shift_left : t -> int -> t
 val shift_right : t -> int -> t
 
 val modexp : base:t -> exp:t -> modulus:t -> t
-(** Left-to-right binary exponentiation. *)
+(** Montgomery multiplication with sliding-window exponentiation
+    (window 4–5 at cryptographic sizes): per-modulus precomputed
+    -m⁻¹ mod R and R² replace {!modexp_reference}'s full division per
+    step.  Falls back to the reference path for even moduli. *)
+
+val modexp_reference : base:t -> exp:t -> modulus:t -> t
+(** Binary exponentiation with a division per step: the slow, obviously
+    correct oracle the Montgomery path is equivalence-tested against. *)
 
 val gcd : t -> t -> t
 

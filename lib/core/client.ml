@@ -31,6 +31,7 @@ module Authproto = Sfs_proto.Authproto
 module Sfsrw = Sfs_proto.Sfsrw
 module Xdr = Sfs_xdr.Xdr
 module Obs = Sfs_obs.Obs
+module Slice = Sfs_util.Slice
 
 type mount_error =
   | Host_unreachable of string
@@ -516,15 +517,25 @@ let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
                     if t.rpc_window > 1 && t.readahead > 0 then begin
                       let mux =
                         Rpc_mux.create ?obs:t.obs ~window:t.rpc_window ~clock:t.clock
+                          (* Donated idle wire time becomes reply-stream
+                             keystream, banked ahead of the replies it
+                             will decrypt (reads m_channel afresh, so a
+                             reconnection swaps the beneficiary too). *)
+                          ~precompute:(fun ~budget_us ->
+                            Channel.precompute m.m_channel ~budget_us)
                           ~wire_us:(fun bytes -> Costmodel.transfer_us t.costs Costmodel.Tcp bytes)
                           ~latency_us:t.costs.Costmodel.tcp_rpc_us
                           ~op_us:t.costs.Costmodel.pipeline_sfs_op_us
                           ~exchange:(fun wire ->
                             let reply, server_us = Simnet.call_measured m.m_conn wire in
-                            match Channel.open_ m.m_channel reply with
-                            | Ok plain -> (
-                                match Sfsrw.response_of_string plain with
-                                | Ok (Sfsrw.Fs_reply { results; invalidations = inv }) ->
+                            (* Zero-copy: the opened frame is the single
+                               buffer the reply rides from here to the
+                               block cache — the decode below and the
+                               READ payload are views into it. *)
+                            match Channel.open_slice m.m_channel reply with
+                            | Ok frame -> (
+                                match Sfsrw.fs_reply_of_slice frame with
+                                | Ok (results, inv) ->
                                     (* Capture invalidations eagerly: a
                                        ticket the cache later abandons
                                        must not lose a callback. *)
@@ -539,9 +550,14 @@ let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
                                          never double-counts full-duplex
                                          crypto overlap. *)
                                       c_crypto_us =
-                                        Channel.crypto_cost_us m.m_channel (String.length plain);
+                                        Channel.crypto_cost_us m.m_channel (Slice.length frame);
+                                      (* Keystream this open_ consumed
+                                         from the idle-time prefetch:
+                                         that slice of the seal already
+                                         ran during dead wire time. *)
+                                      c_claim_us = Channel.take_recv_claim m.m_channel;
                                     }
-                                | Ok _ | Result.Error _ -> raise Simnet.Timeout)
+                                | Result.Error _ -> raise Simnet.Timeout)
                             | Error _ ->
                                 (* Poisoned streams: surface as a
                                    timeout; the sync fallback's recovery
@@ -604,7 +620,9 @@ let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
                         Some
                           (fun () ->
                             let results = Rpc_mux.await mux ticket in
-                            match Xdr.run results (Nfs_proto.dec_res Nfs_proto.dec_read_ok) with
+                            match
+                              Xdr.run_slice results (Nfs_proto.dec_res Nfs_proto.dec_read_ok_slice)
+                            with
                             | Ok v -> v
                             | Result.Error e ->
                                 raise (Nfs_client.Rpc_failure ("unparsable result: " ^ e)))

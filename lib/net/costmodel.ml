@@ -50,6 +50,7 @@ type t = {
   async_crypto_factor : float; (* share of crypto cost not hidden by the pipeline *)
   pipeline_nfs_op_us : float; (* per-reply receive-side residual of a windowed NFS exchange *)
   pipeline_sfs_op_us : float; (* same through the user-level SFS relay *)
+  keystream_us_per_byte : float; (* of crypto_us_per_byte, the data-independent ARC4 share *)
 }
 
 let default : t =
@@ -67,7 +68,19 @@ let default : t =
     async_userlevel_factor = 0.35;
     async_crypto_factor = 0.7;
     pipeline_nfs_op_us = 100.0;
-    pipeline_sfs_op_us = 140.0;
+    (* 140 when the user-level relay store-and-forwarded each 8 KB reply
+       through an extra buffer; the zero-copy read path (one frame from
+       wire to cache, XDR decoding views into it) removes that memcpy,
+       8192 B at ~400 B/us of copy bandwidth ~= 20 us. *)
+    pipeline_sfs_op_us = 120.0;
+    (* Of the 0.128 us/B sealed-message cost, the share that is pure
+       ARC4 keystream generation — data-independent, so it can run
+       during idle wire time before the message exists.  The split
+       follows the measured real-CPU ratio (EXPERIMENTS.md: arc4-8k
+       ~24.9 us vs hmac-sha1-8k ~34.2 us per 8 KB, a 42/58 split):
+       0.421 * 0.128 ~= 0.054.  The MAC share (keyed by per-message
+       rekey bytes) and the 10 us fixed cost stay data-dependent. *)
+    keystream_us_per_byte = 0.054;
   }
 
 let rpc_fixed_us (t : t) (proto : transport_proto) : float =
@@ -82,3 +95,8 @@ let transfer_us (t : t) (proto : transport_proto) (bytes : int) : float =
 
 let crypto_us (t : t) (bytes : int) : float =
   t.crypto_us_per_msg +. (float_of_int bytes *. t.crypto_us_per_byte)
+
+(* The precomputable slice of [crypto_us]: keystream only, no fixed
+   per-message cost (MAC/rekey cannot run before the message exists). *)
+let keystream_us (t : t) (bytes : int) : float =
+  float_of_int bytes *. t.keystream_us_per_byte

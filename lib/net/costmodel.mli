@@ -25,8 +25,14 @@ type t = {
           receive-side demux and copyout that serialise at the client
           even when round trips overlap *)
   pipeline_sfs_op_us : float;
-      (** same, through SFS's user-level store-and-forward relay, which
-          touches every byte once more than the in-kernel NFS path *)
+      (** same, through SFS's user-level relay; smaller than it once was
+          because the zero-copy read path no longer store-and-forwards
+          each reply through an extra buffer *)
+  keystream_us_per_byte : float;
+      (** of [crypto_us_per_byte], the data-independent ARC4-keystream
+          share — the part {!Channel.precompute} may bill to idle wire
+          time; the MAC share and [crypto_us_per_msg] stay with the
+          message *)
 }
 
 val default : t
@@ -40,3 +46,8 @@ val transfer_us : t -> transport_proto -> int -> float
 
 val crypto_us : t -> int -> float
 (** Encryption/MAC time for one sealed message of the given size. *)
+
+val keystream_us : t -> int -> float
+(** The precomputable (data-independent keystream) slice of
+    {!crypto_us} for the given payload size; excludes the fixed
+    per-message cost. *)

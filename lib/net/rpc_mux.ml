@@ -40,11 +40,17 @@
 
 module Obs = Sfs_obs.Obs
 
-type completion = {
-  c_payload : string; (* decoded reply payload *)
+type 'a completion = {
+  c_payload : 'a; (* decoded reply payload *)
   c_server_us : float; (* measured server-side time (Simnet.call_measured) *)
   c_wire_bytes : int; (* reply length on the wire (sealed, for SFS) *)
   c_crypto_us : float; (* reply-seal time inside c_server_us (0 when clear) *)
+  c_claim_us : float;
+      (* of c_crypto_us, keystream that was precomputed during donated
+         idle wire time (Channel.take_recv_claim): subtracted from the
+         srv timeline's occupancy and from the crypto_down segment, but
+         NOT from the _ctr attribution — the channel counters billed the
+         full seal, and reconciliation must keep matching them *)
 }
 
 (* Critical-path capture: everything the caller knows about the op that
@@ -62,29 +68,31 @@ type call_info = {
   ci_span : Obs.open_span;
 }
 
-type ticket = {
+type 'a ticket = {
   tk_ready_us : float;
-  tk_result : (string, exn) result;
-  tk_on_complete : ((string, exn) result -> unit) option;
+  tk_result : ('a, exn) result;
+  tk_on_complete : (('a, exn) result -> unit) option;
   mutable tk_done : bool; (* completion callback fired *)
 }
 
-type t = {
+type 'a t = {
   window : int;
   clock : Simclock.t;
   wire_us : int -> float;
   latency_us : float;
   op_us : float;
-  exchange : string -> completion;
+  exchange : string -> 'a completion;
+  precompute : (budget_us:float -> float) option;
   obs : Obs.registry option;
   mutable up_free_us : float;
   mutable srv_free_us : float;
   mutable down_free_us : float;
-  mutable pending : ticket list; (* oldest first; length < window between submits *)
+  mutable last_seen_us : float; (* clock at the previous submit: idle is measured since here *)
+  mutable pending : 'a ticket list; (* oldest first; length < window between submits *)
 }
 
-let create ?obs ~(window : int) ~(clock : Simclock.t) ~(wire_us : int -> float)
-    ~(latency_us : float) ~(op_us : float) ~(exchange : string -> completion) () : t =
+let create ?obs ?precompute ~(window : int) ~(clock : Simclock.t) ~(wire_us : int -> float)
+    ~(latency_us : float) ~(op_us : float) ~(exchange : string -> 'a completion) () : 'a t =
   if window < 1 then invalid_arg "Rpc_mux.create: window < 1";
   {
     window;
@@ -93,21 +101,23 @@ let create ?obs ~(window : int) ~(clock : Simclock.t) ~(wire_us : int -> float)
     latency_us;
     op_us;
     exchange;
+    precompute;
     obs;
     up_free_us = 0.0;
     srv_free_us = 0.0;
     down_free_us = 0.0;
+    last_seen_us = Simclock.now_us clock;
     pending = [];
   }
 
-let window (t : t) : int = t.window
-let in_flight (t : t) : int = List.length t.pending
+let window (t : _ t) : int = t.window
+let in_flight (t : _ t) : int = List.length t.pending
 
 (* Advance the clock to the ticket's ready time and fire its callback
    (once).  Completion order is submission order for forced completions;
    await may complete a younger ticket first, which is exactly the
    out-of-order reply consumption the xid demux allows. *)
-let finish (t : t) (tk : ticket) : unit =
+let finish (t : 'a t) (tk : 'a ticket) : unit =
   let now = Simclock.now_us t.clock in
   if tk.tk_ready_us > now then Simclock.advance t.clock (tk.tk_ready_us -. now);
   if not tk.tk_done then begin
@@ -115,14 +125,14 @@ let finish (t : t) (tk : ticket) : unit =
     match tk.tk_on_complete with None -> () | Some f -> f tk.tk_result
   end
 
-let complete_oldest (t : t) : unit =
+let complete_oldest (t : _ t) : unit =
   match t.pending with
   | [] -> ()
   | tk :: rest ->
       t.pending <- rest;
       finish t tk
 
-let submit ?on_complete ?info (t : t) ~(wire_bytes : int) (request : string) : ticket =
+let submit ?on_complete ?info (t : 'a t) ~(wire_bytes : int) (request : string) : 'a ticket =
   let enter = Simclock.now_us t.clock in
   (* Window enforcement: a full window means the client blocks until the
      oldest outstanding reply arrives before it may send again. *)
@@ -132,6 +142,26 @@ let submit ?on_complete ?info (t : t) ~(wire_bytes : int) (request : string) : t
   done;
   Obs.incr t.obs "mux.submit";
   let now = Simclock.now_us t.clock in
+  (* Idle-wire harvest (DESIGN.md §14): any stretch since the last
+     submit during which a wire direction's timeline was free is dead
+     time on the channel — donate it to keystream precomputation before
+     the clamp below erases the evidence.  Purely a transfer of
+     already-elapsed time: the hook charges nothing to the clock, and
+     mux.idle_us_used mirrors what the channel banked so the two
+     ledgers reconcile. *)
+  (match t.precompute with
+  | None -> ()
+  | Some hook ->
+      let idle_of free_us =
+        let busy_until = if free_us > t.last_seen_us then free_us else t.last_seen_us in
+        if now > busy_until then now -. busy_until else 0.0
+      in
+      let budget = idle_of t.up_free_us +. idle_of t.down_free_us in
+      if budget > 0.0 then begin
+        let used = hook ~budget_us:budget in
+        if used > 0.0 then Obs.add t.obs "mux.idle_us_used" (int_of_float used)
+      end);
+  t.last_seen_us <- now;
   if t.up_free_us < now then t.up_free_us <- now;
   if t.srv_free_us < now then t.srv_free_us <- now;
   if t.down_free_us < now then t.down_free_us <- now;
@@ -147,7 +177,9 @@ let submit ?on_complete ?info (t : t) ~(wire_bytes : int) (request : string) : t
         let req_done = t.up_free_us +. t.wire_us wire_bytes in
         t.up_free_us <- req_done;
         let srv_start = if req_done > t.srv_free_us then req_done else t.srv_free_us in
-        let srv_done = srv_start +. c.c_server_us in
+        (* Precomputed keystream already happened during donated idle
+           wire time, so it does not occupy the server timeline again. *)
+        let srv_done = srv_start +. c.c_server_us -. c.c_claim_us in
         t.srv_free_us <- srv_done;
         let rep_start = if srv_done > t.down_free_us then srv_done else t.down_free_us in
         let rep_done = rep_start +. t.wire_us c.c_wire_bytes +. t.op_us in
@@ -171,7 +203,7 @@ let submit ?on_complete ?info (t : t) ~(wire_bytes : int) (request : string) : t
                 ("up_wire", t.wire_us wire_bytes);
                 ("srv_queue", srv_start -. req_done);
                 ("server_cpu", c.c_server_us -. c.c_crypto_us);
-                ("crypto_down", c.c_crypto_us);
+                ("crypto_down", c.c_crypto_us -. c.c_claim_us);
                 ("down_queue", rep_start -. srv_done);
                 ("down_wire", t.wire_us c.c_wire_bytes);
                 ("client_post", t.op_us);
@@ -210,9 +242,9 @@ let submit ?on_complete ?info (t : t) ~(wire_bytes : int) (request : string) : t
   t.pending <- t.pending @ [ tk ];
   tk
 
-let await (t : t) (tk : ticket) : string =
+let await (t : 'a t) (tk : 'a ticket) : 'a =
   t.pending <- List.filter (fun p -> p != tk) t.pending;
   finish t tk;
   match tk.tk_result with Ok payload -> payload | Error e -> raise e
 
-let drain (t : t) : unit = while t.pending <> [] do complete_oldest t done
+let drain (t : _ t) : unit = while t.pending <> [] do complete_oldest t done

@@ -7,10 +7,15 @@
     re-accounted onto virtual resource timelines — the two directions of
     the full-duplex wire and the server CPU/disk — so that up to
     [window] round trips overlap in simulated wall-clock.  With
-    [window = 1] the schedule degenerates to the serial one. *)
+    [window = 1] the schedule degenerates to the serial one.
 
-type completion = {
-  c_payload : string;  (** decoded reply payload *)
+    The mux is polymorphic in the reply payload: the serial string path
+    instantiates ['a = string], while the zero-copy pipelined read path
+    carries decoded {!Sfs_util.Slice.t}-based results straight through
+    without re-marshaling. *)
+
+type 'a completion = {
+  c_payload : 'a;  (** decoded reply payload *)
   c_server_us : float;
       (** simulated time the server side spent on this exchange, as
           measured by {!Simnet.call_measured} *)
@@ -20,6 +25,13 @@ type completion = {
           split out so the critical-path analyzer attributes each
           direction's crypto separately instead of double-counting the
           full-duplex overlap under pipelining; [0.] on clear channels *)
+  c_claim_us : float;
+      (** of [c_crypto_us], keystream generation that already ran during
+          donated idle wire time ({!Channel.take_recv_claim}): removed
+          from the srv timeline's occupancy and the [crypto_down]
+          segment, but not from the [_ctr] counter attributions — the
+          channel ledgers billed the full seal; [0.] when nothing was
+          precomputed *)
 }
 
 (** Critical-path capture for one submitted op (DESIGN.md §13):
@@ -37,22 +49,23 @@ type call_info = {
   ci_span : Sfs_obs.Obs.open_span;
 }
 
-type ticket
+type 'a ticket
 (** One outstanding call.  Holds either the reply payload or the
     exception the exchange raised; both surface at {!await}. *)
 
-type t
+type 'a t
 
 val create :
   ?obs:Sfs_obs.Obs.registry ->
+  ?precompute:(budget_us:float -> float) ->
   window:int ->
   clock:Simclock.t ->
   wire_us:(int -> float) ->
   latency_us:float ->
   op_us:float ->
-  exchange:(string -> completion) ->
+  exchange:(string -> 'a completion) ->
   unit ->
-  t
+  'a t
 (** [wire_us] maps a wire length to link occupancy; [latency_us] is the
     fixed per-RPC round-trip cost (paid by every call, overlapped by the
     window); [op_us] is the per-reply client processing residual that
@@ -63,15 +76,22 @@ val create :
     (use {!Simnet.call_measured}).  When [obs] is given, counters
     [mux.submit], [mux.stall] (window-full forced waits) and [mux.fail]
     are recorded.
+
+    [precompute] is the idle-wire donation hook ({!Channel.precompute}):
+    at each submit the mux measures how long each wire direction's
+    timeline sat free since the previous submit and offers that dead
+    time as a budget; the hook returns how much it spent, which is
+    accumulated in the [mux.idle_us_used] counter (reconciled against
+    [channel.*.keystream_precomputed_us] by the trace tests).
     @raise Invalid_argument if [window < 1]. *)
 
 val submit :
-  ?on_complete:((string, exn) result -> unit) ->
+  ?on_complete:(('a, exn) result -> unit) ->
   ?info:call_info ->
-  t ->
+  'a t ->
   wire_bytes:int ->
   string ->
-  ticket
+  'a ticket
 [@@sfs.sink "wire"]
 (** Issue a call.  If the window is full, first advances the clock to
     the oldest outstanding reply's ready time (completing it).  The
@@ -83,13 +103,13 @@ val submit :
     time (submit begin to reply ready) into additive segments, and
     closes [ci_span] at the ready time. *)
 
-val await : t -> ticket -> string
+val await : 'a t -> 'a ticket -> 'a
 (** Advance the clock to the ticket's ready time (if not already past)
     and return the payload, or re-raise the exchange's exception.
     Idempotent on completed tickets. *)
 
-val drain : t -> unit
+val drain : _ t -> unit
 (** Force-complete every outstanding ticket in submission order. *)
 
-val window : t -> int
-val in_flight : t -> int
+val window : _ t -> int
+val in_flight : _ t -> int

@@ -23,6 +23,7 @@ open Nfs_types
 module Simos = Sfs_os.Simos
 module Simclock = Sfs_net.Simclock
 module Obs = Sfs_obs.Obs
+module Slice = Sfs_util.Slice
 
 type policy = {
   attr_ttl_s : float; (* fixed attribute timeout when no lease is used *)
@@ -64,7 +65,7 @@ type t = {
   take_invalidations : unit -> fh list; (* drained before each cache consult *)
   pipeline : Fs_intf.pipeline option; (* windowed read path, when the transport offers one *)
   write_behind : bool;
-  inflight : (fh * int, unit -> (string * bool * fattr) res) Hashtbl.t;
+  inflight : (fh * int, unit -> (Slice.t * bool * fattr) res) Hashtbl.t;
   (* submitted readahead, by block; claimed (awaited) on the next read *)
   last_read : (fh, int * int) Hashtbl.t; (* last block read, run length *)
   mutable wbuf : wbuf option;
@@ -72,7 +73,11 @@ type t = {
   names : (fh * string, (fh * float) (* target, expiry *)) Hashtbl.t;
   access_cache : (fh * int * int, int * float) Hashtbl.t; (* (fh, uid, mask) -> granted, expiry *)
   negatives : (fh * string, float) Hashtbl.t; (* lease-backed negative lookups *)
-  blocks : (fh * int, string) Hashtbl.t;
+  (* Block data is stored as slices: on the zero-copy transports these
+     are views into the opened wire frame (no per-block copy between
+     the channel and here); elsewhere they wrap whole strings for
+     free. *)
+  blocks : (fh * int, Slice.t) Hashtbl.t;
   mutable block_lru : (fh * int) list;
   mutable cached_bytes : int;
   mutable lookups : int;
@@ -119,7 +124,7 @@ let drop_blocks (t : t) (h : fh) : unit =
   List.iter
     (fun k ->
       (match Hashtbl.find_opt t.blocks k with
-      | Some data -> t.cached_bytes <- t.cached_bytes - String.length data
+      | Some data -> t.cached_bytes <- t.cached_bytes - Slice.length data
       | None -> ());
       Hashtbl.remove t.blocks k)
     doomed;
@@ -205,18 +210,18 @@ let evict_blocks_if_needed (t : t) : unit =
         t.cached_bytes <- 0
     | victim :: _ ->
         (match Hashtbl.find_opt t.blocks victim with
-        | Some data -> t.cached_bytes <- t.cached_bytes - String.length data
+        | Some data -> t.cached_bytes <- t.cached_bytes - Slice.length data
         | None -> ());
         Hashtbl.remove t.blocks victim;
         t.block_lru <- List.filter (fun k -> k <> victim) t.block_lru
   done
 
-let note_block (t : t) (h : fh) (block : int) (data : string) : unit =
+let note_block (t : t) (h : fh) (block : int) (data : Slice.t) : unit =
   (match Hashtbl.find_opt t.blocks (h, block) with
-  | Some old -> t.cached_bytes <- t.cached_bytes - String.length old
+  | Some old -> t.cached_bytes <- t.cached_bytes - Slice.length old
   | None -> ());
   Hashtbl.replace t.blocks (h, block) data;
-  t.cached_bytes <- t.cached_bytes + String.length data;
+  t.cached_bytes <- t.cached_bytes + Slice.length data;
   t.block_lru <- (h, block) :: List.filter (fun k -> k <> (h, block)) t.block_lru;
   evict_blocks_if_needed t
 
@@ -256,7 +261,7 @@ let note_written (t : t) (h : fh) ~(off : int) (data : string) (a : fattr) : uni
       (fun i chunk ->
         let chunk_off = off + (i * block_size) in
         if String.length chunk = block_size || chunk_off + String.length chunk = a.size then
-          note_block t h (chunk_off / block_size) chunk)
+          note_block t h (chunk_off / block_size) (Slice.of_string chunk))
       (Sfs_util.Bytesutil.chunks ~size:block_size data)
   else drop_blocks t h
 
@@ -297,7 +302,8 @@ let claim_inflight (t : t) (h : fh) (first : int) (last : int) : unit =
         match thunk () with
         | Ok (data, eof, a) ->
             note_attr t h a;
-            if data <> "" && (String.length data = block_size || eof) then note_block t h b data
+            if (not (Slice.is_empty data)) && (Slice.length data = block_size || eof) then
+              note_block t h b data
         | Error _ -> ()
         | exception _ -> ())
   done
@@ -355,10 +361,10 @@ let serve_cached (t : t) (h : fh) ~(off : int) ~(count : int) : (string * bool *
         | None -> ok := false
         | Some data ->
             let block_off = !pos - (b * block_size) in
-            if block_off >= String.length data then ok := false
+            if block_off >= Slice.length data then ok := false
             else begin
-              let take = min (String.length data - block_off) (n - Buffer.length buf) in
-              Buffer.add_substring buf data block_off take;
+              let take = min (Slice.length data - block_off) (n - Buffer.length buf) in
+              Slice.add_to_buffer buf data ~off:block_off ~len:take;
               pos := !pos + take
             end
       done;
@@ -400,8 +406,8 @@ let fetch_pipelined (t : t) (cred : Simos.cred) (h : fh) ~(off : int) ~(count : 
                   match thunk () with
                   | Ok (data, eof, a) ->
                       note_attr t h a;
-                      if data <> "" && (String.length data = block_size || eof) then
-                        note_block t h b data;
+                      if (not (Slice.is_empty data)) && (Slice.length data = block_size || eof)
+                      then note_block t h b data;
                       true
                   | Error _ -> false
                   | exception _ -> false)
@@ -588,8 +594,8 @@ let ops (t : t) : Fs_intf.ops =
             let b = !pos / block_size in
             let data = Hashtbl.find t.blocks (h, b) in
             let block_off = !pos - (b * block_size) in
-            let take = min (String.length data - block_off) (n - Buffer.length buf) in
-            Buffer.add_substring buf data block_off take;
+            let take = min (Slice.length data - block_off) (n - Buffer.length buf) in
+            Slice.add_to_buffer buf data ~off:block_off ~len:take;
             pos := !pos + take
           done;
           (* Keep the window full behind a sequential consumer. *)
@@ -612,7 +618,7 @@ let ops (t : t) : Fs_intf.ops =
                 List.iteri
                   (fun i chunk ->
                     if String.length chunk = block_size || eof then
-                      note_block t h ((off / block_size) + i) chunk)
+                      note_block t h ((off / block_size) + i) (Slice.of_string chunk))
                   (Sfs_util.Bytesutil.chunks ~size:block_size data)
               end;
               Ok (data, eof, a)

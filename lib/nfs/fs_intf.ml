@@ -41,9 +41,16 @@ type ops = {
    cannot pipeline right now.  The thunk may raise (transport fault);
    callers fall back to the synchronous [fs_read], whose recovery path
    handles it.  READs are idempotent, so an abandoned in-flight prefetch
-   is harmless. *)
+   is harmless.  The data arrives as a slice — a view into the opened
+   wire frame on zero-copy transports — which the block cache stores as
+   is; transports without a zero-copy path wrap their strings with
+   [Slice.of_string] (free). *)
 type pipeline = {
   pl_depth : int; (* readahead depth (blocks beyond the demanded one) *)
   pl_submit :
-    Simos.cred -> fh -> off:int -> count:int -> (unit -> (string * bool * fattr) res) option;
+    Simos.cred ->
+    fh ->
+    off:int ->
+    count:int ->
+    (unit -> (Sfs_util.Slice.t * bool * fattr) res) option;
 }

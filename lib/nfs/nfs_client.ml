@@ -255,6 +255,7 @@ let conn_pipeline ?obs ?(window = 16) ?(depth = 16) (net : Simnet.t)
           c_server_us = server_us;
           c_wire_bytes = String.length reply;
           c_crypto_us = 0.0 (* clear transport *);
+          c_claim_us = 0.0;
         })
       ()
   in
@@ -299,7 +300,9 @@ let conn_pipeline ?obs ?(window = 16) ?(depth = 16) (net : Simnet.t)
             | Ok (Sunrpc.Reply r) when r.Sunrpc.reply_xid = this_xid || r.Sunrpc.reply_xid = 0 -> (
                 match r.Sunrpc.body with
                 | Sunrpc.Success results -> (
-                    match Xdr.run results (Nfs_proto.dec_res Nfs_proto.dec_read_ok) with
+                    (* Slice decode: the block cache keeps a view into
+                       [results] instead of a copied-out string. *)
+                    match Xdr.run results (Nfs_proto.dec_res Nfs_proto.dec_read_ok_slice) with
                     | Ok v -> v
                     | Result.Error e -> raise (Rpc_failure ("unparsable result: " ^ e)))
                 | _ -> raise (Rpc_failure "pipelined read rejected"))

@@ -37,7 +37,19 @@ type open_error = [ `Mac_mismatch | `Replay ]
    stream positions.  Either way the channel is dead; the distinction
    feeds the recovery layer's counters. *)
 
-type half = { stream : Arc4.t; mutable buf : Bytes.t }
+(* [pre] holds keystream bytes pulled off [stream] ahead of need by
+   {!precompute} (billed to idle wire time by the mux); [pre_pos ..
+   pre_len) is the unconsumed window.  Sealing/opening consumes the
+   buffered bytes before touching the live stream, so the cipher bytes
+   are identical to the eager path — the stream is one deterministic
+   byte sequence and only *when* it is generated changes. *)
+type half = {
+  stream : Arc4.t;
+  mutable buf : Bytes.t;
+  mutable pre : Bytes.t;
+  mutable pre_len : int;
+  mutable pre_pos : int;
+}
 
 type stats = {
   sent : int;
@@ -58,6 +70,8 @@ type keys = {
   k_replays : string;
   k_crypto_us_out : string;
   k_crypto_us_in : string;
+  k_keystream_pre : string;
+  k_keystream_used : string;
 }
 
 type t = {
@@ -73,16 +87,28 @@ type t = {
   mutable mac_failures : int;
   mutable bytes_out : int;
   mutable bytes_in : int;
+  mutable recv_claim_us : float;
+      (* the keystream share of the last successfully opened message
+         that was served from the recv half's precomputed buffer —
+         read-and-cleared by [take_recv_claim], overwritten (forfeited)
+         by the next [open_] if nobody claims it *)
 }
 
 let mac_key_bytes = 32
+
+(* Upper bound on buffered-ahead keystream per half: bounds both memory
+   and how much idle time a long quiet stretch can bank. *)
+let pre_cap = 1 lsl 18
+
+let fresh_half (key : string) : half =
+  { stream = Arc4.create key; buf = Bytes.create 256; pre = Bytes.create 0; pre_len = 0; pre_pos = 0 }
 
 let create ?(encrypt = true) ?clock ?(costs = Costmodel.default) ?obs ?(label = "chan")
     ~(send_key : string) ~(recv_key : string) () : t =
   let k s = "channel." ^ label ^ "." ^ s in (* sfslint: allow SL009 — one-time counter names at create *)
   {
-    send_half = { stream = Arc4.create send_key; buf = Bytes.create 256 };
-    recv_half = { stream = Arc4.create recv_key; buf = Bytes.create 256 };
+    send_half = fresh_half send_key;
+    recv_half = fresh_half recv_key;
     encrypt;
     clock;
     costs;
@@ -97,12 +123,15 @@ let create ?(encrypt = true) ?clock ?(costs = Costmodel.default) ?obs ?(label = 
         k_replays = k "replays";
         k_crypto_us_out = k "crypto_us_out";
         k_crypto_us_in = k "crypto_us_in";
+        k_keystream_pre = k "keystream_precomputed_us";
+        k_keystream_used = k "keystream_claimed_us";
       };
     sent = 0;
     received = 0;
     mac_failures = 0;
     bytes_out = 0;
     bytes_in = 0;
+    recv_claim_us = 0.0;
   }
 
 let charge (t : t) (bytes : int) : unit =
@@ -122,6 +151,60 @@ let frame_buf (h : half) (n : int) : Bytes.t =
   end;
   h.buf
 
+(* Buffered-first keystream consumption.  Each helper serves as much as
+   possible from the precomputed window, then falls through to the live
+   stream — which sits exactly [pre_len - pre_pos] bytes ahead, so the
+   concatenation is the unbroken ARC4 sequence. *)
+
+let pre_avail (h : half) : int = h.pre_len - h.pre_pos
+
+let take_keystream (h : half) (n : int) : string =
+  let avail = pre_avail h in
+  if avail = 0 then Arc4.keystream h.stream n
+  else if avail >= n then begin
+    let s = Bytes.sub_string h.pre h.pre_pos n in
+    h.pre_pos <- h.pre_pos + n;
+    s
+  end
+  else begin
+    let s = Bytes.create n in
+    Bytes.blit h.pre h.pre_pos s 0 avail;
+    h.pre_pos <- h.pre_len;
+    Arc4.keystream_into h.stream s ~off:avail ~len:(n - avail);
+    Bytes.unsafe_to_string s (* freshly built, never mutated after *)
+  end
+
+(* In-place encrypt; returns how many bytes came from the buffer. *)
+let encrypt_consume (h : half) (buf : Bytes.t) ~(off : int) ~(len : int) : int =
+  let take = min (pre_avail h) len in
+  for i = 0 to take - 1 do
+    Bytes.set buf (off + i)
+      (Char.chr (Char.code (Bytes.get buf (off + i)) lxor Char.code (Bytes.get h.pre (h.pre_pos + i))))
+  done;
+  h.pre_pos <- h.pre_pos + take;
+  if len > take then Arc4.encrypt_into h.stream buf ~off:(off + take) ~len:(len - take);
+  take
+
+(* Decrypt [src] into [dst]; returns how many bytes came from the buffer. *)
+let xor_consume (h : half) ~(src : string) ~(src_off : int) ~(dst : Bytes.t) ~(dst_off : int)
+    ~(len : int) : int =
+  let take = min (pre_avail h) len in
+  for i = 0 to take - 1 do
+    Bytes.set dst (dst_off + i)
+      (Char.chr
+         (Char.code (String.get src (src_off + i)) lxor Char.code (Bytes.get h.pre (h.pre_pos + i))))
+  done;
+  h.pre_pos <- h.pre_pos + take;
+  if len > take then
+    Arc4.xor_into h.stream ~src ~src_off:(src_off + take) ~dst ~dst_off:(dst_off + take)
+      ~len:(len - take);
+  take
+
+let skip_consume (h : half) (n : int) : unit =
+  let take = min (pre_avail h) n in
+  h.pre_pos <- h.pre_pos + take;
+  if n > take then Arc4.skip h.stream (n - take)
+
 (* Even with encryption disabled the channel keeps its framing and MAC
    discipline (the ablation removes only the ARC4 pass), so "SFS w/o
    encryption" still detects tampering, as the real system's
@@ -137,7 +220,7 @@ let seal ?(bill = true) (t : t) (plaintext : string) : string =
         Obs.add t.obs t.keys.k_crypto_us_out
           (int_of_float (Costmodel.crypto_us t.costs n));
       if bill then charge t n;
-      let mac_key = Arc4.keystream t.send_half.stream mac_key_bytes in
+      let mac_key = take_keystream t.send_half mac_key_bytes in
       let sched = Mac.schedule ~key:mac_key in
       (* Frame assembled in place: be32 length ∥ plaintext ∥ MAC, the
          tag written directly after the bytes it covers, then one
@@ -147,13 +230,13 @@ let seal ?(bill = true) (t : t) (plaintext : string) : string =
       Sfs_util.Bytesutil.put_be32 buf ~off:0 n;
       Bytes.blit_string plaintext 0 buf 4 n;
       Mac.mac_into sched buf ~off:0 ~len:(4 + n) ~dst:buf ~dst_off:(4 + n);
-      if t.encrypt then Arc4.encrypt_into t.send_half.stream buf ~off:0 ~len:frame_len
+      if t.encrypt then ignore (encrypt_consume t.send_half buf ~off:0 ~len:frame_len)
       else
         (* Keep the stream positions in lock-step with the encrypted mode. *)
-        Arc4.skip t.send_half.stream frame_len;
+        skip_consume t.send_half frame_len;
       Bytes.sub_string buf 0 frame_len)
 
-let reject (t : t) (e : open_error) : (string, open_error) result =
+let reject (t : t) (e : open_error) : ('a, open_error) result =
   t.mac_failures <- t.mac_failures + 1;
   Obs.incr t.obs t.keys.k_mac_failures;
   (match e with `Replay -> Obs.incr t.obs t.keys.k_replays | `Mac_mismatch -> ());
@@ -163,6 +246,7 @@ let open_ (t : t) (wire : string) : (string, open_error) result =
   Obs.span t.obs ~cat:"channel" "open" (fun () ->
       let wire_len = String.length wire in
       t.received <- t.received + 1;
+      t.recv_claim_us <- 0.0;
       Obs.incr t.obs t.keys.k_received;
       if wire_len < 4 + Mac.mac_size then reject t `Replay
       else begin
@@ -171,16 +255,18 @@ let open_ (t : t) (wire : string) : (string, open_error) result =
         if t.encrypt then
           Obs.add t.obs t.keys.k_crypto_us_in
             (int_of_float (Costmodel.crypto_us t.costs (wire_len - 4 - Mac.mac_size)));
-        let mac_key = Arc4.keystream t.recv_half.stream mac_key_bytes in
+        let mac_key = take_keystream t.recv_half mac_key_bytes in
         let sched = Mac.schedule ~key:mac_key in
         let buf = frame_buf t.recv_half wire_len in
-        if t.encrypt then
-          Arc4.xor_into t.recv_half.stream ~src:wire ~src_off:0 ~dst:buf ~dst_off:0
-            ~len:wire_len
-        else begin
-          Bytes.blit_string wire 0 buf 0 wire_len;
-          Arc4.skip t.recv_half.stream wire_len
-        end;
+        let from_buf =
+          if t.encrypt then
+            xor_consume t.recv_half ~src:wire ~src_off:0 ~dst:buf ~dst_off:0 ~len:wire_len
+          else begin
+            Bytes.blit_string wire 0 buf 0 wire_len;
+            skip_consume t.recv_half wire_len;
+            0
+          end
+        in
         let len = Sfs_util.Bytesutil.get_be32 buf ~off:0 in
         if len < 0 || len <> wire_len - 4 - Mac.mac_size then
           (* A garbled length word is the stream-desync signature:
@@ -199,7 +285,77 @@ let open_ (t : t) (wire : string) : (string, open_error) result =
           else begin
             t.bytes_in <- t.bytes_in + len;
             Obs.add t.obs t.keys.k_bytes_in len;
+            (* The keystream share of this message that precompute had
+               already generated — creditable against whoever is billed
+               for the peer's seal (the mux's srv timeline).  Capped at
+               the payload's keystream share so framing overhead served
+               from the buffer is never monetised. *)
+            if t.encrypt && from_buf > 0 then
+              t.recv_claim_us <- Costmodel.keystream_us t.costs (min len from_buf);
             Ok (Bytes.sub_string buf 4 len)
+          end
+        end
+      end)
+
+(* Zero-copy variant of [open_] for the pipelined read path: the
+   plaintext is returned as a view instead of a copied-out string.
+
+   Ownership: with encryption on, the frame is decrypted into a fresh,
+   detached, exact-size buffer — unlike [open_]'s reusable scratch
+   buffer, which the next message on this half would overwrite under
+   the view.  That one allocation is the single buffer the read path
+   threads from wire to block cache (DESIGN.md §14); everything
+   downstream is views into it.  With encryption off the wire string
+   itself is the plaintext: the MAC is checked against it (via the
+   reusable scratch, read-only) and the view points straight into
+   [wire] — zero per-message allocation. *)
+let open_slice (t : t) (wire : string) : (Sfs_util.Slice.t, open_error) result =
+  Obs.span t.obs ~cat:"channel" "open" (fun () ->
+      let wire_len = String.length wire in
+      t.received <- t.received + 1;
+      t.recv_claim_us <- 0.0;
+      Obs.incr t.obs t.keys.k_received;
+      if wire_len < 4 + Mac.mac_size then reject t `Replay
+      else begin
+        if t.encrypt then
+          Obs.add t.obs t.keys.k_crypto_us_in
+            (int_of_float (Costmodel.crypto_us t.costs (wire_len - 4 - Mac.mac_size)));
+        let mac_key = take_keystream t.recv_half mac_key_bytes in
+        let sched = Mac.schedule ~key:mac_key in
+        let buf, from_buf, plain =
+          if t.encrypt then begin
+            let frame = Bytes.create wire_len in (* sfslint: allow SL013 — the one detached frame the zero-copy path threads through; open_'s scratch would be overwritten under the view *)
+            let from_buf =
+              xor_consume t.recv_half ~src:wire ~src_off:0 ~dst:frame ~dst_off:0 ~len:wire_len
+            in
+            (* [frame] is sealed below this point: every later use is a
+               read, so freezing it into the slice's base is sound. *)
+            (frame, from_buf, Bytes.unsafe_to_string frame)
+          end
+          else begin
+            let scratch = frame_buf t.recv_half wire_len in
+            Bytes.blit_string wire 0 scratch 0 wire_len;
+            skip_consume t.recv_half wire_len;
+            (scratch, 0, wire)
+          end
+        in
+        let len = Sfs_util.Bytesutil.get_be32 buf ~off:0 in
+        if len < 0 || len <> wire_len - 4 - Mac.mac_size then reject t `Replay
+        else begin
+          (* sfslint: allow SL013 — fixed 20-byte MAC tag scratch, not a payload-sized copy *)
+          let tag = Bytes.create Mac.mac_size in
+          Mac.mac_into sched buf ~off:0 ~len:(4 + len) ~dst:tag ~dst_off:0;
+          if
+            not
+              (Sfs_util.Bytesutil.ct_equal_sub (Bytes.unsafe_to_string tag) buf
+                 ~off:(4 + len))
+          then reject t `Mac_mismatch
+          else begin
+            t.bytes_in <- t.bytes_in + len;
+            Obs.add t.obs t.keys.k_bytes_in len;
+            if t.encrypt && from_buf > 0 then
+              t.recv_claim_us <- Costmodel.keystream_us t.costs (min len from_buf);
+            Ok (Sfs_util.Slice.make plain ~off:4 ~len)
           end
         end
       end)
@@ -220,3 +376,50 @@ let crypto_cost_us (t : t) (bytes : int) : float =
 
 let charge_us (t : t) (us : float) : unit =
   match t.clock with Some clock -> Simclock.advance clock us | None -> ()
+
+(* Spend up to [budget_us] of (already-elapsed, otherwise-dead) time
+   generating keystream ahead of need.  Charges nothing to the clock:
+   the bytes are billed against the donated idle time, and the counter
+   pair keystream_precomputed_us / mux.idle_us_used lets a test prove
+   the two ledgers agree.  Deterministic: byte counts derive only from
+   the budget and the cost model, never from host time. *)
+let precompute ?(dir = `Recv) (t : t) ~(budget_us : float) : float =
+  if (not t.encrypt) || budget_us <= 0.0 then 0.0
+  else begin
+    let rate = t.costs.Costmodel.keystream_us_per_byte in
+    if rate <= 0.0 then 0.0
+    else begin
+      let h = match dir with `Send -> t.send_half | `Recv -> t.recv_half in
+      let avail = pre_avail h in
+      let want = min (int_of_float (budget_us /. rate)) (pre_cap - avail) in
+      if want <= 0 then 0.0
+      else begin
+        (* Compact the unconsumed tail to the front, grow on demand. *)
+        if h.pre_pos > 0 then begin
+          Bytes.blit h.pre h.pre_pos h.pre 0 avail;
+          h.pre_pos <- 0;
+          h.pre_len <- avail
+        end;
+        if Bytes.length h.pre < avail + want then begin
+          let cap = ref (max 256 (Bytes.length h.pre)) in
+          while !cap < avail + want do
+            cap := !cap * 2
+          done;
+          let grown = Bytes.create !cap in
+          Bytes.blit h.pre 0 grown 0 avail;
+          h.pre <- grown
+        end;
+        Arc4.keystream_into h.stream h.pre ~off:h.pre_len ~len:want;
+        h.pre_len <- h.pre_len + want;
+        let used_us = float_of_int want *. rate in
+        Obs.add t.obs t.keys.k_keystream_pre (int_of_float used_us);
+        used_us
+      end
+    end
+  end
+
+let take_recv_claim (t : t) : float =
+  let c = t.recv_claim_us in
+  t.recv_claim_us <- 0.0;
+  if c > 0.0 then Obs.add t.obs t.keys.k_keystream_used (int_of_float c);
+  c

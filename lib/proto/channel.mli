@@ -52,6 +52,13 @@ val open_ : t -> string -> (string, open_error) result
     [channel.<label>.mac_failures] counter; [`Replay] additionally
     bumps [channel.<label>.replays]. *)
 
+val open_slice : t -> string -> (Sfs_util.Slice.t, open_error) result
+(** {!open_} returning the plaintext as a view instead of a copy: with
+    encryption on, into a fresh detached exact-size frame (the single
+    buffer the zero-copy read path threads from wire to block cache);
+    with encryption off, straight into the wire string — zero
+    per-message allocation.  Error semantics identical to {!open_}. *)
+
 val stats : t -> stats
 (** Message counts, tamper detections and plaintext byte totals. *)
 
@@ -62,3 +69,26 @@ val crypto_cost_us : t -> int -> float
 val charge_us : t -> float -> unit
 (** Charge arbitrary microseconds to the channel's clock (used for the
     partial billing of pipelined traffic). *)
+
+val precompute : ?dir:[ `Send | `Recv ] -> t -> budget_us:float -> float
+(** [precompute t ~budget_us] generates up to [budget_us] worth of ARC4
+    keystream (at {!Sfs_net.Costmodel.t.keystream_us_per_byte}) for the
+    given direction (default [`Recv]) ahead of need, buffered until
+    {!seal}/{!open_} consume it.  The cipher bytes are byte-identical
+    to the eager path — only when the keystream is generated changes.
+    Returns the time actually spent ([<= budget_us]; less when the
+    buffer cap binds), charges nothing to the clock (the caller donates
+    already-elapsed idle time, e.g. {!Rpc_mux}'s measured wire stalls),
+    and adds the same amount to
+    [channel.<label>.keystream_precomputed_us].  No-ops (returns [0.])
+    on a non-encrypting channel. *)
+
+val take_recv_claim : t -> float
+(** The keystream share of the most recently {!open_}ed message that
+    was served from the precomputed buffer, read-and-clear.  The caller
+    subtracts it from whatever timeline was billed for the peer's seal
+    of that message (overlap credit); each successful [open_] overwrites
+    the previous value, so an unclaimed credit is forfeited, never
+    double-counted.  Claims accumulate in
+    [channel.<label>.keystream_claimed_us], always [<=] the
+    precomputed counter. *)

@@ -95,6 +95,19 @@ let dec_response d : response =
   | 3 -> Proto_error (Xdr.dec_string d ~max:255)
   | t -> Xdr.error "bad response tag %d" t
 
+(* Zero-copy decode of an Fs_reply: [results] stays a view into the
+   opened frame instead of being carved out with a copy.  Any other
+   (valid) response tag is an error here — the pipelined read path only
+   ever receives file system replies. *)
+let fs_reply_of_slice (frame : Sfs_util.Slice.t) : (Sfs_util.Slice.t * fh list, string) result =
+  Xdr.run_slice frame (fun d ->
+      match Xdr.dec_uint32 d with
+      | 0 ->
+          let results = Xdr.dec_opaque_slice d ~max:0x200000 in
+          let invalidations = Xdr.dec_array d ~max:4096 dec_fh in
+          (results, invalidations)
+      | t -> Xdr.error "unexpected response tag %d on the read path" t)
+
 let request_to_string (r : request) : string = Xdr.encode enc_request r
 let response_to_string (r : response) : string = Xdr.encode enc_response r
 

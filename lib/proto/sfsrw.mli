@@ -28,6 +28,13 @@ val response_to_string : response -> string
 val request_of_string : string -> (request, string) result
 val response_of_string : string -> (response, string) result
 
+val fs_reply_of_slice :
+  Sfs_util.Slice.t -> (Sfs_util.Slice.t * fh list, string) result
+(** Zero-copy decode of an [Fs_reply] from an opened frame: the
+    returned [results] is a view into the frame, not a copy.  Errors on
+    malformed input {e and} on any other response tag — the pipelined
+    read path only ever sees file system replies. *)
+
 val authno_anonymous : int
 (** 0 — requests without (successful) user authentication. *)
 

@@ -1,0 +1,55 @@
+(* An immutable view into a string: the currency of the zero-copy read
+   path (DESIGN.md §14).  A decrypted wire frame is allocated once by
+   Channel.open_slice; XDR decoding, the RPC demux and the block cache
+   all pass around [t] values into that one buffer, and bytes are only
+   copied again at the final user-visible boundary (Buffer copyout).
+
+   Slices never own their base: holding a slice retains the whole
+   backing string.  That is the intended trade on the read path — an
+   8 KB READ reply frame carries ~56 bytes of framing beyond the block
+   it backs — but callers slicing small fields out of large transient
+   buffers should [to_string] instead. *)
+
+type t = { base : string; off : int; len : int }
+
+let of_string (s : string) : t = { base = s; off = 0; len = String.length s }
+
+let make (base : string) ~(off : int) ~(len : int) : t =
+  if off < 0 || len < 0 || off + len > String.length base then
+    invalid_arg
+      (Printf.sprintf "Slice.make: [%d,%d) outside base of length %d" off (off + len)
+         (String.length base));
+  { base; off; len }
+
+let length (t : t) : int = t.len
+let is_empty (t : t) : bool = t.len = 0
+let base (t : t) : string = t.base
+let offset (t : t) : int = t.off
+let get (t : t) (i : int) : char =
+  if i < 0 || i >= t.len then invalid_arg "Slice.get: out of bounds";
+  String.unsafe_get t.base (t.off + i)
+
+let sub (t : t) ~(off : int) ~(len : int) : t =
+  if off < 0 || len < 0 || off + len > t.len then
+    invalid_arg (Printf.sprintf "Slice.sub: [%d,%d) outside slice of length %d" off (off + len) t.len);
+  { base = t.base; off = t.off + off; len }
+
+(* The one place a slice becomes a fresh string again.  Whole-base
+   slices return the base itself: wrapping an existing string with
+   [of_string] and reading it back costs nothing. *)
+let to_string (t : t) : string =
+  if t.off = 0 && t.len = String.length t.base then t.base else String.sub t.base t.off t.len
+
+let add_to_buffer (b : Buffer.t) (t : t) ~(off : int) ~(len : int) : unit =
+  if off < 0 || len < 0 || off + len > t.len then
+    invalid_arg "Slice.add_to_buffer: range outside slice";
+  Buffer.add_substring b t.base (t.off + off) len
+
+let equal (a : t) (b : t) : bool =
+  a.len = b.len
+  &&
+  let rec go i = i >= a.len || (String.unsafe_get a.base (a.off + i) = String.unsafe_get b.base (b.off + i) && go (i + 1)) in
+  go 0
+
+let pp (fmt : Format.formatter) (t : t) : unit =
+  Format.fprintf fmt "<slice %d+%d/%d>" t.off t.len (String.length t.base)

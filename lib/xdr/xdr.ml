@@ -95,13 +95,25 @@ let enc_array (e : enc) (f : enc -> 'a -> unit) (l : 'a list) : unit =
   enc_uint32 e (List.length l);
   List.iter (f e) l
 
-(* --- Decoding --- *)
+(* --- Decoding ---
 
-type dec = { data : string; mutable pos : int }
+   [stop] bounds the decoder to a window of [data]: the zero-copy read
+   path decodes nested structures (an Fs_reply's results field, a READ
+   reply's payload) in place, as views into the one decrypted frame,
+   instead of copying each layer out with String.sub first. *)
 
-let make_dec (data : string) : dec = { data; pos = 0 }
+type dec = { data : string; mutable pos : int; stop : int }
 
-let remaining (d : dec) : int = String.length d.data - d.pos
+let make_dec (data : string) : dec = { data; pos = 0; stop = String.length data }
+
+(* A decoder over a window of [data] — decoding a nested structure in
+   place, without carving it out first. *)
+let make_dec_sub (data : string) ~(off : int) ~(len : int) : dec =
+  if off < 0 || len < 0 || off + len > String.length data then
+    error "make_dec_sub: window [%d,%d) outside %d bytes" off (off + len) (String.length data);
+  { data; pos = off; stop = off + len }
+
+let remaining (d : dec) : int = d.stop - d.pos
 
 let need (d : dec) (n : int) : unit =
   if remaining d < n then error "decode: truncated (need %d, have %d)" n (remaining d)
@@ -139,6 +151,15 @@ let dec_opaque ?(max = 0x100000) (d : dec) : string =
   if n > max then error "dec_opaque: length %d exceeds bound %d" n max;
   dec_fixed_opaque d ~size:n
 
+(* Zero-copy opaque: a view of the payload in place of a copy. *)
+let dec_opaque_slice ?(max = 0x100000) (d : dec) : Sfs_util.Slice.t =
+  let n = dec_uint32 d in
+  if n > max then error "dec_opaque_slice: length %d exceeds bound %d" n max;
+  need d (n + pad4 n);
+  let s = Sfs_util.Slice.make d.data ~off:d.pos ~len:n in
+  d.pos <- d.pos + n + pad4 n;
+  s
+
 let dec_string = dec_opaque
 
 let dec_option (d : dec) (f : dec -> 'a) : 'a option =
@@ -152,7 +173,7 @@ let dec_array ?(max = 0x10000) (d : dec) (f : dec -> 'a) : 'a list =
 (* Consume all remaining bytes verbatim (trailing RPC args/results). *)
 let dec_rest (d : dec) : string =
   let s = String.sub d.data d.pos (remaining d) in
-  d.pos <- String.length d.data;
+  d.pos <- d.stop;
   s
 
 let dec_done (d : dec) : unit =
@@ -165,6 +186,17 @@ let run (data : string) (f : dec -> 'a) : ('a, string) result =
   | v ->
       if remaining d = 0 then Ok v
       else Result.Error (Printf.sprintf "decode: %d trailing bytes" (remaining d))
+  | exception Error msg -> Result.Error msg
+
+(* Same, over a view — the message never gets carved out of its frame. *)
+let run_slice (s : Sfs_util.Slice.t) (f : dec -> 'a) : ('a, string) result =
+  match make_dec_sub (Sfs_util.Slice.base s) ~off:(Sfs_util.Slice.offset s) ~len:(Sfs_util.Slice.length s) with
+  | d -> (
+      match f d with
+      | v ->
+          if remaining d = 0 then Ok v
+          else Result.Error (Printf.sprintf "decode: %d trailing bytes" (remaining d))
+      | exception Error msg -> Result.Error msg)
   | exception Error msg -> Result.Error msg
 
 (* Serialize with an encoder function. *)

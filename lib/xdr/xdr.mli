@@ -46,6 +46,12 @@ val encode : (enc -> 'a -> unit) -> 'a -> string
 type dec
 
 val make_dec : string -> dec
+
+val make_dec_sub : string -> off:int -> len:int -> dec
+(** A decoder bounded to a window of the input: nested structures
+    decode in place instead of being copied out first (the zero-copy
+    read path). @raise Error when the window exceeds the input. *)
+
 val remaining : dec -> int
 
 val dec_uint32 : dec -> int
@@ -57,6 +63,10 @@ val dec_fixed_opaque : dec -> size:int -> string
 val dec_opaque : ?max:int -> dec -> string
 (** Bounded (default 1 MiB): attacker-supplied lengths cannot force
     large allocations. *)
+
+val dec_opaque_slice : ?max:int -> dec -> Sfs_util.Slice.t
+(** Like {!dec_opaque}, but returns a view of the payload in place —
+    no copy; the slice retains the whole input string. *)
 
 val dec_string : ?max:int -> dec -> string
 val dec_option : dec -> (dec -> 'a) -> 'a option
@@ -70,3 +80,6 @@ val dec_done : dec -> unit
 
 val run : string -> (dec -> 'a) -> ('a, string) result
 (** Complete-message decode: trailing bytes are an error. *)
+
+val run_slice : Sfs_util.Slice.t -> (dec -> 'a) -> ('a, string) result
+(** {!run} over a view: the message decodes inside its backing frame. *)

@@ -45,6 +45,30 @@ let test_modexp () =
   check_nat "fermat" Nat.one (Nat.modexp ~base:(n "123456") ~exp:(Nat.sub p Nat.one) ~modulus:p);
   check_nat "mod 1" Nat.zero (Nat.modexp ~base:(n "5") ~exp:(n "5") ~modulus:Nat.one)
 
+(* Regression for the divmod quotient-digit walk-down (the qhat
+   correction loop is now a constant number of O(n) subtractions, not a
+   re-multiplication per retry).  Runs of all-ones limbs over divisors
+   just above a power of two force the estimate to overshoot maximally;
+   the Euclidean identity is a complete correctness check. *)
+let test_divmod_qhat () =
+  let ones k = Nat.sub (Nat.shift_left Nat.one k) Nat.one in
+  let cases =
+    [
+      (ones 512, Nat.add (Nat.shift_left Nat.one 256) Nat.one);
+      (ones 512, ones 256);
+      (ones 1024, Nat.add (Nat.shift_left Nat.one 100) (Nat.of_int 12345));
+      (Nat.shift_left Nat.one 511, Nat.add (Nat.shift_left Nat.one 255) Nat.one);
+      (Nat.add (Nat.shift_left (ones 256) 256) (Nat.of_int 7), Nat.add (ones 256) Nat.one);
+      (ones 960, Nat.add (ones 320) Nat.two);
+    ]
+  in
+  List.iter
+    (fun (a, b) ->
+      let q, r = Nat.divmod a b in
+      Testkit.check_bool "a = q*b + r" true (Nat.equal a (Nat.add (Nat.mul q b) r));
+      Testkit.check_bool "r < b" true (Nat.compare r b < 0))
+    cases
+
 let test_gcd () =
   check_nat "gcd" (n "6") (Nat.gcd (n "48") (n "18"));
   check_nat "gcd coprime" Nat.one (Nat.gcd (n "17") (n "31"));
@@ -119,6 +143,17 @@ let nonzero_arb =
   QCheck.make ~print:Nat.to_string
     (QCheck.Gen.map (fun x -> Nat.add x Nat.one) nat_gen)
 
+(* Wider operands (up to ~560 bits) so modexp's sliding window opens
+   past one bit and multiplication crosses the Karatsuba threshold. *)
+let wide_gen =
+  let open QCheck.Gen in
+  map (fun s -> Nat.of_bytes_be s) (string_size ~gen:char (int_range 0 70))
+
+let wide_arb = QCheck.make ~print:Nat.to_string wide_gen
+
+let wide_nonzero_arb =
+  QCheck.make ~print:Nat.to_string (QCheck.Gen.map (fun x -> Nat.add x Nat.one) wide_gen)
+
 let props =
   let open QCheck in
   [
@@ -163,6 +198,38 @@ let props =
     Test.make ~count:200 ~name:"gcd divides both" (pair nonzero_arb nonzero_arb) (fun (a, b) ->
         let g = Nat.gcd a b in
         Nat.is_zero (Nat.rem a g) && Nat.is_zero (Nat.rem b g));
+    (* Montgomery fast path vs the retained reference ladder.  Wide
+       operands so the sliding window actually widens past 1 bit; the
+       modulus parity is whatever falls out of the generator, covering
+       both the REDC path (odd) and the reference fallback (even). *)
+    Test.make ~count:200 ~name:"montgomery modexp agrees with reference"
+      (triple wide_arb wide_arb wide_nonzero_arb) (fun (b, e, m) ->
+        Nat.equal (Nat.modexp ~base:b ~exp:e ~modulus:m)
+          (Nat.modexp_reference ~base:b ~exp:e ~modulus:m));
+    Test.make ~count:100 ~name:"montgomery modexp agrees on even modulus"
+      (triple wide_arb wide_arb wide_nonzero_arb) (fun (b, e, m) ->
+        let m = Nat.mul m Nat.two in
+        Nat.equal (Nat.modexp ~base:b ~exp:e ~modulus:m)
+          (Nat.modexp_reference ~base:b ~exp:e ~modulus:m));
+    Test.make ~count:100 ~name:"montgomery modexp edge exponents" (pair wide_arb wide_nonzero_arb)
+      (fun (b, m) ->
+        Nat.equal (Nat.modexp ~base:b ~exp:Nat.zero ~modulus:m)
+          (Nat.modexp_reference ~base:b ~exp:Nat.zero ~modulus:m)
+        && Nat.equal (Nat.modexp ~base:b ~exp:Nat.one ~modulus:m)
+             (Nat.modexp_reference ~base:b ~exp:Nat.one ~modulus:m)
+        && Nat.equal (Nat.modexp ~base:b ~exp:b ~modulus:Nat.one)
+             (Nat.modexp_reference ~base:b ~exp:b ~modulus:Nat.one));
+    (* Karatsuba vs schoolbook, directly: operands wide enough to split
+       (and recurse) against products small enough to stay schoolbook,
+       cross-checked through the distributive law with single-limb
+       factors that cannot themselves take the Karatsuba path. *)
+    Test.make ~count:100 ~name:"karatsuba agrees with schoolbook directly"
+      (triple wide_arb wide_arb (int_range 1 1000)) (fun (a, b, k) ->
+        let kn = Nat.of_int k in
+        (* (a*k)*b uses schoolbook for a*k (tiny limb count) and
+           Karatsuba for the wide product; a*(k*b) associates the other
+           way.  Equality pins both against each other. *)
+        Nat.equal (Nat.mul (Nat.mul a kn) b) (Nat.mul a (Nat.mul kn b)));
   ]
 
 let suite =
@@ -172,6 +239,7 @@ let suite =
       Alcotest.test_case "conversions" `Quick test_conversions;
       Alcotest.test_case "bit operations" `Quick test_bits;
       Alcotest.test_case "modexp" `Quick test_modexp;
+      Alcotest.test_case "divmod qhat walk-down" `Quick test_divmod_qhat;
       Alcotest.test_case "gcd" `Quick test_gcd;
       Alcotest.test_case "modular inverse" `Quick test_inverse;
       Alcotest.test_case "jacobi symbol" `Quick test_jacobi;

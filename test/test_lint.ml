@@ -247,6 +247,25 @@ let test_sl012_span_bracketing () =
   silent "outside lib/" ~path:"bench/main.ml" ~code:"SL012"
     "let f obs = Obs.span_begin obs ~cat:\"op\" \"read\""
 
+let test_sl013_zero_copy_read_path () =
+  fires "Bytes.create in a *_slice binding" ~path:"lib/proto/channel.ml" ~code:"SL013"
+    "let open_slice t wire = let buf = Bytes.create 16 in decode buf";
+  fires "String.sub in a cache feeder" ~path:"lib/nfs/cachefs.ml" ~code:"SL013"
+    "let note_block t h b data = store t h b (String.sub data 0 8192)";
+  fires "Bytes.sub_string in the slice codec" ~path:"lib/xdr/xdr.ml" ~code:"SL013"
+    "let dec_opaque_slice d = Bytes.sub_string d.data d.pos 8";
+  silent "Slice view construction" ~path:"lib/proto/channel.ml" ~code:"SL013"
+    "let open_slice t wire = Sfs_util.Slice.make wire ~off:4 ~len:10";
+  silent "copy outside the audited bindings" ~path:"lib/proto/channel.ml" ~code:"SL013"
+    "let seal t msg = Bytes.create 16";
+  silent "copy outside the audited files" ~path:"lib/core/client.ml" ~code:"SL013"
+    "let open_slice t wire = Bytes.create 16";
+  silent "pragma for an inherent copy" ~path:"lib/proto/channel.ml" ~code:"SL013"
+    "let open_slice t wire =\n\
+    \  (* sfslint: allow SL013 — fixed-size MAC tag scratch *)\n\
+    \  let tag = Bytes.create 20 in\n\
+    \  check tag"
+
 let test_enable_disable () =
   let src = "let x = Random.int 10\nlet f ~tag y = tag = y" in
   let all = codes ~path:"lib/core/agent.ml" src in
@@ -290,6 +309,7 @@ let suite =
       Alcotest.test_case "SL000 pragma hygiene" `Quick test_sl000_pragma_hygiene;
       Alcotest.test_case "SL011 bare waiver pragma" `Quick test_sl011_bare_waiver;
       Alcotest.test_case "SL012 span bracketing" `Quick test_sl012_span_bracketing;
+      Alcotest.test_case "SL013 zero-copy read path" `Quick test_sl013_zero_copy_read_path;
       Alcotest.test_case "enable/disable filtering" `Quick test_enable_disable;
       Alcotest.test_case "engine robustness" `Quick test_engine_robustness;
     ] )

@@ -237,6 +237,66 @@ let channel_roundtrip_prop =
           && Channel.open_ client (Channel.seal server msg) = Ok msg)
         (0 :: sizes))
 
+(* Precomputed keystream must be invisible on the wire: a sender that
+   banks `Send keystream at arbitrary points produces byte-identical
+   ciphertext to an eager sender, and a receiver that banks `Recv
+   keystream opens it identically (claiming only time that was actually
+   banked).  Budgets are donated, never charged, so no clock is needed. *)
+let channel_precompute_identity_prop =
+  QCheck.Test.make ~count:50 ~name:"precomputed keystream is byte-identical on the wire"
+    QCheck.(
+      list_of_size (QCheck.Gen.int_range 1 8) (pair (int_range 0 10_000) (int_range 0 2_000)))
+    (fun msgs ->
+      let pre_client, pre_server = make_channel_pair () in
+      let eager_client, eager_server = make_channel_pair () in
+      (* Banked keystream carries over between messages, so claims are
+         bounded by the cumulative donation, not the per-round one. *)
+      let banked_total = ref 0.0 and claimed_total = ref 0.0 in
+      List.for_all
+        (fun (n, budget) ->
+          let msg = String.init n (fun i -> Char.chr ((i * 37 + n) land 0xff)) in
+          let banked_send =
+            Channel.precompute ~dir:`Send pre_client ~budget_us:(float_of_int budget)
+          in
+          banked_total :=
+            !banked_total
+            +. Channel.precompute ~dir:`Recv pre_server ~budget_us:(float_of_int budget);
+          let wire = Channel.seal pre_client msg in
+          let wire_eager = Channel.seal eager_client msg in
+          ignore (Channel.open_ eager_server wire_eager);
+          match Channel.open_ pre_server wire with
+          | Ok plain ->
+              let claim = Channel.take_recv_claim pre_server in
+              claimed_total := !claimed_total +. claim;
+              String.equal wire wire_eager && String.equal plain msg
+              && banked_send >= 0.0
+              && banked_send <= float_of_int budget
+              && claim >= 0.0
+              && !claimed_total <= !banked_total +. 0.000001
+          | Error _ -> false)
+        msgs)
+
+(* The zero-copy open must be observationally identical to the copying
+   one: same plaintext bytes, same stream advance, with and without
+   encryption. *)
+let channel_open_slice_prop =
+  QCheck.Test.make ~count:50 ~name:"open_slice agrees with open_"
+    QCheck.(pair bool (list_of_size (QCheck.Gen.int_range 1 8) (int_range 0 10_000)))
+    (fun (encrypt, sizes) ->
+      let client_a, server_a = make_channel_pair ~encrypt () in
+      let client_b, server_b = make_channel_pair ~encrypt () in
+      List.for_all
+        (fun n ->
+          let msg = String.init n (fun i -> Char.chr ((i * 41 + n) land 0xff)) in
+          let wire_a = Channel.seal client_a msg in
+          let wire_b = Channel.seal client_b msg in
+          match (Channel.open_ server_a wire_a, Channel.open_slice server_b wire_b) with
+          | Ok plain, Ok slice ->
+              String.equal plain (Sfs_util.Slice.to_string slice)
+              && Sfs_util.Slice.length slice = String.length msg
+          | _ -> false)
+        (0 :: sizes))
+
 let seq_window_prop =
   QCheck.Test.make ~count:200 ~name:"window accepts each seqno at most once"
     QCheck.(list_of_size (QCheck.Gen.int_range 1 100) (int_range 0 200))
@@ -377,4 +437,10 @@ let suite =
       Alcotest.test_case "readonly objects" `Quick test_readonly_objects;
       Alcotest.test_case "readonly fsinfo signature" `Quick test_readonly_fsinfo_signature;
     ]
-    @ Testkit.to_alcotest [ channel_roundtrip_prop; seq_window_prop ] )
+    @ Testkit.to_alcotest
+        [
+          channel_roundtrip_prop;
+          channel_precompute_identity_prop;
+          channel_open_slice_prop;
+          seq_window_prop;
+        ] )

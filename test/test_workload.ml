@@ -50,12 +50,15 @@ let test_fig5_throughput_shape () =
   let tcp = thr Stacks.Nfs_tcp in
   let sfs = thr Stacks.Sfs in
   let noenc = thr Stacks.Sfs_noenc in
-  (* Paper ordering: UDP 9.3 > TCP 7.6 > noenc 7.1 > SFS 4.1. *)
+  (* Paper ordering was UDP 9.3 > TCP 7.6 > noenc 7.1 > SFS 4.1; with
+     keystream precomputation overlapping the idle wire (DESIGN.md §14)
+     encryption no longer costs streaming throughput, so SFS rides at
+     noenc's heels instead of 42% behind it. *)
   Testkit.check_bool "udp fastest" true (udp > tcp);
   Testkit.check_bool "tcp above noenc" true (tcp > noenc);
-  Testkit.check_bool "noenc above sfs" true (noenc > sfs);
+  Testkit.check_bool "noenc at or above sfs" true (noenc >= sfs);
   Testkit.check_bool "udp ~9MB/s" true (udp > 7.0 && udp < 11.0);
-  Testkit.check_bool "encryption visibly hurts streaming" true (noenc > 1.3 *. sfs)
+  Testkit.check_bool "encryption within 10% of noenc" true (sfs > 0.9 *. noenc)
 
 let test_mab_shape () =
   let total s = Mab.total (Mab.run (Stacks.make s)) in

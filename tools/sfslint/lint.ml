@@ -112,6 +112,15 @@ let rules : rule_info list =
          the open span to a closer (Rpc_mux.submit ~info closes it at the op's ready time) — waive \
          with a pragma naming the closer";
     };
+    {
+      ri_code = "SL013";
+      ri_title = "copying allocation on the zero-copy read path";
+      ri_hint =
+        "the wire-to-cache read path threads one buffer end to end (Channel.open_slice -> \
+         Xdr.dec_opaque_slice -> Cachefs blocks); build Slice views into the opened frame instead \
+         of fresh Bytes.create/Bytes.sub/String.sub copies, or waive with a pragma saying why the \
+         copy is inherent";
+    };
   ]
 
 let all_codes = List.map (fun r -> r.ri_code) rules
@@ -157,6 +166,19 @@ let sl009_hot path =
    carry pragmas. *)
 let sl010_applies path =
   List.mem path [ "lib/nfs/nfs_client.ml"; "lib/core/client.ml" ]
+
+(* SL013: the audited wire->cache read path.  Within these files, any
+   binding that is part of the zero-copy chain — the *_slice codecs and
+   the block-cache feeders — must not allocate payload copies; a frame
+   is opened once and every later stage views into it.  Fixed-size or
+   inherent allocations carry pragmas. *)
+let sl013_applies path =
+  List.mem path
+    [ "lib/proto/channel.ml"; "lib/proto/sfsrw.ml"; "lib/xdr/xdr.ml"; "lib/nfs/cachefs.ml" ]
+
+let sl013_scope_name name =
+  ends_with ~suffix:"_slice" name
+  || List.mem name [ "note_block"; "serve_cached"; "claim_inflight"; "fetch_pipelined" ]
 
 let sl003_applies path = in_lib path && path <> "lib/net/simclock.ml"
 let sl004_applies path = starts_with ~prefix:"lib/xdr/" path || starts_with ~prefix:"lib/proto/" path
@@ -473,6 +495,7 @@ let check_ast ~(path : string) ~(enabled : string list) (ast : structure) : diag
      the SL004 decoder scope. *)
   let binding_stack = ref [] in
   let in_decoder () = List.exists is_decoder_name !binding_stack in
+  let in_slice_scope () = List.exists sl013_scope_name !binding_stack in
   let on_ident ~loc (txt : Longident.t) =
     let p = strip_stdlib (lid_flatten txt) in
     (if sl001_applies path then
@@ -520,6 +543,14 @@ let check_ast ~(path : string) ~(enabled : string list) (ast : structure) : diag
        | [ "String"; "sub" ] when sl009_hot path ->
            add ~loc "SL009"
              "String.sub copies on the per-message fast path; index into the frame buffer instead"
+       | _ -> ());
+    (if sl013_applies path && in_slice_scope () then
+       match p with
+       | [ "Bytes"; "create" ] | [ "Bytes"; "sub" ] | [ "Bytes"; "sub_string" ]
+       | [ "String"; "sub" ] | [ "Bytes"; "of_string" ] | [ "Bytes"; "to_string" ] ->
+           add ~loc "SL013"
+             (Printf.sprintf "%s allocates a copy inside the zero-copy wire-to-cache read path"
+                (String.concat "." p))
        | _ -> ());
     (if in_lib path then
        match p with
