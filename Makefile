@@ -1,6 +1,6 @@
 # Convenience targets; everything is driven by dune underneath.
 
-.PHONY: all build lint taint test bench trace perf ci clean
+.PHONY: all build lint taint test bench trace perf soak soak-sample ci clean
 
 all: build
 
@@ -55,21 +55,37 @@ perf: build
 	dune exec --no-build bench/main.exe -- crypto --no-results
 	rm -f _perf_results.json
 	dune exec --no-build bench/main.exe -- crypto --results _perf_results.json
-	dune exec --no-build bench/main.exe -- fig5 fig6 fig7 fig8 fig9 pipeline ablations faults --results _perf_results.json
+	dune exec --no-build bench/main.exe -- fig5 fig6 fig7 fig8 fig9 pipeline ablations faults scale --results _perf_results.json
 	git show HEAD:BENCH_results.json > _perf_head.json
-	dune exec --no-build tools/benchdiff/benchdiff.exe -- \
-	  --baseline _perf_head.json --current _perf_results.json --allow perf-allowlist.txt
+	@dune exec --no-build tools/benchdiff/benchdiff.exe -- \
+	  --baseline _perf_head.json --current _perf_results.json --allow perf-allowlist.txt \
+	  > _perf_benchdiff.txt 2>&1; st=$$?; cat _perf_benchdiff.txt; \
+	  if [ $$st -ne 0 ]; then echo "perf: benchdiff FAILED (report kept in _perf_benchdiff.txt)"; exit $$st; fi
 	grep -v '"figure":"crypto"' _perf_head.json > _perf_head_sim.json
 	grep -v '"figure":"crypto"' _perf_results.json > _perf_now_sim.json
 	diff -u _perf_head_sim.json _perf_now_sim.json
-	rm -f _perf_results.json _perf_head.json _perf_head_sim.json _perf_now_sim.json
+	rm -f _perf_results.json _perf_head.json _perf_head_sim.json _perf_now_sim.json _perf_benchdiff.txt
 	@echo "perf: simulated-time figures unchanged vs HEAD; crypto trend within budget"
+
+# Chaos soak (tools/soak): seeded fault plans against a 60-client
+# pipelined fleet, each plan run twice with a byte-identical-ledger
+# determinism check.  `soak` runs the whole 25-plan corpus (~2 min);
+# `soak-sample` runs the 5-plan slice CI runs per push, rotated
+# deterministically from the commit SHA so the corpus is covered over
+# a stream of commits without any one job paying for all of it.
+soak: build
+	dune exec --no-build tools/soak/soak.exe
+
+soak-sample: build
+	dune exec --no-build tools/soak/soak.exe -- --plans 5 --sha $$(git rev-parse HEAD)
 
 # Everything the CI workflow runs, in the same order: build, the full
 # tier-1 test suite (which includes the @lint/@taint drift gates), the
-# perf determinism gate, and a strict static-analysis pass (no
-# promotion: a stale committed report fails here, as in CI).
-ci: build test perf
+# perf determinism gate, the SHA-rotated chaos-soak sample, and a
+# strict static-analysis pass (no promotion: a stale committed report
+# fails here, as in CI).  Mirrors .github/workflows/ci.yml — see the
+# "CI" section of README.md for the job-by-job mapping.
+ci: build test perf soak-sample
 	dune build @lint @taint
 	@echo "ci: all gates passed"
 

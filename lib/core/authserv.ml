@@ -46,6 +46,13 @@ type db = {
 type t = {
   rng : Prng.t;
   mutable dbs : db list; (* searched in order *)
+  (* Pubkey -> user index over all databases.  [cred_of_pubkey] was a
+     linear fold over every record per validation — quadratic under a
+     mass-authentication load (KeyAuth's motivating scenario); the
+     index makes the common case O(1) and every hit is re-verified
+     against the live record before use, so a stale entry can only
+     cost a fallback scan, never a wrong credential. *)
+  pub_index : (string, string) Hashtbl.t;
   srp_group : Srp.group;
   mutable failed_attempts : (string * string) list; (* user, reason — the audit log *)
   obs : Obs.registry option;
@@ -53,7 +60,7 @@ type t = {
 
 let create ?(srp_group = Srp.default_group) ?obs (rng : Prng.t) : t =
   let local = { db_name = "local"; writable = true; public = Hashtbl.create 16; private_ = Hashtbl.create 16 } in
-  { rng; dbs = [ local ]; srp_group; failed_attempts = []; obs }
+  { rng; dbs = [ local ]; pub_index = Hashtbl.create 64; srp_group; failed_attempts = []; obs }
 
 let local_db (t : t) : db = List.find (fun db -> db.writable) t.dbs
 
@@ -80,6 +87,7 @@ let register_pubkey (t : t) ~(user : string) (pubkey : Rabin.pub) : (unit, strin
       if not db.writable then Error "database is read-only"
       else begin
         Hashtbl.replace db.public user { r with pr_pubkey = Some pubkey };
+        Hashtbl.replace t.pub_index (Rabin.pub_to_string pubkey) user;
         Ok ()
       end
 
@@ -142,7 +150,7 @@ let failed_attempts (t : t) : (string * string) list = t.failed_attempts
 
 (* --- Credential mapping (Figure 4, steps 4-5) --- *)
 
-let cred_of_pubkey (t : t) (pubkey : Rabin.pub) : (string * Simos.cred) option =
+let cred_of_pubkey_scan (t : t) (pubkey : Rabin.pub) : (string * Simos.cred) option =
   List.find_map
     (fun db ->
       Hashtbl.fold
@@ -155,6 +163,22 @@ let cred_of_pubkey (t : t) (pubkey : Rabin.pub) : (string * Simos.cred) option =
               | _ -> None))
         db.public None)
     t.dbs
+
+let cred_of_pubkey (t : t) (pubkey : Rabin.pub) : (string * Simos.cred) option =
+  let verified_hit =
+    match Hashtbl.find_opt t.pub_index (Rabin.pub_to_string pubkey) with
+    | None -> None
+    | Some user -> (
+        (* Re-verify against the live record: the key may have been
+           rotated since the index entry was written. *)
+        match find_user t user with
+        | Some (_, r) -> (
+            match r.pr_pubkey with
+            | Some pk when Rabin.pub_equal pk pubkey -> Some (r.pr_user, r.pr_cred)
+            | _ -> None)
+        | None -> None)
+  in
+  match verified_hit with Some _ -> verified_hit | None -> cred_of_pubkey_scan t pubkey
 
 (* Validate a signed authentication request and map it to credentials.
    The sequence-number window is per session and lives with the file
@@ -176,6 +200,20 @@ let validate (t : t) ~(authmsg : string) ~(authid : string) ~(seqno : int) :
   | Ok _ -> Obs.incr t.obs "auth.validate.ok"
   | Error _ -> Obs.incr t.obs "auth.validate.fail");
   res
+
+(* File servers consult authserv through this indirection so the same
+   server code can talk to one instance or to a consistent-hash shard
+   ring (Authshard). *)
+type backend = {
+  b_validate : authmsg:string -> authid:string -> seqno:int -> (string * Simos.cred, string) result;
+  b_log_failure : user:string -> reason:string -> unit;
+}
+
+let backend (t : t) : backend =
+  {
+    b_validate = (fun ~authmsg ~authid ~seqno -> validate t ~authmsg ~authid ~seqno);
+    b_log_failure = (fun ~user ~reason -> log_failure t ~user reason);
+  }
 
 (* --- Public database export/import (section 2.5.2) ---
 
@@ -228,7 +266,17 @@ let import_public_db (t : t) ~(name : string) (bytes : string) : (unit, string) 
       let db =
         { db_name = name; writable = false; public = Hashtbl.create 64; private_ = Hashtbl.create 0 }
       in
-      List.iter (fun r -> Hashtbl.replace db.public r.pr_user r) records;
+      List.iter
+        (fun r ->
+          Hashtbl.replace db.public r.pr_user r;
+          (* Index imported keys too, but never shadow an existing
+             mapping: earlier databases win the search order. *)
+          match r.pr_pubkey with
+          | Some pk ->
+              let key = Rabin.pub_to_string pk in
+              if not (Hashtbl.mem t.pub_index key) then Hashtbl.replace t.pub_index key r.pr_user
+          | None -> ())
+        records;
       (* Replace a previous import of the same name (refresh); keep a
          stale copy usable when the origin is unreachable by simply not
          requiring refreshes. *)

@@ -44,6 +44,21 @@ val cred_of_pubkey : t -> Rabin.pub -> (string * Simos.cred) option
 val validate : t -> authmsg:string -> authid:string -> seqno:int -> (string * Simos.cred, string) result
 (** Figure 4, steps 4-5: check the signature and map the key. *)
 
+(** {2 Pluggable validation backend}
+
+    File servers talk to authserv through this record rather than a
+    concrete [t], so a farm of servers can route each request to one
+    shard of a sharded authserv ({!Authshard}) instead of a single
+    instance. *)
+
+type backend = {
+  b_validate : authmsg:string -> authid:string -> seqno:int -> (string * Simos.cred, string) result;
+  b_log_failure : user:string -> reason:string -> unit;
+}
+
+val backend : t -> backend
+(** The identity backend: validate against this instance. *)
+
 (** {2 Audit} *)
 
 val log_failure : t -> user:string -> string -> unit

@@ -1,0 +1,32 @@
+(** Sharded authserv: a consistent-hash ring (virtual nodes on SHA-1)
+    over N {!Authserv} instances.  File servers plug in the ring's
+    {!backend} and every signed authentication request routes to the
+    shard owning the requesting public key; adding a shard moves only
+    ~1/N of the users.  The mass-user authentication tier for the
+    fleet simulator. *)
+
+type t
+
+val create : ?vnodes:int -> ?obs:Sfs_obs.Obs.registry -> Authserv.t array -> t
+(** [vnodes] (default 32) virtual ring points per shard.  When [obs]
+    is given, each routed validation bumps [authshard.<i>.validate].
+    @raise Invalid_argument on an empty shard array. *)
+
+val n_shards : t -> int
+val shard : t -> int -> Authserv.t
+
+val shard_for_key : t -> Sfs_crypto.Rabin.pub -> int
+(** The shard owning a public key (ring successor of its hash). *)
+
+val shard_for_user : t -> string -> int
+(** The shard owning a user name (management operations that have no
+    key in hand). *)
+
+val add_user_key : t -> user:string -> cred:Sfs_os.Simos.cred -> Sfs_crypto.Rabin.pub -> int
+(** Register [user] with [cred] and their public key on the owning
+    shard; returns the shard index.
+    @raise Invalid_argument if the shard rejects the registration. *)
+
+val backend : t -> Authserv.backend
+(** Routes [b_validate] by the authmsg's public key and
+    [b_log_failure] by user name. *)

@@ -84,6 +84,7 @@ type t = {
   rpc_attempts : int; (* per-RPC budget incl. the first transmission *)
   rpc_window : int; (* concurrent in-flight calls (1 = fully serial) *)
   readahead : int; (* sequential-read prefetch depth, in blocks *)
+  mux_shared_srv : bool; (* pipelined muxes serialize on the host run queue *)
   obs : Obs.registry option;
 }
 
@@ -92,9 +93,9 @@ type t = {
 let rpc_backoff_base_us = 50_000.0
 let rpc_backoff_max_us = 1_600_000.0
 
-let create ?(temp_key_bits = 512) ?(temp_key_lifetime_s = 3600.0) ?(encrypt = true)
+let create ?(temp_key_bits = 512) ?(temp_key_lifetime_s = 3600.0) ?temp_key ?(encrypt = true)
     ?(cache_policy = Cachefs.sfs_policy) ?(rpc_attempts = 8) ?(rpc_window = 1) ?(readahead = 0)
-    ?obs (net : Simnet.t) ~(from_host : string) ~(rng : Prng.t) () : t =
+    ?(mux_shared_srv = true) ?obs (net : Simnet.t) ~(from_host : string) ~(rng : Prng.t) () : t =
   {
     net;
     clock = Simnet.clock net;
@@ -103,7 +104,10 @@ let create ?(temp_key_bits = 512) ?(temp_key_lifetime_s = 3600.0) ?(encrypt = tr
     from_host;
     temp_key_bits;
     temp_key_lifetime_s;
-    temp_key = None;
+    (* A pre-generated [temp_key] lets a fleet of simulated clients on
+       one machine share a single K_C (generating 10,000 of them is
+       real CPU); lifetime rotation still applies from t=0. *)
+    temp_key;
     temp_key_born_us = 0.0;
     mounts = Hashtbl.create 8;
     encrypt;
@@ -111,6 +115,7 @@ let create ?(temp_key_bits = 512) ?(temp_key_lifetime_s = 3600.0) ?(encrypt = tr
     rpc_attempts = max 1 rpc_attempts;
     rpc_window = max 1 rpc_window;
     readahead = max 0 readahead;
+    mux_shared_srv;
     obs;
   }
 
@@ -164,9 +169,14 @@ let dial (t : t) (path : Pathname.t) :
           (fun msg -> Simnet.call conn msg)
       with
       | exception Keyneg.Host_revoked certificate ->
+          Simnet.close conn;
           Error (Revoked (Revocation.cert_for path certificate))
-      | exception Keyneg.Negotiation_failed e -> Error (Negotiation_failed e)
-      | exception Simnet.Timeout -> Error (Host_unreachable location)
+      | exception Keyneg.Negotiation_failed e ->
+          Simnet.close conn;
+          Error (Negotiation_failed e)
+      | exception Simnet.Timeout ->
+          Simnet.close conn;
+          Error (Host_unreachable location)
       | { Keyneg.keys; server_pub } ->
           let channel =
             Channel.create ~encrypt:t.encrypt ~clock:t.clock ~costs:t.costs ?obs:t.obs
@@ -503,8 +513,12 @@ let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
                   (raw_call ~cred:Simos.anonymous_cred ~proc:Sfsrw.proc_getroot ~async:false "")
                   dec_fh
               with
-              | Result.Error e -> Error (Negotiation_failed ("bad root handle: " ^ e))
-              | exception Nfs_client.Rpc_failure e -> Error (Negotiation_failed e)
+              | Result.Error e ->
+                  Simnet.close m.m_conn;
+                  Error (Negotiation_failed ("bad root handle: " ^ e))
+              | exception Nfs_client.Rpc_failure e ->
+                  Simnet.close m.m_conn;
+                  Error (Negotiation_failed e)
               | Ok root ->
                   let inner_ops = Nfs_client.generic_ops raw_call ~root in
                   (* The windowed READ path (readahead).  Requests ride
@@ -515,8 +529,23 @@ let mount (t : t) (path : Pathname.t) : (mount, mount_error) result =
                      round trips overlap in simulated time. *)
                   let pipeline =
                     if t.rpc_window > 1 && t.readahead > 0 then begin
+                      (* Fan-in: the mux's server timeline is the serving
+                         host's run queue, so several pipelined clients
+                         of one server queue behind each other's measured
+                         occupancy instead of each assuming an idle
+                         server.  (The fleet engine disables this and
+                         re-accounts server time itself.) *)
+                      let srv_timeline =
+                        if t.mux_shared_srv then begin
+                          let h = Simnet.conn_host m.m_conn in
+                          Some
+                            ( (fun () -> Simnet.host_timeline h),
+                              fun v -> Simnet.set_host_timeline h v )
+                        end
+                        else None
+                      in
                       let mux =
-                        Rpc_mux.create ?obs:t.obs ~window:t.rpc_window ~clock:t.clock
+                        Rpc_mux.create ?obs:t.obs ?srv_timeline ~window:t.rpc_window ~clock:t.clock
                           (* Donated idle wire time becomes reply-stream
                              keystream, banked ahead of the replies it
                              will decrypt (reads m_channel afresh, so a
@@ -724,6 +753,12 @@ let is_readonly (m : mount) : bool = m.m_readonly
 
 let cache (m : mount) : Cachefs.t =
   match m.m_cache with Some c -> c | None -> invalid_arg "Client.cache: mount not initialized"
+
+(* Invalidation callbacks received on the wire but not yet drained into
+   the cache (drains happen on the next cache consult).  The fleet
+   reconciliation sums this leftover so server-sent == client-received
+   holds exactly at quiesce. *)
+let pending_invalidations (m : mount) : int = List.length !(m.m_invalidations)
 
 let unmount (t : t) (m : mount) : unit =
   Simnet.close m.m_conn;

@@ -26,11 +26,13 @@ type t
 val create :
   ?temp_key_bits:int ->
   ?temp_key_lifetime_s:float ->
+  ?temp_key:Rabin.priv ->
   ?encrypt:bool ->
   ?cache_policy:Cachefs.policy ->
   ?rpc_attempts:int ->
   ?rpc_window:int ->
   ?readahead:int ->
+  ?mux_shared_srv:bool ->
   ?obs:Sfs_obs.Obs.registry ->
   Simnet.t ->
   from_host:string ->
@@ -47,9 +49,17 @@ val create :
     that many concurrent in-flight calls through the windowed
     dispatcher, enabling sequential-read readahead of [readahead]
     blocks (default 0) and write-behind gathering in the cache layer —
-    DESIGN.md §11.  When [obs] is given, automount and
-    authentication spans are recorded, and the mount's channel and
-    cache are instrumented too ([channel.client.*], [cache.*]). *)
+    DESIGN.md §11.  A pre-generated [temp_key] skips the (expensive)
+    per-client key generation — fleet simulations share one K_C across
+    thousands of clients; rotation after [temp_key_lifetime_s] still
+    applies.  [mux_shared_srv] (default true) makes pipelined muxes
+    serialize their modeled server occupancy on the serving host's run
+    queue, so concurrent clients of one server contend instead of each
+    assuming an idle server; the fleet engine passes [false] and
+    re-accounts occupancy itself (DESIGN.md §15).  When [obs] is given,
+    automount and authentication spans are recorded, and the mount's
+    channel and cache are instrumented too ([channel.client.*],
+    [cache.*]). *)
 
 val mount : t -> Pathname.t -> (mount, mount_error) result
 (** Dial the Location, negotiate keys, verify the HostID, fetch the
@@ -89,6 +99,12 @@ val path : mount -> Pathname.t
 val server_pub : mount -> Rabin.pub
 val is_readonly : mount -> bool
 val cache : mount -> Cachefs.t
+
+val pending_invalidations : mount -> int
+(** Invalidation callbacks received but not yet drained into the cache
+    (drains happen lazily on the next cache consult).  Lets the fleet
+    reconcile server-sent against client-received counts exactly. *)
+
 val unmount : t -> mount -> unit
 val temp_key : t -> Rabin.priv
 val set_encrypt : t -> bool -> unit

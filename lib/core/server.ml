@@ -46,7 +46,8 @@ type t = {
   backend : Fs_intf.ops;
   leases : Lease.t;
   fhc : Fhcrypt.t;
-  authserv : Authserv.t;
+  authserv : Authserv.t; (* the local instance (serves the SRP service) *)
+  auth : Authserv.backend; (* validation route: local instance or a shard ring *)
   allow_anonymous : bool; (* section 2.5: servers may refuse anonymous access *)
   mutable readonly : Readonly.snapshot option;
   mutable revocation : Revocation.t option; (* served on connect when set *)
@@ -61,10 +62,11 @@ type t = {
      FIFO eviction, volatile across crash_recover. *)
   drc : (string * int, int * string * Sfsrw.response) Hashtbl.t;
   drc_order : (string * int) Queue.t;
+  drc_size : int;
   obs : Obs.registry option;
 }
 
-let drc_size = 512
+let default_drc_size = 512
 
 let ( let* ) = Result.bind
 
@@ -263,9 +265,9 @@ let handle_fs_request (t : t) (s : fs_session) (req : Sfsrw.request) : Sfsrw.res
       if not (Authproto.window_accept s.window seqno) then
         Sfsrw.Auth_denied { seqno; reason = "replayed or stale sequence number" }
       else
-        match Authserv.validate t.authserv ~authmsg ~authid ~seqno with
+        match t.auth.Authserv.b_validate ~authmsg ~authid ~seqno with
         | Error reason ->
-            Authserv.log_failure t.authserv ~user:"?" reason;
+            t.auth.Authserv.b_log_failure ~user:"?" ~reason;
             Sfsrw.Auth_denied { seqno; reason }
         | Ok (user, cred) ->
             let authno = s.next_authno in
@@ -295,9 +297,12 @@ let handle_fs_request (t : t) (s : fs_session) (req : Sfsrw.request) : Sfsrw.res
               let reply = execute_fs_call t s ~authno ~proc args in
               Hashtbl.replace t.drc key (proc, args, reply);
               if previous = None then begin
+                Obs.incr t.obs "server.drc_insert";
                 Queue.push key t.drc_order;
-                if Queue.length t.drc_order > drc_size then
+                if Queue.length t.drc_order > t.drc_size then begin
+                  Obs.incr t.obs "server.drc_evict";
                   Hashtbl.remove t.drc (Queue.pop t.drc_order)
+                end
               end;
               reply)
 
@@ -401,10 +406,13 @@ let connection (t : t) ~(peer : string) : string -> string =
                       Xdr.encode Keyneg.enc_connect_res (Keyneg.Connect_ok { pubkey = t.key.Rabin.pub })
                 end))
 
-let create ?(lease_s = 60) ?(allow_anonymous = true) ?obs (net : Simnet.t) ~(host : Simnet.host)
-    ~(location : string) ~(key : Rabin.priv) ~(rng : Prng.t) ~(backend : Fs_intf.ops)
-    ~(authserv : Authserv.t) () : t =
+let create ?(lease_s = 60) ?(allow_anonymous = true) ?(drc_size = default_drc_size) ?auth_backend
+    ?obs (net : Simnet.t) ~(host : Simnet.host) ~(location : string) ~(key : Rabin.priv)
+    ~(rng : Prng.t) ~(backend : Fs_intf.ops) ~(authserv : Authserv.t) () : t =
   let clock = Simnet.clock net in
+  let auth =
+    match auth_backend with Some b -> b | None -> Authserv.backend authserv
+  in
   let t =
     {
       net;
@@ -418,6 +426,7 @@ let create ?(lease_s = 60) ?(allow_anonymous = true) ?obs (net : Simnet.t) ~(hos
       leases = Lease.create ~lease_s ?obs clock;
       fhc = Fhcrypt.of_prng rng;
       authserv;
+      auth;
       allow_anonymous;
       readonly = None;
       revocation = None;
@@ -425,6 +434,7 @@ let create ?(lease_s = 60) ?(allow_anonymous = true) ?obs (net : Simnet.t) ~(hos
       fs_calls = 0;
       drc = Hashtbl.create 64;
       drc_order = Queue.create ();
+      drc_size;
       obs;
     }
   in
@@ -447,6 +457,8 @@ let self_path (t : t) : Pathname.t = t.path
 let public_key (t : t) : Rabin.pub = t.key.Rabin.pub
 let fs_calls (t : t) : int = t.fs_calls
 let invalidations_sent (t : t) : int = Lease.invalidations_sent t.leases
+let drc_entries (t : t) : int = Hashtbl.length t.drc
+let leases (t : t) : Lease.t = t.leases
 
 let serve_readonly (t : t) (snap : Readonly.snapshot) : unit = t.readonly <- Some snap
 

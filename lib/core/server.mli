@@ -17,6 +17,8 @@ type t
 val create :
   ?lease_s:int ->
   ?allow_anonymous:bool ->
+  ?drc_size:int ->
+  ?auth_backend:Authserv.backend ->
   ?obs:Sfs_obs.Obs.registry ->
   Simnet.t ->
   host:Simnet.host ->
@@ -33,8 +35,14 @@ val create :
     [allow_anonymous] (default true) controls whether unauthenticated
     requests reach the file system at all (section 2.5).  When [obs]
     is given the leases, per-connection channels ([channel.server.*])
-    and NFS dispatcher are instrumented, plus a [server.connections]
-    counter. *)
+    and NFS dispatcher are instrumented, plus [server.connections] /
+    [server.drc_insert] / [server.drc_evict] counters.  [drc_size]
+    (default 512) bounds the duplicate-request cache — a fleet-sized
+    farm wants it scaled to its client count so retransmissions still
+    hit after thousands of interleaved peers.  [auth_backend] routes
+    signed authentication requests elsewhere than the local [authserv]
+    (e.g. an {!Authshard} ring); the local instance still serves the
+    SRP service. *)
 
 val crash_recover : t -> unit
 (** Simulated crash/restart: volatile state (leases, queued
@@ -61,3 +69,10 @@ val forwarding_pointer : t -> new_path:Pathname.t -> Revocation.t
 
 val fs_calls : t -> int
 val invalidations_sent : t -> int
+
+val drc_entries : t -> int
+(** Live duplicate-request-cache entries (reconciles against
+    [server.drc_insert] - [server.drc_evict] in the fleet tests). *)
+
+val leases : t -> Sfs_proto.Lease.t
+(** The server's lease registry (fan-in visibility for tests). *)

@@ -85,15 +85,29 @@ type 'a t = {
   precompute : (budget_us:float -> float) option;
   obs : Obs.registry option;
   mutable up_free_us : float;
-  mutable srv_free_us : float;
+  (* The server timeline may be shared: when several muxes (one per
+     client) target the same host, they serialize through the host's
+     run queue ({!Simnet.host_timeline}) instead of each keeping a
+     private fiction of an idle server.  The default is a private
+     ref, which behaves exactly as the old [srv_free_us] field. *)
+  srv_get : unit -> float;
+  srv_set : float -> unit;
   mutable down_free_us : float;
   mutable last_seen_us : float; (* clock at the previous submit: idle is measured since here *)
   mutable pending : 'a ticket list; (* oldest first; length < window between submits *)
 }
 
-let create ?obs ?precompute ~(window : int) ~(clock : Simclock.t) ~(wire_us : int -> float)
-    ~(latency_us : float) ~(op_us : float) ~(exchange : string -> 'a completion) () : 'a t =
+let create ?obs ?precompute ?srv_timeline ~(window : int) ~(clock : Simclock.t)
+    ~(wire_us : int -> float) ~(latency_us : float) ~(op_us : float)
+    ~(exchange : string -> 'a completion) () : 'a t =
   if window < 1 then invalid_arg "Rpc_mux.create: window < 1";
+  let srv_get, srv_set =
+    match srv_timeline with
+    | Some (get, set) -> (get, set)
+    | None ->
+        let r = ref 0.0 in
+        ((fun () -> !r), fun v -> r := v)
+  in
   {
     window;
     clock;
@@ -104,7 +118,8 @@ let create ?obs ?precompute ~(window : int) ~(clock : Simclock.t) ~(wire_us : in
     precompute;
     obs;
     up_free_us = 0.0;
-    srv_free_us = 0.0;
+    srv_get;
+    srv_set;
     down_free_us = 0.0;
     last_seen_us = Simclock.now_us clock;
     pending = [];
@@ -163,7 +178,7 @@ let submit ?on_complete ?info (t : 'a t) ~(wire_bytes : int) (request : string) 
       end);
   t.last_seen_us <- now;
   if t.up_free_us < now then t.up_free_us <- now;
-  if t.srv_free_us < now then t.srv_free_us <- now;
+  if t.srv_get () < now then t.srv_set now;
   if t.down_free_us < now then t.down_free_us <- now;
   let tk =
     match t.exchange request with
@@ -176,11 +191,12 @@ let submit ?on_complete ?info (t : 'a t) ~(wire_bytes : int) (request : string) 
         let up_queue = t.up_free_us -. now in
         let req_done = t.up_free_us +. t.wire_us wire_bytes in
         t.up_free_us <- req_done;
-        let srv_start = if req_done > t.srv_free_us then req_done else t.srv_free_us in
+        let srv_free = t.srv_get () in
+        let srv_start = if req_done > srv_free then req_done else srv_free in
         (* Precomputed keystream already happened during donated idle
            wire time, so it does not occupy the server timeline again. *)
         let srv_done = srv_start +. c.c_server_us -. c.c_claim_us in
-        t.srv_free_us <- srv_done;
+        t.srv_set srv_done;
         let rep_start = if srv_done > t.down_free_us then srv_done else t.down_free_us in
         let rep_done = rep_start +. t.wire_us c.c_wire_bytes +. t.op_us in
         t.down_free_us <- rep_done;

@@ -58,6 +58,7 @@ type 'a t
 val create :
   ?obs:Sfs_obs.Obs.registry ->
   ?precompute:(budget_us:float -> float) ->
+  ?srv_timeline:(unit -> float) * (float -> unit) ->
   window:int ->
   clock:Simclock.t ->
   wire_us:(int -> float) ->
@@ -76,6 +77,13 @@ val create :
     (use {!Simnet.call_measured}).  When [obs] is given, counters
     [mux.submit], [mux.stall] (window-full forced waits) and [mux.fail]
     are recorded.
+
+    [srv_timeline] is a (get, set) pair for the server-CPU timeline.
+    By default it is a private ref (a lone mux owns its server); wiring
+    it to the serving host's run queue
+    ({!Simnet.host_timeline} / {!Simnet.set_host_timeline}) makes every
+    mux targeting that host serialize its measured server occupancy
+    through one shared timeline — the fleet fan-in model.
 
     [precompute] is the idle-wire donation hook ({!Channel.precompute}):
     at each submit the mux measures how long each wire direction's

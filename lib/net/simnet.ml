@@ -57,19 +57,57 @@ type injector = {
   inj_host_epoch : string -> int;  (* completed restarts for this host *)
 }
 
-type host = { host_name : string; mutable aliases : string list; services : (int, service) Hashtbl.t }
+type host = {
+  host_name : string;
+  mutable aliases : string list;
+  services : (int, service) Hashtbl.t;
+  (* Per-host run queue: the earliest instant this host's CPU is free.
+     The fleet engine serializes overlapped work from thousands of
+     connections through this timeline (Rpc_mux shares it too, via
+     {!host_timeline}/{!set_host_timeline}). *)
+  mutable cpu_free_us : float;
+  (* Cumulative simulated time this host's services spent handling
+     deliveries (handler charges plus injector delays).  The fleet
+     engine reads deltas around each exchange to split measured cost
+     into client-side and server-side shares. *)
+  mutable served_us : float;
+  (* Connection admission: refuse new connects past the limit. *)
+  mutable admit_limit : int option;
+  mutable active_conns : int;
+}
+
+(* Obs keys and span args are per (addr, port), not per connection:
+   at fleet scale thousands of connections share one server endpoint
+   and must share one set of counter strings (bounded registry
+   cardinality, compact per-connection state). *)
+type endpoint_keys = {
+  k_rpcs : string;
+  k_bytes_out : string;
+  k_bytes_in : string;
+  k_rpc_us : string;
+  span_args : (string * string) list;
+}
 
 type t = {
   clock : Simclock.t;
   costs : Costmodel.t;
   hosts : (string, host) Hashtbl.t; (* by name and alias *)
+  keys_cache : (string, endpoint_keys) Hashtbl.t; (* by "addr:port" *)
   mutable default_tap : tap option; (* applied to new connections *)
   mutable injector : injector option; (* environment faults, armed per run *)
   obs : Obs.registry option;
 }
 
 let create ?(costs = Costmodel.default) ?obs (clock : Simclock.t) : t =
-  { clock; costs; hosts = Hashtbl.create 16; default_tap = None; injector = None; obs }
+  {
+    clock;
+    costs;
+    hosts = Hashtbl.create 16;
+    keys_cache = Hashtbl.create 16;
+    default_tap = None;
+    injector = None;
+    obs;
+  }
 
 let set_injector (t : t) (inj : injector option) : unit = t.injector <- inj
 
@@ -78,9 +116,36 @@ let costs (t : t) = t.costs
 
 let add_host (t : t) (name : string) : host =
   if Hashtbl.mem t.hosts name then invalid_arg ("Simnet.add_host: duplicate " ^ name);
-  let h = { host_name = name; aliases = []; services = Hashtbl.create 4 } in
+  let h =
+    {
+      host_name = name;
+      aliases = [];
+      services = Hashtbl.create 4;
+      cpu_free_us = 0.0;
+      served_us = 0.0;
+      admit_limit = None;
+      active_conns = 0;
+    }
+  in
   Hashtbl.replace t.hosts name h;
   h
+
+(* --- Per-host run queue and admission --- *)
+
+let host_timeline (h : host) : float = h.cpu_free_us
+let set_host_timeline (h : host) (v : float) : unit = h.cpu_free_us <- v
+let host_served_us (h : host) : float = h.served_us
+let host_active_conns (h : host) : int = h.active_conns
+let set_admission (h : host) (limit : int option) : unit = h.admit_limit <- limit
+
+(* Occupy the host's CPU for [dur_us] starting no earlier than [at_us]:
+   the run-queue primitive the fleet engine re-accounts measured server
+   time through.  Returns the completion instant. *)
+let host_occupy (h : host) ~(at_us : float) ~(dur_us : float) : float =
+  let start = if h.cpu_free_us > at_us then h.cpu_free_us else at_us in
+  let fin = start +. dur_us in
+  h.cpu_free_us <- fin;
+  fin
 
 let add_alias (t : t) (h : host) (alias : string) : unit =
   if Hashtbl.mem t.hosts alias then invalid_arg ("Simnet.add_alias: duplicate " ^ alias);
@@ -108,6 +173,7 @@ type conn = {
   peer : string; (* server host name as dialed *)
   from_host : string;
   port : int;
+  host : host; (* the serving host: run queue, admission slot *)
   mutable handler : string -> string;
   mutable epoch : int; (* peer restarts observed when (re)bound *)
   mutable dead : bool; (* stream peer restarted: connection state is gone *)
@@ -117,14 +183,26 @@ type conn = {
   mutable rpc_count : int;
   mutable bytes_sent : int;
   mutable bytes_received : int;
-  (* Precomputed observability counter names ("net.<peer>:<port>.x"),
-     so the per-call cost is a hash lookup. *)
-  k_rpcs : string;
-  k_bytes_out : string;
-  k_bytes_in : string;
-  k_rpc_us : string;
-  span_args : (string * string) list;
+  keys : endpoint_keys; (* shared per (addr, port); see endpoint_keys *)
 }
+
+let endpoint_keys (t : t) (addr : string) (port : int) : endpoint_keys =
+  let ep = Printf.sprintf "%s:%d" addr port in
+  match Hashtbl.find_opt t.keys_cache ep with
+  | Some k -> k
+  | None ->
+      let base = "net." ^ ep in
+      let k =
+        {
+          k_rpcs = base ^ ".rpcs";
+          k_bytes_out = base ^ ".bytes_out";
+          k_bytes_in = base ^ ".bytes_in";
+          k_rpc_us = base ^ ".rpc_us";
+          span_args = [ ("peer", ep) ];
+        }
+      in
+      Hashtbl.replace t.keys_cache ep k;
+      k
 
 let connect (t : t) ~(from_host : string) ~(addr : string) ~(port : int) ~(proto : Costmodel.transport_proto) : conn =
   (* A host inside a crash window refuses connections: the dial times
@@ -138,13 +216,22 @@ let connect (t : t) ~(from_host : string) ~(addr : string) ~(port : int) ~(proto
       match Hashtbl.find_opt h.services port with
       | None -> raise (No_route (Printf.sprintf "%s:%d" addr port))
       | Some service ->
-          let base = Printf.sprintf "net.%s:%d" addr port in
+          (* Admission control: a host at its connection limit refuses
+             the dial (the caller sees a timeout and may retry once
+             another client releases a slot). *)
+          (match h.admit_limit with
+          | Some lim when h.active_conns >= lim ->
+              Obs.incr t.obs "net.admission.refused";
+              raise Timeout
+          | _ -> ());
+          h.active_conns <- h.active_conns + 1;
           {
             net = t;
             proto;
             peer = addr;
             from_host;
             port;
+            host = h;
             handler = service ~peer:from_host;
             epoch = (match t.injector with Some inj -> inj.inj_host_epoch addr | None -> 0);
             dead = false;
@@ -154,17 +241,19 @@ let connect (t : t) ~(from_host : string) ~(addr : string) ~(port : int) ~(proto
             rpc_count = 0;
             bytes_sent = 0;
             bytes_received = 0;
-            k_rpcs = base ^ ".rpcs";
-            k_bytes_out = base ^ ".bytes_out";
-            k_bytes_in = base ^ ".bytes_in";
-            k_rpc_us = base ^ ".rpc_us";
-            span_args = [ ("peer", Printf.sprintf "%s:%d" addr port) ];
+            keys = endpoint_keys t addr port;
           })
 
 let set_tap (c : conn) (tap : tap option) : unit = c.tap <- tap
 let set_default_tap (t : t) (tap : tap option) : unit = t.default_tap <- tap
 
-let close (c : conn) : unit = c.closed <- true
+let conn_host (c : conn) : host = c.host
+
+let close (c : conn) : unit =
+  if not c.closed then begin
+    c.closed <- true;
+    c.host.active_conns <- c.host.active_conns - 1
+  end
 
 let apply_tap (c : conn) (dir : direction) (msg : string) : string =
   match c.tap with
@@ -273,22 +362,26 @@ let call (c : conn) (request : string) : string =
   if c.closed then raise Timeout;
   check_liveness c;
   let t = c.net in
-  Obs.span ~args:c.span_args t.obs ~cat:"net" "rpc" (fun () ->
+  Obs.span ~args:c.keys.span_args t.obs ~cat:"net" "rpc" (fun () ->
       let start_us = Simclock.now_us t.clock in
       c.rpc_count <- c.rpc_count + 1;
       c.bytes_sent <- c.bytes_sent + String.length request;
-      Obs.incr t.obs c.k_rpcs;
-      Obs.add t.obs c.k_bytes_out (String.length request);
+      Obs.incr t.obs c.keys.k_rpcs;
+      Obs.add t.obs c.keys.k_bytes_out (String.length request);
       Simclock.advance t.clock (Costmodel.rpc_fixed_us t.costs c.proto);
       Simclock.advance t.clock (Costmodel.transfer_us t.costs c.proto (String.length request));
-      let request = apply_tap c To_server request in
-      let reply = deliver c request in
-      let reply = apply_tap c To_client reply in
-      let reply = deliver_reply c reply in
+      let reply, served =
+        Simclock.time t.clock (fun () ->
+            let request = apply_tap c To_server request in
+            let reply = deliver c request in
+            let reply = apply_tap c To_client reply in
+            deliver_reply c reply)
+      in
+      c.host.served_us <- c.host.served_us +. served;
       c.bytes_received <- c.bytes_received + String.length reply;
-      Obs.add t.obs c.k_bytes_in (String.length reply);
+      Obs.add t.obs c.keys.k_bytes_in (String.length reply);
       Simclock.advance t.clock (Costmodel.transfer_us t.costs c.proto (String.length reply));
-      Obs.observe t.obs c.k_rpc_us (int_of_float (Simclock.now_us t.clock -. start_us));
+      Obs.observe t.obs c.keys.k_rpc_us (int_of_float (Simclock.now_us t.clock -. start_us));
       reply)
 
 (* A windowed-pipeline exchange (Rpc_mux): runs the full tap / fault /
@@ -302,11 +395,11 @@ let call_measured (c : conn) (request : string) : string * float =
   if c.closed then raise Timeout;
   check_liveness c;
   let t = c.net in
-  Obs.span ~args:c.span_args t.obs ~cat:"net" "rpc_pipe" (fun () ->
+  Obs.span ~args:c.keys.span_args t.obs ~cat:"net" "rpc_pipe" (fun () ->
       c.rpc_count <- c.rpc_count + 1;
       c.bytes_sent <- c.bytes_sent + String.length request;
-      Obs.incr t.obs c.k_rpcs;
-      Obs.add t.obs c.k_bytes_out (String.length request);
+      Obs.incr t.obs c.keys.k_rpcs;
+      Obs.add t.obs c.keys.k_bytes_out (String.length request);
       let reply, server_us =
         Simclock.absorb t.clock (fun () ->
             let request = apply_tap c To_server request in
@@ -314,8 +407,9 @@ let call_measured (c : conn) (request : string) : string * float =
             let reply = apply_tap c To_client reply in
             deliver_reply c reply)
       in
+      c.host.served_us <- c.host.served_us +. server_us;
       c.bytes_received <- c.bytes_received + String.length reply;
-      Obs.add t.obs c.k_bytes_in (String.length reply);
+      Obs.add t.obs c.keys.k_bytes_in (String.length reply);
       (reply, server_us))
 
 (* A pipelined (write-behind) exchange: the caller does not wait for
@@ -326,21 +420,25 @@ let call_async (c : conn) (request : string) : string =
   if c.closed then raise Timeout;
   check_liveness c;
   let t = c.net in
-  Obs.span ~args:c.span_args t.obs ~cat:"net" "rpc_async" (fun () ->
+  Obs.span ~args:c.keys.span_args t.obs ~cat:"net" "rpc_async" (fun () ->
       let start_us = Simclock.now_us t.clock in
       c.rpc_count <- c.rpc_count + 1;
       c.bytes_sent <- c.bytes_sent + String.length request;
-      Obs.incr t.obs c.k_rpcs;
-      Obs.add t.obs c.k_bytes_out (String.length request);
+      Obs.incr t.obs c.keys.k_rpcs;
+      Obs.add t.obs c.keys.k_bytes_out (String.length request);
       Simclock.advance t.clock t.costs.Costmodel.async_floor_us;
       Simclock.advance t.clock (Costmodel.transfer_us t.costs c.proto (String.length request));
-      let request = apply_tap c To_server request in
-      let reply = deliver c request in
-      let reply = apply_tap c To_client reply in
-      let reply = deliver_reply c reply in
+      let reply, served =
+        Simclock.time t.clock (fun () ->
+            let request = apply_tap c To_server request in
+            let reply = deliver c request in
+            let reply = apply_tap c To_client reply in
+            deliver_reply c reply)
+      in
+      c.host.served_us <- c.host.served_us +. served;
       c.bytes_received <- c.bytes_received + String.length reply;
-      Obs.add t.obs c.k_bytes_in (String.length reply);
-      Obs.observe t.obs c.k_rpc_us (int_of_float (Simclock.now_us t.clock -. start_us));
+      Obs.add t.obs c.keys.k_bytes_in (String.length reply);
+      Obs.observe t.obs c.keys.k_rpc_us (int_of_float (Simclock.now_us t.clock -. start_us));
       reply)
 
 (* Adversary entry point: deliver a raw message to the server as if it

@@ -73,13 +73,41 @@ val find_host : t -> string -> host option
 val listen : t -> host -> port:int -> service -> unit
 val unlisten : host -> port:int -> unit
 
+(** {2 Per-host run queue and admission}
+
+    Every host carries a CPU run-queue timeline (the earliest instant
+    its CPU is free) and a served-time accumulator (simulated time its
+    services spent handling deliveries).  The fleet engine re-accounts
+    measured server work through {!host_occupy}, so overlapped requests
+    from thousands of connections serialize on the serving host;
+    {!Rpc_mux} shares the same timeline via {!host_timeline} /
+    {!set_host_timeline}. *)
+
+val host_timeline : host -> float
+val set_host_timeline : host -> float -> unit
+val host_served_us : host -> float
+val host_active_conns : host -> int
+
+val set_admission : host -> int option -> unit
+(** Cap concurrent connections to this host; further {!connect}s raise
+    {!Timeout} (and bump [net.admission.refused]) until a slot frees
+    via {!close}. [None] (the default) is unlimited. *)
+
+val host_occupy : host -> at_us:float -> dur_us:float -> float
+(** Occupy the host's CPU for [dur_us] starting no earlier than
+    [at_us]; returns the completion instant and advances the
+    timeline. *)
+
 type conn
 
 val connect :
   t -> from_host:string -> addr:string -> port:int -> proto:Costmodel.transport_proto -> conn
 (** @raise No_route when the address or port is not served.
     @raise Timeout when an armed injector has the host inside a crash
-    window. *)
+    window, or the host is at its admission limit. *)
+
+val conn_host : conn -> host
+(** The serving host behind this connection. *)
 
 val call : conn -> string -> string
 [@@sfs.sink "wire"]

@@ -223,9 +223,12 @@ let service (t : t) : Simnet.service =
             let reply = handle_message t bytes in
             Hashtbl.replace cache xid (bytes, reply);
             if previous = None then begin
+              Obs.incr t.obs "nfs.drc_insert";
               Queue.push xid order;
-              if Queue.length order > dup_cache_size then
+              if Queue.length order > dup_cache_size then begin
+                Obs.incr t.obs "nfs.drc_evict";
                 Hashtbl.remove cache (Queue.pop order)
+              end
             end;
             reply)
     | Result.Error _ | Ok (Sunrpc.Reply _) ->

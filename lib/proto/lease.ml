@@ -20,7 +20,11 @@ module Obs = Sfs_obs.Obs
 type t = {
   clock : Simclock.t;
   lease_s : int; (* lease duration stamped into attributes *)
-  holders : (string (* fh *), (int * float) list ref) Hashtbl.t; (* conn, expiry *)
+  (* Per-fh holder tables keyed by connection id.  A popular file at
+     fleet scale has thousands of holders; grants and refreshes must be
+     O(1), not a linear scan of an association list (which made a 10k
+     -client hot-file scan quadratic). *)
+  holders : (string (* fh *), (int, float (* expiry *)) Hashtbl.t) Hashtbl.t;
   pending : (int, string list ref) Hashtbl.t; (* conn -> queued invalidations *)
   mutable next_conn : int;
   mutable invalidations_sent : int;
@@ -58,25 +62,30 @@ let drop_conn (t : t) (conn : int) : unit = Hashtbl.remove t.pending conn
 let grant (t : t) ~(conn : int) (fh : string) : unit =
   let now = Simclock.now_us t.clock in
   let expiry = now +. (float_of_int t.lease_s *. 1_000_000.0) in
-  let l = match Hashtbl.find_opt t.holders fh with Some l -> l | None -> ref [] in
-  (match List.assoc_opt conn !l with
-  | Some old_expiry when old_expiry > now ->
-      Obs.incr t.obs "lease.piggyback";
-      l := (conn, expiry) :: List.remove_assoc conn !l
-  | _ ->
-      Obs.incr t.obs "lease.grants";
-      l := (conn, expiry) :: List.remove_assoc conn !l);
-  Hashtbl.replace t.holders fh l
+  let tbl =
+    match Hashtbl.find_opt t.holders fh with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.replace t.holders fh tbl;
+        tbl
+  in
+  (match Hashtbl.find_opt tbl conn with
+  | Some old_expiry when old_expiry > now -> Obs.incr t.obs "lease.piggyback"
+  | _ -> Obs.incr t.obs "lease.grants");
+  Hashtbl.replace tbl conn expiry
 
 (* A mutation of [fh] by [by]: queue invalidations to every other
-   holder with an unexpired lease. *)
+   holder with an unexpired lease.  (Per-connection queues are
+   disjoint, so the holder-table iteration order — deterministic for a
+   given insertion history — affects no observable ordering.) *)
 let invalidate (t : t) ~(by : int) (fh : string) : unit =
   match Hashtbl.find_opt t.holders fh with
   | None -> ()
-  | Some l ->
+  | Some tbl ->
       let now = Simclock.now_us t.clock in
-      List.iter
-        (fun (conn, expiry) ->
+      Hashtbl.iter
+        (fun conn expiry ->
           if conn <> by && expiry > now then begin
             match Hashtbl.find_opt t.pending conn with
             | Some q ->
@@ -87,7 +96,7 @@ let invalidate (t : t) ~(by : int) (fh : string) : unit =
                 end
             | None -> ()
           end)
-        !l;
+        tbl;
       (* The mutating connection keeps its (refreshed) lease. *)
       Hashtbl.remove t.holders fh
 
@@ -101,6 +110,16 @@ let take (t : t) (conn : int) : string list =
       out
 
 let invalidations_sent (t : t) : int = t.invalidations_sent
+
+(* Queued callbacks not yet drained by [take] — the server-side leg of
+   the fleet reconciliation: sent == applied + client-pending + this. *)
+let pending_count (t : t) : int =
+  Hashtbl.fold (fun _ q acc -> acc + List.length !q) t.pending 0
+
+(* How many connections currently hold a (possibly expired) lease on
+   [fh] — fan-in visibility for the fleet tests. *)
+let holder_count (t : t) (fh : string) : int =
+  match Hashtbl.find_opt t.holders fh with None -> 0 | Some tbl -> Hashtbl.length tbl
 
 (* Server restart: lease state is volatile and does not survive.  Every
    holder and every queued callback is forgotten; clients discover this

@@ -1,0 +1,74 @@
+(** Fleet-scale simulation: thousands of concurrent clients against a
+    farm of sfssd servers fronted by a sharded authserv ring
+    ({!Sfs_core.Authshard}), driven by the discrete-event engine in
+    {!Sfs_net.Simclock} — DESIGN.md §15.
+
+    Every client action (mount, micro-op, unmount) is an event; its
+    measured cost is split into a client/wire part and a serving-host
+    part, and the latter queues on the host's run queue
+    ({!Sfs_net.Simnet.host_occupy}), so overlapped load serializes on
+    the server while client machines stay independent.  With one client
+    the model degenerates exactly to the serial stacks. *)
+
+module Simnet = Sfs_net.Simnet
+module Sketch = Sfs_obs.Sketch
+module Core = Sfs_core
+
+type config = {
+  clients : int;
+  servers : int;
+  auth_shards : int;
+  user_pool : int;  (** distinct users/keys, shared round-robin *)
+  window : int;  (** rpc window; 1 = fully serial clients *)
+  readahead : int;
+  ops_per_client : int;
+  admit_per_server : int option;  (** connection admission cap *)
+  hot_write_every : int;  (** every k-th client also writes the hot file *)
+  lease_s : int;
+  drc_size : int;
+  server_key_bits : int;
+  user_key_bits : int;
+  stagger_us : float;  (** arrival spacing between client mounts *)
+  mount_attempt_limit : int;
+  max_spans : int;
+  seed : string;
+  fault : Sfs_fault.Fault.spec option;
+}
+
+val default : config
+(** A small smoke-sized fleet (8 clients, 2 servers, 2 shards). *)
+
+type result = {
+  r_cfg : config;
+  r_completed : int;
+  r_failed : int;
+  r_mount_ok : int;
+  r_mount_failed : int;
+  r_mount_retries : int;
+  r_last_ready_us : float;
+  r_op_lat : Sketch.t;  (** per-op latency, microseconds *)
+  r_mount_lat : Sketch.t;
+  r_dropped_invals : int;  (** invalidations pending at unmount *)
+  r_events : int;
+  r_servers : Core.Server.t array;
+  r_hosts : Simnet.host array;
+  r_obs : Sfs_obs.Obs.registry;
+}
+
+val run : config -> result
+(** Build the world (servers, shards, seeded files, clients), schedule
+    every client's mount (staggered by [stagger_us]) and pump the event
+    queue dry.  Deterministic: same config, byte-identical {!ledger}. *)
+
+val throughput_ops_s : result -> float
+(** Completed ops over the full simulated span (mounts included). *)
+
+val reconcile : result -> (string * bool) list
+(** Named invariants balancing obs counters against live state: DRC
+    insert/evict vs entries, lease invalidations sent vs applied +
+    pending (both sides), admission/connection closure, authshard
+    routing.  All must hold on fault-free runs. *)
+
+val ledger : result -> string
+(** Counters, sketches and tallies, one sorted line each — the
+    byte-identity artifact for the determinism gates. *)

@@ -46,6 +46,7 @@ type world = {
   stack : stack;
   clock : Simclock.t;
   net : Simnet.t;
+  server_host : Simnet.host; (* the serving machine's run queue / admission *)
   server_fs : Memfs.t; (* the backing store, for direct seeding *)
   server_disk : Diskmodel.t;
   vfs : Core.Vfs.t;
@@ -123,6 +124,7 @@ let make ?fault ?(key_bits = 512) ?(server_disk_params = Diskmodel.default_param
         stack;
         clock;
         net;
+        server_host;
         server_fs;
         server_disk;
         vfs;
@@ -157,6 +159,7 @@ let make ?fault ?(key_bits = 512) ?(server_disk_params = Diskmodel.default_param
         stack;
         clock;
         net;
+        server_host;
         server_fs;
         server_disk;
         vfs;
@@ -207,6 +210,7 @@ let make ?fault ?(key_bits = 512) ?(server_disk_params = Diskmodel.default_param
         stack;
         clock;
         net;
+        server_host;
         server_fs;
         server_disk;
         vfs;

@@ -22,6 +22,9 @@ type world = {
   stack : stack;
   clock : Simclock.t;
   net : Simnet.t;
+  server_host : Simnet.host;
+      (** the serving machine: per-host run queue, served-time
+          accounting and connection admission live here *)
   server_fs : Memfs.t; (** backing store, for direct seeding *)
   server_disk : Diskmodel.t;
   vfs : Core.Vfs.t;

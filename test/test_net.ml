@@ -169,6 +169,108 @@ let ordering_prop =
              = List.filter_map (fun (c, m) -> if c = ci then Some m else None) sends)
            [ 0; 1; 2 ])
 
+(* --- Eventq: the discrete-event engine's heap (DESIGN.md §15) --- *)
+
+module Eventq = Sfs_net.Eventq
+
+(* Pop order equals a stable sort by timestamp: min-first, FIFO among
+   equal timestamps.  The oracle is List.stable_sort on (time, index). *)
+let eventq_order_prop =
+  QCheck.Test.make ~count:300 ~name:"eventq pops timestamp-sorted, FIFO-stable on ties"
+    QCheck.(list (int_bound 20))
+    (fun times ->
+      let q = Eventq.create () in
+      List.iteri (fun i t -> Eventq.push q ~at:(float_of_int t) i) times;
+      let rec drain acc =
+        match Eventq.pop q with None -> List.rev acc | Some (at, v) -> drain ((at, v) :: acc)
+      in
+      let popped = drain [] in
+      let oracle =
+        List.stable_sort
+          (fun (a, _) (b, _) -> compare (a : float) b)
+          (List.mapi (fun i t -> (float_of_int t, i)) times)
+      in
+      popped = oracle)
+
+(* The internal array satisfies the heap invariant after every push and
+   pop of an arbitrary interleaving. *)
+let eventq_heap_prop =
+  QCheck.Test.make ~count:300 ~name:"eventq heap invariant holds under push/pop interleavings"
+    QCheck.(list (pair bool (int_bound 1000)))
+    (fun ops ->
+      let q = Eventq.create () in
+      List.for_all
+        (fun (is_pop, t) ->
+          (if is_pop then ignore (Eventq.pop q)
+           else Eventq.push q ~at:(float_of_int t /. 7.0) t);
+          Eventq.check q && Eventq.length q >= 0)
+        ops
+      && (Eventq.is_empty q || Eventq.peek_at q <> None))
+
+let test_eventq_nan () =
+  let q = Eventq.create () in
+  Alcotest.check_raises "nan rejected" (Invalid_argument "Eventq.push: NaN timestamp") (fun () ->
+      Eventq.push q ~at:Float.nan ())
+
+let test_clock_events () =
+  let clock = Simclock.create () in
+  let order = ref [] in
+  let mark tag () = order := tag :: !order in
+  Simclock.schedule clock ~at_us:30.0 (mark "c");
+  Simclock.schedule clock ~at_us:10.0 (mark "a");
+  Simclock.schedule clock ~at_us:10.0 (fun () ->
+      mark "b" ();
+      (* events may schedule further events, including at now *)
+      Simclock.schedule clock ~at_us:5.0 (mark "clamped"));
+  let n = Simclock.run_all clock in
+  Testkit.check_int "events run" 4 n;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "clamped"; "c" ] (List.rev !order);
+  Testkit.check_bool "clock at last event" true (Simclock.now_us clock = 30.0);
+  Testkit.check_int "queue drained" 0 (Simclock.pending_events clock)
+
+let test_clock_event_budget () =
+  let clock = Simclock.create () in
+  let rec reschedule () = Simclock.schedule clock ~at_us:(Simclock.now_us clock +. 1.0) reschedule in
+  reschedule ();
+  Alcotest.check_raises "runaway backstop" (Failure "Simclock.run_all: event budget exhausted")
+    (fun () -> ignore (Simclock.run_all ~max_events:100 clock))
+
+let test_admission () =
+  let _, net, h = make_net () in
+  Simnet.set_admission h (Some 1);
+  let c1 = Simnet.connect net ~from_host:"c0" ~addr:"server.example.com" ~port:7 ~proto:Costmodel.Tcp in
+  Testkit.check_int "one active conn" 1 (Simnet.host_active_conns h);
+  Alcotest.check_raises "refused at the cap" Simnet.Timeout (fun () ->
+      ignore (Simnet.connect net ~from_host:"c1" ~addr:"server.example.com" ~port:7 ~proto:Costmodel.Tcp));
+  Simnet.close c1;
+  Testkit.check_int "slot freed" 0 (Simnet.host_active_conns h);
+  let c2 = Simnet.connect net ~from_host:"c1" ~addr:"server.example.com" ~port:7 ~proto:Costmodel.Tcp in
+  Testkit.check_string "admitted after close" "echo:ok" (Simnet.call c2 "ok");
+  Simnet.close c2;
+  Simnet.close c2;
+  (* idempotent: double close must not free the slot twice *)
+  Testkit.check_int "close idempotent" 0 (Simnet.host_active_conns h)
+
+let test_host_occupy () =
+  let _, _, h = make_net () in
+  (* Back-to-back slices queue; a gap leaves the queue idle. *)
+  Testkit.check_bool "first slice" true (Simnet.host_occupy h ~at_us:0.0 ~dur_us:10.0 = 10.0);
+  Testkit.check_bool "queued behind" true (Simnet.host_occupy h ~at_us:5.0 ~dur_us:10.0 = 20.0);
+  Testkit.check_bool "idle gap" true (Simnet.host_occupy h ~at_us:50.0 ~dur_us:5.0 = 55.0);
+  Testkit.check_bool "timeline" true (Simnet.host_timeline h = 55.0)
+
+let test_served_accounting () =
+  let clock, net, h = make_net () in
+  let c = Simnet.connect net ~from_host:"c0" ~addr:"server.example.com" ~port:7 ~proto:Costmodel.Tcp in
+  Testkit.check_bool "starts at zero" true (Simnet.host_served_us h = 0.0);
+  ignore (Simnet.call c "hello");
+  let served = Simnet.host_served_us h in
+  (* The echo handler charges nothing itself, so served time is the
+     handler's footprint: zero here — but the accumulator must not
+     pick up wire time, which the clock did advance. *)
+  Testkit.check_bool "no handler charge" true (served = 0.0);
+  Testkit.check_bool "wire time charged" true (Simclock.now_us clock > 0.0)
+
 (* --- Rpc_mux: windowed dispatch (DESIGN.md §11) --- *)
 
 module Rpc_mux = Sfs_net.Rpc_mux
@@ -259,7 +361,13 @@ let suite =
       Alcotest.test_case "closed connection" `Quick test_closed_conn;
       Alcotest.test_case "per-connection state" `Quick test_per_connection_state;
       Alcotest.test_case "clock" `Quick test_clock;
+      Alcotest.test_case "clock events" `Quick test_clock_events;
+      Alcotest.test_case "clock event budget" `Quick test_clock_event_budget;
+      Alcotest.test_case "eventq nan" `Quick test_eventq_nan;
+      Alcotest.test_case "admission" `Quick test_admission;
+      Alcotest.test_case "host occupy" `Quick test_host_occupy;
+      Alcotest.test_case "served accounting" `Quick test_served_accounting;
       Alcotest.test_case "rpc mux timing" `Quick test_mux_timing;
       Alcotest.test_case "rpc mux semantics" `Quick test_mux_semantics;
     ]
-    @ Testkit.to_alcotest [ ordering_prop ] )
+    @ Testkit.to_alcotest [ ordering_prop; eventq_order_prop; eventq_heap_prop ] )

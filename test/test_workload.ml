@@ -106,6 +106,71 @@ let test_flush_caches () =
   (* Still correct after the flush; just slower. *)
   Testkit.check_string "reread after flush" "data" (Driver.read_file w (w.Stacks.workdir ^ "/cached"))
 
+(* --- Fleet: the discrete-event mass-client engine (DESIGN.md §15) --- *)
+
+let check_reconcile r =
+  List.iter (fun (name, ok) -> Testkit.check_bool ("reconcile: " ^ name) true ok) (Fleet.reconcile r)
+
+let test_fleet_smoke () =
+  let r = Fleet.run Fleet.default in
+  check_reconcile r;
+  Testkit.check_int "all mounted" Fleet.default.Fleet.clients r.Fleet.r_mount_ok;
+  Testkit.check_int "all ops completed"
+    (Fleet.default.Fleet.clients * Fleet.default.Fleet.ops_per_client)
+    r.Fleet.r_completed;
+  Testkit.check_int "no failures" 0 r.Fleet.r_failed;
+  Testkit.check_bool "throughput positive" true (Fleet.throughput_ops_s r > 0.0);
+  (* The hot file's writers must have triggered lease fan-out. *)
+  Testkit.check_bool "invalidations fanned out" true
+    (Sfs_obs.Obs.counter r.Fleet.r_obs "lease.invalidations" > 0)
+
+let test_fleet_admission () =
+  (* One server capped at 2 concurrent connections, 6 clients arriving
+     at once: mounts must be refused, back off, re-dial, and all
+     eventually complete. *)
+  let cfg =
+    { Fleet.default with Fleet.clients = 6; servers = 1; admit_per_server = Some 2; stagger_us = 0.0 }
+  in
+  let r = Fleet.run cfg in
+  check_reconcile r;
+  Testkit.check_int "all mounted despite the cap" 6 r.Fleet.r_mount_ok;
+  Testkit.check_bool "refusals happened" true
+    (Sfs_obs.Obs.counter r.Fleet.r_obs "net.admission.refused" > 0);
+  Testkit.check_bool "re-dials counted" true (r.Fleet.r_mount_retries > 0)
+
+let test_fleet_determinism () =
+  (* Two same-config runs must produce byte-identical ledgers — the
+     property the chaos-soak job checks at scale. *)
+  let cfg = { Fleet.default with Fleet.clients = 24; user_pool = 8 } in
+  let l1 = Fleet.ledger (Fleet.run cfg) in
+  let l2 = Fleet.ledger (Fleet.run cfg) in
+  Testkit.check_bool "byte-identical ledgers" true (String.equal l1 l2);
+  Testkit.check_bool "ledger non-trivial" true (String.length l1 > 200)
+
+let test_fleet_10k () =
+  (* The acceptance smoke: 10,000 concurrent clients over a 4-server
+     farm and a 4-shard authserv ring; every lease/DRC counter must
+     reconcile against live state afterwards. *)
+  let cfg =
+    {
+      Fleet.default with
+      Fleet.clients = 10_000;
+      servers = 4;
+      auth_shards = 4;
+      user_pool = 16;
+      admit_per_server = Some 4000;
+      hot_write_every = 500;
+    }
+  in
+  let r = Fleet.run cfg in
+  check_reconcile r;
+  Testkit.check_int "all 10k mounted" 10_000 r.Fleet.r_mount_ok;
+  Testkit.check_int "all ops completed" 40_000 r.Fleet.r_completed;
+  Testkit.check_int "no failures" 0 r.Fleet.r_failed;
+  let p99 = Sfs_obs.Sketch.quantile r.Fleet.r_op_lat 0.99 in
+  let p50 = Sfs_obs.Sketch.quantile r.Fleet.r_op_lat 0.50 in
+  Testkit.check_bool "latency quantiles ordered" true (0 < p50 && p50 <= p99)
+
 let suite =
   ( "workload",
     [
@@ -117,4 +182,8 @@ let suite =
       Alcotest.test_case "fig8 LFS small shape" `Slow test_lfs_small_shape;
       Alcotest.test_case "fig7 compile crossover" `Slow test_compile_crossover;
       Alcotest.test_case "flush caches" `Quick test_flush_caches;
+      Alcotest.test_case "fleet smoke" `Quick test_fleet_smoke;
+      Alcotest.test_case "fleet admission" `Quick test_fleet_admission;
+      Alcotest.test_case "fleet determinism" `Quick test_fleet_determinism;
+      Alcotest.test_case "fleet 10k clients" `Slow test_fleet_10k;
     ] )
