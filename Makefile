@@ -55,7 +55,7 @@ perf: build
 	dune exec --no-build bench/main.exe -- crypto --no-results
 	rm -f _perf_results.json
 	dune exec --no-build bench/main.exe -- crypto --results _perf_results.json
-	dune exec --no-build bench/main.exe -- fig5 fig6 fig7 fig8 fig9 pipeline ablations faults scale --results _perf_results.json
+	dune exec --no-build bench/main.exe -- fig5 fig6 fig7 fig8 fig9 pipeline ablations faults scale flashcrowd --results _perf_results.json
 	git show HEAD:BENCH_results.json > _perf_head.json
 	@dune exec --no-build tools/benchdiff/benchdiff.exe -- \
 	  --baseline _perf_head.json --current _perf_results.json --allow perf-allowlist.txt \
@@ -68,8 +68,9 @@ perf: build
 	@echo "perf: simulated-time figures unchanged vs HEAD; crypto trend within budget"
 
 # Chaos soak (tools/soak): seeded fault plans against a 60-client
-# pipelined fleet, each plan run twice with a byte-identical-ledger
-# determinism check.  `soak` runs the whole 25-plan corpus (~2 min);
+# pipelined fleet (25 plans) and the read-only replica tier (5 plans),
+# each plan run twice with a byte-identical-ledger determinism check.
+# `soak` runs the whole 30-plan corpus (~2 min);
 # `soak-sample` runs the 5-plan slice CI runs per push, rotated
 # deterministically from the commit SHA so the corpus is covered over
 # a stream of commits without any one job paying for all of it.

@@ -3,7 +3,8 @@
    (process-CPU-time) micro-benchmarks of the crypto substrate.
 
    Usage:
-     main.exe [fig5] [fig6] [fig7] [fig8] [fig9] [pipeline] [ablations] [faults] [scale] [crypto]
+     main.exe [fig5] [fig6] [fig7] [fig8] [fig9] [pipeline] [ablations] [faults] [scale]
+              [flashcrowd] [crypto]
               [--trace FILE] [--trace-ops FILE] [--metrics FILE] [--json]
               [--results FILE] [--no-results]
 
@@ -627,6 +628,124 @@ let scale () =
       fo_regs = List.map (fun (lbl, r) -> ("scale/" ^ lbl, r.Fleet.r_obs)) measured;
     }
 
+(* --- Flash crowd: the read-only dialect as a CDN tier --- *)
+
+let flashcrowd () =
+  hr ();
+  print_endline "Flash crowd: read-only replica tier vs read-write SFS at 10k clients";
+  print_endline
+    "(same Zipf-popular tree on both arms: 16 dirs x 64 files x 8 KB, theta 1.0,\n\
+    \ 8 reads per client, the whole crowd arriving on a 2 s accelerating ramp;\n\
+    \ rw = one sfssd server doing key negotiation + encrypted channels; ro-N =\n\
+    \ one signing publisher fanned out to N untrusted mirrors, clients verify\n\
+    \ the hash chain through a per-client cache and fail over to the\n\
+    \ least-loaded mirror on refusal)\n";
+  let clients = 10_000 in
+  let dirs = 16 and files_per_dir = 64 and file_bytes = 8192 in
+  let theta = 1.0 and reads = 8 in
+  let ramp_us = 2_000_000.0 in
+  let row_of ~label ~thr ~lat ~span_us ~wall =
+    Printf.printf "  flashcrowd %-9s n=%5d %10.1f reads/s  p50 %7d us   p99 %7d us   (%.1f s wall)\n"
+      label clients thr (Sfs_obs.Sketch.quantile lat 0.5) (Sfs_obs.Sketch.quantile lat 0.99) wall;
+    ( Printf.sprintf "%s/%d" label clients,
+      [
+        thr;
+        float_of_int (Sfs_obs.Sketch.quantile lat 0.5);
+        float_of_int (Sfs_obs.Sketch.quantile lat 0.99);
+        span_us /. 1_000_000.0;
+      ] )
+  in
+  (* Read-write arm: the full SFS stack, one server.  No admission cap —
+     every client gets in and the crowd serializes on the server's run
+     queue, which is exactly the paper's motivation for the read-only
+     dialect: the write path's per-client crypto cost caps the farm. *)
+  let rw_label = "rw-sfs" in
+  let rw_row, rw_obs =
+    let t0 = Sys.time () in
+    let cfg =
+      {
+        Fleet.default with
+        Fleet.clients;
+        servers = 1;
+        auth_shards = 1;
+        user_pool = 16;
+        window = 1;
+        readahead = 0;
+        ops_per_client = reads;
+        admit_per_server = None;
+        seed = "flashcrowd-rw";
+        workload = Fleet.Zipf { dirs; files_per_dir; file_bytes; theta };
+        arrival = Fleet.Ramp ramp_us;
+      }
+    in
+    let r = Fleet.run cfg in
+    List.iter
+      (fun (name, ok) ->
+        if not ok then failwith (Printf.sprintf "flashcrowd rw-sfs: %s failed" name))
+      (Fleet.reconcile r);
+    ( row_of ~label:rw_label ~thr:(Fleet.throughput_ops_s r) ~lat:r.Fleet.r_op_lat
+        ~span_us:r.Fleet.r_last_ready_us ~wall:(Sys.time () -. t0),
+      r.Fleet.r_obs )
+  in
+  let ro_arm n =
+    let t0 = Sys.time () in
+    let cfg =
+      {
+        Flashcrowd.default with
+        Flashcrowd.clients;
+        replicas = n;
+        dirs;
+        files_per_dir;
+        file_bytes;
+        theta;
+        reads_per_client = reads;
+        vcache_objs = 256;
+        admit_per_mirror = Some 2048;
+        ramp_us;
+        seed = "flashcrowd-ro";
+      }
+    in
+    let r = Flashcrowd.run cfg in
+    List.iter
+      (fun (name, ok) ->
+        if not ok then failwith (Printf.sprintf "flashcrowd ro-%d: %s failed" n name))
+      (Flashcrowd.reconcile r);
+    let thr = Flashcrowd.throughput_reads_s r in
+    ( row_of ~label:(Printf.sprintf "ro-%d" n) ~thr ~lat:r.Flashcrowd.r_read_lat
+        ~span_us:r.Flashcrowd.r_last_ready_us
+        ~wall:(Sys.time () -. t0),
+      r.Flashcrowd.r_obs,
+      thr )
+  in
+  let ro1_row, ro1_obs, ro1_thr = ro_arm 1 in
+  let ro4_row, ro4_obs, _ = ro_arm 4 in
+  let ro16_row, ro16_obs, ro16_thr = ro_arm 16 in
+  (* The claim under test: serving needs no private key and no per-client
+     crypto, so capacity scales with mirror count.  Anything under 3x
+     from 1 -> 16 mirrors means the tier stopped being the bottleneck
+     model this figure exists to show. *)
+  if ro16_thr < 3.0 *. ro1_thr then
+    failwith
+      (Printf.sprintf "flashcrowd: ro-16 throughput %.1f < 3x ro-1 %.1f" ro16_thr ro1_thr);
+  print_endline
+    "\nThe read-write arm caps out on the single server's crypto + run queue;\n\
+     mirrors add capacity linearly until the ramp, not the tier, bounds the\n\
+     crowd.  Client-side verification caching keeps the per-read hash cost\n\
+     amortized (see the ro.verify.hit counters in the recorded registries).";
+  record
+    {
+      fo_name = "flashcrowd";
+      fo_headers = [ "throughput_ops_s"; "p50_us"; "p99_us"; "sim_s" ];
+      fo_rows = [ rw_row; ro1_row; ro4_row; ro16_row ];
+      fo_regs =
+        [
+          ("flashcrowd/rw-sfs", rw_obs);
+          ("flashcrowd/ro-1", ro1_obs);
+          ("flashcrowd/ro-4", ro4_obs);
+          ("flashcrowd/ro-16", ro16_obs);
+        ];
+    }
+
 (* --- Real-time crypto micro-benchmarks (process CPU time) --- *)
 
 let crypto () =
@@ -905,6 +1024,7 @@ let () =
   if want "ablations" then ablations ();
   if want "faults" then faults ();
   if want "scale" then scale ();
+  if want "flashcrowd" then flashcrowd ();
   if want "crypto" then crypto ();
   (match !trace_file with
   | Some path ->

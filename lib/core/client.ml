@@ -717,7 +717,9 @@ let mount_readonly (t : t) (path : Pathname.t) : (mount, mount_error) result =
                   (* sfslint: allow SL010 — read-only dialect: every fetch is hash-verified against the previous, so the chain is serial *)
                   Simnet.call conn bytes
                 in
-                match Readonly.connect ~exchange ~pubkey ~clock:t.clock with
+                match
+                  Readonly.connect ?obs:t.obs ~costs:t.costs ~exchange ~pubkey ~clock:t.clock ()
+                with
                 | exception Readonly.Verification_failed e -> Error (Negotiation_failed e)
                 | ro ->
                     let ops = Readonly.ops ro in

@@ -8,7 +8,17 @@
    serve the bytes; clients verify every object against the hash chain
    ending at the signed root.  This is how SFS certification
    authorities meet their "high integrity, availability, and
-   performance needs".  *)
+   performance needs".
+
+   Snapshots are incremental: pass the previous snapshot and only dirty
+   content is re-read and re-hashed.  Memfs content generations
+   (Memfs.inode_gen) prove cleanliness — an unchanged generation means
+   byte-identical content, so the old hash and the old bytes carry
+   over.  Directory spines are always rebuilt (they are small, and the
+   walk must visit them anyway to learn what changed below), and the
+   root is re-signed once per publish: cryptographic cost stays
+   proportional to the file system's size and rate of change, never to
+   the client count. *)
 
 open Sfs_nfs.Nfs_types
 module Ro = Sfs_proto.Readonly_proto
@@ -19,6 +29,8 @@ module Memfs = Sfs_nfs.Memfs
 module Simos = Sfs_os.Simos
 module Simnet = Sfs_net.Simnet
 module Simclock = Sfs_net.Simclock
+module Costmodel = Sfs_net.Costmodel
+module Obs = Sfs_obs.Obs
 module Xdr = Sfs_xdr.Xdr
 
 (* --- Snapshot building --- *)
@@ -28,24 +40,78 @@ type snapshot = {
   root_hash : string;
   fsinfo : Ro.fsinfo;
   signature : string;
+  memo : (int, int * Ro.entry_kind * string) Hashtbl.t;
+      (* inode id -> (content generation, kind, hash): the next
+         snapshot reuses a leaf's hash when the generation still
+         matches *)
+  sn_reused : int; (* leaf objects carried over unhashed *)
+  sn_hashed : int; (* objects marshaled and hashed this publish *)
+  sn_fresh_bytes : int; (* bytes the hashing covered (the SHA-1 bill) *)
 }
 
-let put (store : (string, string) Hashtbl.t) (o : Ro.obj) : string =
+type build = {
+  b_store : (string, string) Hashtbl.t;
+  b_memo : (int, int * Ro.entry_kind * string) Hashtbl.t;
+  mutable b_reused : int;
+  mutable b_hashed : int;
+  mutable b_fresh : int;
+}
+
+let put (b : build) (o : Ro.obj) : string =
   let bytes = Ro.obj_to_string o in
   let h = Sha1.digest bytes in
-  Hashtbl.replace store h bytes;
+  Hashtbl.replace b.b_store h bytes;
+  b.b_hashed <- b.b_hashed + 1;
+  b.b_fresh <- b.b_fresh + String.length bytes;
   h
 
+(* A leaf (file/symlink) is clean when the previous snapshot memoized
+   the same inode at the same content generation and still holds the
+   bytes: carry hash and bytes over without reading or hashing. *)
+let reuse_leaf (prev : snapshot option) (fs : Memfs.t) (id : int) : (Ro.entry_kind * string * string) option =
+  match prev with
+  | None -> None
+  | Some p -> (
+      match (Hashtbl.find_opt p.memo id, Memfs.inode_gen fs id) with
+      | Some (gen, kind, hash), Some gen' when gen = gen' -> (
+          match Hashtbl.find_opt p.store hash with
+          | Some bytes -> Some (kind, hash, bytes)
+          | None -> None)
+      | _ -> None)
+
+let memoize (b : build) (fs : Memfs.t) (id : int) (kind : Ro.entry_kind) (hash : string) : unit =
+  match Memfs.inode_gen fs id with
+  | Some gen -> Hashtbl.replace b.b_memo id (gen, kind, hash)
+  | None -> ()
+
 (* Recursively hash a Memfs subtree into the store. *)
-let rec snap_inode (fs : Memfs.t) (store : (string, string) Hashtbl.t) (cred : Simos.cred) (id : int)
-    : (Ro.entry_kind * string) option =
+let rec snap_inode (fs : Memfs.t) ~(prev : snapshot option) (b : build) (cred : Simos.cred)
+    (id : int) : (Ro.entry_kind * string) option =
   match Memfs.inode_kind fs id with
   | None -> None
-  | Some (Memfs.Reg _) -> (
-      match Memfs.read fs cred id ~off:0 ~count:max_int with
-      | Ok (data, _) -> Some (Ro.K_file, put store (Ro.O_file data))
-      | Error _ -> None)
-  | Some (Memfs.Symlink target) -> Some (Ro.K_symlink, put store (Ro.O_symlink target))
+  | Some (Memfs.Reg _ | Memfs.Symlink _) -> (
+      match reuse_leaf prev fs id with
+      | Some (kind, hash, bytes) ->
+          Hashtbl.replace b.b_store hash bytes;
+          memoize b fs id kind hash;
+          b.b_reused <- b.b_reused + 1;
+          Some (kind, hash)
+      | None -> (
+          let leaf =
+            match Memfs.inode_kind fs id with
+            | Some (Memfs.Reg _) -> (
+                match Memfs.read fs cred id ~off:0 ~count:max_int with
+                | Ok (data, _) -> Some (Ro.K_file, Ro.O_file data)
+                | Error _ -> None)
+            | Some (Memfs.Symlink target) -> Some (Ro.K_symlink, Ro.O_symlink target)
+            | _ -> None
+          in
+          match leaf with
+          | None -> None
+          | Some (kind, o) ->
+              let h = put b o in
+              memoize b fs id kind h;
+              Some (kind, h)))
   | Some (Memfs.Dir _) -> (
       match Memfs.readdir fs cred id with
       | Error _ -> None
@@ -53,32 +119,63 @@ let rec snap_inode (fs : Memfs.t) (store : (string, string) Hashtbl.t) (cred : S
           let children =
             List.filter_map
               (fun de ->
-                match snap_inode fs store cred de.d_fileid with
+                match snap_inode fs ~prev b cred de.d_fileid with
                 | Some (e_kind, e_hash) -> Some { Ro.e_name = de.d_name; e_kind; e_hash }
                 | None -> None)
               entries
           in
-          Some (Ro.K_dir, put store (Ro.O_dir children)))
+          (* Directory spines are rebuilt every publish: cheap (a few
+             dozen bytes per entry) and unavoidable — the walk must
+             read them to find the dirt below. *)
+          Some (Ro.K_dir, put b (Ro.O_dir children)))
 
-let snapshot ?(duration_s = 24 * 3600) ?(serial = 1) ~(key : Rabin.priv) ~(now_s : int)
+let snapshot ?(duration_s = 24 * 3600) ?(serial = 1) ?prev ~(key : Rabin.priv) ~(now_s : int)
     (fs : Memfs.t) : snapshot =
-  let store = Hashtbl.create 256 in
+  let b =
+    {
+      b_store = Hashtbl.create 256;
+      b_memo = Hashtbl.create 256;
+      b_reused = 0;
+      b_hashed = 0;
+      b_fresh = 0;
+    }
+  in
   (* Published contents are world-readable by construction: the
      snapshot reads as root and anything unreadable is omitted. *)
   let cred = Simos.cred_of_user Simos.root_user in
-  match snap_inode fs store cred Memfs.root_id with
+  match snap_inode fs ~prev b cred Memfs.root_id with
   | Some (Ro.K_dir, root_hash) ->
       let fsinfo = { Ro.root_hash; issued_s = now_s; duration_s; serial } in
-      { store; root_hash; fsinfo; signature = Ro.sign_fsinfo key fsinfo }
+      {
+        store = b.b_store;
+        root_hash;
+        fsinfo;
+        signature = Ro.sign_fsinfo key fsinfo;
+        memo = b.b_memo;
+        sn_reused = b.b_reused;
+        sn_hashed = b.b_hashed;
+        sn_fresh_bytes = b.b_fresh;
+      }
   | _ -> invalid_arg "Readonly.snapshot: root is not a directory"
 
 let snapshot_size (s : snapshot) : int =
   Hashtbl.fold (fun _ bytes acc -> acc + String.length bytes) s.store 0
 
+let fsinfo (s : snapshot) : Ro.fsinfo = s.fsinfo
+let signature (s : snapshot) : string = s.signature
+let object_count (s : snapshot) : int = Hashtbl.length s.store
+let mem (s : snapshot) (h : string) : bool = Hashtbl.mem s.store h
+let fold_store (s : snapshot) (f : string -> string -> 'a -> 'a) (init : 'a) : 'a =
+  Hashtbl.fold f s.store init
+let reuse_stats (s : snapshot) : int * int = (s.sn_reused, s.sn_hashed)
+let fresh_bytes (s : snapshot) : int = s.sn_fresh_bytes
+
 (* --- Server ---
 
    The server side is trivial by design: look up bytes, return them.
-   It never touches a private key; [serve] works from any replica. *)
+   It never touches a private key; [serve] works from any replica.
+   The fan-out procedures are for mirrors (Replica.mirror); a
+   publisher's own snapshot refuses them. *)
 
 let handle_request (s : snapshot) (bytes : string) : string =
   let res =
@@ -89,6 +186,7 @@ let handle_request (s : snapshot) (bytes : string) : string =
         match Hashtbl.find_opt s.store h with
         | Some bytes -> Ro.Obj_is bytes
         | None -> Ro.Ro_error "no such object")
+    | Ok (Ro.Put_objs _ | Ro.Put_root _) -> Ro.Ro_error "not a mirror"
   in
   Ro.ro_response_to_string res
 
@@ -100,47 +198,94 @@ type client = {
   exchange : string -> string;
   pubkey : Rabin.pub;
   clock : Simclock.t;
-  cache : (string, Ro.obj) Hashtbl.t; (* verified objects *)
+  costs : Costmodel.t;
+  obs : Obs.registry option;
+  cache : Vcache.t; (* verified objects, LRU-bounded *)
   mutable fsinfo : Ro.fsinfo;
   mutable last_serial : int;
+  mutable root_frame : string; (* raw bytes of the last verified root reply *)
+  mutable sig_verified : int;
+  mutable sig_skipped : int;
 }
 
-let fetch_fsinfo ~(exchange : string -> string) ~(pubkey : Rabin.pub) ~(clock : Simclock.t)
-    ~(min_serial : int) : Ro.fsinfo =
-  match Ro.ro_response_of_string (exchange (Ro.ro_request_to_string Ro.Get_fsinfo)) with
+(* Fetch the signed root.  When [cached] matches the reply byte for
+   byte, the signature was already checked over exactly these bytes and
+   only the clock has advanced, so the (expensive) Rabin verification
+   is skipped; the validity-window and rollback checks always run —
+   they depend on the present, not on the bytes. *)
+let fetch_root ~(exchange : string -> string) ~(pubkey : Rabin.pub) ~(clock : Simclock.t)
+    ~(costs : Costmodel.t) ~(min_serial : int) ~(cached : string option) :
+    Ro.fsinfo * string * bool =
+  let raw = exchange (Ro.ro_request_to_string Ro.Get_fsinfo) in
+  match Ro.ro_response_of_string raw with
   | Ok (Ro.Fsinfo_is { fsinfo; signature }) ->
-      if not (Ro.verify_fsinfo pubkey fsinfo ~signature) then
-        raise (Verification_failed "bad root signature");
+      let skipped =
+        match cached with
+        | Some prev -> Sfs_util.Bytesutil.ct_equal raw prev
+        | None -> false
+      in
+      if not skipped then begin
+        Simclock.advance clock costs.Costmodel.rabin_verify_us;
+        if not (Ro.verify_fsinfo pubkey fsinfo ~signature) then
+          raise (Verification_failed "bad root signature")
+      end;
       let now = Simclock.seconds clock in
       if now > fsinfo.Ro.issued_s + fsinfo.Ro.duration_s then
         raise (Verification_failed "stale snapshot (past validity window)");
       if fsinfo.Ro.serial < min_serial then raise (Verification_failed "snapshot rollback detected");
-      fsinfo
+      (fsinfo, raw, skipped)
   | Ok (Ro.Ro_error e) -> raise (Verification_failed e)
-  | Ok (Ro.Obj_is _) -> raise (Verification_failed "unexpected response")
+  | Ok (Ro.Obj_is _ | Ro.Put_ok _) -> raise (Verification_failed "unexpected response")
   | Result.Error e -> raise (Verification_failed e)
 
-let connect ~(exchange : string -> string) ~(pubkey : Rabin.pub) ~(clock : Simclock.t) : client =
-  let fsinfo = fetch_fsinfo ~exchange ~pubkey ~clock ~min_serial:0 in
-  { exchange; pubkey; clock; cache = Hashtbl.create 256; fsinfo; last_serial = fsinfo.Ro.serial }
+let connect ?obs ?(cache_objs = 4096) ?(costs = Costmodel.default) ~(exchange : string -> string)
+    ~(pubkey : Rabin.pub) ~(clock : Simclock.t) () : client =
+  let fsinfo, raw, _ =
+    fetch_root ~exchange ~pubkey ~clock ~costs ~min_serial:0 ~cached:None
+  in
+  Obs.incr obs "ro.root.verify";
+  {
+    exchange;
+    pubkey;
+    clock;
+    costs;
+    obs;
+    cache = Vcache.create ?obs ~cap:cache_objs ();
+    fsinfo;
+    last_serial = fsinfo.Ro.serial;
+    root_frame = raw;
+    sig_verified = 1;
+    sig_skipped = 0;
+  }
 
 (* Fetch an object and verify it is the preimage of the hash that named
-   it — the step that lets untrusted replicas serve the data. *)
+   it — the step that lets untrusted replicas serve the data.  Each
+   hash is verified once: the vcache remembers verified objects (LRU),
+   and content addressing keeps hits valid across replicas and across
+   root serials. *)
 let fetch (c : client) (h : string) : Ro.obj =
-  match Hashtbl.find_opt c.cache h with
+  match Vcache.find c.cache h with
   | Some o -> o
   | None -> (
       match Ro.ro_response_of_string (c.exchange (Ro.ro_request_to_string (Ro.Get_obj h))) with
-      | Ok (Ro.Obj_is bytes) ->
-          if not (Sfs_util.Bytesutil.ct_equal (Sha1.digest bytes) h) then
-            raise (Verification_failed "object does not match its hash");
-          (match Ro.obj_of_string bytes with
+      | Ok (Ro.Obj_is bytes) -> (
+          let n = String.length bytes in
+          Simclock.advance c.clock (float_of_int n *. c.costs.Costmodel.sha1_us_per_byte);
+          if not (Sfs_util.Bytesutil.ct_equal (Sha1.digest bytes) h) then begin
+            Obs.incr c.obs "ro.verify.fail";
+            raise (Verification_failed "object does not match its hash")
+          end;
+          match Ro.obj_of_string bytes with
           | Ok o ->
-              Hashtbl.replace c.cache h o;
+              Obs.incr c.obs "ro.verify.ok";
+              Obs.add c.obs "ro.verify.bytes" n;
+              Vcache.add c.cache ~hash:h ~bytes:n o;
               o
-          | Result.Error e -> raise (Verification_failed e))
+          | Result.Error e ->
+              Obs.incr c.obs "ro.verify.fail";
+              raise (Verification_failed e))
       | Ok (Ro.Ro_error e) -> raise (Verification_failed e)
-      | Ok (Ro.Fsinfo_is _) -> raise (Verification_failed "unexpected response")
+      | Ok (Ro.Fsinfo_is _ | Ro.Put_ok _) -> raise (Verification_failed "unexpected response")
       | Result.Error e -> raise (Verification_failed e))
 
 (* --- Fs_intf over a verified snapshot --- *)
@@ -255,16 +400,32 @@ let ops (c : client) : Sfs_nfs.Fs_intf.ops =
                  entries)
         | Ro.O_file _ | Ro.O_symlink _ -> Error NFS3ERR_NOTDIR);
     fs_commit = (fun _ _ -> Ok ());
-    fs_fsstat =
-      (fun _ _ ->
-        Ok (Hashtbl.length c.cache, Hashtbl.fold (fun _ o a -> a + String.length (Ro.obj_to_string o)) c.cache 0));
+    fs_fsstat = (fun _ _ -> Ok (Vcache.count c.cache, Vcache.bytes c.cache));
   }
 
 (* Refresh the signed root (e.g. after the validity window lapses or to
-   pick up a new snapshot).  Rollback to an older serial is refused. *)
+   pick up a new snapshot).  Rollback to an older serial is refused.
+   When the reply is byte-identical to the one already verified, the
+   signature check is skipped — re-verifying the same bytes proves
+   nothing new; only the window and serial checks rerun.  Cached
+   objects survive a root change: content addressing means a hash still
+   reachable from the new root names the same bytes. *)
 let refresh (c : client) : unit =
-  let fsinfo = fetch_fsinfo ~exchange:c.exchange ~pubkey:c.pubkey ~clock:c.clock ~min_serial:c.last_serial in
-  if not (Sfs_util.Bytesutil.ct_equal fsinfo.Ro.root_hash c.fsinfo.Ro.root_hash) then
-    Hashtbl.reset c.cache;
+  let fsinfo, raw, skipped =
+    fetch_root ~exchange:c.exchange ~pubkey:c.pubkey ~clock:c.clock ~costs:c.costs
+      ~min_serial:c.last_serial ~cached:(Some c.root_frame)
+  in
+  if skipped then begin
+    c.sig_skipped <- c.sig_skipped + 1;
+    Obs.incr c.obs "ro.root.skip"
+  end
+  else begin
+    c.sig_verified <- c.sig_verified + 1;
+    Obs.incr c.obs "ro.root.verify"
+  end;
   c.fsinfo <- fsinfo;
+  c.root_frame <- raw;
   c.last_serial <- fsinfo.Ro.serial
+
+let refresh_checks (c : client) : int * int = (c.sig_verified, c.sig_skipped)
+let current_fsinfo (c : client) : Ro.fsinfo = c.fsinfo

@@ -51,6 +51,10 @@ type t = {
   pipeline_nfs_op_us : float; (* per-reply receive-side residual of a windowed NFS exchange *)
   pipeline_sfs_op_us : float; (* same through the user-level SFS relay *)
   keystream_us_per_byte : float; (* of crypto_us_per_byte, the data-independent ARC4 share *)
+  sha1_us_per_byte : float; (* bare SHA-1 content hashing (read-only dialect verify/publish) *)
+  rabin_verify_us : float; (* one signature verification: a modular squaring + compare *)
+  rabin_sign_us : float; (* one signature: square-root extraction via the private factors *)
+  copy_bytes_per_us : float; (* main-memory copy bandwidth (buffer handoff in user space) *)
 }
 
 let default : t =
@@ -81,6 +85,18 @@ let default : t =
        0.421 * 0.128 ~= 0.054.  The MAC share (keyed by per-message
        rekey bytes) and the 10 us fixed cost stay data-dependent. *)
     keystream_us_per_byte = 0.054;
+    (* The read-only dialect's costs on the same 550 MHz P-III: bare
+       SHA-1 runs ~25 MB/s (the MAC figure above folds in ARC4 and the
+       HMAC double-hash; bare digesting of bulk data is cheaper), so
+       verifying a fetched object charges 0.04 us/B at the client.
+       Rabin verification is one modular squaring (~175 us at 1024
+       bits); signing extracts a square root via CRT with the private
+       factors, about two orders of magnitude more (the paper's reason
+       to sign once per snapshot, never per client). *)
+    sha1_us_per_byte = 0.04;
+    rabin_verify_us = 175.0;
+    rabin_sign_us = 24_000.0;
+    copy_bytes_per_us = 400.0;
   }
 
 let rpc_fixed_us (t : t) (proto : transport_proto) : float =

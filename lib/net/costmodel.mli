@@ -33,6 +33,20 @@ type t = {
           share — the part {!Channel.precompute} may bill to idle wire
           time; the MAC share and [crypto_us_per_msg] stay with the
           message *)
+  sha1_us_per_byte : float;
+      (** bare SHA-1 over bulk data: what a read-only client charges to
+          verify a fetched object against its hash, and the publisher
+          charges to hash dirty objects into a snapshot *)
+  rabin_verify_us : float;
+      (** one Rabin-Williams verification (a modular squaring) — paid
+          once per fetched signed root *)
+  rabin_sign_us : float;
+      (** one Rabin-Williams signature (CRT square root with the
+          private factors) — the expensive operation the read-only
+          dialect performs once per snapshot instead of per client *)
+  copy_bytes_per_us : float;
+      (** main-memory copy bandwidth; a mirror serving a cached object
+          pays one buffer handoff at this rate, and nothing else *)
 }
 
 val default : t

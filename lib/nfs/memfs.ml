@@ -25,6 +25,7 @@ type inode = {
   mutable atime : nfstime;
   mutable mtime : nfstime;
   mutable ctime : nfstime;
+  mutable gen : int; (* content generation: bumped when data changes *)
 }
 
 type t = {
@@ -33,12 +34,15 @@ type t = {
   inodes : (int, inode) Hashtbl.t;
   mutable next_id : int;
   mutable read_only : bool;
+  mutable mutation : int; (* global content-mutation counter; gen values come from here *)
 }
 
 let root_id = 1
 
 let create ?(fsid = 1) ~(now : unit -> nfstime) () : t =
-  let t = { fsid; now; inodes = Hashtbl.create 256; next_id = 2; read_only = false } in
+  let t =
+    { fsid; now; inodes = Hashtbl.create 256; next_id = 2; read_only = false; mutation = 0 }
+  in
   let time = now () in
   Hashtbl.replace t.inodes root_id
     {
@@ -51,8 +55,19 @@ let create ?(fsid = 1) ~(now : unit -> nfstime) () : t =
       atime = time;
       mtime = time;
       ctime = time;
+      gen = 0;
     };
   t
+
+(* Content generations drive the read-only dialect's incremental
+   snapshots: an inode whose [gen] is unchanged since the last snapshot
+   is guaranteed to marshal to the same bytes, so the publisher can
+   reuse its hash instead of re-reading and re-hashing the data.  The
+   counter is global and monotone, so generation values are never
+   reused even when inode ids are. *)
+let bump_gen (t : t) (i : inode) : unit =
+  t.mutation <- t.mutation + 1;
+  i.gen <- t.mutation
 
 let set_read_only (t : t) (ro : bool) : unit = t.read_only <- ro
 
@@ -234,6 +249,7 @@ let setattr (t : t) (cred : Simos.cred) (id : int) (s : sattr) : fattr res =
                 f.len <- size
               end;
               i.mtime <- t.now ();
+              bump_gen t i;
               Ok ()
           | Dir _ -> Error NFS3ERR_ISDIR
           | Symlink _ -> Error NFS3ERR_INVAL)
@@ -249,6 +265,7 @@ let alloc (t : t) (kind : node_kind) ~(cred : Simos.cred) ~(mode : int) : inode 
   let time = t.now () in
   (* Anonymous users own nothing: their files belong to "nobody". *)
   let owner v = if v < 0 then nobody_uid else v in
+  t.mutation <- t.mutation + 1;
   let i =
     {
       id;
@@ -260,6 +277,7 @@ let alloc (t : t) (kind : node_kind) ~(cred : Simos.cred) ~(mode : int) : inode 
       atime = time;
       mtime = time;
       ctime = time;
+      gen = t.mutation;
     }
   in
   Hashtbl.replace t.inodes id i;
@@ -313,6 +331,7 @@ let write (t : t) (cred : Simos.cred) (id : int) ~(off : int) (data : string) : 
         if endoff > f.len then f.len <- endoff;
         i.mtime <- t.now ();
         i.ctime <- i.mtime;
+        bump_gen t i;
         Ok (attr_of_inode t i)
       end
 
@@ -477,3 +496,6 @@ let fold (t : t) (f : 'a -> path:string list -> int -> 'a) (init : 'a) : 'a =
 
 let inode_kind (t : t) (id : int) : node_kind option =
   Option.map (fun i -> i.kind) (Hashtbl.find_opt t.inodes id)
+
+let inode_gen (t : t) (id : int) : int option =
+  Option.map (fun i -> i.gen) (Hashtbl.find_opt t.inodes id)

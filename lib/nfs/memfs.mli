@@ -66,3 +66,10 @@ val fold : t -> ('a -> path:string list -> int -> 'a) -> 'a -> 'a
 
 val inode_kind : t -> int -> node_kind option
 (** Direct structural access, used by the read-only snapshot builder. *)
+
+val inode_gen : t -> int -> int option
+(** The inode's content generation: a globally monotone counter stamped
+    at creation and bumped on every data mutation (write, truncate).
+    Equal generations guarantee byte-identical content, which is what
+    lets the read-only publisher skip re-hashing clean files between
+    snapshots.  Generation values are never reused across inodes. *)

@@ -113,14 +113,36 @@ let verify_fsinfo (pubkey : Rabin.pub) (i : fsinfo) ~(signature : string) : bool
   | Some s -> Rabin.verify pubkey (Xdr.encode enc_fsinfo i) s
   | None -> false
 
-(* --- Wire messages (service = Fs_readonly) --- *)
+(* --- Wire messages (service = Fs_readonly) ---
 
-type ro_request = Get_fsinfo | Get_obj of string (* hash *)
+   Get_fsinfo/Get_obj is the client-facing fetch protocol.  Put_objs /
+   Put_root is the publisher -> mirror fan-out: a mirror is a dumb
+   content-addressed byte store, so replication is "store these bytes
+   under these hashes, then swap the signed root".  The mirror verifies
+   nothing — it cannot be trusted anyway, and clients re-verify every
+   object against the hash chain, so a lying publisher (or mirror) can
+   only cause fetches to fail, never to return wrong data. *)
+
+type ro_request =
+  | Get_fsinfo
+  | Get_obj of string (* hash *)
+  | Put_objs of (string * string) list (* (hash, marshaled object) pairs *)
+  | Put_root of { fsinfo : fsinfo; signature : string; evict : string list }
 
 type ro_response =
   | Fsinfo_is of { fsinfo : fsinfo; signature : string }
   | Obj_is of string (* marshaled object *)
   | Ro_error of string
+  | Put_ok of int (* objects stored / root accepted *)
+
+let enc_put_obj e ((h, bytes) : string * string) =
+  Xdr.enc_fixed_opaque e ~size:20 h;
+  Xdr.enc_opaque e bytes
+
+let dec_put_obj d : string * string =
+  let h = Xdr.dec_fixed_opaque d ~size:20 in
+  let bytes = Xdr.dec_opaque d ~max:0x2000000 in
+  (h, bytes)
 
 let enc_ro_request e (r : ro_request) =
   match r with
@@ -128,11 +150,25 @@ let enc_ro_request e (r : ro_request) =
   | Get_obj h ->
       Xdr.enc_uint32 e 1;
       Xdr.enc_fixed_opaque e ~size:20 h
+  | Put_objs objs ->
+      Xdr.enc_uint32 e 2;
+      Xdr.enc_array e enc_put_obj objs
+  | Put_root { fsinfo; signature; evict } ->
+      Xdr.enc_uint32 e 3;
+      enc_fsinfo e fsinfo;
+      Xdr.enc_opaque e signature;
+      Xdr.enc_array e (fun e h -> Xdr.enc_fixed_opaque e ~size:20 h) evict
 
 let dec_ro_request d : ro_request =
   match Xdr.dec_uint32 d with
   | 0 -> Get_fsinfo
   | 1 -> Get_obj (Xdr.dec_fixed_opaque d ~size:20)
+  | 2 -> Put_objs (Xdr.dec_array d ~max:4096 dec_put_obj)
+  | 3 ->
+      let fsinfo = dec_fsinfo d in
+      let signature = Xdr.dec_opaque d ~max:4096 in
+      let evict = Xdr.dec_array d ~max:100000 (fun d -> Xdr.dec_fixed_opaque d ~size:20) in
+      Put_root { fsinfo; signature; evict }
   | t -> Xdr.error "bad ro request %d" t
 
 let enc_ro_response e (r : ro_response) =
@@ -147,6 +183,9 @@ let enc_ro_response e (r : ro_response) =
   | Ro_error msg ->
       Xdr.enc_uint32 e 2;
       Xdr.enc_string e msg
+  | Put_ok n ->
+      Xdr.enc_uint32 e 3;
+      Xdr.enc_uint32 e n
 
 let dec_ro_response d : ro_response =
   match Xdr.dec_uint32 d with
@@ -156,6 +195,7 @@ let dec_ro_response d : ro_response =
       Fsinfo_is { fsinfo; signature }
   | 1 -> Obj_is (Xdr.dec_opaque d ~max:0x2000000)
   | 2 -> Ro_error (Xdr.dec_string d ~max:255)
+  | 3 -> Put_ok (Xdr.dec_uint32 d)
   | t -> Xdr.error "bad ro response %d" t
 
 let ro_request_to_string r = Xdr.encode enc_ro_request r

@@ -1,7 +1,8 @@
 (** Wire format of the public read-only dialect (paper sections 2.4,
     3.2): content-hashed objects, a signed root with a validity window
-    and a rollback-stopping serial, and the two-procedure fetch
-    protocol.  Serving needs no private key; clients verify everything. *)
+    and a rollback-stopping serial, the two-procedure fetch protocol,
+    and the publisher→mirror fan-out procedures.  Serving needs no
+    private key; clients verify everything. *)
 
 module Rabin = Sfs_crypto.Rabin
 module Xdr = Sfs_xdr.Xdr
@@ -35,12 +36,21 @@ val sign_fsinfo : Rabin.priv -> fsinfo -> string
 
 val verify_fsinfo : Rabin.pub -> fsinfo -> signature:string -> bool
 
-type ro_request = Get_fsinfo | Get_obj of string
+type ro_request =
+  | Get_fsinfo
+  | Get_obj of string
+  | Put_objs of (string * string) list
+      (** publisher → mirror fan-out: store these (hash, bytes) pairs.
+          The mirror verifies nothing — clients re-verify every object,
+          so a bad push can only make fetches fail, never lie. *)
+  | Put_root of { fsinfo : fsinfo; signature : string; evict : string list }
+      (** swap to the new signed root and drop the [evict]ed hashes *)
 
 type ro_response =
   | Fsinfo_is of { fsinfo : fsinfo; signature : string }
   | Obj_is of string
   | Ro_error of string
+  | Put_ok of int
 
 val ro_request_to_string : ro_request -> string
 val ro_response_to_string : ro_response -> string

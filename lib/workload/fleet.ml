@@ -50,6 +50,20 @@ module Obs = Sfs_obs.Obs
 module Sketch = Sfs_obs.Sketch
 module Fault = Sfs_fault.Fault
 
+(* What each client does after mounting.  [Hotfile] is the original
+   lease fan-in workload.  [Zipf] is the flash-crowd read mix: a
+   two-level tree of [dirs] x [files_per_dir] files read with Zipf
+   popularity — the same layout Flashcrowd serves from read-only
+   mirrors, so the two arms of the CDN figure are apples-to-apples. *)
+type workload =
+  | Hotfile
+  | Zipf of { dirs : int; files_per_dir : int; file_bytes : int; theta : float }
+
+(* How client arrivals are spaced: the original fixed [Stagger], or an
+   accelerating flash-crowd [Ramp] where client i mounts at
+   ramp_us * sqrt((i+1)/n) — arrival rate grows linearly with time. *)
+type arrival = Stagger | Ramp of float
+
 type config = {
   clients : int;
   servers : int;
@@ -69,6 +83,8 @@ type config = {
   max_spans : int; (* obs retention bound: fleets drop spans, keep counters *)
   seed : string;
   fault : Fault.spec option;
+  workload : workload;
+  arrival : arrival;
 }
 
 let default : config =
@@ -91,7 +107,35 @@ let default : config =
     max_spans = 20_000;
     seed = "fleet";
     fault = None;
+    workload = Hotfile;
+    arrival = Stagger;
   }
+
+(* Zipf CDF over [n] items with exponent [theta], hottest first.
+   Sampling is a uniform draw plus binary search — deterministic given
+   the client's seeded Prng. *)
+let zipf_cdf ~(n : int) ~(theta : float) : float array =
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (1.0 /. (float_of_int (i + 1) ** theta));
+    cdf.(i) <- !acc
+  done;
+  let total = !acc in
+  Array.map (fun v -> v /. total) cdf
+
+let zipf_sample (cdf : float array) (rng : Prng.t) : int =
+  let r = float_of_int (Prng.random_int rng 1_000_000) /. 1_000_000.0 in
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) < r then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Deterministic file contents for the Zipf tree; Flashcrowd seeds the
+   publisher's tree with the same function so reads are checkable. *)
+let zipf_file_char (file : int) : char = Char.chr (Char.code 'a' + (file mod 26))
 
 type result = {
   r_cfg : config;
@@ -128,8 +172,11 @@ type cl = {
   mutable mount : Core.Client.mount option;
   mutable fh_hot : string;
   mutable fh_own : string;
+  mutable fh_bench : string;
   mutable ops_done : int;
   mutable attempts : int;
+  zrng : Prng.t option; (* Zipf draw stream; None under Hotfile *)
+  zfh : (int, string) Hashtbl.t; (* file index -> resolved handle *)
 }
 
 let hot_read_bytes = 4096
@@ -195,6 +242,30 @@ let run (cfg : config) : result =
       seed_file ("c" ^ string_of_int !i) own_write_bytes;
       i := !i + cfg.servers
     done;
+    (match cfg.workload with
+    | Hotfile -> ()
+    | Zipf z ->
+        (* The flash-crowd tree: bench/d<i>/f<j>, contents a pure
+           function of the flat file index. *)
+        for d = 0 to z.dirs - 1 do
+          let dir =
+            match Memfs.mkdir fs root_cred ~dir:bench ("d" ^ string_of_int d) ~mode:0o777 with
+            | Ok (ino, _) -> ino
+            | Error _ -> assert false
+          in
+          for f = 0 to z.files_per_dir - 1 do
+            let file = (d * z.files_per_dir) + f in
+            match Memfs.create_file fs root_cred ~dir ("f" ^ string_of_int f) ~mode:0o666 with
+            | Ok (ino, _) -> (
+                match
+                  Memfs.write fs root_cred ino ~off:0
+                    (String.make z.file_bytes (zipf_file_char file))
+                with
+                | Ok _ -> ()
+                | Error _ -> assert false)
+            | Error _ -> assert false
+          done
+        done);
     let rng = Prng.create [ cfg.seed; "server"; string_of_int s ] in
     let key = Rabin.generate ~bits:cfg.server_key_bits rng in
     let srv =
@@ -231,11 +302,22 @@ let run (cfg : config) : result =
       mount = None;
       fh_hot = "";
       fh_own = "";
+      fh_bench = "";
       ops_done = 0;
       attempts = 0;
+      zrng =
+        (match cfg.workload with
+        | Hotfile -> None
+        | Zipf _ -> Some (Prng.create [ cfg.seed; "zipf"; string_of_int i ]));
+      zfh = Hashtbl.create 8;
     }
   in
   let cls = Array.init cfg.clients mk_client in
+  let cdf =
+    match cfg.workload with
+    | Hotfile -> [||]
+    | Zipf z -> zipf_cdf ~n:(z.dirs * z.files_per_dir) ~theta:z.theta
+  in
   (* --- fault plan (chaos soak): armed over the whole run --- *)
   (match cfg.fault with
   | None -> ()
@@ -290,7 +372,37 @@ let run (cfg : config) : result =
      (lease fan-in: every client holds it); writes go to the client's
      own pre-seeded file; every [hot_write_every]-th client's last op
      writes the hot file, triggering an invalidation to every holder. *)
-  let do_op (c : cl) (k : int) () : (unit, string) Stdlib.result =
+  (* The flash-crowd micro-op: draw a file by Zipf popularity, resolve
+     its handle through the protocol once (then a client-side name
+     cache), and read it whole.  All-read by construction — the rw arm
+     of the CDN figure measures serving cost, not write contention. *)
+  let do_zipf_op (c : cl) ~(files_per_dir : int) ~(file_bytes : int) () :
+      (unit, string) Stdlib.result =
+    let m = match c.mount with Some m -> m | None -> assert false in
+    let o = Core.Client.ops m in
+    let rng = match c.zrng with Some r -> r | None -> assert false in
+    let file = zipf_sample cdf rng in
+    let ( let* ) r f =
+      match r with Ok v -> f v | Error e -> Error (Sfs_nfs.Nfs_types.status_to_string e)
+    in
+    let fh_res =
+      match Hashtbl.find_opt c.zfh file with
+      | Some fh -> Ok fh
+      | None ->
+          let dname = "d" ^ string_of_int (file / files_per_dir) in
+          let fname = "f" ^ string_of_int (file mod files_per_dir) in
+          let* d, _ = o.Fs_intf.fs_lookup c.cred ~dir:c.fh_bench dname in
+          let* fh, _ = o.Fs_intf.fs_lookup c.cred ~dir:d fname in
+          Hashtbl.replace c.zfh file fh;
+          Stdlib.Result.Ok fh
+    in
+    match fh_res with
+    | Error e -> Error e
+    | Ok fh ->
+        let* data, _, _ = o.Fs_intf.fs_read c.cred fh ~off:0 ~count:file_bytes in
+        if String.length data = file_bytes then Ok () else Error "short read"
+  in
+  let do_hotfile_op (c : cl) (k : int) () : (unit, string) Stdlib.result =
     let m = match c.mount with Some m -> m | None -> assert false in
     let o = Core.Client.ops m in
     let hot_writer = cfg.hot_write_every > 0 && c.idx mod cfg.hot_write_every = 0 in
@@ -310,6 +422,12 @@ let run (cfg : config) : result =
       match o.Fs_intf.fs_write c.cred c.fh_own ~off:0 ~stable:false (String.make 64 'o') with
       | Ok _ -> Ok ()
       | Error e -> Error (Sfs_nfs.Nfs_types.status_to_string e)
+  in
+  let do_op (c : cl) (k : int) () : (unit, string) Stdlib.result =
+    match cfg.workload with
+    | Hotfile -> do_hotfile_op c k ()
+    | Zipf { dirs = _; files_per_dir; file_bytes; theta = _ } ->
+        do_zipf_op c ~files_per_dir ~file_bytes ()
   in
   let do_unmount (c : cl) () : (unit, string) Stdlib.result =
     (match c.mount with
@@ -356,6 +474,7 @@ let run (cfg : config) : result =
         let* own, _ = o.Fs_intf.fs_lookup c.cred ~dir:bench ("c" ^ string_of_int c.idx) in
         c.fh_hot <- hot;
         c.fh_own <- own;
+        c.fh_bench <- bench;
         Ok m)
   in
   let retryable (e : string) : bool =
@@ -381,9 +500,15 @@ let run (cfg : config) : result =
         let _, _, _ = exec_timed c (do_unmount c) in
         ()
   in
-  Array.iter
-    (fun c -> Simclock.schedule clock ~at_us:(float_of_int c.idx *. cfg.stagger_us) (ev_mount c))
-    cls;
+  let arrival_at (i : int) : float =
+    match cfg.arrival with
+    | Stagger -> float_of_int i *. cfg.stagger_us
+    | Ramp ramp_us ->
+        (* accelerating arrivals: rate grows linearly until the whole
+           crowd is in by [ramp_us] *)
+        ramp_us *. sqrt (float_of_int (i + 1) /. float_of_int cfg.clients)
+  in
+  Array.iter (fun c -> Simclock.schedule clock ~at_us:(arrival_at c.idx) (ev_mount c)) cls;
   let events = Simclock.run_all clock in
   Simnet.set_injector net None;
   {

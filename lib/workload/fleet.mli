@@ -13,6 +13,21 @@
 module Simnet = Sfs_net.Simnet
 module Sketch = Sfs_obs.Sketch
 module Core = Sfs_core
+module Prng = Sfs_crypto.Prng
+
+(** What each client does after mounting: the original hot-file lease
+    fan-in mix, or the flash-crowd Zipf read mix over a two-level
+    [dirs] x [files_per_dir] tree — the same layout {!Flashcrowd}
+    serves from read-only mirrors, so the read-write arm of the CDN
+    figure is apples-to-apples. *)
+type workload =
+  | Hotfile
+  | Zipf of { dirs : int; files_per_dir : int; file_bytes : int; theta : float }
+
+(** Arrival spacing: fixed [Stagger], or a flash-crowd [Ramp] where
+    client [i] arrives at [ramp_us * sqrt((i+1)/n)] — the arrival rate
+    grows linearly until the whole crowd is in. *)
+type arrival = Stagger | Ramp of float
 
 type config = {
   clients : int;
@@ -33,6 +48,8 @@ type config = {
   max_spans : int;
   seed : string;
   fault : Sfs_fault.Fault.spec option;
+  workload : workload;
+  arrival : arrival;
 }
 
 val default : config
@@ -72,3 +89,15 @@ val reconcile : result -> (string * bool) list
 val ledger : result -> string
 (** Counters, sketches and tallies, one sorted line each — the
     byte-identity artifact for the determinism gates. *)
+
+(** {2 Zipf sampling (shared with {!Flashcrowd})} *)
+
+val zipf_cdf : n:int -> theta:float -> float array
+(** CDF over [n] items, hottest first. *)
+
+val zipf_sample : float array -> Prng.t -> int
+(** Uniform draw + binary search; deterministic per seeded Prng. *)
+
+val zipf_file_char : int -> char
+(** Deterministic file contents for the Zipf tree, by flat index —
+    readers can check every byte they were served. *)

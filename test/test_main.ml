@@ -11,6 +11,7 @@ let () =
       Test_proto.suite;
       Test_core.suite;
       Test_workload.suite;
+      Test_replica.suite;
       Test_fault.suite;
       Test_integration.suite;
       Test_lint.suite;

@@ -171,6 +171,118 @@ let test_fleet_10k () =
   let p50 = Sfs_obs.Sketch.quantile r.Fleet.r_op_lat 0.50 in
   Testkit.check_bool "latency quantiles ordered" true (0 < p50 && p50 <= p99)
 
+let test_fleet_zipf () =
+  (* The read-write arm of the CDN figure: Zipf reads over the
+     two-level tree, ramp arrivals. *)
+  let cfg =
+    {
+      Fleet.default with
+      Fleet.clients = 32;
+      servers = 1;
+      ops_per_client = 6;
+      workload = Fleet.Zipf { dirs = 4; files_per_dir = 8; file_bytes = 1024; theta = 1.0 };
+      arrival = Fleet.Ramp 20_000.0;
+    }
+  in
+  let r = Fleet.run cfg in
+  check_reconcile r;
+  Testkit.check_int "all mounted" 32 r.Fleet.r_mount_ok;
+  Testkit.check_int "all reads completed" (32 * 6) r.Fleet.r_completed;
+  Testkit.check_int "no failures" 0 r.Fleet.r_failed
+
+(* --- Flashcrowd: the read-only CDN tier --- *)
+
+let check_fc_reconcile r =
+  List.iter
+    (fun (name, ok) -> Testkit.check_bool ("fc reconcile: " ^ name) true ok)
+    (Flashcrowd.reconcile r)
+
+let test_flashcrowd_smoke () =
+  (* Enough reads per client for each verification cache to warm up. *)
+  let cfg = { Flashcrowd.default with Flashcrowd.reads_per_client = 12 } in
+  let r = Flashcrowd.run cfg in
+  check_fc_reconcile r;
+  Testkit.check_int "all clients finished" cfg.Flashcrowd.clients r.Flashcrowd.r_clients_ok;
+  Testkit.check_int "no failed reads" 0 r.Flashcrowd.r_reads_failed;
+  Testkit.check_bool "throughput positive" true (Flashcrowd.throughput_reads_s r > 0.0);
+  (* The verification cache must be doing its job: far more objects
+     reach applications than are verified. *)
+  let obs = r.Flashcrowd.r_obs in
+  Testkit.check_bool "cache hits dominate" true
+    (Sfs_obs.Obs.counter obs "ro.verify.hit" > Sfs_obs.Obs.counter obs "ro.verify.ok")
+
+let test_flashcrowd_determinism () =
+  let cfg = { Flashcrowd.default with Flashcrowd.clients = 48; replicas = 3 } in
+  let l1 = Flashcrowd.ledger (Flashcrowd.run cfg) in
+  let l2 = Flashcrowd.ledger (Flashcrowd.run cfg) in
+  Testkit.check_bool "byte-identical ledgers" true (String.equal l1 l2);
+  Testkit.check_bool "ledger non-trivial" true (String.length l1 > 200)
+
+let test_flashcrowd_admission_failover () =
+  (* Tight admission on two mirrors: clients must be refused, back off,
+     and fail over to the least-loaded mirror — and still all finish. *)
+  let cfg =
+    {
+      Flashcrowd.default with
+      Flashcrowd.clients = 24;
+      replicas = 2;
+      admit_per_mirror = Some 4;
+      ramp_us = 1_000.0;
+    }
+  in
+  let r = Flashcrowd.run cfg in
+  check_fc_reconcile r;
+  Testkit.check_int "all clients finished despite the caps" 24 r.Flashcrowd.r_clients_ok;
+  Testkit.check_bool "refusals happened" true
+    (Sfs_obs.Obs.counter r.Flashcrowd.r_obs "net.admission.refused" > 0);
+  Testkit.check_bool "failovers counted" true (r.Flashcrowd.r_failovers > 0)
+
+let test_flashcrowd_republish () =
+  (* A mid-crowd incremental publish: the delta fans out, stale objects
+     are evicted, clients refresh onto the new root, and nothing
+     unverified ever surfaces. *)
+  let cfg =
+    {
+      Flashcrowd.default with
+      Flashcrowd.clients = 40;
+      reads_per_client = 8;
+      republish_at_us = Some 60_000.0;
+    }
+  in
+  let r = Flashcrowd.run cfg in
+  check_fc_reconcile r;
+  Testkit.check_int "republish happened" 1 r.Flashcrowd.r_republishes;
+  Testkit.check_int "all clients finished" 40 r.Flashcrowd.r_clients_ok;
+  Testkit.check_int "nothing unverified" 0 r.Flashcrowd.r_bad_content;
+  Testkit.check_bool "incremental publish reused objects" true
+    (Sfs_obs.Obs.counter r.Flashcrowd.r_obs "ro.publish.reused" > 0)
+
+let test_flashcrowd_20k () =
+  (* Past the read-write fleet's 10^4: slim per-connection state lets
+     the crowd double without the engine breaking a sweat.  Every
+     accounting invariant must still reconcile exactly. *)
+  let cfg =
+    {
+      Flashcrowd.default with
+      Flashcrowd.clients = 20_000;
+      replicas = 8;
+      dirs = 8;
+      files_per_dir = 32;
+      file_bytes = 1024;
+      reads_per_client = 2;
+      vcache_objs = 64;
+      admit_per_mirror = Some 4000;
+      ramp_us = 2_000_000.0;
+    }
+  in
+  let r = Flashcrowd.run cfg in
+  check_fc_reconcile r;
+  Testkit.check_int "all 20k finished" 20_000 r.Flashcrowd.r_clients_ok;
+  Testkit.check_int "all reads completed" 40_000 r.Flashcrowd.r_reads_ok;
+  let p50 = Sfs_obs.Sketch.quantile r.Flashcrowd.r_read_lat 0.50 in
+  let p99 = Sfs_obs.Sketch.quantile r.Flashcrowd.r_read_lat 0.99 in
+  Testkit.check_bool "latency quantiles ordered" true (0 < p50 && p50 <= p99)
+
 let suite =
   ( "workload",
     [
@@ -186,4 +298,10 @@ let suite =
       Alcotest.test_case "fleet admission" `Quick test_fleet_admission;
       Alcotest.test_case "fleet determinism" `Quick test_fleet_determinism;
       Alcotest.test_case "fleet 10k clients" `Slow test_fleet_10k;
+      Alcotest.test_case "fleet zipf reads" `Quick test_fleet_zipf;
+      Alcotest.test_case "flashcrowd smoke" `Quick test_flashcrowd_smoke;
+      Alcotest.test_case "flashcrowd determinism" `Quick test_flashcrowd_determinism;
+      Alcotest.test_case "flashcrowd admission failover" `Quick test_flashcrowd_admission_failover;
+      Alcotest.test_case "flashcrowd republish" `Quick test_flashcrowd_republish;
+      Alcotest.test_case "flashcrowd 20k clients" `Slow test_flashcrowd_20k;
     ] )

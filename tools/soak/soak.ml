@@ -2,14 +2,17 @@
    fleet-scale stack, each run TWICE with a byte-identical-ledger
    determinism check.
 
-   The corpus is 25 deterministic plans sweeping drops, duplicates,
-   reorders, corruption, delays, server crash/restart windows and
-   partitions.  CI runs a budgeted sample per push, rotating which
+   The corpus is 30 deterministic plans: 25 against the read-write
+   fleet sweeping drops, duplicates, reorders, corruption, delays,
+   server crash/restart windows and partitions, plus 5 against the
+   read-only replica tier (mirror crash mid-crowd, mirror flap,
+   publisher<->mirror partition across a republish window, drops,
+   corruption).  CI runs a budgeted sample per push, rotating which
    plans run from the commit SHA (--sha), so over a stream of commits
    the whole corpus gets exercised without any single job paying for
    all of it.  Locally, `make soak` runs everything.
 
-   A plan passes when (a) the fleet run terminates with every client
+   A plan passes when (a) the run terminates with every client
    accounted for, and (b) a second identical run produces a
    byte-identical ledger — counters, latency sketches and fault/recover
    tallies all included.  Fault-free reconciliation invariants are NOT
@@ -21,9 +24,16 @@
 *)
 
 module Fleet = Sfs_workload.Fleet
+module Flashcrowd = Sfs_workload.Flashcrowd
 module Fault = Sfs_fault.Fault
 
-(* --- the corpus: 25 named, seeded plans --- *)
+(* Which world a plan soaks: the read-write fleet, or the read-only
+   replica tier (publisher + mirrors + flash crowd, with a mid-crowd
+   incremental republish so fan-out and client root refresh both run
+   inside every fault window). *)
+type world = Rw of Fault.spec | Ro of Fault.spec
+
+(* --- the corpus: 30 named, seeded plans --- *)
 
 let crash ~host ~down_s ~up_s =
   { Fault.c_host = host; c_down_us = down_s *. 1e6; c_up_us = up_s *. 1e6 }
@@ -32,13 +42,27 @@ let part ~a ~b ~from_s ~until_s =
   { Fault.pa = a; pb = b; p_from_us = from_s *. 1e6; p_until_us = until_s *. 1e6 }
 
 let srv i = Printf.sprintf "srv%d.fleet.lcs.mit.edu" i
+let mir i = Flashcrowd.mirror_loc i
 
-let plans : (string * Fault.spec) list =
+let plans : (string * world) list =
+  let spec name ?drop_pm ?dup_pm ?reorder_pm ?corrupt_pm ?delay_pm ?delay_mean_us ?delay_p99_us
+      ?partitions ?crashes () =
+    Fault.make ?drop_pm ?dup_pm ?reorder_pm ?corrupt_pm ?delay_pm ?delay_mean_us ?delay_p99_us
+      ?partitions ?crashes ~seed:("soak/" ^ name) ()
+  in
   let mk name ?drop_pm ?dup_pm ?reorder_pm ?corrupt_pm ?delay_pm ?delay_mean_us ?delay_p99_us
       ?partitions ?crashes () =
     ( name,
-      Fault.make ?drop_pm ?dup_pm ?reorder_pm ?corrupt_pm ?delay_pm ?delay_mean_us ?delay_p99_us
-        ?partitions ?crashes ~seed:("soak/" ^ name) () )
+      Rw
+        (spec name ?drop_pm ?dup_pm ?reorder_pm ?corrupt_pm ?delay_pm ?delay_mean_us
+           ?delay_p99_us ?partitions ?crashes ()) )
+  in
+  let mkro name ?drop_pm ?dup_pm ?reorder_pm ?corrupt_pm ?delay_pm ?delay_mean_us ?delay_p99_us
+      ?partitions ?crashes () =
+    ( name,
+      Ro
+        (spec name ?drop_pm ?dup_pm ?reorder_pm ?corrupt_pm ?delay_pm ?delay_mean_us
+           ?delay_p99_us ?partitions ?crashes ()) )
   in
   [
     mk "clean" ();
@@ -67,6 +91,16 @@ let plans : (string * Fault.spec) list =
     mk "partition-early" ~partitions:[ part ~a:"c0.client.fleet" ~b:(srv 0) ~from_s:0.0 ~until_s:0.3 ] ();
     mk "partition+delay" ~delay_pm:200 ~delay_mean_us:2_000 ~delay_p99_us:20_000 ~partitions:[ part ~a:"c1.client.fleet" ~b:(srv 1) ~from_s:0.1 ~until_s:0.4 ] ();
     mk "partition+crash" ~partitions:[ part ~a:"c2.client.fleet" ~b:(srv 0) ~from_s:0.0 ~until_s:0.2 ] ~crashes:[ crash ~host:(srv 1) ~down_s:0.3 ~up_s:0.5 ] ();
+    (* Read-only replica tier: every plan republishes mid-crowd (see
+       ro_cfg), so fan-out resume and client root refresh run under the
+       fault.  Mirror crashes kill connections but not the object store;
+       the publisher<->mirror partition spans the republish window, so
+       one mirror keeps serving the old root until the next fan-out. *)
+    mkro "ro-mirror-crash-mid" ~crashes:[ crash ~host:(mir 0) ~down_s:0.06 ~up_s:0.16 ] ();
+    mkro "ro-mirror-flap" ~crashes:[ crash ~host:(mir 1) ~down_s:0.03 ~up_s:0.05; crash ~host:(mir 1) ~down_s:0.09 ~up_s:0.11; crash ~host:(mir 1) ~down_s:0.17 ~up_s:0.19 ] ();
+    mkro "ro-publisher-partition" ~partitions:[ part ~a:Flashcrowd.publisher_loc ~b:(mir 0) ~from_s:0.05 ~until_s:0.3 ] ();
+    mkro "ro-drop-1pct" ~drop_pm:100 ();
+    mkro "ro-corrupt-1pct" ~corrupt_pm:100 ();
   ]
 
 (* --- one soak: run a plan twice, demand byte-identical ledgers --- *)
@@ -85,21 +119,57 @@ let fleet_cfg ~clients (spec : Fault.spec) : Fleet.config =
     fault = Some spec;
   }
 
-let run_plan ~clients (name, spec) : bool =
-  let cfg = fleet_cfg ~clients spec in
-  let r1 = Fleet.run cfg in
-  let l1 = Fleet.ledger r1 in
-  let l2 = Fleet.ledger (Fleet.run cfg) in
-  let accounted = r1.Fleet.r_mount_ok + r1.Fleet.r_mount_failed = clients in
-  let identical = String.equal l1 l2 in
-  Printf.printf "  %-18s %s  mounts %d/%d  ops ok %d failed %d  redials %d%s\n" name
-    (if identical && accounted then "PASS" else "FAIL")
-    r1.Fleet.r_mount_ok clients r1.Fleet.r_completed r1.Fleet.r_failed r1.Fleet.r_mount_retries
-    (if identical then "" else "  <- ledgers diverged between identical runs");
-  if not accounted then
-    Printf.printf "      client accounting broken: mount_ok=%d mount_failed=%d clients=%d\n"
-      r1.Fleet.r_mount_ok r1.Fleet.r_mount_failed clients;
-  identical && accounted
+(* The read-only soak world: a 3-mirror tier with a mid-crowd
+   incremental republish at 120 ms, so every plan exercises fan-out
+   (including resume-after-failure) and client root refresh, not just
+   the steady serving path. *)
+let ro_cfg ~clients (spec : Fault.spec) : Flashcrowd.config =
+  {
+    Flashcrowd.default with
+    Flashcrowd.clients;
+    replicas = 3;
+    reads_per_client = 6;
+    admit_per_mirror = Some (max 4 (clients / 2));
+    republish_at_us = Some 120_000.0;
+    seed = "soak-ro";
+    fault = Some spec;
+  }
+
+let run_plan ~clients (name, world) : bool =
+  match world with
+  | Rw spec ->
+      let cfg = fleet_cfg ~clients spec in
+      let r1 = Fleet.run cfg in
+      let l1 = Fleet.ledger r1 in
+      let l2 = Fleet.ledger (Fleet.run cfg) in
+      let accounted = r1.Fleet.r_mount_ok + r1.Fleet.r_mount_failed = clients in
+      let identical = String.equal l1 l2 in
+      Printf.printf "  %-22s %s  mounts %d/%d  ops ok %d failed %d  redials %d%s\n" name
+        (if identical && accounted then "PASS" else "FAIL")
+        r1.Fleet.r_mount_ok clients r1.Fleet.r_completed r1.Fleet.r_failed
+        r1.Fleet.r_mount_retries
+        (if identical then "" else "  <- ledgers diverged between identical runs");
+      if not accounted then
+        Printf.printf "      client accounting broken: mount_ok=%d mount_failed=%d clients=%d\n"
+          r1.Fleet.r_mount_ok r1.Fleet.r_mount_failed clients;
+      identical && accounted
+  | Ro spec ->
+      let cfg = ro_cfg ~clients spec in
+      let r1 = Flashcrowd.run cfg in
+      let l1 = Flashcrowd.ledger r1 in
+      let l2 = Flashcrowd.ledger (Flashcrowd.run cfg) in
+      let accounted = r1.Flashcrowd.r_clients_ok + r1.Flashcrowd.r_clients_failed = clients in
+      let identical = String.equal l1 l2 in
+      Printf.printf
+        "  %-22s %s  clients %d/%d  reads ok %d failed %d  failovers %d retries %d%s\n" name
+        (if identical && accounted then "PASS" else "FAIL")
+        r1.Flashcrowd.r_clients_ok clients r1.Flashcrowd.r_reads_ok r1.Flashcrowd.r_reads_failed
+        r1.Flashcrowd.r_failovers r1.Flashcrowd.r_retries
+        (if identical then "" else "  <- ledgers diverged between identical runs");
+      if not accounted then
+        Printf.printf "      client accounting broken: ok=%d failed=%d clients=%d\n"
+          r1.Flashcrowd.r_clients_ok r1.Flashcrowd.r_clients_failed clients;
+      identical && accounted
 
 (* Deterministic rotation: the first 8 hex digits of the commit SHA
    pick where in the corpus this push's sample starts. *)
@@ -150,7 +220,8 @@ let () =
     let start = !offset mod total in
     let sample = List.init count (fun i -> List.nth plans ((start + i) mod total)) in
     Printf.printf
-      "Chaos soak: %d plan(s) starting at corpus index %d, %d pipelined clients, 2 servers\n\
+      "Chaos soak: %d plan(s) starting at corpus index %d, %d clients per plan\n\
+       (rw plans: pipelined fleet, 2 servers; ro plans: flash crowd, publisher + 3 mirrors)\n\
        (each plan runs twice; ledgers must be byte-identical)\n\n"
       count start !clients;
     let ok = List.for_all (fun p -> run_plan ~clients:!clients p) sample in
